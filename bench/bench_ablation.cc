@@ -1,0 +1,235 @@
+/**
+ * @file
+ * Ablations on PipeLLM's design choices (DESIGN.md experiment index):
+ *
+ *  A1: asynchronous vs synchronous D2H decryption (§5.4)
+ *  A2: IV leeway sweep — how much slack small transfers need (§5.1)
+ *  A3: pipeline depth sweep — lookahead vs private-memory footprint
+ *  A4: speculation off — pipelined-but-on-demand encryption only
+ *  A5: NOP cost — how cheap is padding the IV counter (§5.3)
+ *  A6: swap vs recompute preemption under each security mode — a
+ *      system-level response to the CC tax that PipeLLM obviates
+ *  A7: FlexGen full offloading (weights + KV) — the configuration the
+ *      paper's evaluation deliberately excluded (§7.2)
+ */
+
+#include <cinttypes>
+
+#include "bench/bench_drivers.hh"
+
+using namespace benchutil;
+using runtime::CopyKind;
+using runtime::Stream;
+
+namespace {
+
+double
+vllmLatency(const core::PipeLlmConfig &cfg, double rate)
+{
+    runtime::Platform platform(gpu::SystemSpec::h100(), benchChannel());
+    core::PipeLlmRuntime rt(platform, cfg);
+    serving::VllmConfig vcfg;
+    vcfg.model = llm::ModelConfig::opt30b();
+    vcfg.parallel_sampling = 6;
+    serving::VllmEngine engine(rt, vcfg);
+    trace::TraceGenerator gen(trace::DatasetProfile::alpaca(), 42);
+    return engine.run(gen.poisson(160, rate)).normalized_latency;
+}
+
+double
+flexgenTps(const core::PipeLlmConfig &cfg)
+{
+    runtime::Platform platform(gpu::SystemSpec::h100(), benchChannel());
+    core::PipeLlmRuntime rt(platform, cfg);
+    serving::FlexGenConfig fcfg;
+    fcfg.model = llm::ModelConfig::opt66b();
+    fcfg.batch = 32;
+    fcfg.input_len = 32;
+    fcfg.output_len = 32;
+    fcfg.num_requests = 64;
+    return serving::FlexGenEngine(rt, fcfg).run().tokens_per_sec;
+}
+
+void
+asyncDecrypt()
+{
+    banner("A1: asynchronous vs synchronous D2H decryption (§5.4)");
+    auto csv = openCsv("ablation_async_decrypt.csv");
+    csv.header({"async", "norm_latency_s_tok"});
+    std::uint64_t block =
+        16ull * llm::ModelConfig::opt30b().kvBytesPerToken();
+    for (bool async : {true, false}) {
+        auto cfg = kvPipeConfig(block);
+        cfg.async_decrypt = async;
+        double lat = vllmLatency(cfg, 30.0);
+        std::printf("async_decrypt=%-5s  %.4f s/tok\n",
+                    async ? "on" : "off", lat);
+        csv.field(async ? 1 : 0).field(lat).endRow();
+    }
+}
+
+void
+leewaySweep()
+{
+    banner("A2: IV leeway sweep (§5.1)");
+    auto csv = openCsv("ablation_leeway.csv");
+    csv.header({"leeway", "tokens_per_sec"});
+    for (std::uint64_t leeway : {0ull, 1ull, 2ull, 4ull, 8ull}) {
+        auto cfg = offloadPipeConfig(llm::ModelConfig::opt66b());
+        cfg.iv_leeway = leeway;
+        double tps = flexgenTps(cfg);
+        std::printf("leeway %2" PRIu64 "  %8.1f tok/s\n", leeway, tps);
+        csv.field(leeway).field(tps).endRow();
+    }
+}
+
+void
+depthSweep()
+{
+    banner("A3: pipeline depth sweep");
+    auto csv = openCsv("ablation_depth.csv");
+    csv.header({"depth", "tokens_per_sec"});
+    for (unsigned depth : {2u, 4u, 8u, 12u, 16u}) {
+        auto cfg = offloadPipeConfig(llm::ModelConfig::opt66b());
+        cfg.pipeline_depth = depth;
+        double tps = flexgenTps(cfg);
+        std::printf("depth %2u  %8.1f tok/s\n", depth, tps);
+        csv.field(depth).field(tps).endRow();
+    }
+}
+
+void
+speculationOff()
+{
+    banner("A4: speculation off (on-demand encryption only)");
+    auto csv = openCsv("ablation_speculation.csv");
+    csv.header({"speculation", "tokens_per_sec"});
+    for (bool spec : {true, false}) {
+        auto cfg = offloadPipeConfig(llm::ModelConfig::opt66b());
+        cfg.speculation = spec;
+        double tps = flexgenTps(cfg);
+        std::printf("speculation=%-5s  %8.1f tok/s\n",
+                    spec ? "on" : "off", tps);
+        csv.field(spec ? 1 : 0).field(tps).endRow();
+    }
+}
+
+void
+nopCost()
+{
+    banner("A5: cost of one NOP (1-byte IV-advancing transfer, §5.3)");
+    auto csv = openCsv("ablation_nop.csv");
+    csv.header({"transfers", "simulated_us_per_nop"});
+
+    // Force every prediction wrong so each swap costs a NOP: two
+    // chunks requested alternately while history says otherwise is
+    // fiddly; instead measure directly via small CC transfers of 1 B.
+    runtime::Platform platform(gpu::SystemSpec::h100(), benchChannel());
+    runtime::CcRuntime rt(platform);
+    auto host = platform.allocHost(4096, "src");
+    auto dev = platform.device().alloc(4096, "dst");
+    Stream &s = rt.createStream("s");
+    Tick now = 0;
+    const int reps = 1000;
+    Tick start = now;
+    for (int i = 0; i < reps; ++i)
+        now = rt.memcpy(CopyKind::HostToDevice, dev.base, host.base, 1,
+                        s, now);
+    double us = toMicroseconds(now - start) / reps;
+    std::printf("1-byte CC transfer: %.2f us each (control-plane "
+                "bound) -> NOP padding is cheap relative to any "
+                "swap\n", us);
+    csv.field(reps).field(us).endRow();
+}
+
+void
+swapVsRecompute()
+{
+    banner("A6: swap vs recompute preemption under each security mode");
+    auto csv = openCsv("ablation_preempt_mode.csv");
+    csv.header({"mode", "policy", "norm_latency_s_tok"});
+
+    auto model = llm::ModelConfig::opt30b();
+    std::uint64_t block =
+        16ull * model.kvBytesPerToken();
+    for (Mode mode : {Mode::Plain, Mode::Cc, Mode::Pipe}) {
+        for (auto policy : {serving::PreemptMode::Swap,
+                            serving::PreemptMode::Recompute}) {
+            runtime::Platform platform(gpu::SystemSpec::h100(),
+                                       benchChannel());
+            auto rt = makeRuntime(mode, platform, kvPipeConfig(block));
+            serving::VllmConfig vcfg;
+            vcfg.model = model;
+            vcfg.parallel_sampling = 6;
+            vcfg.preempt_mode = policy;
+            serving::VllmEngine engine(*rt, vcfg);
+            trace::TraceGenerator gen(trace::DatasetProfile::alpaca(),
+                                      42);
+            auto r = engine.run(gen.poisson(160, 30.0));
+            const char *pname =
+                policy == serving::PreemptMode::Swap ? "swap"
+                                                     : "recompute";
+            std::printf("%-8s %-10s %.4f s/tok\n", toString(mode),
+                        pname, r.normalized_latency);
+            csv.field(toString(mode)).field(pname)
+                .field(r.normalized_latency).endRow();
+        }
+    }
+    std::printf("recompute dodges the CC encryption tax entirely (at "
+                "a GPU-compute price); PipeLLM makes swapping "
+                "competitive again\n");
+}
+
+void
+kvOffload()
+{
+    banner("A7: FlexGen OPT-66B with full offloading (weights + KV)");
+    auto csv = openCsv("ablation_kv_offload.csv");
+    csv.header({"mode", "kv_offload", "tokens_per_sec"});
+
+    auto model = llm::ModelConfig::opt66b();
+    for (bool kv : {false, true}) {
+        double base = 0;
+        for (Mode mode : {Mode::Plain, Mode::Cc, Mode::Pipe}) {
+            runtime::Platform platform(gpu::SystemSpec::h100(),
+                                       benchChannel());
+            auto rt = makeRuntime(mode, platform,
+                                  offloadPipeConfig(model));
+            serving::FlexGenConfig fcfg;
+            fcfg.model = model;
+            fcfg.batch = 32;
+            fcfg.input_len = 32;
+            fcfg.output_len = 32;
+            fcfg.num_requests = 64;
+            fcfg.kv_offload = kv;
+            auto r = serving::FlexGenEngine(*rt, fcfg).run();
+            if (mode == Mode::Plain)
+                base = r.tokens_per_sec;
+            std::printf("%-8s kv_offload=%-5s %8.1f tok/s "
+                        "(overhead %5.1f%%)\n",
+                        toString(mode), kv ? "on" : "off",
+                        r.tokens_per_sec,
+                        100.0 * (1 - r.tokens_per_sec / base));
+            csv.field(toString(mode)).field(kv ? 1 : 0)
+                .field(r.tokens_per_sec).endRow();
+        }
+    }
+    std::printf("the write-hot KV stream is harder to speculate than "
+                "read-only weights, but the set/order machinery still "
+                "recovers most of the CC loss\n");
+}
+
+} // namespace
+
+int
+main()
+{
+    asyncDecrypt();
+    leewaySweep();
+    depthSweep();
+    speculationOff();
+    nopCost();
+    swapVsRecompute();
+    kvOffload();
+    return 0;
+}

@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Shared helpers for the figure-reproduction benches.
+ *
+ * Each bench binary regenerates one of the paper's tables or figures:
+ * it runs the full simulation for every (system, workload, parameter)
+ * point, prints the same rows/series the paper reports, and writes a
+ * CSV next to the binary's working directory under bench_results/.
+ *
+ * Absolute numbers come from the calibrated simulator; the *shape*
+ * (who wins, by what factor, where curves diverge) is what reproduces
+ * the paper. EXPERIMENTS.md records paper-vs-measured per figure.
+ */
+
+#ifndef PIPELLM_BENCH_BENCH_COMMON_HH
+#define PIPELLM_BENCH_BENCH_COMMON_HH
+
+#include <cstdio>
+#include <filesystem>
+#include <memory>
+#include <string>
+
+#include "common/csv.hh"
+#include "llm/model.hh"
+#include "pipellm/pipellm_runtime.hh"
+#include "runtime/cc_runtime.hh"
+#include "runtime/plain_runtime.hh"
+
+namespace benchutil {
+
+using namespace pipellm;
+
+/** The systems compared across the evaluation. */
+enum class Mode
+{
+    Plain,  ///< "w/o CC"
+    Cc,     ///< NVIDIA CC, 1 crypto thread
+    Cc4t,   ///< NVIDIA CC, 4 crypto threads (Fig. 9)
+    Pipe,   ///< PipeLLM
+    Pipe0,  ///< PipeLLM with 0% sequence-prediction success (Fig. 10)
+};
+
+inline const char *
+toString(Mode m)
+{
+    switch (m) {
+      case Mode::Plain:
+        return "w/o CC";
+      case Mode::Cc:
+        return "CC";
+      case Mode::Cc4t:
+        return "CC-4t";
+      case Mode::Pipe:
+        return "PipeLLM";
+      case Mode::Pipe0:
+        return "PipeLLM-0";
+    }
+    return "?";
+}
+
+/** PipeLLM configuration for model-offloading workloads (§7.2). */
+inline core::PipeLlmConfig
+offloadPipeConfig(const llm::ModelConfig &model)
+{
+    core::PipeLlmConfig cfg;
+    // Model offloading must out-encrypt the 40 GB/s copy path, so
+    // PipeLLM dedicates multiple CPU threads (§7.2; the paper's VM
+    // has 16 vCPUs).
+    cfg.enc_lanes = 10;
+    cfg.dec_lanes = 1;
+    cfg.pipeline_depth = 12;
+    cfg.max_pipeline_bytes = 32 * GiB;
+    // Layer chunks are GB-sized (hundreds of ms per lane); the stable
+    // repetitive plan justifies booking the lanes far ahead.
+    cfg.max_lane_lead = seconds(1);
+    cfg.classifier.layer_param_bytes = model.layerParamBytes();
+    return cfg;
+}
+
+/** PipeLLM configuration for KV-cache swapping (vLLM: 1+1 threads). */
+inline core::PipeLlmConfig
+kvPipeConfig(std::uint64_t kv_unit_bytes)
+{
+    core::PipeLlmConfig cfg;
+    cfg.enc_lanes = 1;
+    cfg.dec_lanes = 1;
+    // The pipeline must cover whole preempted groups (hundreds of KV
+    // blocks) so they pre-encrypt during the out->in window.
+    cfg.pipeline_depth = 512;
+    cfg.max_pipeline_bytes = 16 * GiB;
+    cfg.classifier.kv_unit_bytes = kv_unit_bytes;
+    return cfg;
+}
+
+/** Instantiate the runtime for @p mode on @p platform. */
+inline std::unique_ptr<runtime::RuntimeApi>
+makeRuntime(Mode mode, runtime::Platform &platform,
+            const core::PipeLlmConfig &pipe_cfg)
+{
+    switch (mode) {
+      case Mode::Plain:
+        return std::make_unique<runtime::PlainRuntime>(platform);
+      case Mode::Cc:
+        return std::make_unique<runtime::CcRuntime>(platform, 1);
+      case Mode::Cc4t:
+        return std::make_unique<runtime::CcRuntime>(platform, 4);
+      case Mode::Pipe:
+        return std::make_unique<core::PipeLlmRuntime>(platform,
+                                                      pipe_cfg);
+      case Mode::Pipe0: {
+        auto cfg = pipe_cfg;
+        cfg.predictor.sabotage_sequence = true;
+        return std::make_unique<core::PipeLlmRuntime>(platform, cfg);
+      }
+    }
+    return nullptr;
+}
+
+/** Fast functional sampling for benches (timing is unaffected). */
+inline crypto::ChannelConfig
+benchChannel()
+{
+    crypto::ChannelConfig cfg;
+    cfg.sample_limit = 512;
+    return cfg;
+}
+
+/** Open a CSV under bench_results/, creating the directory. */
+inline CsvWriter
+openCsv(const std::string &name)
+{
+    std::filesystem::create_directories("bench_results");
+    return CsvWriter("bench_results/" + name);
+}
+
+/** Section header on stdout. */
+inline void
+banner(const std::string &title)
+{
+    std::printf("\n=== %s ===\n", title.c_str());
+}
+
+} // namespace benchutil
+
+#endif // PIPELLM_BENCH_BENCH_COMMON_HH

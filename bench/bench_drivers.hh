@@ -1,0 +1,137 @@
+/**
+ * @file
+ * End-to-end experiment drivers shared by the figure benches: run one
+ * (system, model, workload) point through the full simulation and
+ * return the paper's metric.
+ */
+
+#ifndef PIPELLM_BENCH_BENCH_DRIVERS_HH
+#define PIPELLM_BENCH_BENCH_DRIVERS_HH
+
+#include "bench/bench_common.hh"
+#include "common/logging.hh"
+#include "serving/flexgen.hh"
+#include "serving/peft.hh"
+#include "serving/vllm.hh"
+#include "trace/generator.hh"
+
+namespace benchutil {
+
+/** One FlexGen throughput point (Fig. 3a / Fig. 7). */
+struct FlexGenPoint
+{
+    double tokens_per_sec = 0;
+    unsigned offloaded_layers = 0;
+    double hit_rate = -1; // PipeLLM only
+};
+
+inline FlexGenPoint
+runFlexGen(Mode mode, const llm::ModelConfig &model,
+           std::uint32_t input_len, std::uint32_t output_len,
+           unsigned requests, unsigned batch)
+{
+    runtime::Platform platform(gpu::SystemSpec::h100(), benchChannel());
+    auto rt = makeRuntime(mode, platform, offloadPipeConfig(model));
+
+    serving::FlexGenConfig cfg;
+    cfg.model = model;
+    cfg.batch = batch;
+    cfg.input_len = input_len;
+    cfg.output_len = output_len;
+    cfg.num_requests = requests;
+
+    serving::FlexGenEngine engine(*rt, cfg);
+    auto result = engine.run();
+
+    FlexGenPoint point;
+    point.tokens_per_sec = result.tokens_per_sec;
+    point.offloaded_layers = result.offloaded_layers;
+    if (auto *p = dynamic_cast<core::PipeLlmRuntime *>(rt.get())) {
+        const auto &ps = p->pipeStats();
+        if (ps.swap_requests > 0)
+            point.hit_rate = double(ps.hits) / double(ps.swap_requests);
+    }
+    PIPELLM_ASSERT(platform.device().integrityFailures() == 0,
+                   "integrity failure during bench");
+    return point;
+}
+
+/** One vLLM serving point (Fig. 3b / Fig. 8 / 9 / 10). */
+struct VllmPoint
+{
+    double normalized_latency_s = 0;
+    std::uint64_t preemptions = 0;
+    double swap_gb = 0;
+    double hit_rate = -1;
+    std::uint64_t nops = 0;
+};
+
+inline VllmPoint
+runVllm(Mode mode, const llm::ModelConfig &model,
+        const trace::DatasetProfile &profile, unsigned parallel,
+        double rate, std::size_t n_requests, std::uint64_t seed = 42)
+{
+    runtime::Platform platform(gpu::SystemSpec::h100(), benchChannel());
+
+    serving::VllmConfig cfg;
+    cfg.model = model;
+    cfg.parallel_sampling = parallel;
+
+    std::uint64_t block_bytes =
+        std::uint64_t(cfg.block_tokens) * model.kvBytesPerToken();
+    auto rt = makeRuntime(mode, platform, kvPipeConfig(block_bytes));
+
+    serving::VllmEngine engine(*rt, cfg);
+    trace::TraceGenerator gen(profile, seed);
+    auto result = engine.run(gen.poisson(n_requests, rate));
+
+    VllmPoint point;
+    point.normalized_latency_s = result.normalized_latency;
+    point.preemptions = result.preemptions;
+    point.swap_gb =
+        double(result.swap_in_bytes + result.swap_out_bytes) / 1e9;
+    if (auto *p = dynamic_cast<core::PipeLlmRuntime *>(rt.get())) {
+        const auto &ps = p->pipeStats();
+        if (ps.swap_requests > 0)
+            point.hit_rate = double(ps.hits) / double(ps.swap_requests);
+        point.nops = ps.nops;
+    }
+    PIPELLM_ASSERT(platform.device().integrityFailures() == 0,
+                   "integrity failure during bench");
+    return point;
+}
+
+/** One PEFT fine-tuning point (Fig. 3c / Fig. 7). */
+struct PeftPoint
+{
+    double tokens_per_sec = 0;
+    unsigned offloaded_layers = 0;
+};
+
+inline PeftPoint
+runPeft(Mode mode, const llm::ModelConfig &model, unsigned batch,
+        unsigned sequences)
+{
+    runtime::Platform platform(gpu::SystemSpec::h100(), benchChannel());
+    auto rt = makeRuntime(mode, platform, offloadPipeConfig(model));
+
+    serving::PeftConfig cfg;
+    cfg.model = model;
+    cfg.batch = batch;
+    cfg.num_sequences = sequences;
+
+    serving::PeftEngine engine(*rt, cfg);
+    trace::TraceGenerator gen(trace::DatasetProfile::ultrachat(), 7);
+    auto result = engine.run(gen.closedLoop(sequences));
+
+    PeftPoint point;
+    point.tokens_per_sec = result.tokens_per_sec;
+    point.offloaded_layers = result.offloaded_layers;
+    PIPELLM_ASSERT(platform.device().integrityFailures() == 0,
+                   "integrity failure during bench");
+    return point;
+}
+
+} // namespace benchutil
+
+#endif // PIPELLM_BENCH_BENCH_DRIVERS_HH

@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Figure 3: the confidential-computing overhead study (§3).
+ *
+ *  (a) FlexGen, OPT-66B model offloading: CC costs 82.8-88.2% of
+ *      throughput.
+ *  (b) vLLM, OPT-30B KV-cache swapping: normalized latency inflates
+ *      with the request rate once swapping kicks in.
+ *  (c) PEFT fine-tuning: 36.2% drop on OPT-30B, 14.0% on OPT-13B.
+ */
+
+#include <cinttypes>
+
+#include "bench/bench_drivers.hh"
+
+using namespace benchutil;
+
+namespace {
+
+void
+fig3a()
+{
+    banner("Figure 3a: FlexGen OPT-66B serving throughput, w/o CC vs CC");
+    auto csv = openCsv("fig3a_flexgen.csv");
+    csv.header({"config", "mode", "tokens_per_sec", "drop_pct"});
+
+    struct Cfg
+    {
+        std::uint32_t in, out;
+    } cfgs[] = {{32, 128}, {256, 32}};
+
+    auto model = llm::ModelConfig::opt66b();
+    for (auto c : cfgs) {
+        auto plain = runFlexGen(Mode::Plain, model, c.in, c.out, 128, 32);
+        auto cc = runFlexGen(Mode::Cc, model, c.in, c.out, 128, 32);
+        double drop = 100.0 * (1 - cc.tokens_per_sec /
+                                       plain.tokens_per_sec);
+        std::printf("in=%u out=%u: w/o CC %.1f tok/s | CC %.1f tok/s "
+                    "| drop %.1f%% (paper: 82.8-88.2%%)\n",
+                    c.in, c.out, plain.tokens_per_sec,
+                    cc.tokens_per_sec, drop);
+        char label[32];
+        std::snprintf(label, sizeof(label), "in%u_out%u", c.in, c.out);
+        csv.field(label).field("w/o CC").field(plain.tokens_per_sec)
+            .field(0).endRow();
+        csv.field(label).field("CC").field(cc.tokens_per_sec)
+            .field(drop).endRow();
+    }
+}
+
+void
+fig3b()
+{
+    banner("Figure 3b: vLLM OPT-30B normalized latency vs request rate");
+    auto csv = openCsv("fig3b_vllm.csv");
+    csv.header({"rate_req_s", "mode", "norm_latency_s_tok",
+                "preemptions"});
+
+    auto model = llm::ModelConfig::opt30b();
+    auto profile = trace::DatasetProfile::shareGpt();
+    profile.max_len = 1024;
+
+    for (double rate : {0.4, 0.8, 1.2, 1.6}) {
+        for (Mode mode : {Mode::Plain, Mode::Cc}) {
+            auto p = runVllm(mode, model, profile, 6, rate, 96);
+            std::printf("rate %.1f req/s  %-8s norm latency %.3f "
+                        "s/token  (preemptions %" PRIu64 ")\n",
+                        rate, toString(mode), p.normalized_latency_s,
+                        p.preemptions);
+            csv.field(rate).field(toString(mode))
+                .field(p.normalized_latency_s).field(p.preemptions)
+                .endRow();
+        }
+    }
+    std::printf("paper: similar at low rate; CC latency grows "
+                "steeply once swap-in encryption stalls the GPU\n");
+}
+
+void
+fig3c()
+{
+    banner("Figure 3c: PEFT LoRA fine-tuning throughput, w/o CC vs CC");
+    auto csv = openCsv("fig3c_peft.csv");
+    csv.header({"model", "mode", "tokens_per_sec", "drop_pct"});
+
+    struct Cfg
+    {
+        llm::ModelConfig model;
+        unsigned batch;
+        double paper_drop;
+    } cfgs[] = {
+        {llm::ModelConfig::opt30b(), 5, 36.2},
+        {llm::ModelConfig::opt13b(), 18, 14.0},
+    };
+
+    for (auto &c : cfgs) {
+        auto plain = runPeft(Mode::Plain, c.model, c.batch, 192);
+        auto cc = runPeft(Mode::Cc, c.model, c.batch, 192);
+        double drop =
+            100.0 * (1 - cc.tokens_per_sec / plain.tokens_per_sec);
+        std::printf("%s (batch %u, %u offloaded layers): w/o CC %.0f "
+                    "tok/s | CC %.0f tok/s | drop %.1f%% "
+                    "(paper: %.1f%%)\n",
+                    c.model.name.c_str(), c.batch,
+                    plain.offloaded_layers, plain.tokens_per_sec,
+                    cc.tokens_per_sec, drop, c.paper_drop);
+        csv.field(c.model.name).field("w/o CC")
+            .field(plain.tokens_per_sec).field(0).endRow();
+        csv.field(c.model.name).field("CC").field(cc.tokens_per_sec)
+            .field(drop).endRow();
+    }
+}
+
+} // namespace
+
+int
+main()
+{
+    fig3a();
+    fig3b();
+    fig3c();
+    return 0;
+}

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Figure 8: vLLM KV-cache swapping with PipeLLM (§7.2).
+ *
+ * OPT-30B (weights resident, 75% of HBM) and OPT-13B (32.5%) serve
+ * ShareGPT- and Alpaca-shaped traces with parallel sampling 2/4/6
+ * across a request-rate sweep; the metric is normalized latency
+ * (s/token). Paper: CC costs 33.3-52.8% on OPT-30B; PipeLLM cuts it
+ * to 5.2-14.2% (<8% on OPT-13B), with near-100% prediction success.
+ */
+
+#include <cinttypes>
+
+#include "bench/bench_drivers.hh"
+
+using namespace benchutil;
+
+namespace {
+
+void
+sweep(const llm::ModelConfig &model, const char *dataset_name,
+      trace::DatasetProfile profile, unsigned parallel,
+      const std::vector<double> &rates, std::size_t n_requests,
+      CsvWriter &csv)
+{
+    std::printf("\n-- %s, %s, parallel sampling %u --\n",
+                model.name.c_str(), dataset_name, parallel);
+    for (double rate : rates) {
+        double base = 0;
+        for (Mode mode : {Mode::Plain, Mode::Cc, Mode::Pipe}) {
+            auto p = runVllm(mode, model, profile, parallel, rate,
+                             n_requests);
+            if (mode == Mode::Plain)
+                base = p.normalized_latency_s;
+            double overhead =
+                100.0 * (p.normalized_latency_s / base - 1.0);
+            std::printf("rate %.2f  %-8s  %.4f s/tok  (+%5.1f%%)",
+                        rate, toString(mode), p.normalized_latency_s,
+                        overhead);
+            if (p.hit_rate >= 0)
+                std::printf("  hit %.1f%% nops %" PRIu64,
+                            100 * p.hit_rate, p.nops);
+            std::printf("\n");
+            csv.field(model.name).field(dataset_name).field(parallel)
+                .field(rate).field(toString(mode))
+                .field(p.normalized_latency_s).field(overhead)
+                .field(p.hit_rate).field(p.preemptions).endRow();
+        }
+    }
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    // --quick: fewer points (used by CI-style smoke runs).
+    bool quick = argc > 1 && std::string(argv[1]) == "--quick";
+
+    banner("Figure 8: vLLM normalized latency vs request rate");
+    auto csv = openCsv("fig8_kvswap.csv");
+    csv.header({"model", "dataset", "parallel", "rate", "mode",
+                "norm_latency_s_tok", "overhead_pct", "hit_rate",
+                "preemptions"});
+
+    auto sharegpt = trace::DatasetProfile::shareGpt();
+    sharegpt.max_len = 1024;
+    auto alpaca = trace::DatasetProfile::alpaca();
+
+    auto opt30b = llm::ModelConfig::opt30b();
+    auto opt13b = llm::ModelConfig::opt13b();
+
+    if (quick) {
+        sweep(opt30b, "sharegpt", sharegpt, 6, {0.8, 1.2}, 64, csv);
+        sweep(opt30b, "alpaca", alpaca, 6, {25.0}, 96, csv);
+        return 0;
+    }
+
+    // OPT-30B: heavy KV pressure (the paper's headline subplots).
+    for (unsigned parallel : {2u, 4u, 6u}) {
+        // Higher parallel sampling saturates at lower request rates.
+        std::vector<double> rates =
+            parallel == 2 ? std::vector<double>{1.0, 2.0, 3.0}
+                          : parallel == 4
+                                ? std::vector<double>{0.6, 1.2, 1.8}
+                                : std::vector<double>{0.4, 0.8, 1.2};
+        sweep(opt30b, "sharegpt", sharegpt, parallel, rates, 96, csv);
+    }
+    // Alpaca's short requests tolerate much higher rates.
+    for (unsigned parallel : {2u, 6u}) {
+        std::vector<double> rates =
+            parallel == 2 ? std::vector<double>{50.0, 80.0, 110.0}
+                          : std::vector<double>{20.0, 30.0, 40.0};
+        sweep(opt30b, "alpaca", alpaca, parallel, rates, 160, csv);
+    }
+
+    // OPT-13B: lighter memory pressure, smaller gaps (paper §7.2).
+    sweep(opt13b, "sharegpt", sharegpt, 6, {4.0, 6.0, 8.0}, 96, csv);
+    sweep(opt13b, "alpaca", alpaca, 6, {40.0, 70.0}, 160, csv);
+
+    std::printf("\npaper: OPT-30B CC overhead 33.3-52.8%% -> PipeLLM "
+                "5.2-14.2%%; OPT-13B CC 15.3-23.6%% (ShareGPT) / <8%% "
+                "(Alpaca) -> PipeLLM <8%%\n");
+    return 0;
+}

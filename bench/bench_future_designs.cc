@@ -1,0 +1,169 @@
+/**
+ * @file
+ * The paper's discussion section quantified (§8.2, §8.3): how would
+ * PipeLLM compare against (a) a future CC interface that permits
+ * ciphertext reuse for read-only swap data, and (b) TEE I/O hardware
+ * with line-rate SoC encryption?
+ *
+ * Five systems on the same workloads: w/o CC, CC, PipeLLM, CT-Reuse
+ * (§8.2; weaker replay protection by construction), TEE-I/O (§8.3;
+ * hypothetical hardware). The expectation from the paper's text:
+ * both alternatives bound PipeLLM from above, and PipeLLM approaches
+ * them without new hardware or weakened security.
+ */
+
+#include <cinttypes>
+#include <memory>
+
+#include "bench/bench_drivers.hh"
+#include "runtime/reuse_runtime.hh"
+#include "runtime/teeio_runtime.hh"
+
+using namespace benchutil;
+
+namespace {
+
+enum class Sys
+{
+    Plain,
+    Cc,
+    Pipe,
+    Reuse,
+    TeeIo,
+};
+
+const char *
+name(Sys s)
+{
+    switch (s) {
+      case Sys::Plain:
+        return "w/o CC";
+      case Sys::Cc:
+        return "CC";
+      case Sys::Pipe:
+        return "PipeLLM";
+      case Sys::Reuse:
+        return "CT-Reuse";
+      case Sys::TeeIo:
+        return "TEE-I/O";
+    }
+    return "?";
+}
+
+std::unique_ptr<runtime::RuntimeApi>
+make(Sys s, runtime::Platform &platform,
+     const core::PipeLlmConfig &pipe_cfg)
+{
+    switch (s) {
+      case Sys::Plain:
+        return std::make_unique<runtime::PlainRuntime>(platform);
+      case Sys::Cc:
+        return std::make_unique<runtime::CcRuntime>(platform);
+      case Sys::Pipe:
+        return std::make_unique<core::PipeLlmRuntime>(platform,
+                                                      pipe_cfg);
+      case Sys::Reuse:
+        return std::make_unique<runtime::CiphertextReuseRuntime>(
+            platform);
+      case Sys::TeeIo:
+        return std::make_unique<runtime::TeeIoRuntime>(platform);
+    }
+    return nullptr;
+}
+
+void
+flexgenComparison()
+{
+    banner("Future designs on FlexGen OPT-66B (read-only weights: "
+           "the §8.2 sweet spot)");
+    auto csv = openCsv("future_flexgen.csv");
+    csv.header({"mode", "tokens_per_sec", "overhead_pct"});
+
+    auto model = llm::ModelConfig::opt66b();
+    serving::FlexGenConfig cfg;
+    cfg.model = model;
+    cfg.batch = 32;
+    cfg.input_len = 32;
+    cfg.output_len = 64;
+    cfg.num_requests = 64;
+
+    double base = 0;
+    for (Sys s : {Sys::Plain, Sys::Cc, Sys::Pipe, Sys::Reuse,
+                  Sys::TeeIo}) {
+        runtime::Platform platform(gpu::SystemSpec::h100(),
+                                   benchChannel());
+        auto rt = make(s, platform, offloadPipeConfig(model));
+        serving::FlexGenEngine engine(*rt, cfg);
+        auto r = engine.run();
+        if (s == Sys::Plain)
+            base = r.tokens_per_sec;
+        double overhead = 100.0 * (1 - r.tokens_per_sec / base);
+        std::printf("%-9s %8.1f tok/s  overhead %5.1f%%",
+                    name(s), r.tokens_per_sec, overhead);
+        if (auto *p = dynamic_cast<runtime::CiphertextReuseRuntime *>(
+                rt.get())) {
+            const auto &rs = p->reuseStats();
+            std::printf("  (seals %" PRIu64 ", reuse hits %" PRIu64
+                        " -> each layer encrypted once)",
+                        rs.seals, rs.reuse_hits);
+        }
+        std::printf("\n");
+        csv.field(name(s)).field(r.tokens_per_sec).field(overhead)
+            .endRow();
+        PIPELLM_ASSERT(platform.device().integrityFailures() == 0,
+                       "integrity failure");
+    }
+}
+
+void
+vllmComparison()
+{
+    banner("Future designs on vLLM OPT-30B (mutating KV: reuse only "
+           "saves the decrypt side)");
+    auto csv = openCsv("future_vllm.csv");
+    csv.header({"rate", "mode", "norm_latency_s_tok", "overhead_pct"});
+
+    auto model = llm::ModelConfig::opt30b();
+    auto profile = trace::DatasetProfile::alpaca();
+    serving::VllmConfig cfg;
+    cfg.model = model;
+    cfg.parallel_sampling = 6;
+    std::uint64_t block_bytes =
+        std::uint64_t(cfg.block_tokens) * model.kvBytesPerToken();
+
+    for (double rate : {20.0, 40.0}) {
+        double base = 0;
+        for (Sys s : {Sys::Plain, Sys::Cc, Sys::Pipe, Sys::Reuse,
+                      Sys::TeeIo}) {
+            runtime::Platform platform(gpu::SystemSpec::h100(),
+                                       benchChannel());
+            auto rt = make(s, platform, kvPipeConfig(block_bytes));
+            serving::VllmEngine engine(*rt, cfg);
+            trace::TraceGenerator gen(profile, 42);
+            auto r = engine.run(gen.poisson(160, rate));
+            if (s == Sys::Plain)
+                base = r.normalized_latency;
+            double overhead =
+                100.0 * (r.normalized_latency / base - 1.0);
+            std::printf("rate %4.1f  %-9s %.4f s/tok  (+%5.1f%%)\n",
+                        rate, name(s), r.normalized_latency, overhead);
+            csv.field(rate).field(name(s)).field(r.normalized_latency)
+                .field(overhead).endRow();
+            PIPELLM_ASSERT(platform.device().integrityFailures() == 0,
+                           "integrity failure");
+        }
+    }
+    std::printf("\nCT-Reuse weakens replay protection (§8.2); TEE-I/O "
+                "needs new hardware (§8.3). PipeLLM approaches both "
+                "with neither.\n");
+}
+
+} // namespace
+
+int
+main()
+{
+    flexgenComparison();
+    vllmComparison();
+    return 0;
+}

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Quickstart: the smallest complete PipeLLM program.
+ *
+ * Builds the simulated platform (CVM + H100-class GPU), runs the same
+ * repeating swap workload under all three runtimes — native ("w/o
+ * CC"), NVIDIA Confidential Computing ("CC"), and PipeLLM — and
+ * prints where the time goes. Shows the core API surface:
+ *
+ *   Platform            the machine (host memory, device, CC session)
+ *   RuntimeApi          cudaMemcpyAsync / launchKernel / synchronize
+ *   PipeLlmRuntime      the paper's contribution, a drop-in RuntimeApi
+ */
+
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "pipellm/pipellm_runtime.hh"
+#include "runtime/cc_runtime.hh"
+#include "runtime/plain_runtime.hh"
+
+using namespace pipellm;
+using runtime::CopyKind;
+
+namespace {
+
+/** A toy layer-streaming workload: 16 cycles over 6 x 64 MiB chunks. */
+Tick
+runWorkload(runtime::RuntimeApi &rt)
+{
+    auto &platform = rt.platform();
+    const std::uint64_t chunk = 64 * MiB;
+
+    std::vector<mem::Region> host_chunks;
+    for (int i = 0; i < 6; ++i)
+        host_chunks.push_back(
+            platform.allocHost(chunk, "layer" + std::to_string(i)));
+    auto slot = platform.device().alloc(2 * chunk, "slots");
+
+    auto &copy = rt.createStream("copy");
+    auto &compute = rt.createStream("compute");
+    gpu::KernelDesc kernel{"layer-forward", 4e11, 2e9}; // ~1 ms
+
+    Tick now = 0;
+    for (int cycle = 0; cycle < 16; ++cycle) {
+        for (int l = 0; l < 6; ++l) {
+            auto r = rt.memcpyAsync(CopyKind::HostToDevice,
+                                    slot.base + (l % 2) * chunk,
+                                    host_chunks[l].base, chunk, copy,
+                                    now);
+            now = r.api_return;
+            compute.waitEvent(r.complete);
+            now = rt.launchKernel(kernel, compute, now).api_return;
+        }
+        now = rt.synchronize(now);
+    }
+    return now;
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("PipeLLM quickstart: 16 cycles x 6 x 64 MiB layer "
+                "swaps + compute\n\n");
+
+    double base = 0;
+    for (int which = 0; which < 3; ++which) {
+        // Each system gets a fresh simulated machine.
+        runtime::Platform platform;
+        std::unique_ptr<runtime::RuntimeApi> rt;
+        switch (which) {
+          case 0:
+            rt = std::make_unique<runtime::PlainRuntime>(platform);
+            break;
+          case 1:
+            rt = std::make_unique<runtime::CcRuntime>(platform);
+            break;
+          default: {
+            core::PipeLlmConfig cfg;
+            cfg.enc_lanes = 8;
+            cfg.classifier.layer_param_bytes = 64 * MiB;
+            rt = std::make_unique<core::PipeLlmRuntime>(platform, cfg);
+          }
+        }
+
+        Tick total = runWorkload(*rt);
+        if (which == 0)
+            base = double(total);
+        std::printf("%-8s finished in %8.2f ms  (%.2fx vs native)\n",
+                    rt->name(), toMilliseconds(total),
+                    double(total) / base);
+
+        if (auto *p = dynamic_cast<core::PipeLlmRuntime *>(rt.get())) {
+            const auto &ps = p->pipeStats();
+            std::printf("         predictor=%s  hits=%llu/%llu  "
+                        "nops=%llu  integrity failures=%llu\n",
+                        p->predictor().activePattern(),
+                        (unsigned long long)ps.hits,
+                        (unsigned long long)ps.swap_requests,
+                        (unsigned long long)ps.nops,
+                        (unsigned long long)platform.device()
+                            .integrityFailures());
+        }
+    }
+
+    std::printf("\nEvery byte moved was really AES-GCM sealed and "
+                "verified (sampled) with H100-style lockstep IVs.\n");
+    return 0;
+}

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Scenario: a latency-sensitive chatbot on a model that *fits* the
+ * GPU (the paper's vLLM case study, §3/§7.2).
+ *
+ * OPT-30B's weights take 75% of the H100; the KV cache of concurrent
+ * conversations fills the rest, and bursts of traffic force the
+ * scheduler to swap preempted requests' KV to CVM DRAM. Stock CC
+ * makes every resume wait for CPU re-encryption; PipeLLM pre-encrypts
+ * the preempted blocks (LIFO) before they are asked for.
+ *
+ * Usage: serve_chatbot [requests] [rate_req_per_s]
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+
+#include "pipellm/pipellm_runtime.hh"
+#include "runtime/cc_runtime.hh"
+#include "runtime/plain_runtime.hh"
+#include "serving/vllm.hh"
+#include "trace/generator.hh"
+
+using namespace pipellm;
+
+int
+main(int argc, char **argv)
+{
+    std::size_t requests =
+        argc > 1 ? std::size_t(std::atoi(argv[1])) : 96;
+    double rate = argc > 2 ? std::atof(argv[2]) : 1.2;
+
+    auto model = llm::ModelConfig::opt30b();
+    std::printf("Chatbot on %s, ShareGPT-shaped trace, %zu requests "
+                "at %.1f req/s, parallel sampling 6\n",
+                model.name.c_str(), requests, rate);
+
+    serving::VllmConfig cfg;
+    cfg.model = model;
+    cfg.parallel_sampling = 6;
+
+    auto profile = trace::DatasetProfile::shareGpt();
+    profile.max_len = 1024;
+
+    crypto::ChannelConfig channel;
+    channel.sample_limit = 512;
+
+    double base = 0;
+    for (int which = 0; which < 3; ++which) {
+        runtime::Platform platform(gpu::SystemSpec::h100(), channel);
+        std::unique_ptr<runtime::RuntimeApi> rt;
+        if (which == 0) {
+            rt = std::make_unique<runtime::PlainRuntime>(platform);
+        } else if (which == 1) {
+            rt = std::make_unique<runtime::CcRuntime>(platform);
+        } else {
+            core::PipeLlmConfig pcfg; // 1 encrypt + 1 decrypt thread
+            pcfg.enc_lanes = 1;
+            pcfg.dec_lanes = 1;
+            pcfg.pipeline_depth = 16;
+            pcfg.classifier.kv_unit_bytes =
+                std::uint64_t(cfg.block_tokens) *
+                model.kvBytesPerToken();
+            rt = std::make_unique<core::PipeLlmRuntime>(platform, pcfg);
+        }
+
+        serving::VllmEngine engine(*rt, cfg);
+        trace::TraceGenerator gen(profile, 2026);
+        auto result = engine.run(gen.poisson(requests, rate));
+        if (which == 0)
+            base = result.normalized_latency;
+
+        std::printf("%-8s normalized latency %.4f s/token "
+                    "(+%5.1f%%), %llu preemptions, %.1f GB swapped\n",
+                    rt->name(), result.normalized_latency,
+                    100.0 * (result.normalized_latency / base - 1.0),
+                    (unsigned long long)result.preemptions,
+                    double(result.swap_in_bytes +
+                           result.swap_out_bytes) /
+                        1e9);
+
+        if (auto *p = dynamic_cast<core::PipeLlmRuntime *>(rt.get())) {
+            const auto &ps = p->pipeStats();
+            std::printf("         hit rate %.1f%%, %llu async "
+                        "decrypts, %llu NOPs\n",
+                        100.0 * ps.hits /
+                            double(std::max<std::uint64_t>(
+                                1, ps.swap_requests)),
+                        (unsigned long long)ps.async_decrypts,
+                        (unsigned long long)ps.nops);
+        }
+    }
+    return 0;
+}

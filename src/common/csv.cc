@@ -1,0 +1,56 @@
+#include "common/csv.hh"
+
+#include "common/logging.hh"
+
+namespace pipellm {
+
+CsvWriter::CsvWriter(const std::string &path)
+    : path_(path), out_(path)
+{
+    if (!out_)
+        FATAL("cannot open CSV output file: ", path);
+}
+
+void
+CsvWriter::header(const std::vector<std::string> &columns)
+{
+    writeRow(columns);
+}
+
+void
+CsvWriter::endRow()
+{
+    writeRow(fields_);
+    fields_.clear();
+    ++rows_;
+}
+
+void
+CsvWriter::writeRow(const std::vector<std::string> &fields)
+{
+    for (std::size_t i = 0; i < fields.size(); ++i) {
+        if (i > 0)
+            out_ << ',';
+        out_ << escape(fields[i]);
+    }
+    out_ << '\n';
+    out_.flush();
+}
+
+std::string
+CsvWriter::escape(const std::string &raw)
+{
+    bool needs_quote = raw.find_first_of(",\"\n") != std::string::npos;
+    if (!needs_quote)
+        return raw;
+    std::string quoted = "\"";
+    for (char c : raw) {
+        if (c == '"')
+            quoted += '"';
+        quoted += c;
+    }
+    quoted += '"';
+    return quoted;
+}
+
+} // namespace pipellm

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Minimal CSV emitter used by benches to dump figure data series.
+ */
+
+#ifndef PIPELLM_COMMON_CSV_HH
+#define PIPELLM_COMMON_CSV_HH
+
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace pipellm {
+
+/**
+ * Row-oriented CSV writer. Values are streamed with operator<<; fields
+ * containing commas or quotes are quoted per RFC 4180.
+ */
+class CsvWriter
+{
+  public:
+    /** Open @p path for writing; fatal() on failure. */
+    explicit CsvWriter(const std::string &path);
+
+    /** Write the header row. */
+    void header(const std::vector<std::string> &columns);
+
+    /** Append one field to the current row. */
+    template <typename T>
+    CsvWriter &
+    field(const T &value)
+    {
+        std::ostringstream os;
+        os << value;
+        fields_.push_back(os.str());
+        return *this;
+    }
+
+    /** Terminate the current row. */
+    void endRow();
+
+    /** Rows written so far (excluding the header). */
+    std::size_t rows() const { return rows_; }
+
+    const std::string &path() const { return path_; }
+
+  private:
+    void writeRow(const std::vector<std::string> &fields);
+    static std::string escape(const std::string &raw);
+
+    std::string path_;
+    std::ofstream out_;
+    std::vector<std::string> fields_;
+    std::size_t rows_ = 0;
+};
+
+} // namespace pipellm
+
+#endif // PIPELLM_COMMON_CSV_HH

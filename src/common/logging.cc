@@ -1,0 +1,30 @@
+#include "common/logging.hh"
+
+#include <cstdio>
+
+namespace pipellm {
+namespace detail {
+
+void
+logEmit(const char *level, const std::string &message,
+        const char *file, int line)
+{
+    std::fprintf(stderr, "[%s] %s (%s:%d)\n", level, message.c_str(),
+                 file, line);
+    std::fflush(stderr);
+}
+
+void
+logAbort()
+{
+    std::abort();
+}
+
+void
+logExit()
+{
+    std::exit(1);
+}
+
+} // namespace detail
+} // namespace pipellm

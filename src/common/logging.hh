@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Status and error reporting, modeled after gem5's logging discipline.
+ *
+ * panic()  - an internal invariant was violated; this is a bug in the
+ *            simulator itself. Aborts (core dump friendly).
+ * fatal()  - the simulation cannot continue because of a user error
+ *            (bad configuration, impossible parameters). Exits with 1.
+ * warn()   - something is suspicious but execution continues.
+ * inform() - plain status output for the user.
+ */
+
+#ifndef PIPELLM_COMMON_LOGGING_HH
+#define PIPELLM_COMMON_LOGGING_HH
+
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace pipellm {
+
+namespace detail {
+
+/** Append the tail arguments of a log call to a message stream. */
+inline void
+logAppend(std::ostringstream &)
+{
+}
+
+template <typename T, typename... Rest>
+void
+logAppend(std::ostringstream &os, const T &value, const Rest &...rest)
+{
+    os << value;
+    detail::logAppend(os, rest...);
+}
+
+/** Emit one formatted log record to stderr. */
+void logEmit(const char *level, const std::string &message,
+             const char *file, int line);
+
+[[noreturn]] void logAbort();
+[[noreturn]] void logExit();
+
+} // namespace detail
+
+/** Build a log message by streaming all arguments together. */
+template <typename... Args>
+std::string
+logConcat(const Args &...args)
+{
+    std::ostringstream os;
+    detail::logAppend(os, args...);
+    return os.str();
+}
+
+} // namespace pipellm
+
+/** Internal invariant violated: report and abort. */
+#define PANIC(...)                                                         \
+    do {                                                                   \
+        ::pipellm::detail::logEmit("panic",                                \
+            ::pipellm::logConcat(__VA_ARGS__), __FILE__, __LINE__);        \
+        ::pipellm::detail::logAbort();                                     \
+    } while (0)
+
+/** Unrecoverable user/configuration error: report and exit(1). */
+#define FATAL(...)                                                         \
+    do {                                                                   \
+        ::pipellm::detail::logEmit("fatal",                                \
+            ::pipellm::logConcat(__VA_ARGS__), __FILE__, __LINE__);        \
+        ::pipellm::detail::logExit();                                      \
+    } while (0)
+
+/** Suspicious condition; execution continues. */
+#define WARN(...)                                                          \
+    ::pipellm::detail::logEmit("warn",                                     \
+        ::pipellm::logConcat(__VA_ARGS__), __FILE__, __LINE__)
+
+/** Informational status message. */
+#define INFORM(...)                                                        \
+    ::pipellm::detail::logEmit("info",                                     \
+        ::pipellm::logConcat(__VA_ARGS__), __FILE__, __LINE__)
+
+/** Cheap always-on invariant check that panics with context. */
+#define PIPELLM_ASSERT(cond, ...)                                          \
+    do {                                                                   \
+        if (!(cond)) {                                                     \
+            PANIC("assertion failed: " #cond " ",                          \
+                  ::pipellm::logConcat(__VA_ARGS__));                      \
+        }                                                                  \
+    } while (0)
+
+#endif // PIPELLM_COMMON_LOGGING_HH

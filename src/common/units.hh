@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Unit helpers shared across the simulator.
+ *
+ * The simulated clock counts nanoseconds in a 64-bit Tick. Data sizes
+ * are plain byte counts. Rates are bytes per second (double), because
+ * bandwidths such as "5.8 GB/s" do not divide ticks evenly.
+ */
+
+#ifndef PIPELLM_COMMON_UNITS_HH
+#define PIPELLM_COMMON_UNITS_HH
+
+#include <cstdint>
+
+namespace pipellm {
+
+/** Simulated time in nanoseconds. */
+using Tick = std::uint64_t;
+
+/** Simulated byte-granularity address (host or device). */
+using Addr = std::uint64_t;
+
+/** Maximum representable tick, used as "never". */
+constexpr Tick maxTick = ~Tick(0);
+
+constexpr std::uint64_t KiB = 1024;
+constexpr std::uint64_t MiB = 1024 * KiB;
+constexpr std::uint64_t GiB = 1024 * MiB;
+
+/** Decimal giga, used for bandwidths quoted in GB/s. */
+constexpr double GB = 1e9;
+
+constexpr Tick nanoseconds(double ns) { return Tick(ns); }
+constexpr Tick microseconds(double us) { return Tick(us * 1e3); }
+constexpr Tick milliseconds(double ms) { return Tick(ms * 1e6); }
+constexpr Tick seconds(double s) { return Tick(s * 1e9); }
+
+/** Convert a tick count to seconds. */
+constexpr double toSeconds(Tick t) { return double(t) / 1e9; }
+
+/** Convert a tick count to microseconds. */
+constexpr double toMicroseconds(Tick t) { return double(t) / 1e3; }
+
+/** Convert a tick count to milliseconds. */
+constexpr double toMilliseconds(Tick t) { return double(t) / 1e6; }
+
+/**
+ * Time to move @p bytes at @p bytes_per_sec, in ticks (rounded up so a
+ * non-empty transfer never takes zero time).
+ */
+constexpr Tick
+transferTicks(std::uint64_t bytes, double bytes_per_sec)
+{
+    if (bytes == 0)
+        return 0;
+    double ns = double(bytes) / bytes_per_sec * 1e9;
+    Tick t = Tick(ns);
+    return t > 0 ? t : 1;
+}
+
+/** Achieved rate in bytes/s for @p bytes moved over @p ticks. */
+constexpr double
+achievedRate(std::uint64_t bytes, Tick ticks)
+{
+    return ticks == 0 ? 0.0 : double(bytes) / toSeconds(ticks);
+}
+
+} // namespace pipellm
+
+#endif // PIPELLM_COMMON_UNITS_HH

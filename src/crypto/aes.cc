@@ -1,0 +1,222 @@
+#include "crypto/aes.hh"
+
+#include <cstring>
+
+#include "common/logging.hh"
+
+namespace pipellm {
+namespace crypto {
+
+namespace {
+
+/** The AES S-box, computed at startup from the finite-field inverse. */
+struct AesTables
+{
+    std::uint8_t sbox[256];
+    std::uint32_t t0[256];
+    std::uint32_t t1[256];
+    std::uint32_t t2[256];
+    std::uint32_t t3[256];
+
+    AesTables();
+};
+
+std::uint8_t
+gfMul(std::uint8_t a, std::uint8_t b)
+{
+    std::uint8_t p = 0;
+    for (int i = 0; i < 8; ++i) {
+        if (b & 1)
+            p ^= a;
+        bool hi = a & 0x80;
+        a <<= 1;
+        if (hi)
+            a ^= 0x1b;
+        b >>= 1;
+    }
+    return p;
+}
+
+AesTables::AesTables()
+{
+    // Build the S-box: multiplicative inverse in GF(2^8) followed by
+    // the affine transform (FIPS-197 section 5.1.1).
+    std::uint8_t inv[256];
+    inv[0] = 0;
+    for (unsigned a = 1; a < 256; ++a) {
+        for (unsigned b = 1; b < 256; ++b) {
+            if (gfMul(std::uint8_t(a), std::uint8_t(b)) == 1) {
+                inv[a] = std::uint8_t(b);
+                break;
+            }
+        }
+    }
+    for (unsigned i = 0; i < 256; ++i) {
+        std::uint8_t x = inv[i];
+        std::uint8_t s = std::uint8_t(
+            x ^ (std::uint8_t)(x << 1 | x >> 7) ^
+            (std::uint8_t)(x << 2 | x >> 6) ^
+            (std::uint8_t)(x << 3 | x >> 5) ^
+            (std::uint8_t)(x << 4 | x >> 4) ^ 0x63);
+        sbox[i] = s;
+        // T-table entry: MixColumns applied to the substituted byte.
+        std::uint8_t s2 = gfMul(s, 2);
+        std::uint8_t s3 = std::uint8_t(s2 ^ s);
+        std::uint32_t t = (std::uint32_t(s2) << 24) |
+                          (std::uint32_t(s) << 16) |
+                          (std::uint32_t(s) << 8) |
+                          std::uint32_t(s3);
+        t0[i] = t;
+        t1[i] = (t >> 8) | (t << 24);
+        t2[i] = (t >> 16) | (t << 16);
+        t3[i] = (t >> 24) | (t << 8);
+    }
+}
+
+const AesTables &
+tables()
+{
+    static const AesTables t;
+    return t;
+}
+
+std::uint32_t
+loadBe32(const std::uint8_t *p)
+{
+    return (std::uint32_t(p[0]) << 24) | (std::uint32_t(p[1]) << 16) |
+           (std::uint32_t(p[2]) << 8) | std::uint32_t(p[3]);
+}
+
+void
+storeBe32(std::uint8_t *p, std::uint32_t v)
+{
+    p[0] = std::uint8_t(v >> 24);
+    p[1] = std::uint8_t(v >> 16);
+    p[2] = std::uint8_t(v >> 8);
+    p[3] = std::uint8_t(v);
+}
+
+std::uint32_t
+subWord(std::uint32_t w)
+{
+    const auto &t = tables();
+    return (std::uint32_t(t.sbox[(w >> 24) & 0xff]) << 24) |
+           (std::uint32_t(t.sbox[(w >> 16) & 0xff]) << 16) |
+           (std::uint32_t(t.sbox[(w >> 8) & 0xff]) << 8) |
+           std::uint32_t(t.sbox[w & 0xff]);
+}
+
+std::uint32_t
+rotWord(std::uint32_t w)
+{
+    return (w << 8) | (w >> 24);
+}
+
+} // namespace
+
+Aes::Aes(const std::uint8_t *key, std::size_t key_bytes)
+{
+    expandKey(key, key_bytes);
+}
+
+Aes
+Aes::aes128(const std::array<std::uint8_t, 16> &key)
+{
+    return Aes(key.data(), key.size());
+}
+
+Aes
+Aes::aes256(const std::array<std::uint8_t, 32> &key)
+{
+    return Aes(key.data(), key.size());
+}
+
+void
+Aes::expandKey(const std::uint8_t *key, std::size_t key_bytes)
+{
+    PIPELLM_ASSERT(key_bytes == 16 || key_bytes == 24 ||
+                       key_bytes == 32,
+                   "unsupported AES key size: ", key_bytes);
+    const unsigned nk = unsigned(key_bytes / 4);
+    rounds_ = nk + 6;
+    const unsigned total = 4 * (rounds_ + 1);
+
+    for (unsigned i = 0; i < nk; ++i)
+        round_keys_[i] = loadBe32(key + 4 * i);
+
+    std::uint32_t rcon = 0x01000000;
+    for (unsigned i = nk; i < total; ++i) {
+        std::uint32_t temp = round_keys_[i - 1];
+        if (i % nk == 0) {
+            temp = subWord(rotWord(temp)) ^ rcon;
+            // xtime on the rcon byte
+            std::uint8_t rc = std::uint8_t(rcon >> 24);
+            rc = std::uint8_t((rc << 1) ^ ((rc & 0x80) ? 0x1b : 0));
+            rcon = std::uint32_t(rc) << 24;
+        } else if (nk > 6 && i % nk == 4) {
+            temp = subWord(temp);
+        }
+        round_keys_[i] = round_keys_[i - nk] ^ temp;
+    }
+}
+
+void
+Aes::encryptBlock(const std::uint8_t in[16], std::uint8_t out[16]) const
+{
+    const auto &t = tables();
+    std::uint32_t s0 = loadBe32(in + 0) ^ round_keys_[0];
+    std::uint32_t s1 = loadBe32(in + 4) ^ round_keys_[1];
+    std::uint32_t s2 = loadBe32(in + 8) ^ round_keys_[2];
+    std::uint32_t s3 = loadBe32(in + 12) ^ round_keys_[3];
+
+    const std::uint32_t *rk = round_keys_.data() + 4;
+    for (unsigned round = 1; round < rounds_; ++round, rk += 4) {
+        std::uint32_t n0 = t.t0[(s0 >> 24) & 0xff] ^
+                           t.t1[(s1 >> 16) & 0xff] ^
+                           t.t2[(s2 >> 8) & 0xff] ^
+                           t.t3[s3 & 0xff] ^ rk[0];
+        std::uint32_t n1 = t.t0[(s1 >> 24) & 0xff] ^
+                           t.t1[(s2 >> 16) & 0xff] ^
+                           t.t2[(s3 >> 8) & 0xff] ^
+                           t.t3[s0 & 0xff] ^ rk[1];
+        std::uint32_t n2 = t.t0[(s2 >> 24) & 0xff] ^
+                           t.t1[(s3 >> 16) & 0xff] ^
+                           t.t2[(s0 >> 8) & 0xff] ^
+                           t.t3[s1 & 0xff] ^ rk[2];
+        std::uint32_t n3 = t.t0[(s3 >> 24) & 0xff] ^
+                           t.t1[(s0 >> 16) & 0xff] ^
+                           t.t2[(s1 >> 8) & 0xff] ^
+                           t.t3[s2 & 0xff] ^ rk[3];
+        s0 = n0;
+        s1 = n1;
+        s2 = n2;
+        s3 = n3;
+    }
+
+    // Final round: SubBytes + ShiftRows + AddRoundKey (no MixColumns).
+    const auto &sb = t.sbox;
+    std::uint32_t f0 = (std::uint32_t(sb[(s0 >> 24) & 0xff]) << 24) |
+                       (std::uint32_t(sb[(s1 >> 16) & 0xff]) << 16) |
+                       (std::uint32_t(sb[(s2 >> 8) & 0xff]) << 8) |
+                       std::uint32_t(sb[s3 & 0xff]);
+    std::uint32_t f1 = (std::uint32_t(sb[(s1 >> 24) & 0xff]) << 24) |
+                       (std::uint32_t(sb[(s2 >> 16) & 0xff]) << 16) |
+                       (std::uint32_t(sb[(s3 >> 8) & 0xff]) << 8) |
+                       std::uint32_t(sb[s0 & 0xff]);
+    std::uint32_t f2 = (std::uint32_t(sb[(s2 >> 24) & 0xff]) << 24) |
+                       (std::uint32_t(sb[(s3 >> 16) & 0xff]) << 16) |
+                       (std::uint32_t(sb[(s0 >> 8) & 0xff]) << 8) |
+                       std::uint32_t(sb[s1 & 0xff]);
+    std::uint32_t f3 = (std::uint32_t(sb[(s3 >> 24) & 0xff]) << 24) |
+                       (std::uint32_t(sb[(s0 >> 16) & 0xff]) << 16) |
+                       (std::uint32_t(sb[(s1 >> 8) & 0xff]) << 8) |
+                       std::uint32_t(sb[s2 & 0xff]);
+
+    storeBe32(out + 0, f0 ^ rk[0]);
+    storeBe32(out + 4, f1 ^ rk[1]);
+    storeBe32(out + 8, f2 ^ rk[2]);
+    storeBe32(out + 12, f3 ^ rk[3]);
+}
+
+} // namespace crypto
+} // namespace pipellm

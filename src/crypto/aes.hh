@@ -1,0 +1,57 @@
+/**
+ * @file
+ * FIPS-197 AES block cipher (encryption direction only).
+ *
+ * GCM runs AES exclusively in counter mode, so only the forward cipher
+ * is needed. The implementation uses the classic four 32-bit T-tables,
+ * generated once at startup; throughput is far beyond what the sampled
+ * transfers require. AES-128 and AES-256 key sizes are supported (the
+ * H100 session cipher is AES-256-GCM; tests also cover AES-128 NIST
+ * vectors).
+ */
+
+#ifndef PIPELLM_CRYPTO_AES_HH
+#define PIPELLM_CRYPTO_AES_HH
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+namespace pipellm {
+namespace crypto {
+
+/** AES block size in bytes. */
+constexpr std::size_t aesBlockBytes = 16;
+
+/** Expanded-key AES context for 128-, 192- or 256-bit keys. */
+class Aes
+{
+  public:
+    /** Expand a key of @p key_bytes length (16, 24 or 32). */
+    Aes(const std::uint8_t *key, std::size_t key_bytes);
+
+    /** Convenience: AES-128 from a 16-byte array. */
+    static Aes aes128(const std::array<std::uint8_t, 16> &key);
+
+    /** Convenience: AES-256 from a 32-byte array. */
+    static Aes aes256(const std::array<std::uint8_t, 32> &key);
+
+    /** Encrypt one 16-byte block (in and out may alias). */
+    void encryptBlock(const std::uint8_t in[16],
+                      std::uint8_t out[16]) const;
+
+    /** Number of rounds (10/12/14 for AES-128/192/256). */
+    unsigned rounds() const { return rounds_; }
+
+  private:
+    void expandKey(const std::uint8_t *key, std::size_t key_bytes);
+
+    /** Round keys as big-endian 32-bit words, 4 per round + 4. */
+    std::array<std::uint32_t, 60> round_keys_{};
+    unsigned rounds_ = 0;
+};
+
+} // namespace crypto
+} // namespace pipellm
+
+#endif // PIPELLM_CRYPTO_AES_HH

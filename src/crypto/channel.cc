@@ -1,0 +1,89 @@
+#include "crypto/channel.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+
+namespace pipellm {
+namespace crypto {
+
+namespace {
+
+/** Derive a deterministic session key from the configured seed. */
+std::vector<std::uint8_t>
+deriveKey(std::uint64_t seed, std::size_t key_bytes)
+{
+    std::vector<std::uint8_t> key(key_bytes);
+    for (std::size_t i = 0; i < key_bytes; ++i)
+        key[i] = Rng::syntheticByte(seed, i);
+    return key;
+}
+
+} // namespace
+
+SecureChannel::SecureChannel(const ChannelConfig &config)
+    : config_(config)
+{
+    PIPELLM_ASSERT(config_.key_bytes == 16 || config_.key_bytes == 32,
+                   "bad key size");
+    auto key = deriveKey(config_.key_seed, config_.key_bytes);
+    gcm_ = std::make_unique<AesGcm>(key.data(), key.size());
+}
+
+std::uint64_t
+SecureChannel::sampledLen(std::uint64_t full_len) const
+{
+    if (config_.sample_limit == 0)
+        return full_len;
+    return std::min(full_len, config_.sample_limit);
+}
+
+CipherBlob
+SecureChannel::seal(Direction dir, std::uint64_t iv_counter,
+                    const std::uint8_t *sample,
+                    std::uint64_t full_len) const
+{
+    CipherBlob blob;
+    blob.dir = dir;
+    blob.iv_counter = iv_counter;
+    blob.full_len = full_len;
+    std::uint64_t n = sampledLen(full_len);
+    blob.sample_ct.resize(n);
+
+    // The full length is authenticated as AAD so a blob cannot be
+    // replayed as a transfer of a different size.
+    std::uint8_t aad[8];
+    for (int i = 0; i < 8; ++i)
+        aad[i] = std::uint8_t(full_len >> (56 - 8 * i));
+
+    gcm_->seal(makeIv(dir, iv_counter), aad, sizeof(aad), sample, n,
+               blob.sample_ct.data(), blob.tag);
+    return blob;
+}
+
+bool
+SecureChannel::open(const CipherBlob &blob, std::uint64_t expected_counter,
+                    std::vector<std::uint8_t> &sample_pt) const
+{
+    std::uint8_t aad[8];
+    for (int i = 0; i < 8; ++i)
+        aad[i] = std::uint8_t(blob.full_len >> (56 - 8 * i));
+
+    sample_pt.resize(blob.sample_ct.size());
+    return gcm_->open(makeIv(blob.dir, expected_counter), aad,
+                      sizeof(aad), blob.sample_ct.data(),
+                      blob.sample_ct.size(), blob.tag, sample_pt.data());
+}
+
+CipherBlob
+SecureChannel::sealNop(Direction dir, std::uint64_t iv_counter) const
+{
+    // A NOP carries one dummy byte; its only purpose is advancing the
+    // IV counters on both sides (paper §5.3). Dummy data leaks nothing.
+    std::uint8_t dummy = 0;
+    return seal(dir, iv_counter, &dummy, 1);
+}
+
+} // namespace crypto
+} // namespace pipellm

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * The encrypted CPU<->GPU session: key, sampled sealing, and the
+ * ciphertext blob that travels over simulated DMA.
+ *
+ * Fidelity model: each transfer carries a *real* AES-GCM ciphertext
+ * and tag over a sampled prefix of the payload (default 4 KiB,
+ * configurable up to the full buffer for tests). IV accounting covers
+ * the whole transfer. Timing for the full size is charged separately
+ * by the simulated crypto/DMA resources. This keeps replay/IV/staleness
+ * failures functionally real while letting benches move terabytes of
+ * simulated model weights.
+ */
+
+#ifndef PIPELLM_CRYPTO_CHANNEL_HH
+#define PIPELLM_CRYPTO_CHANNEL_HH
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "crypto/gcm.hh"
+#include "crypto/iv.hh"
+
+namespace pipellm {
+namespace crypto {
+
+/** Ciphertext of one transfer as it crosses the (simulated) PCIe bus. */
+struct CipherBlob
+{
+    Direction dir = Direction::HostToDevice;
+    /** IV counter the sender used. */
+    std::uint64_t iv_counter = 0;
+    /** Logical transfer size (timing is charged for this). */
+    std::uint64_t full_len = 0;
+    /** Real ciphertext over the sampled prefix. */
+    std::vector<std::uint8_t> sample_ct;
+    GcmTag tag{};
+};
+
+/** Session configuration shared by both endpoints. */
+struct ChannelConfig
+{
+    /** AES key length in bytes: 16 or 32 (H100 uses AES-256). */
+    std::size_t key_bytes = 32;
+    /** Bytes of each payload actually encrypted; 0 means everything. */
+    std::uint64_t sample_limit = 4 * 1024;
+    /** Seed from which the session key is derived. */
+    std::uint64_t key_seed = 0x48313030; // "H100"
+};
+
+/**
+ * Both endpoints' shared cryptographic material. The CPU runtime and
+ * the GPU copy engine each hold their own IvCounter pair; this class
+ * owns only the key schedule and the sealing rules.
+ */
+class SecureChannel
+{
+  public:
+    explicit SecureChannel(const ChannelConfig &config = ChannelConfig{});
+
+    const ChannelConfig &config() const { return config_; }
+
+    /** Bytes of @p full_len that are really encrypted. */
+    std::uint64_t sampledLen(std::uint64_t full_len) const;
+
+    /**
+     * Seal a transfer: @p sample must hold sampledLen(full_len) bytes
+     * of the payload's prefix.
+     */
+    CipherBlob seal(Direction dir, std::uint64_t iv_counter,
+                    const std::uint8_t *sample,
+                    std::uint64_t full_len) const;
+
+    /**
+     * Open a blob with the receiver's expected counter.
+     * @param[out] sample_pt receives the decrypted sampled prefix
+     * @return false on tag mismatch (wrong IV, tampering, or stale
+     *         speculated plaintext)
+     */
+    [[nodiscard]] bool open(const CipherBlob &blob,
+                            std::uint64_t expected_counter,
+                            std::vector<std::uint8_t> &sample_pt) const;
+
+    /** Seal a 1-byte NOP (dummy) transfer, paper §5.3. */
+    CipherBlob sealNop(Direction dir, std::uint64_t iv_counter) const;
+
+    const AesGcm &cipher() const { return *gcm_; }
+
+  private:
+    ChannelConfig config_;
+    std::unique_ptr<AesGcm> gcm_;
+};
+
+} // namespace crypto
+} // namespace pipellm
+
+#endif // PIPELLM_CRYPTO_CHANNEL_HH

@@ -1,0 +1,223 @@
+#include "crypto/gcm.hh"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/logging.hh"
+
+namespace pipellm {
+namespace crypto {
+
+namespace {
+
+/** Increment the low 32 bits of a counter block (inc32). */
+void
+inc32(std::uint8_t block[16])
+{
+    for (int i = 15; i >= 12; --i) {
+        if (++block[i] != 0)
+            break;
+    }
+}
+
+void
+makeJ0(const GcmIv &iv, std::uint8_t j0[16])
+{
+    std::memcpy(j0, iv.data(), 12);
+    j0[12] = 0;
+    j0[13] = 0;
+    j0[14] = 0;
+    j0[15] = 1;
+}
+
+} // namespace
+
+AesGcm::AesGcm(const std::uint8_t *key, std::size_t key_bytes)
+    : aes_(key, key_bytes)
+{
+    std::uint8_t zero[16] = {};
+    std::uint8_t hbytes[16];
+    aes_.encryptBlock(zero, hbytes);
+    h_ = loadBlock(hbytes);
+}
+
+void
+AesGcm::ctrCrypt(const GcmIv &iv, const std::uint8_t *in,
+                 std::size_t len, std::uint8_t *out) const
+{
+    std::uint8_t counter[16];
+    makeJ0(iv, counter);
+    std::uint8_t keystream[16];
+    while (len > 0) {
+        inc32(counter);
+        aes_.encryptBlock(counter, keystream);
+        std::size_t n = len < 16 ? len : 16;
+        for (std::size_t i = 0; i < n; ++i)
+            out[i] = std::uint8_t(in[i] ^ keystream[i]);
+        in += n;
+        out += n;
+        len -= n;
+    }
+}
+
+GcmTag
+AesGcm::computeTag(const GcmIv &iv, const std::uint8_t *aad,
+                   std::size_t aad_len, const std::uint8_t *ct,
+                   std::size_t len) const
+{
+    Ghash ghash(h_);
+    if (aad_len > 0)
+        ghash.update(aad, aad_len);
+    if (len > 0)
+        ghash.update(ct, len);
+    ghash.updateLengths(aad_len, len);
+
+    std::uint8_t j0[16];
+    makeJ0(iv, j0);
+    std::uint8_t ek_j0[16];
+    aes_.encryptBlock(j0, ek_j0);
+
+    std::uint8_t s[16];
+    storeBlock(ghash.digest(), s);
+    GcmTag tag;
+    for (int i = 0; i < 16; ++i)
+        tag[i] = std::uint8_t(s[i] ^ ek_j0[i]);
+    return tag;
+}
+
+void
+AesGcm::seal(const GcmIv &iv, const std::uint8_t *aad,
+             std::size_t aad_len, const std::uint8_t *plaintext,
+             std::size_t len, std::uint8_t *ciphertext, GcmTag &tag) const
+{
+    ctrCrypt(iv, plaintext, len, ciphertext);
+    tag = computeTag(iv, aad, aad_len, ciphertext, len);
+}
+
+bool
+AesGcm::open(const GcmIv &iv, const std::uint8_t *aad,
+             std::size_t aad_len, const std::uint8_t *ciphertext,
+             std::size_t len, const GcmTag &tag,
+             std::uint8_t *plaintext) const
+{
+    GcmTag expected = computeTag(iv, aad, aad_len, ciphertext, len);
+    // Constant-time comparison: not security-critical in a simulator,
+    // but it is the correct idiom.
+    std::uint8_t diff = 0;
+    for (int i = 0; i < 16; ++i)
+        diff |= std::uint8_t(expected[i] ^ tag[i]);
+    if (diff != 0)
+        return false;
+    ctrCrypt(iv, ciphertext, len, plaintext);
+    return true;
+}
+
+GcmStream::GcmStream(const AesGcm &gcm, const GcmIv &iv, Op op)
+    : gcm_(gcm), op_(op), ghash_(gcm.h_)
+{
+    makeJ0(iv, j0_);
+    std::memcpy(counter_, j0_, sizeof(counter_));
+}
+
+void
+GcmStream::keystreamBlock()
+{
+    inc32(counter_);
+    gcm_.aes_.encryptBlock(counter_, keystream_);
+    ks_used_ = 0;
+}
+
+void
+GcmStream::aad(const std::uint8_t *data, std::size_t len)
+{
+    PIPELLM_ASSERT(!aad_done_ && msg_len_ == 0,
+                   "GCM AAD must precede message data");
+    PIPELLM_ASSERT(aad_len_ == 0, "single AAD segment supported");
+    // GCM zero-pads the final partial AAD block; Ghash::update
+    // handles the alignment.
+    ghash_.update(data, len);
+    aad_len_ += len;
+}
+
+void
+GcmStream::update(const std::uint8_t *in, std::size_t len,
+                  std::uint8_t *out)
+{
+    PIPELLM_ASSERT(!finished_, "GCM stream already finished");
+    aad_done_ = true;
+    msg_len_ += len;
+
+    while (len > 0) {
+        if (ks_used_ == 16)
+            keystreamBlock();
+        std::size_t n = std::min<std::size_t>(len, 16 - ks_used_);
+        for (std::size_t i = 0; i < n; ++i)
+            out[i] = std::uint8_t(in[i] ^ keystream_[ks_used_ + i]);
+
+        // GHASH always runs over the ciphertext side.
+        const std::uint8_t *ct =
+            op_ == Op::Encrypt ? out : in;
+        for (std::size_t i = 0; i < n; ++i) {
+            ct_buf_[ct_buf_len_++] = ct[i];
+            if (ct_buf_len_ == 16) {
+                ghash_.updateBlock(ct_buf_);
+                ct_buf_len_ = 0;
+            }
+        }
+
+        ks_used_ += unsigned(n);
+        in += n;
+        out += n;
+        len -= n;
+    }
+}
+
+bool
+GcmStream::finish(GcmTag &tag)
+{
+    PIPELLM_ASSERT(!finished_, "GCM stream already finished");
+    finished_ = true;
+
+    if (ct_buf_len_ > 0) {
+        std::uint8_t padded[16] = {};
+        std::memcpy(padded, ct_buf_, ct_buf_len_);
+        ghash_.updateBlock(padded);
+        ct_buf_len_ = 0;
+    }
+    ghash_.updateLengths(aad_len_, msg_len_);
+
+    std::uint8_t ek_j0[16];
+    gcm_.aes_.encryptBlock(j0_, ek_j0);
+    std::uint8_t s[16];
+    storeBlock(ghash_.digest(), s);
+
+    if (op_ == Op::Encrypt) {
+        for (int i = 0; i < 16; ++i)
+            tag[i] = std::uint8_t(s[i] ^ ek_j0[i]);
+        return true;
+    }
+    std::uint8_t diff = 0;
+    for (int i = 0; i < 16; ++i)
+        diff |= std::uint8_t((s[i] ^ ek_j0[i]) ^ tag[i]);
+    return diff == 0;
+}
+
+std::vector<std::uint8_t>
+AesGcm::seal(const GcmIv &iv, const std::vector<std::uint8_t> &pt,
+             GcmTag &tag) const
+{
+    std::vector<std::uint8_t> ct(pt.size());
+    seal(iv, nullptr, 0, pt.data(), pt.size(), ct.data(), tag);
+    return ct;
+}
+
+bool
+AesGcm::open(const GcmIv &iv, const std::vector<std::uint8_t> &ct,
+             const GcmTag &tag, std::vector<std::uint8_t> &pt) const
+{
+    pt.resize(ct.size());
+    return open(iv, nullptr, 0, ct.data(), ct.size(), tag, pt.data());
+}
+
+} // namespace crypto
+} // namespace pipellm

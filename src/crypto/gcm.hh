@@ -1,0 +1,137 @@
+/**
+ * @file
+ * AES-GCM authenticated encryption (NIST SP 800-38D), one-shot API
+ * with 96-bit IVs — the mode NVIDIA Confidential Computing uses for
+ * CPU<->GPU transfers.
+ */
+
+#ifndef PIPELLM_CRYPTO_GCM_HH
+#define PIPELLM_CRYPTO_GCM_HH
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "crypto/aes.hh"
+#include "crypto/ghash.hh"
+
+namespace pipellm {
+namespace crypto {
+
+/** 128-bit GCM authentication tag. */
+using GcmTag = std::array<std::uint8_t, 16>;
+
+/** 96-bit GCM initialization vector. */
+using GcmIv = std::array<std::uint8_t, 12>;
+
+/** AES-GCM context bound to one key. */
+class AesGcm
+{
+  public:
+    /** @param key raw key bytes; @param key_bytes 16 or 32. */
+    AesGcm(const std::uint8_t *key, std::size_t key_bytes);
+
+    /**
+     * Encrypt @p plaintext under @p iv with optional @p aad.
+     * @param[out] ciphertext same length as plaintext
+     * @param[out] tag authentication tag
+     */
+    void seal(const GcmIv &iv,
+              const std::uint8_t *aad, std::size_t aad_len,
+              const std::uint8_t *plaintext, std::size_t len,
+              std::uint8_t *ciphertext, GcmTag &tag) const;
+
+    /**
+     * Decrypt and authenticate.
+     * @return true if the tag verifies; on false the output buffer
+     *         contents are unspecified and must be discarded.
+     */
+    [[nodiscard]] bool open(const GcmIv &iv,
+                            const std::uint8_t *aad, std::size_t aad_len,
+                            const std::uint8_t *ciphertext, std::size_t len,
+                            const GcmTag &tag,
+                            std::uint8_t *plaintext) const;
+
+    /** Vector conveniences used widely in tests. */
+    std::vector<std::uint8_t> seal(const GcmIv &iv,
+                                   const std::vector<std::uint8_t> &pt,
+                                   GcmTag &tag) const;
+    [[nodiscard]] bool open(const GcmIv &iv,
+                            const std::vector<std::uint8_t> &ct,
+                            const GcmTag &tag,
+                            std::vector<std::uint8_t> &pt) const;
+
+  private:
+    friend class GcmStream;
+
+    void ctrCrypt(const GcmIv &iv, const std::uint8_t *in,
+                  std::size_t len, std::uint8_t *out) const;
+    GcmTag computeTag(const GcmIv &iv, const std::uint8_t *aad,
+                      std::size_t aad_len, const std::uint8_t *ct,
+                      std::size_t len) const;
+
+    Aes aes_;
+    Block128 h_;
+};
+
+/**
+ * Incremental GCM encryption/decryption — the interface shape of
+ * OpenSSL's EVP_EncryptUpdate, which the real CUDA library calls and
+ * PipeLLM interposes on (§6). Feed AAD first, then message data in
+ * arbitrary-sized chunks; finish() produces (encrypt) or verifies
+ * (decrypt) the tag. The one-shot AesGcm::seal/open are equivalent to
+ * a single update() call.
+ *
+ * Chunk boundaries need not be block-aligned; a partial block is
+ * buffered internally.
+ */
+class GcmStream
+{
+  public:
+    enum class Op
+    {
+        Encrypt,
+        Decrypt,
+    };
+
+    GcmStream(const AesGcm &gcm, const GcmIv &iv, Op op);
+
+    /** Absorb AAD; only legal before the first update(). */
+    void aad(const std::uint8_t *data, std::size_t len);
+
+    /** Process @p len bytes of message data into @p out. */
+    void update(const std::uint8_t *in, std::size_t len,
+                std::uint8_t *out);
+
+    /**
+     * Finish the stream. Encrypt: writes the tag. Decrypt: verifies
+     * against @p tag.
+     * @return true (encrypt always; decrypt iff the tag matches)
+     */
+    [[nodiscard]] bool finish(GcmTag &tag);
+
+    std::uint64_t processedBytes() const { return msg_len_; }
+
+  private:
+    void keystreamBlock();
+
+    const AesGcm &gcm_;
+    Op op_;
+    Ghash ghash_;
+    std::uint8_t counter_[16];
+    std::uint8_t j0_[16];
+    std::uint8_t keystream_[16];
+    unsigned ks_used_ = 16; ///< bytes of keystream_ consumed
+    std::uint8_t ct_buf_[16];
+    unsigned ct_buf_len_ = 0; ///< pending partial GHASH block
+    std::uint64_t aad_len_ = 0;
+    std::uint64_t msg_len_ = 0;
+    bool aad_done_ = false;
+    bool finished_ = false;
+};
+
+} // namespace crypto
+} // namespace pipellm
+
+#endif // PIPELLM_CRYPTO_GCM_HH

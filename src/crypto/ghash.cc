@@ -1,0 +1,147 @@
+#include "crypto/ghash.hh"
+
+#include <cstring>
+
+namespace pipellm {
+namespace crypto {
+
+Block128
+loadBlock(const std::uint8_t bytes[16])
+{
+    Block128 b;
+    for (int i = 0; i < 8; ++i)
+        b.hi = (b.hi << 8) | bytes[i];
+    for (int i = 8; i < 16; ++i)
+        b.lo = (b.lo << 8) | bytes[i];
+    return b;
+}
+
+void
+storeBlock(const Block128 &b, std::uint8_t bytes[16])
+{
+    for (int i = 0; i < 8; ++i)
+        bytes[i] = std::uint8_t(b.hi >> (56 - 8 * i));
+    for (int i = 0; i < 8; ++i)
+        bytes[8 + i] = std::uint8_t(b.lo >> (56 - 8 * i));
+}
+
+namespace {
+
+/** Right-shift a 128-bit value by one bit. */
+Block128
+shiftRight1(const Block128 &x)
+{
+    Block128 r;
+    r.lo = (x.lo >> 1) | (x.hi << 63);
+    r.hi = x.hi >> 1;
+    return r;
+}
+
+Block128
+xorBlocks(const Block128 &a, const Block128 &b)
+{
+    return Block128{a.hi ^ b.hi, a.lo ^ b.lo};
+}
+
+// Reduction constants for the 4-bit method: when shifting the
+// accumulator right by 4 bits, the bits that fall off multiply the
+// field polynomial. reduce[i] is (i * x^-4 mod p) folded into the top.
+const std::uint64_t reduceTable[16] = {
+    0x0000000000000000ull, 0x1c20000000000000ull, 0x3840000000000000ull,
+    0x2460000000000000ull, 0x7080000000000000ull, 0x6ca0000000000000ull,
+    0x48c0000000000000ull, 0x54e0000000000000ull, 0xe100000000000000ull,
+    0xfd20000000000000ull, 0xd940000000000000ull, 0xc560000000000000ull,
+    0x9180000000000000ull, 0x8da0000000000000ull, 0xa9c0000000000000ull,
+    0xb5e0000000000000ull,
+};
+
+} // namespace
+
+Ghash::Ghash(const Block128 &h)
+{
+    // table_[i] = (i as 4-bit value, big-endian bit order) * H.
+    // Build by: table_[reverse-doubling]. Standard construction:
+    // table_[8] = H, table_[4] = H*x, table_[2] = H*x^2, ...
+    table_[0] = Block128{};
+    table_[8] = h;
+    // Multiply by x (right shift with reduction) to fill 4, 2, 1.
+    for (int i = 8; i > 1; i >>= 1) {
+        Block128 v = table_[i];
+        bool lsb = v.lo & 1;
+        v = shiftRight1(v);
+        if (lsb)
+            v.hi ^= 0xe100000000000000ull;
+        table_[i >> 1] = v;
+    }
+    // Remaining entries by XOR of the power-of-two entries.
+    for (int i = 2; i < 16; i <<= 1) {
+        for (int j = 1; j < i; ++j)
+            table_[i + j] = xorBlocks(table_[i], table_[j]);
+    }
+}
+
+void
+Ghash::reset()
+{
+    acc_ = Block128{};
+}
+
+void
+Ghash::mulByH()
+{
+    // Process the accumulator one nibble at a time, from the lowest
+    // nibble of lo upward (Shoup's method, right-to-left).
+    Block128 z{};
+    for (int nibble = 0; nibble < 32; ++nibble) {
+        int shift = 4 * nibble;
+        unsigned idx;
+        if (nibble < 16)
+            idx = unsigned((acc_.lo >> shift) & 0xf);
+        else
+            idx = unsigned((acc_.hi >> (shift - 64)) & 0xf);
+        if (nibble != 0) {
+            // Shift z right by 4 with reduction.
+            unsigned dropped = unsigned(z.lo & 0xf);
+            z.lo = (z.lo >> 4) | (z.hi << 60);
+            z.hi = (z.hi >> 4) ^ reduceTable[dropped];
+        }
+        z = xorBlocks(z, table_[idx]);
+    }
+    acc_ = z;
+}
+
+void
+Ghash::updateBlock(const std::uint8_t block[16])
+{
+    Block128 x = loadBlock(block);
+    acc_ = xorBlocks(acc_, x);
+    mulByH();
+}
+
+void
+Ghash::update(const std::uint8_t *data, std::size_t len)
+{
+    std::uint8_t padded[16];
+    while (len >= 16) {
+        updateBlock(data);
+        data += 16;
+        len -= 16;
+    }
+    if (len > 0) {
+        std::memset(padded, 0, sizeof(padded));
+        std::memcpy(padded, data, len);
+        updateBlock(padded);
+    }
+}
+
+void
+Ghash::updateLengths(std::uint64_t aad_bytes, std::uint64_t text_bytes)
+{
+    std::uint8_t block[16];
+    Block128 lens{aad_bytes * 8, text_bytes * 8};
+    storeBlock(lens, block);
+    updateBlock(block);
+}
+
+} // namespace crypto
+} // namespace pipellm

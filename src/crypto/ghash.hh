@@ -1,0 +1,74 @@
+/**
+ * @file
+ * GHASH, the universal hash of GCM, over GF(2^128).
+ *
+ * Uses Shoup's 4-bit table method: a 16-entry table of H multiples is
+ * precomputed per hash key, then each input block costs 32 table
+ * lookups.
+ */
+
+#ifndef PIPELLM_CRYPTO_GHASH_HH
+#define PIPELLM_CRYPTO_GHASH_HH
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+namespace pipellm {
+namespace crypto {
+
+/** A 128-bit GF element held as two big-endian 64-bit halves. */
+struct Block128
+{
+    std::uint64_t hi = 0;
+    std::uint64_t lo = 0;
+
+    bool
+    operator==(const Block128 &o) const
+    {
+        return hi == o.hi && lo == o.lo;
+    }
+};
+
+/** Load/store between Block128 and 16 big-endian bytes. */
+Block128 loadBlock(const std::uint8_t bytes[16]);
+void storeBlock(const Block128 &b, std::uint8_t bytes[16]);
+
+/** Incremental GHASH keyed by H = AES_K(0^128). */
+class Ghash
+{
+  public:
+    /** Build the 4-bit multiplication table for hash key @p h. */
+    explicit Ghash(const Block128 &h);
+
+    /** Reset the accumulator to zero. */
+    void reset();
+
+    /**
+     * Absorb @p len bytes. Partial trailing blocks are zero-padded,
+     * matching GCM's treatment of the final AAD/ciphertext block, so
+     * callers must only pass non-16-byte-aligned data as the last
+     * update of a segment.
+     */
+    void update(const std::uint8_t *data, std::size_t len);
+
+    /** Absorb exactly one 16-byte block. */
+    void updateBlock(const std::uint8_t block[16]);
+
+    /** Absorb the GCM length block (bit lengths of AAD and text). */
+    void updateLengths(std::uint64_t aad_bytes, std::uint64_t text_bytes);
+
+    /** Current accumulator value. */
+    Block128 digest() const { return acc_; }
+
+  private:
+    void mulByH();
+
+    std::array<Block128, 16> table_{};
+    Block128 acc_{};
+};
+
+} // namespace crypto
+} // namespace pipellm
+
+#endif // PIPELLM_CRYPTO_GHASH_HH

@@ -1,0 +1,32 @@
+#include "crypto/iv.hh"
+
+namespace pipellm {
+namespace crypto {
+
+const char *
+toString(Direction d)
+{
+    switch (d) {
+      case Direction::HostToDevice:
+        return "H2D";
+      case Direction::DeviceToHost:
+        return "D2H";
+    }
+    return "?";
+}
+
+GcmIv
+makeIv(Direction dir, std::uint64_t counter)
+{
+    GcmIv iv{};
+    iv[0] = 0x50; // 'P'
+    iv[1] = 0x4c; // 'L'
+    iv[2] = 0x00;
+    iv[3] = std::uint8_t(dir);
+    for (int i = 0; i < 8; ++i)
+        iv[4 + i] = std::uint8_t(counter >> (56 - 8 * i));
+    return iv;
+}
+
+} // namespace crypto
+} // namespace pipellm

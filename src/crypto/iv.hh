@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Initialization-vector accounting, H100 style.
+ *
+ * NVIDIA CC synchronizes a starting IV between the CVM and the GPU at
+ * session setup; afterwards each side increments its local copy by one
+ * per transfer, per direction, with no further synchronization (paper
+ * §2.2, Figure 1). We model each endpoint's counter explicitly so that
+ * speculation bugs surface as real AES-GCM tag failures rather than
+ * silent divergence.
+ */
+
+#ifndef PIPELLM_CRYPTO_IV_HH
+#define PIPELLM_CRYPTO_IV_HH
+
+#include <cstdint>
+
+#include "crypto/gcm.hh"
+
+namespace pipellm {
+namespace crypto {
+
+/** Transfer direction of an encrypted channel. */
+enum class Direction : std::uint8_t
+{
+    HostToDevice = 0,
+    DeviceToHost = 1,
+};
+
+const char *toString(Direction d);
+
+/**
+ * Construct the 96-bit GCM IV for (direction, counter): a 32-bit
+ * direction salt followed by the 64-bit big-endian counter. Counters
+ * are never reused within a direction, satisfying GCM's uniqueness
+ * requirement.
+ */
+GcmIv makeIv(Direction dir, std::uint64_t counter);
+
+/**
+ * One endpoint's view of a direction's IV counter. next() hands out
+ * the counter to use for the next transfer and advances; peek() allows
+ * speculation about future transfers without committing.
+ */
+class IvCounter
+{
+  public:
+    explicit IvCounter(Direction dir, std::uint64_t start = 0)
+        : dir_(dir), next_(start)
+    {
+    }
+
+    Direction direction() const { return dir_; }
+
+    /** Counter the next transfer will use. */
+    std::uint64_t current() const { return next_; }
+
+    /** Consume and return the next counter value. */
+    std::uint64_t next() { return next_++; }
+
+    /** Counter value @p ahead transfers in the future. */
+    std::uint64_t peek(std::uint64_t ahead = 0) const
+    {
+        return next_ + ahead;
+    }
+
+    /** Advance by @p n transfers (e.g. after NOP padding). */
+    void advance(std::uint64_t n = 1) { next_ += n; }
+
+    /** IV for the next transfer, without consuming it. */
+    GcmIv currentIv() const { return makeIv(dir_, next_); }
+
+  private:
+    Direction dir_;
+    std::uint64_t next_;
+};
+
+} // namespace crypto
+} // namespace pipellm
+
+#endif // PIPELLM_CRYPTO_IV_HH

@@ -1,0 +1,27 @@
+#include "gpu/spec.hh"
+
+#include "common/logging.hh"
+
+namespace pipellm {
+namespace gpu {
+
+SystemSpec
+SystemSpec::h100()
+{
+    return SystemSpec{};
+}
+
+void
+SystemSpec::validate() const
+{
+    PIPELLM_ASSERT(gpu_mem_bytes > 0, "GPU needs memory");
+    PIPELLM_ASSERT(gpu_flops > 0 && gpu_hbm_bw > 0, "GPU needs compute");
+    PIPELLM_ASSERT(pcie_h2d_bw > 0 && pcie_d2h_bw > 0, "bad PCIe rates");
+    PIPELLM_ASSERT(cc_copy_bw > 0 && cpu_crypto_bw_per_lane > 0,
+                   "bad CC path rates");
+    PIPELLM_ASSERT(staging_buf_bytes > 0 && staging_buf_count > 0,
+                   "bad staging config");
+}
+
+} // namespace gpu
+} // namespace pipellm

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Platform calibration constants.
+ *
+ * Every rate and overhead here is taken from the paper's own
+ * measurements on the H100-SXM testbed (Fig. 2, §3, §7.2), so the
+ * simulator reproduces the same bottleneck structure: PCIe ≫ CC copy
+ * path ≫ single-thread CPU AES-GCM.
+ */
+
+#ifndef PIPELLM_GPU_SPEC_HH
+#define PIPELLM_GPU_SPEC_HH
+
+#include <cstdint>
+#include <string>
+
+#include "common/units.hh"
+
+namespace pipellm {
+namespace gpu {
+
+/** Calibrated hardware description of the simulated platform. */
+struct SystemSpec
+{
+    std::string name = "H100-SXM+Xeon8462Y";
+
+    // --- GPU ---
+    /** GPU HBM capacity. */
+    std::uint64_t gpu_mem_bytes = 80 * GiB;
+    /** Effective dense FP16 throughput for LLM kernels (FLOP/s). */
+    double gpu_flops = 400e12;
+    /** HBM bandwidth (bytes/s). */
+    double gpu_hbm_bw = 3.35e12;
+    /** Per-kernel launch overhead. */
+    Tick kernel_launch_overhead = microseconds(5);
+    /** Copy-engine AES-GCM decrypt rate (hardware, line rate). */
+    double copy_engine_crypto_bw = 100e9;
+
+    // --- PCIe link (Gen5 x16, per direction) ---
+    /** Effective H2D bandwidth without CC (paper Fig. 2: ~55 GB/s). */
+    double pcie_h2d_bw = 55e9;
+    /** Effective D2H bandwidth without CC. */
+    double pcie_d2h_bw = 55e9;
+    /** DMA setup latency per transfer. */
+    Tick pcie_latency = nanoseconds(400);
+
+    // --- CC data path ---
+    /**
+     * Private->shared bounce-buffer memcpy rate; the paper measures
+     * the CC copy path topping out at ~40 GB/s even with encryption
+     * off the critical path (§7.2).
+     */
+    double cc_copy_bw = 40e9;
+    /** Single CPU thread AES-GCM rate (Fig. 2: ~5.8 GB/s). */
+    double cpu_crypto_bw_per_lane = 5.8e9;
+    /** Staging buffer size (chunk granularity of CC transfers). */
+    std::uint64_t staging_buf_bytes = 4 * MiB;
+    /** Number of staging buffers (pipeline depth, kept small, §6). */
+    unsigned staging_buf_count = 8;
+
+    // --- API control plane (Fig. 2, 32 B transfers) ---
+    /** cudaMemcpyAsync call overhead without CC (~1.4 us). */
+    Tick api_overhead = nanoseconds(1400);
+    /** Extra control-plane overhead with CC enabled (~13.5 us). */
+    Tick cc_api_overhead = nanoseconds(13500);
+
+    // --- Host memory ---
+    /** CVM DRAM capacity (the paper's VM has 250 GB). */
+    std::uint64_t host_mem_bytes = 250 * GiB;
+
+    /** The paper's evaluation platform. */
+    static SystemSpec h100();
+
+    /** Self-check of invariants (rates positive, etc.). */
+    void validate() const;
+};
+
+} // namespace gpu
+} // namespace pipellm
+
+#endif // PIPELLM_GPU_SPEC_HH

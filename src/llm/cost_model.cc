@@ -1,0 +1,101 @@
+#include "llm/cost_model.hh"
+
+namespace pipellm {
+namespace llm {
+
+CostModel::CostModel(const ModelConfig &model) : model_(model)
+{
+    model_.validate();
+}
+
+double
+CostModel::decodeFlopsPerTokenPerLayer(std::uint64_t context) const
+{
+    double h = double(model_.hidden);
+    // Matmuls: 2 FLOPs per weight per token over 12 h^2 weights;
+    // attention: QK^T and AV over the cached context, 4 h C.
+    return 24.0 * h * h + 4.0 * h * double(context);
+}
+
+double
+CostModel::prefillFlopsPerLayer(std::uint64_t len) const
+{
+    double h = double(model_.hidden);
+    double l = double(len);
+    // Matmul term per token plus quadratic attention over the prompt.
+    return l * 24.0 * h * h + 4.0 * h * l * l;
+}
+
+gpu::KernelDesc
+CostModel::decodeLayerKernel(std::uint64_t batch,
+                             std::uint64_t avg_context) const
+{
+    gpu::KernelDesc k;
+    k.name = model_.name + "/decode-layer";
+    k.flops = double(batch) * decodeFlopsPerTokenPerLayer(avg_context);
+    // Weights stream from HBM once per step; each sequence reads its
+    // cached KV for this layer.
+    k.hbm_bytes = double(model_.layerParamBytes()) +
+                  double(batch) * double(avg_context) *
+                      double(model_.kvBytesPerTokenPerLayer());
+    return k;
+}
+
+gpu::KernelDesc
+CostModel::prefillLayerKernel(std::uint64_t batch,
+                              std::uint64_t prompt_len) const
+{
+    gpu::KernelDesc k;
+    k.name = model_.name + "/prefill-layer";
+    k.flops = double(batch) * prefillFlopsPerLayer(prompt_len);
+    k.hbm_bytes = double(model_.layerParamBytes()) +
+                  double(batch) * double(prompt_len) *
+                      double(model_.kvBytesPerTokenPerLayer());
+    return k;
+}
+
+gpu::KernelDesc
+CostModel::forwardLayerKernel(std::uint64_t tokens) const
+{
+    gpu::KernelDesc k;
+    k.name = model_.name + "/fwd-layer";
+    double h = double(model_.hidden);
+    k.flops = double(tokens) * 24.0 * h * h;
+    k.hbm_bytes = double(model_.layerParamBytes()) +
+                  double(tokens) *
+                      double(activationBytesPerTokenPerLayer());
+    return k;
+}
+
+gpu::KernelDesc
+CostModel::backwardLayerKernel(std::uint64_t tokens) const
+{
+    gpu::KernelDesc k = forwardLayerKernel(tokens);
+    k.name = model_.name + "/bwd-layer";
+    k.flops *= 2.0;
+    k.hbm_bytes *= 2.0;
+    return k;
+}
+
+gpu::KernelDesc
+CostModel::embeddingKernel(std::uint64_t batch) const
+{
+    gpu::KernelDesc k;
+    k.name = model_.name + "/embed";
+    double h = double(model_.hidden);
+    // Output projection to the vocabulary dominates.
+    k.flops = double(batch) * 2.0 * h * double(model_.vocab);
+    k.hbm_bytes = double(model_.embeddingBytes());
+    return k;
+}
+
+std::uint64_t
+CostModel::activationBytesPerTokenPerLayer() const
+{
+    // Rough transformer activation footprint: ~16 h fp16 values per
+    // token per layer with activation checkpointing.
+    return 16 * model_.hidden * 2;
+}
+
+} // namespace llm
+} // namespace pipellm

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Analytic FLOP/byte cost model for transformer inference and
+ * fine-tuning, used to size the simulated GPU kernels.
+ *
+ * Only relative magnitudes matter for reproducing the paper: the
+ * model must place LLM decode where it really lives on the roofline
+ * (weight-bandwidth-bound at small batch, compute-bound at large
+ * batch) so that swap-induced GPU idle time has the right proportion
+ * to useful work.
+ */
+
+#ifndef PIPELLM_LLM_COST_MODEL_HH
+#define PIPELLM_LLM_COST_MODEL_HH
+
+#include <cstdint>
+
+#include "gpu/device.hh"
+#include "llm/model.hh"
+
+namespace pipellm {
+namespace llm {
+
+/** Kernel-cost estimator bound to one model. */
+class CostModel
+{
+  public:
+    explicit CostModel(const ModelConfig &model);
+
+    const ModelConfig &model() const { return model_; }
+
+    /** FLOPs for one layer processing one new token at context C. */
+    double decodeFlopsPerTokenPerLayer(std::uint64_t context) const;
+
+    /** FLOPs for one layer prefiling a prompt of @p len tokens. */
+    double prefillFlopsPerLayer(std::uint64_t len) const;
+
+    /**
+     * Kernel for one decode step of one layer over a batch of
+     * sequences with total/average context @p avg_context.
+     */
+    gpu::KernelDesc decodeLayerKernel(std::uint64_t batch,
+                                      std::uint64_t avg_context) const;
+
+    /** Kernel for one layer of prefill over @p batch prompts. */
+    gpu::KernelDesc prefillLayerKernel(std::uint64_t batch,
+                                       std::uint64_t prompt_len) const;
+
+    /**
+     * Kernel for one layer of a fine-tuning forward pass over a batch
+     * of @p tokens total tokens.
+     */
+    gpu::KernelDesc forwardLayerKernel(std::uint64_t tokens) const;
+
+    /** Backward is ~2x the forward cost (grad wrt input + weights). */
+    gpu::KernelDesc backwardLayerKernel(std::uint64_t tokens) const;
+
+    /** Embedding/head kernel for one step over @p batch sequences. */
+    gpu::KernelDesc embeddingKernel(std::uint64_t batch) const;
+
+    /**
+     * Peak activation bytes per token per layer during training
+     * (used for fine-tuning memory pressure).
+     */
+    std::uint64_t activationBytesPerTokenPerLayer() const;
+
+  private:
+    ModelConfig model_;
+};
+
+} // namespace llm
+} // namespace pipellm
+
+#endif // PIPELLM_LLM_COST_MODEL_HH

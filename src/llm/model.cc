@@ -1,0 +1,191 @@
+#include "llm/model.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace pipellm {
+namespace llm {
+
+double
+dtypeBytes(Dtype d)
+{
+    switch (d) {
+      case Dtype::Fp16:
+        return 2.0;
+      case Dtype::Int8:
+        return 1.0;
+      case Dtype::Int4:
+        return 0.5;
+    }
+    return 2.0;
+}
+
+const char *
+toString(Dtype d)
+{
+    switch (d) {
+      case Dtype::Fp16:
+        return "fp16";
+      case Dtype::Int8:
+        return "int8";
+      case Dtype::Int4:
+        return "int4";
+    }
+    return "?";
+}
+
+std::uint64_t
+ModelConfig::layerParams() const
+{
+    // Attention (QKVO): 4 h^2; MLP (4x expansion, two matrices): 8 h^2;
+    // plus biases and layer norms (~9 h), which we fold in.
+    return 12 * hidden * hidden + 9 * hidden;
+}
+
+std::uint64_t
+ModelConfig::layerParamBytes() const
+{
+    return std::uint64_t(std::ceil(double(layerParams()) *
+                                   dtypeBytes(weight_dtype)));
+}
+
+std::uint64_t
+ModelConfig::embeddingBytes() const
+{
+    // OPT ties input and output embeddings; positions are learned.
+    std::uint64_t params = (vocab + max_positions) * hidden;
+    return std::uint64_t(std::ceil(double(params) *
+                                   dtypeBytes(weight_dtype)));
+}
+
+std::uint64_t
+ModelConfig::totalParams() const
+{
+    return std::uint64_t(num_layers) * layerParams() +
+           (vocab + max_positions) * hidden;
+}
+
+std::uint64_t
+ModelConfig::totalParamBytes() const
+{
+    return std::uint64_t(num_layers) * layerParamBytes() +
+           embeddingBytes();
+}
+
+std::uint64_t
+ModelConfig::kvBytesPerTokenPerLayer() const
+{
+    return std::uint64_t(std::ceil(2.0 * double(hidden) *
+                                   dtypeBytes(kv_dtype)));
+}
+
+std::uint64_t
+ModelConfig::kvBytesPerToken() const
+{
+    return std::uint64_t(num_layers) * kvBytesPerTokenPerLayer();
+}
+
+void
+ModelConfig::validate() const
+{
+    PIPELLM_ASSERT(num_layers > 0 && hidden > 0 && heads > 0,
+                   "incomplete model config: ", name);
+    PIPELLM_ASSERT(hidden % heads == 0,
+                   "hidden not divisible by heads: ", name);
+}
+
+ModelConfig
+ModelConfig::opt13b()
+{
+    ModelConfig m;
+    m.name = "OPT-13B";
+    m.num_layers = 40;
+    m.hidden = 5120;
+    m.heads = 40;
+    return m;
+}
+
+ModelConfig
+ModelConfig::opt30b()
+{
+    ModelConfig m;
+    m.name = "OPT-30B";
+    m.num_layers = 48;
+    m.hidden = 7168;
+    m.heads = 56;
+    return m;
+}
+
+ModelConfig
+ModelConfig::opt66b()
+{
+    ModelConfig m;
+    m.name = "OPT-66B";
+    m.num_layers = 64;
+    m.hidden = 9216;
+    m.heads = 72;
+    return m;
+}
+
+ModelConfig
+ModelConfig::opt175b()
+{
+    ModelConfig m;
+    m.name = "OPT-175B";
+    m.num_layers = 96;
+    m.hidden = 12288;
+    m.heads = 96;
+    return m;
+}
+
+ModelConfig
+ModelConfig::opt175bInt4()
+{
+    ModelConfig m = opt175b();
+    m.name = "OPT-175B-int4";
+    m.weight_dtype = Dtype::Int4;
+    return m;
+}
+
+ModelConfig
+ModelConfig::llama7b()
+{
+    ModelConfig m;
+    m.name = "LLaMA-7B";
+    m.num_layers = 32;
+    m.hidden = 4096;
+    m.heads = 32;
+    m.vocab = 32000;
+    m.max_positions = 4096;
+    return m;
+}
+
+ModelConfig
+ModelConfig::llama13b()
+{
+    ModelConfig m;
+    m.name = "LLaMA-13B";
+    m.num_layers = 40;
+    m.hidden = 5120;
+    m.heads = 40;
+    m.vocab = 32000;
+    m.max_positions = 4096;
+    return m;
+}
+
+ModelConfig
+ModelConfig::llama70b()
+{
+    ModelConfig m;
+    m.name = "LLaMA-70B";
+    m.num_layers = 80;
+    m.hidden = 8192;
+    m.heads = 64;
+    m.vocab = 32000;
+    m.max_positions = 4096;
+    return m;
+}
+
+} // namespace llm
+} // namespace pipellm

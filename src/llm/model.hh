@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Transformer model descriptions: the OPT family the paper evaluates,
+ * with derived parameter/KV sizes that drive every swap in the
+ * simulation.
+ *
+ * Swap sizes are what PipeLLM's classifier keys on (§4.2): layer
+ * parameter blocks are megabytes to hundreds of megabytes, KV-cache
+ * blocks are tens to hundreds of kilobytes, and everything else is
+ * tiny. Getting these sizes right is what makes the prediction
+ * problem realistic.
+ */
+
+#ifndef PIPELLM_LLM_MODEL_HH
+#define PIPELLM_LLM_MODEL_HH
+
+#include <cstdint>
+#include <string>
+
+namespace pipellm {
+namespace llm {
+
+/** Numeric storage format of weights or KV entries. */
+enum class Dtype : std::uint8_t
+{
+    Fp16,
+    Int8,
+    Int4,
+};
+
+/** Bytes per element (Int4 packs two per byte). */
+double dtypeBytes(Dtype d);
+
+const char *toString(Dtype d);
+
+/** Architecture hyper-parameters of a decoder-only transformer. */
+struct ModelConfig
+{
+    std::string name;
+    unsigned num_layers = 0;
+    std::uint64_t hidden = 0;
+    unsigned heads = 0;
+    std::uint64_t vocab = 50272;
+    std::uint64_t max_positions = 2048;
+    Dtype weight_dtype = Dtype::Fp16;
+    Dtype kv_dtype = Dtype::Fp16;
+
+    // --- derived sizes ---
+
+    /** Parameter count of one transformer layer (~12 h^2). */
+    std::uint64_t layerParams() const;
+
+    /** Bytes of one transformer layer's weights. */
+    std::uint64_t layerParamBytes() const;
+
+    /** Bytes of the (tied) token + position embeddings. */
+    std::uint64_t embeddingBytes() const;
+
+    /** Total parameter bytes across the model. */
+    std::uint64_t totalParamBytes() const;
+
+    /** Total parameter count. */
+    std::uint64_t totalParams() const;
+
+    /** KV-cache bytes one token adds in one layer (2 h elems). */
+    std::uint64_t kvBytesPerTokenPerLayer() const;
+
+    /** KV-cache bytes one token adds across all layers. */
+    std::uint64_t kvBytesPerToken() const;
+
+    /** Sanity checks on the configuration. */
+    void validate() const;
+
+    // --- the paper's model zoo ---
+    static ModelConfig opt13b();
+    static ModelConfig opt30b();
+    static ModelConfig opt66b();
+    static ModelConfig opt175b();
+    /** 4-bit-quantized OPT-175B (FlexGen configuration, §7.2). */
+    static ModelConfig opt175bInt4();
+
+    // --- other open models the paper mentions (§1, §2.1) ---
+    static ModelConfig llama7b();
+    static ModelConfig llama13b();
+    static ModelConfig llama70b();
+};
+
+} // namespace llm
+} // namespace pipellm
+
+#endif // PIPELLM_LLM_MODEL_HH

@@ -1,0 +1,178 @@
+#include "mem/page_protection.hh"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/logging.hh"
+
+namespace pipellm {
+namespace mem {
+
+namespace {
+
+Addr
+pageDown(Addr addr)
+{
+    return addr / pageBytes * pageBytes;
+}
+
+Addr
+pageUp(Addr addr)
+{
+    return (addr + pageBytes - 1) / pageBytes * pageBytes;
+}
+
+} // namespace
+
+void
+PageProtection::protect(Addr base, std::uint64_t len, Protection prot,
+                        FaultHandler handler)
+{
+    PIPELLM_ASSERT(len > 0, "protecting empty range");
+    Addr s = pageDown(base);
+    Addr e = pageUp(base + len);
+    // Protecting an already-protected page overwrites its entry.
+    unprotect(s, e - s);
+    ranges_.emplace(
+        s, Entry{e, prot,
+                 std::make_shared<FaultHandler>(std::move(handler))});
+}
+
+void
+PageProtection::unprotect(Addr base, std::uint64_t len)
+{
+    if (len == 0 || ranges_.empty())
+        return;
+    Addr s = pageDown(base);
+    Addr e = pageUp(base + len);
+
+    // Find the first range that could overlap [s, e).
+    auto it = ranges_.upper_bound(s);
+    if (it != ranges_.begin())
+        --it;
+    while (it != ranges_.end() && it->first < e) {
+        Addr r_start = it->first;
+        Addr r_end = it->second.end;
+        if (r_end <= s) {
+            ++it;
+            continue;
+        }
+        Entry entry = it->second;
+        it = ranges_.erase(it);
+        // Keep the non-overlapping flanks.
+        if (r_start < s)
+            ranges_.emplace(r_start, Entry{s, entry.prot, entry.handler});
+        if (r_end > e) {
+            it = ranges_
+                     .emplace(e,
+                              Entry{r_end, entry.prot, entry.handler})
+                     .first;
+            ++it;
+        }
+    }
+}
+
+PageProtection::RangeMap::const_iterator
+PageProtection::findCovering(Addr addr) const
+{
+    auto it = ranges_.upper_bound(addr);
+    if (it == ranges_.begin())
+        return ranges_.end();
+    --it;
+    if (it->second.end > addr)
+        return it;
+    return ranges_.end();
+}
+
+Protection
+PageProtection::query(Addr addr) const
+{
+    auto it = findCovering(addr);
+    return it == ranges_.end() ? Protection::None : it->second.prot;
+}
+
+bool
+PageProtection::blocks(Protection prot, bool is_write) const
+{
+    switch (prot) {
+      case Protection::None:
+        return false;
+      case Protection::NoWrite:
+        return is_write;
+      case Protection::NoAccess:
+        return true;
+    }
+    return false;
+}
+
+bool
+PageProtection::anyProtected(Addr base, std::uint64_t len) const
+{
+    if (len == 0 || ranges_.empty())
+        return false;
+    Addr s = pageDown(base);
+    Addr e = pageUp(base + len);
+    auto it = ranges_.upper_bound(s);
+    if (it != ranges_.begin()) {
+        auto prev = std::prev(it);
+        if (prev->second.end > s)
+            return true;
+    }
+    return it != ranges_.end() && it->first < e;
+}
+
+Tick
+PageProtection::access(Addr base, std::uint64_t len, bool is_write)
+{
+    if (len == 0 || ranges_.empty())
+        return 0;
+    Addr s = pageDown(base);
+    Addr e = pageUp(base + len);
+
+    Tick ready = 0;
+    for (;;) {
+        // First blocking range overlapping [s, e).
+        auto it = ranges_.upper_bound(s);
+        if (it != ranges_.begin())
+            --it;
+        bool found = false;
+        Addr fault_addr = 0;
+        std::shared_ptr<FaultHandler> handler;
+        for (; it != ranges_.end() && it->first < e; ++it) {
+            if (it->second.end <= s)
+                continue;
+            if (!blocks(it->second.prot, is_write))
+                continue;
+            fault_addr = std::max(it->first, s);
+            handler = it->second.handler;
+            found = true;
+            break;
+        }
+        if (!found)
+            return ready;
+
+        ++faults_;
+        PIPELLM_ASSERT(handler && *handler,
+                       "protected page without fault handler");
+        ready = std::max(ready, (*handler)(fault_addr, is_write));
+
+        auto again = findCovering(fault_addr);
+        if (again != ranges_.end() &&
+            blocks(again->second.prot, is_write)) {
+            PANIC("fault handler left page at ", fault_addr,
+                  " still protected");
+        }
+    }
+}
+
+std::size_t
+PageProtection::protectedPages() const
+{
+    std::size_t pages = 0;
+    for (const auto &[start, entry] : ranges_)
+        pages += std::size_t((entry.end - start) / pageBytes);
+    return pages;
+}
+
+} // namespace mem
+} // namespace pipellm

@@ -1,0 +1,60 @@
+#include "mem/staging.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace pipellm {
+namespace mem {
+
+StagingPool::StagingPool(unsigned count, std::uint64_t buf_bytes)
+    : free_at_(count, 0), leased_(count, false), buf_bytes_(buf_bytes)
+{
+    PIPELLM_ASSERT(count > 0, "staging pool needs buffers");
+    PIPELLM_ASSERT(buf_bytes > 0, "staging buffers need a size");
+}
+
+StagingPool::Lease
+StagingPool::acquire(Tick earliest)
+{
+    unsigned best = ~0u;
+    Tick best_at = maxTick;
+    for (unsigned i = 0; i < free_at_.size(); ++i) {
+        if (leased_[i])
+            continue;
+        if (free_at_[i] < best_at) {
+            best_at = free_at_[i];
+            best = i;
+        }
+    }
+    PIPELLM_ASSERT(best != ~0u,
+                   "staging pool exhausted: all buffers leased");
+    if (best_at > earliest)
+        ++stalls_;
+    leased_[best] = true;
+    return Lease{best, std::max(earliest, best_at)};
+}
+
+void
+StagingPool::release(unsigned buf, Tick when)
+{
+    PIPELLM_ASSERT(buf < free_at_.size() && leased_[buf],
+                   "releasing unleased staging buffer ", buf);
+    leased_[buf] = false;
+    free_at_[buf] = when;
+}
+
+std::vector<std::uint64_t>
+StagingPool::chunk(std::uint64_t len) const
+{
+    std::vector<std::uint64_t> chunks;
+    while (len > 0) {
+        std::uint64_t c = std::min(len, buf_bytes_);
+        chunks.push_back(c);
+        len -= c;
+    }
+    return chunks;
+}
+
+} // namespace mem
+} // namespace pipellm

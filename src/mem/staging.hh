@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Fixed-size CVM shared-memory staging buffers for DMA.
+ *
+ * Paper §6: PipeLLM keeps ciphertext in CVM private memory until a
+ * prediction validates, then copies it into fixed-size shared-memory
+ * buffers from which the GPU DMAs. The pool bounds how deep the
+ * memcpy→PCIe pipeline can run ahead, and its buffer size is the
+ * chunking granularity of large transfers.
+ */
+
+#ifndef PIPELLM_MEM_STAGING_HH
+#define PIPELLM_MEM_STAGING_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/units.hh"
+
+namespace pipellm {
+namespace mem {
+
+/** Pool of equally-sized staging buffers leased along the timeline. */
+class StagingPool
+{
+  public:
+    /**
+     * @param count number of buffers (pipeline depth)
+     * @param buf_bytes size of each buffer (chunk granularity)
+     */
+    StagingPool(unsigned count, std::uint64_t buf_bytes);
+
+    /** A leased buffer and the tick from which it may be used. */
+    struct Lease
+    {
+        unsigned buf;
+        Tick available;
+    };
+
+    /**
+     * Lease the earliest-available buffer, not before @p earliest.
+     * The buffer stays leased until release().
+     */
+    Lease acquire(Tick earliest);
+
+    /** Return buffer @p buf to the pool, free from tick @p when. */
+    void release(unsigned buf, Tick when);
+
+    unsigned count() const { return unsigned(free_at_.size()); }
+    std::uint64_t bufBytes() const { return buf_bytes_; }
+
+    /** Total shared-memory footprint of the pool. */
+    std::uint64_t totalBytes() const { return count() * buf_bytes_; }
+
+    /** Number of acquires that had to wait for a release. */
+    std::uint64_t stalls() const { return stalls_; }
+
+    /** Split @p len into chunk sizes of at most bufBytes(). */
+    std::vector<std::uint64_t> chunk(std::uint64_t len) const;
+
+  private:
+    std::vector<Tick> free_at_;
+    std::vector<bool> leased_;
+    std::uint64_t buf_bytes_;
+    std::uint64_t stalls_ = 0;
+};
+
+} // namespace mem
+} // namespace pipellm
+
+#endif // PIPELLM_MEM_STAGING_HH

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Identity of a swappable memory chunk as PipeLLM sees it.
+ *
+ * PipeLLM is user-transparent: it never learns "this is layer 7" or
+ * "this is request 42's KV block". All it observes is the (host
+ * address, length) pair of each cudaMemcpyAsync (§4.2), which is
+ * exactly what a chunk identity is.
+ */
+
+#ifndef PIPELLM_PIPELLM_CHUNK_HH
+#define PIPELLM_PIPELLM_CHUNK_HH
+
+#include <cstdint>
+#include <functional>
+#include <ostream>
+
+#include "common/units.hh"
+
+namespace pipellm {
+namespace core {
+
+/** (host address, length) identity of a swap chunk. */
+struct ChunkId
+{
+    Addr addr = 0;
+    std::uint64_t len = 0;
+
+    bool
+    operator==(const ChunkId &o) const
+    {
+        return addr == o.addr && len == o.len;
+    }
+
+    bool
+    operator<(const ChunkId &o) const
+    {
+        return addr != o.addr ? addr < o.addr : len < o.len;
+    }
+};
+
+inline std::ostream &
+operator<<(std::ostream &os, const ChunkId &c)
+{
+    return os << "chunk[0x" << std::hex << c.addr << std::dec << ",+"
+              << c.len << ")";
+}
+
+struct ChunkIdHash
+{
+    std::size_t
+    operator()(const ChunkId &c) const
+    {
+        std::uint64_t x = c.addr * 0x9e3779b97f4a7c15ull ^ c.len;
+        x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+        return std::size_t(x ^ (x >> 31));
+    }
+};
+
+} // namespace core
+} // namespace pipellm
+
+#endif // PIPELLM_PIPELLM_CHUNK_HH

@@ -1,0 +1,57 @@
+#include "pipellm/classifier.hh"
+
+#include <cmath>
+
+namespace pipellm {
+namespace core {
+
+const char *
+toString(TransferClass c)
+{
+    switch (c) {
+      case TransferClass::Small:
+        return "small";
+      case TransferClass::ModelOffload:
+        return "model-offload";
+      case TransferClass::KvSwap:
+        return "kv-swap";
+      case TransferClass::OtherSwap:
+        return "other-swap";
+    }
+    return "?";
+}
+
+SwapClassifier::SwapClassifier(const ClassifierConfig &config)
+    : config_(config)
+{
+}
+
+bool
+SwapClassifier::matches(std::uint64_t len, std::uint64_t target) const
+{
+    if (target == 0)
+        return false;
+    double rel = std::abs(double(len) - double(target)) / double(target);
+    return rel <= config_.tolerance;
+}
+
+TransferClass
+SwapClassifier::classify(std::uint64_t len) const
+{
+    if (len < config_.swap_threshold)
+        return TransferClass::Small;
+    if (matches(len, config_.layer_param_bytes))
+        return TransferClass::ModelOffload;
+    if (matches(len, config_.kv_unit_bytes))
+        return TransferClass::KvSwap;
+    return TransferClass::OtherSwap;
+}
+
+bool
+SwapClassifier::isSwap(std::uint64_t len) const
+{
+    return classify(len) != TransferClass::Small;
+}
+
+} // namespace core
+} // namespace pipellm

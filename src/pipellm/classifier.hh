@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Size-based transfer classification (paper §4.2).
+ *
+ * Observations the paper exploits: swaps are >128 KiB while other
+ * transfers are <8 KiB, and model-offload vs KV-swap sizes are
+ * computable ahead of time from the (known) model definition. The
+ * classifier therefore needs only the transfer length.
+ */
+
+#ifndef PIPELLM_PIPELLM_CLASSIFIER_HH
+#define PIPELLM_PIPELLM_CLASSIFIER_HH
+
+#include <cstdint>
+
+#include "common/units.hh"
+
+namespace pipellm {
+namespace core {
+
+/** What kind of transfer a memcpy is. */
+enum class TransferClass : std::uint8_t
+{
+    Small,        ///< tokens, control data: not pipelined
+    ModelOffload, ///< a layer's parameter block
+    KvSwap,       ///< a KV-cache swap unit
+    OtherSwap,    ///< large but matching neither known size
+};
+
+const char *toString(TransferClass c);
+
+/** Classifier configuration derived from the target model. */
+struct ClassifierConfig
+{
+    /** Transfers at or above this size are treated as swaps. */
+    std::uint64_t swap_threshold = 128 * KiB;
+    /** Known per-layer parameter bytes (0 = unknown). */
+    std::uint64_t layer_param_bytes = 0;
+    /** Known KV swap unit bytes (0 = unknown). */
+    std::uint64_t kv_unit_bytes = 0;
+    /** Relative tolerance when matching known sizes. */
+    double tolerance = 0.02;
+};
+
+/** Stateless size classifier. */
+class SwapClassifier
+{
+  public:
+    explicit SwapClassifier(const ClassifierConfig &config);
+
+    TransferClass classify(std::uint64_t len) const;
+
+    /** True for any swap class. */
+    bool isSwap(std::uint64_t len) const;
+
+    const ClassifierConfig &config() const { return config_; }
+
+  private:
+    bool matches(std::uint64_t len, std::uint64_t target) const;
+
+    ClassifierConfig config_;
+};
+
+} // namespace core
+} // namespace pipellm
+
+#endif // PIPELLM_PIPELLM_CLASSIFIER_HH

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * PipeLLM runtime configuration knobs.
+ */
+
+#ifndef PIPELLM_PIPELLM_CONFIG_HH
+#define PIPELLM_PIPELLM_CONFIG_HH
+
+#include <cstdint>
+
+#include "common/units.hh"
+#include "pipellm/classifier.hh"
+#include "pipellm/predictor.hh"
+
+namespace pipellm {
+namespace core {
+
+/** Full configuration of a PipeLlmRuntime. */
+struct PipeLlmConfig
+{
+    /**
+     * CPU threads dedicated to speculative encryption. The paper uses
+     * one for vLLM and several for FlexGen-style model offloading,
+     * which must keep up with the 40 GB/s copy path (§7.2).
+     */
+    unsigned enc_lanes = 2;
+    /** CPU threads for (asynchronous) decryption. */
+    unsigned dec_lanes = 1;
+
+    /** Maximum speculatively encrypted chunks held at once. */
+    unsigned pipeline_depth = 8;
+    /** Ciphertext budget in CVM private memory. */
+    std::uint64_t max_pipeline_bytes = 4 * GiB;
+    /**
+     * Stop queueing speculative work once every encryption lane is
+     * booked this far ahead. Deeper booking cannot make any entry
+     * ready sooner (the lanes are the supply), but it multiplies the
+     * work thrown away when a misprediction relinquishes the plan.
+     */
+    Tick max_lane_lead = milliseconds(100);
+
+    /**
+     * IV slack reserved for interleaved small transfers (§5.1): the
+     * first speculative chunk is encrypted with IV_cur + leeway so
+     * that small I/O can consume IVs without invalidating the
+     * pipeline head.
+     */
+    std::uint64_t iv_leeway = 2;
+
+    /** §5.4 asynchronous decryption (ablation switch). */
+    bool async_decrypt = true;
+    /** Speculative pre-encryption (ablation: off = on-demand only). */
+    bool speculation = true;
+
+    ClassifierConfig classifier;
+    PredictorConfig predictor;
+};
+
+} // namespace core
+} // namespace pipellm
+
+#endif // PIPELLM_PIPELLM_CONFIG_HH

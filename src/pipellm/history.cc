@@ -1,0 +1,76 @@
+#include "pipellm/history.hh"
+
+#include <algorithm>
+
+namespace pipellm {
+namespace core {
+
+SwapHistory::SwapHistory(std::size_t cap) : cap_(cap)
+{
+}
+
+void
+SwapHistory::noteSwapIn(const ChunkId &chunk)
+{
+    swap_ins_.push_back(chunk);
+    batch_ids_.push_back(current_batch_);
+    if (swap_ins_.size() > cap_) {
+        swap_ins_.pop_front();
+        batch_ids_.pop_front();
+    }
+    ++open_batch_;
+    ++total_swap_ins_;
+
+    // The chunk is back on the GPU; it is no longer awaiting swap-in.
+    auto set_it = outstanding_set_.find(chunk);
+    if (set_it != outstanding_set_.end()) {
+        outstanding_set_.erase(set_it);
+        auto it = std::find_if(outstanding_.begin(), outstanding_.end(),
+                               [&](const OutEntry &e) {
+                                   return e.chunk == chunk;
+                               });
+        if (it != outstanding_.end())
+            outstanding_.erase(it);
+    }
+}
+
+void
+SwapHistory::noteSwapOut(const ChunkId &chunk)
+{
+    ++total_swap_outs_;
+    out_open_ = true;
+    if (outstanding_set_.insert(chunk).second) {
+        outstanding_.push_back(OutEntry{chunk, current_batch_});
+    } else {
+        // Swapped out again without an intervening swap-in: refresh
+        // its position to preserve swap-out order.
+        auto it = std::find_if(outstanding_.begin(), outstanding_.end(),
+                               [&](const OutEntry &e) {
+                                   return e.chunk == chunk;
+                               });
+        if (it != outstanding_.end())
+            outstanding_.erase(it);
+        outstanding_.push_back(OutEntry{chunk, current_batch_});
+    }
+}
+
+void
+SwapHistory::noteBatchBoundary()
+{
+    if (open_batch_ > 0)
+        ++batches_;
+    if (open_batch_ > 0 || out_open_) {
+        ++current_batch_;
+        open_batch_ = 0;
+        out_open_ = false;
+    }
+}
+
+bool
+SwapHistory::isOutstanding(const ChunkId &chunk) const
+{
+    return outstanding_set_.count(chunk) > 0;
+}
+
+} // namespace core
+} // namespace pipellm

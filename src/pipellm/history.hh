@@ -1,0 +1,95 @@
+/**
+ * @file
+ * The predictor's view of past swapping activity (paper §5.1).
+ *
+ * The predictor's inputs are (1) the swap-in batch history
+ * [B_0..B_n] — a batch being the set of memcpys between two
+ * synchronizations — (2) the set of currently swapped-out chunks, in
+ * swap-out order, and (3) the current IV. This class maintains (1)
+ * and (2); the IV lives with the pipeline.
+ */
+
+#ifndef PIPELLM_PIPELLM_HISTORY_HH
+#define PIPELLM_PIPELLM_HISTORY_HH
+
+#include <cstdint>
+#include <deque>
+#include <unordered_set>
+#include <vector>
+
+#include "pipellm/chunk.hh"
+
+namespace pipellm {
+namespace core {
+
+/** Rolling record of swap-ins, batch boundaries, and swap-outs. */
+class SwapHistory
+{
+  public:
+    /** @param cap maximum flattened swap-ins retained */
+    explicit SwapHistory(std::size_t cap = 1024);
+
+    /** Record a swap-in (H2D of a swap-class chunk). */
+    void noteSwapIn(const ChunkId &chunk);
+
+    /** Record a swap-out (D2H of a swap-class chunk). */
+    void noteSwapOut(const ChunkId &chunk);
+
+    /** Record a synchronization (closes the current batch). */
+    void noteBatchBoundary();
+
+    /** Flattened swap-in sequence, oldest first. */
+    const std::deque<ChunkId> &swapIns() const { return swap_ins_; }
+
+    /** Batch index of each recorded swap-in (parallel to swapIns). */
+    const std::deque<std::uint32_t> &batchIds() const {
+        return batch_ids_;
+    }
+
+    /** One swapped-out chunk and the batch it was swapped out in. */
+    struct OutEntry
+    {
+        ChunkId chunk;
+        std::uint32_t batch = 0;
+    };
+
+    /**
+     * Chunks currently resident on the host awaiting swap-in, in
+     * swap-out order (oldest first), tagged with their swap-out
+     * batch (a preemption event swaps a group out in one batch).
+     */
+    const std::deque<OutEntry> &outstanding() const {
+        return outstanding_;
+    }
+
+    /** True if @p chunk is currently swapped out. */
+    bool isOutstanding(const ChunkId &chunk) const;
+
+    /** Swap-ins recorded in the still-open batch. */
+    std::size_t openBatchSize() const { return open_batch_; }
+
+    /** Monotone batch counter (tags swap-ins and swap-outs). */
+    std::uint32_t currentBatch() const { return current_batch_; }
+
+    std::uint64_t totalSwapIns() const { return total_swap_ins_; }
+    std::uint64_t totalSwapOuts() const { return total_swap_outs_; }
+    std::uint64_t batches() const { return batches_; }
+
+  private:
+    std::size_t cap_;
+    std::deque<ChunkId> swap_ins_;
+    std::deque<std::uint32_t> batch_ids_;
+    std::uint32_t current_batch_ = 0;
+    std::deque<OutEntry> outstanding_;
+    std::unordered_set<ChunkId, ChunkIdHash> outstanding_set_;
+    std::size_t open_batch_ = 0;
+    bool out_open_ = false;
+    std::uint64_t total_swap_ins_ = 0;
+    std::uint64_t total_swap_outs_ = 0;
+    std::uint64_t batches_ = 0;
+};
+
+} // namespace core
+} // namespace pipellm
+
+#endif // PIPELLM_PIPELLM_HISTORY_HH

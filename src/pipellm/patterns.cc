@@ -1,0 +1,210 @@
+#include "pipellm/patterns.hh"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace pipellm {
+namespace core {
+
+RepetitiveRecognizer::RepetitiveRecognizer(std::size_t max_context,
+                                           std::size_t scan_limit)
+    : max_context_(max_context), scan_limit_(scan_limit)
+{
+}
+
+namespace {
+
+/**
+ * Length of the common suffix between h[..i) and h[..j), capped.
+ * Indices are positions one past the suffix end.
+ */
+std::size_t
+commonSuffix(const std::vector<ChunkId> &h, std::size_t i,
+             std::size_t j, std::size_t cap)
+{
+    std::size_t l = 0;
+    while (l < cap && l < i && l < j && h[i - 1 - l] == h[j - 1 - l])
+        ++l;
+    return l;
+}
+
+} // namespace
+
+std::vector<PredictedSwap>
+RepetitiveRecognizer::predict(const SwapHistory &history,
+                              std::size_t n) const
+{
+    // Work on mutable copies so multi-step prediction can extend the
+    // sequence with its own guesses; batch ids extend in parallel so
+    // boundary predictions replay the source cycle's boundaries.
+    std::vector<ChunkId> h(history.swapIns().begin(),
+                           history.swapIns().end());
+    std::vector<std::uint32_t> b(history.batchIds().begin(),
+                                 history.batchIds().end());
+    if (h.size() < 2)
+        return {};
+
+    std::vector<PredictedSwap> out;
+    std::uint32_t synthetic_batch = b.empty() ? 0 : b.back();
+    for (std::size_t step = 0; step < n; ++step) {
+        std::size_t m = h.size();
+        std::size_t best_len = 0;
+        std::size_t best_j = 0;
+        // Find the earlier position with the longest matching context.
+        // Scan backwards so ties prefer the most recent occurrence;
+        // the scan is bounded so degenerate histories stay cheap.
+        std::size_t j_min =
+            m - 1 > scan_limit_ ? m - 1 - scan_limit_ : 1;
+        for (std::size_t j = m - 1; j >= j_min; --j) {
+            if (h[j - 1] == h[m - 1]) {
+                std::size_t l = commonSuffix(h, j, m, max_context_);
+                if (l > best_len) {
+                    best_len = l;
+                    best_j = j;
+                    if (l >= max_context_)
+                        break;
+                }
+            }
+        }
+        if (best_len == 0)
+            break;
+
+        // What followed the matched context, and whether a batch
+        // boundary sat between the matched position and its successor.
+        ChunkId next = h[best_j];
+        bool boundary = b[best_j] != b[best_j - 1];
+        if (boundary)
+            ++synthetic_batch;
+        out.push_back(PredictedSwap{next, boundary});
+        h.push_back(next);
+        b.push_back(synthetic_batch);
+    }
+    return out;
+}
+
+std::vector<PredictedSwap>
+FifoRecognizer::predict(const SwapHistory &history, std::size_t n) const
+{
+    const auto &out = history.outstanding();
+    std::vector<PredictedSwap> pred;
+    for (auto it = out.begin(); it != out.end() && pred.size() < n; ++it)
+        pred.push_back(PredictedSwap{it->chunk, false});
+    return pred;
+}
+
+std::vector<PredictedSwap>
+LifoRecognizer::predict(const SwapHistory &history, std::size_t n) const
+{
+    const auto &out = history.outstanding();
+    std::vector<PredictedSwap> pred;
+    for (auto it = out.rbegin(); it != out.rend() && pred.size() < n;
+         ++it) {
+        pred.push_back(PredictedSwap{it->chunk, false});
+    }
+    return pred;
+}
+
+std::vector<PredictedSwap>
+LifoGroupRecognizer::predict(const SwapHistory &history,
+                             std::size_t n) const
+{
+    const auto &out = history.outstanding();
+    std::vector<PredictedSwap> pred;
+    if (out.empty())
+        return pred;
+    // Only the newest group (the run of equal swap-out batch at the
+    // tail) is predicted, in its original block order. Older groups
+    // resume much later — under LIFO, usually after yet another
+    // preemption has re-planned everything — so claims on them would
+    // mostly be relinquished waste.
+    auto group_begin = out.end();
+    std::uint32_t tag = std::prev(out.end())->batch;
+    while (group_begin != out.begin() &&
+           std::prev(group_begin)->batch == tag) {
+        --group_begin;
+    }
+
+    // A *freshly* preempted group is worth pre-encrypting in full (it
+    // resumes first under LIFO, often soon). A stale group — one that
+    // has merely become the tail after newer groups resumed — will
+    // either resume slowly (light load; the window refills as blocks
+    // are consumed) or be displaced by another preemption (heavy
+    // load), so only a small prefix is speculated.
+    bool fresh = tag + 4 >= history.currentBatch();
+    std::size_t limit = fresh ? n : std::min<std::size_t>(n, 32);
+
+    bool first = true;
+    for (auto it = group_begin;
+         it != out.end() && pred.size() < limit; ++it) {
+        pred.push_back(PredictedSwap{it->chunk, first});
+        first = false;
+    }
+    return pred;
+}
+
+MarkovRecognizer::MarkovRecognizer(unsigned min_support)
+    : min_support_(min_support)
+{
+}
+
+std::vector<PredictedSwap>
+MarkovRecognizer::predict(const SwapHistory &history,
+                          std::size_t n) const
+{
+    const auto &h = history.swapIns();
+    const auto &b = history.batchIds();
+    if (h.size() < 2)
+        return {};
+
+    // Successor frequency table, built per call from the rolling
+    // history (capped, so this stays cheap); tracks whether the
+    // transition most often crosses a batch boundary.
+    struct Edge
+    {
+        unsigned count = 0;
+        unsigned boundary = 0;
+    };
+    std::unordered_map<ChunkId,
+                       std::unordered_map<ChunkId, Edge, ChunkIdHash>,
+                       ChunkIdHash>
+        successors;
+    // Bound the rebuild to a recent window; the table is rebuilt on
+    // every prediction, so the window caps per-call cost.
+    std::size_t first = h.size() > 256 ? h.size() - 256 : 0;
+    for (std::size_t i = first; i + 1 < h.size(); ++i) {
+        auto &edge = successors[h[i]][h[i + 1]];
+        ++edge.count;
+        if (b[i + 1] != b[i])
+            ++edge.boundary;
+    }
+
+    std::vector<PredictedSwap> out;
+    ChunkId cur = h.back();
+    std::unordered_map<ChunkId, unsigned, ChunkIdHash> visits;
+    while (out.size() < n) {
+        auto it = successors.find(cur);
+        if (it == successors.end())
+            break;
+        const ChunkId *best = nullptr;
+        const Edge *best_edge = nullptr;
+        for (const auto &[next, edge] : it->second) {
+            if (!best || edge.count > best_edge->count) {
+                best = &next;
+                best_edge = &edge;
+            }
+        }
+        if (!best || best_edge->count < min_support_)
+            break;
+        // Avoid spinning forever on tight sub-loops the chain cannot
+        // leave: stop after revisiting a chunk a few times.
+        if (++visits[*best] > 4)
+            break;
+        bool boundary = best_edge->boundary * 2 > best_edge->count;
+        out.push_back(PredictedSwap{*best, boundary});
+        cur = *best;
+    }
+    return out;
+}
+
+} // namespace core
+} // namespace pipellm

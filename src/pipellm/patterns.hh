@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Swap-pattern recognizers (paper §5.1, Figure 5).
+ *
+ * Today's LLM systems exhibit three swap-in patterns:
+ *
+ *  - Repetitive: model offloading replays the same chunk cycle every
+ *    iteration (FlexGen, PEFT/DeepSpeed). Recognized by longest
+ *    suffix matching over the swap-in history.
+ *  - FIFO: layer-wise KV swapping returns chunks in swap-out order.
+ *  - LIFO: request-wise KV swapping returns the most recently
+ *    preempted request first (vLLM).
+ *
+ * The recognizer interface is deliberately open: implementing a new
+ * pattern means recognizing it from the history and producing the
+ * next chunks (the paper's extension point).
+ */
+
+#ifndef PIPELLM_PIPELLM_PATTERNS_HH
+#define PIPELLM_PIPELLM_PATTERNS_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "pipellm/history.hh"
+
+namespace pipellm {
+namespace core {
+
+/** One predicted future swap-in. */
+struct PredictedSwap
+{
+    ChunkId chunk;
+    /**
+     * True when a synchronization boundary is predicted immediately
+     * before this swap-in — where interleaved small transfers (and
+     * thus IV leeway gaps) belong.
+     */
+    bool batch_start = false;
+};
+
+/** A strategy that predicts the next swap-in chunks. */
+class PatternRecognizer
+{
+  public:
+    virtual ~PatternRecognizer() = default;
+
+    virtual const char *name() const = 0;
+
+    /**
+     * Predict the next @p n swap-ins, most imminent first. May return
+     * fewer (or none) when the history gives no signal.
+     */
+    virtual std::vector<PredictedSwap> predict(const SwapHistory &history,
+                                               std::size_t n) const = 0;
+};
+
+/**
+ * Longest-suffix-match predictor for repetitive sequences. Finds the
+ * most recent earlier position whose preceding context best matches
+ * the current suffix and replays what followed it. For a strict
+ * layer cycle this predicts the cycle exactly.
+ */
+class RepetitiveRecognizer : public PatternRecognizer
+{
+  public:
+    /**
+     * @param max_context suffix length cap for matching
+     * @param scan_limit how far back to search for a context match
+     *        (bounds the per-prediction cost; cycles longer than this
+     *        are not recognized)
+     */
+    explicit RepetitiveRecognizer(std::size_t max_context = 64,
+                                  std::size_t scan_limit = 512);
+
+    const char *name() const override { return "repetitive"; }
+
+    std::vector<PredictedSwap> predict(const SwapHistory &history,
+                                       std::size_t n) const override;
+
+  private:
+    std::size_t max_context_;
+    std::size_t scan_limit_;
+};
+
+/** Oldest-swapped-out-first (layer-wise KV swapping). */
+class FifoRecognizer : public PatternRecognizer
+{
+  public:
+    const char *name() const override { return "fifo"; }
+
+    std::vector<PredictedSwap> predict(const SwapHistory &history,
+                                       std::size_t n) const override;
+};
+
+/** Newest-swapped-out-first (request-wise KV swapping, vLLM). */
+class LifoRecognizer : public PatternRecognizer
+{
+  public:
+    const char *name() const override { return "lifo"; }
+
+    std::vector<PredictedSwap> predict(const SwapHistory &history,
+                                       std::size_t n) const override;
+};
+
+/**
+ * Group-LIFO, block-FIFO: preempted *groups* resume most-recent-first
+ * (vLLM's request-wise policy), but a group's many block copies are
+ * reissued in their original order. This is the pattern a real vLLM
+ * preemption produces at the cudaMemcpy level.
+ */
+class LifoGroupRecognizer : public PatternRecognizer
+{
+  public:
+    const char *name() const override { return "lifo-group"; }
+
+    std::vector<PredictedSwap> predict(const SwapHistory &history,
+                                       std::size_t n) const override;
+};
+
+/**
+ * First-order Markov (frequency) predictor — a lightweight stand-in
+ * for the paper's future-work direction of *learning* the predictor f
+ * instead of hand-writing pattern rules (§5.1). It counts observed
+ * successor frequencies per chunk and replays the most likely chain.
+ * Unlike the suffix matcher it tolerates noisy cycles (occasional
+ * skips or substitutions) at the cost of shorter reliable horizons.
+ */
+class MarkovRecognizer : public PatternRecognizer
+{
+  public:
+    /** @param min_support successor count needed before predicting */
+    explicit MarkovRecognizer(unsigned min_support = 2);
+
+    const char *name() const override { return "markov"; }
+
+    std::vector<PredictedSwap> predict(const SwapHistory &history,
+                                       std::size_t n) const override;
+
+  private:
+    unsigned min_support_;
+};
+
+} // namespace core
+} // namespace pipellm
+
+#endif // PIPELLM_PIPELLM_PATTERNS_HH

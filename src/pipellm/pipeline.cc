@@ -1,0 +1,445 @@
+#include "pipellm/pipeline.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+#include <vector>
+
+#include "common/logging.hh"
+
+namespace pipellm {
+namespace core {
+
+SpeculativePipeline::SpeculativePipeline(
+    mem::SparseMemory &host, const crypto::SecureChannel &channel,
+    sim::LaneGroup &enc_lanes, Predictor &predictor,
+    const PipeLlmConfig &config)
+    : host_(host), channel_(channel), enc_lanes_(enc_lanes),
+      predictor_(predictor), config_(config)
+{
+}
+
+SpeculativePipeline::~SpeculativePipeline()
+{
+    relinquish();
+}
+
+void
+SpeculativePipeline::protectSlot(SlotList::iterator it)
+{
+    // The handler invalidates every entry of this chunk: the same
+    // plaintext may be queued more than once (pre-encrypted for two
+    // future cycles under different IVs), and an update stales all of
+    // them.
+    ChunkId chunk = it->entry.chunk;
+    host_.protection().protect(
+        chunk.addr, chunk.len, mem::Protection::NoWrite,
+        [this, chunk](Addr, bool) -> Tick {
+            for (auto &slot : entries_) {
+                if (slot.valid && slot.entry.chunk == chunk) {
+                    slot.valid = false;
+                    slot.protected_pages = false;
+                    ++stats_.invalidated_by_fault;
+                }
+            }
+            auto &fs = fault_history_[chunk];
+            ++fs.streak;
+            fs.last_batch = batch_counter_;
+            host_.protection().unprotect(chunk.addr, chunk.len);
+            return 0;
+        });
+    it->protected_pages = true;
+}
+
+void
+SpeculativePipeline::unprotectSlot(SlotList::iterator it)
+{
+    if (!it->protected_pages)
+        return;
+    it->protected_pages = false;
+    // Keep the pages protected while another live entry still relies
+    // on this plaintext.
+    for (const auto &slot : entries_) {
+        if (&slot != &*it && slot.valid && slot.protected_pages &&
+            slot.entry.chunk == it->entry.chunk) {
+            return;
+        }
+    }
+    host_.protection().unprotect(it->entry.chunk.addr,
+                                 it->entry.chunk.len);
+}
+
+void
+SpeculativePipeline::eraseSlot(SlotList::iterator it)
+{
+    unprotectSlot(it);
+    bytes_held_ -= it->entry.chunk.len;
+    entries_.erase(it);
+}
+
+void
+SpeculativePipeline::dropInvalid()
+{
+    for (auto it = entries_.begin(); it != entries_.end();) {
+        bool gone = !host_.covered(it->entry.chunk.addr,
+                                   it->entry.chunk.len);
+        if (!it->valid || gone) {
+            auto dead = it++;
+            eraseSlot(dead);
+        } else {
+            ++it;
+        }
+    }
+}
+
+SpeculativePipeline::AddResult
+SpeculativePipeline::addEntry(const ChunkId &chunk, Tick now)
+{
+    // Write-hot chunks are not worth encrypting (the plaintext will
+    // change before use), but their position in the predicted
+    // sequence is real: the caller reserves the IV instead. This
+    // outranks the capacity checks — a reservation costs no memory.
+    auto fs = fault_history_.find(chunk);
+    if (fs != fault_history_.end() && fs->second.streak >= 2 &&
+        batch_counter_ - fs->second.last_batch < 32) {
+        return AddResult::WriteHot;
+    }
+
+    if (entries_.size() >= config_.pipeline_depth)
+        return AddResult::Full;
+    if (bytes_held_ + chunk.len > config_.max_pipeline_bytes)
+        return AddResult::Full;
+    if (enc_lanes_.earliestFree() > now + config_.max_lane_lead)
+        return AddResult::Full; // lanes saturated; booking helps nobody
+    if (!host_.covered(chunk.addr, chunk.len))
+        return AddResult::SkipChunk; // region freed since prediction
+
+    // Read the plaintext sample; if the chunk is still being
+    // asynchronously decrypted, the read resolves the fault and
+    // reports when the plaintext is actually available.
+    std::uint64_t n = channel_.sampledLen(chunk.len);
+    std::vector<std::uint8_t> sample(n);
+    Tick src_ready = host_.read(chunk.addr, sample.data(), n);
+
+    Slot slot;
+    slot.entry.chunk = chunk;
+    slot.entry.iv = next_iv_++;
+    slot.entry.ready_at = enc_lanes_.submitNotBefore(
+        std::max(now, src_ready), chunk.len);
+    slot.entry.blob = channel_.seal(crypto::Direction::HostToDevice,
+                                    slot.entry.iv, sample.data(),
+                                    chunk.len);
+    bytes_held_ += chunk.len;
+    ++stats_.pre_encrypted;
+    stats_.pre_encrypted_bytes += chunk.len;
+
+    entries_.push_back(std::move(slot));
+    protectSlot(std::prev(entries_.end()));
+    return AddResult::Added;
+}
+
+void
+SpeculativePipeline::noteSmall()
+{
+    ++smalls_accum_;
+}
+
+void
+SpeculativePipeline::noteSwapRequest()
+{
+    ++swaps_this_batch_;
+    paused_ = false;
+}
+
+void
+SpeculativePipeline::noteBatch()
+{
+    ++batch_counter_;
+
+    if (rebuild_pending_) {
+        // Rebuild the whole plan against the current predictions; the
+        // dropped claims' IVs were never exposed and are reclaimed.
+        std::uint64_t lowest = next_iv_;
+        for (const auto &slot : entries_)
+            lowest = std::min(lowest, slot.entry.iv);
+        for (const auto &res : reservations_)
+            lowest = std::min(lowest, res.iv);
+        while (!entries_.empty()) {
+            ++stats_.relinquished;
+            eraseSlot(entries_.begin());
+        }
+        reservations_.clear();
+        next_iv_ = lowest;
+        rebuild_pending_ = false;
+        ++stats_.rebuilds;
+    }
+
+    if (swaps_this_batch_ == 0)
+        return; // smalls keep accumulating toward the next swap batch
+    if (!have_batch_stats_) {
+        swaps_ema_ = double(swaps_this_batch_);
+        smalls_ema_ = double(smalls_accum_);
+        have_batch_stats_ = true;
+    } else {
+        swaps_ema_ = 0.7 * swaps_ema_ + 0.3 * double(swaps_this_batch_);
+        smalls_ema_ = 0.7 * smalls_ema_ + 0.3 * double(smalls_accum_);
+    }
+    swaps_this_batch_ = 0;
+    smalls_accum_ = 0;
+}
+
+void
+SpeculativePipeline::refill(Tick now, std::uint64_t cpu_iv_current)
+{
+    if (!config_.speculation || paused_)
+        return;
+    dropInvalid();
+
+    // GC: claims whose IV has already been consumed are dead.
+    for (auto it = entries_.begin(); it != entries_.end();) {
+        if (it->entry.iv < cpu_iv_current) {
+            auto dead = it++;
+            eraseSlot(dead);
+        } else {
+            ++it;
+        }
+    }
+    reservations_.remove_if([cpu_iv_current](const Reservation &r) {
+        return r.iv < cpu_iv_current;
+    });
+
+    // IVs already consumed by real transfers can never be used by a
+    // speculative entry; when (re)starting, also reserve leeway IVs
+    // for interleaved small transfers (§5.1).
+    std::uint64_t floor = cpu_iv_current + config_.iv_leeway;
+    if (entries_.empty() && reservations_.empty() && next_iv_ < floor)
+        next_iv_ = floor;
+
+    if (entries_.size() >= config_.pipeline_depth)
+        return;
+
+    // Wide window: the plan may contain holes (consumed-in-place
+    // positions), so the predictions must reach well past the last
+    // existing claim before we can append or judge staleness.
+    auto predicted = predictor_.predictNext(
+        2 * (config_.pipeline_depth + entries_.size() +
+             reservations_.size()) + 4);
+
+    // Positional matching: the plan (entries + reservations, in IV
+    // order) must remain an ordered subsequence of the predicted
+    // stream. New claims are appended only after every existing claim
+    // has been located in the predictions — this is what keeps
+    // cycle k+1's entries from ever being positioned before cycle k's
+    // reservations.
+    struct Claim
+    {
+        ChunkId chunk;
+        std::uint64_t iv;
+    };
+    std::vector<Claim> claims;
+    {
+        auto e = entries_.begin();
+        auto r = reservations_.begin();
+        while (e != entries_.end() || r != reservations_.end()) {
+            bool take_entry =
+                e != entries_.end() &&
+                (r == reservations_.end() || e->entry.iv < r->iv);
+            if (take_entry) {
+                claims.push_back(Claim{e->entry.chunk, e->entry.iv});
+                ++e;
+            } else {
+                claims.push_back(Claim{r->chunk, r->iv});
+                ++r;
+            }
+        }
+    }
+
+    // Head divergence: the imminent prediction is not the plan head.
+    // Appending would only deepen the misorder; mark the plan for a
+    // rebuild at the batch boundary and serve what we have meanwhile.
+    if (!claims.empty() && !predicted.empty() &&
+        !(claims[0].chunk == predicted[0].chunk)) {
+        rebuild_pending_ = true;
+        return;
+    }
+
+    std::size_t ci = 0;
+    for (const auto &pred : predicted) {
+        const ChunkId &chunk = pred.chunk;
+        if (ci < claims.size()) {
+            if (claims[ci].chunk == chunk)
+                ++ci;
+            // An unmatched prediction below existing claims is a
+            // hole (its claim was consumed out of order or dropped);
+            // the demand send will consume its IV in place.
+            continue;
+        }
+        // Leeway gap at a predicted batch boundary (§5.1): the small
+        // transfers interleaving at synchronization points consume
+        // these IVs instead of colliding with pre-encrypted entries.
+        // The bump is reverted if no claim follows it, so repeated
+        // refills cannot widen the gap.
+        std::uint64_t saved_iv = next_iv_;
+        if (pred.batch_start && have_batch_stats_ &&
+            smalls_ema_ > 0.05) {
+            // Over-reserve: an exhausted gap costs a tail relinquish
+            // (re-encrypting real data), while an unused gap IV costs
+            // one 1-byte NOP (§5.3, Fig. 10: NOP overhead is small).
+            next_iv_ += std::uint64_t(std::ceil(smalls_ema_)) + 8;
+            ++stats_.gaps_inserted;
+            stats_.gap_ivs += next_iv_ - saved_iv;
+        }
+        auto result = addEntry(chunk, now);
+        if (result == AddResult::Full) {
+            next_iv_ = saved_iv;
+            break;
+        }
+        if (result == AddResult::SkipChunk) {
+            next_iv_ = saved_iv;
+            continue;
+        }
+        if (result == AddResult::WriteHot) {
+            if (reservations_.size() < 2 * config_.pipeline_depth) {
+                reservations_.push_back(Reservation{chunk, next_iv_++});
+                ++stats_.reservations;
+            } else {
+                next_iv_ = saved_iv;
+            }
+        }
+    }
+
+    // Claims that no longer appear anywhere in the predicted stream
+    // are stale mispredictions; left alone they would starve all
+    // future appends. Relinquish from the first unmatched claim —
+    // the freed IVs are reused (never exposed, §6).
+    if (!predicted.empty() && ci < claims.size() &&
+        entries_.size() < config_.pipeline_depth) {
+        ++stats_.stale_cuts;
+        std::uint64_t cut = claims[ci].iv;
+        for (auto it = entries_.begin(); it != entries_.end();) {
+            if (it->entry.iv >= cut) {
+                auto dead = it++;
+                ++stats_.relinquished;
+                eraseSlot(dead);
+            } else {
+                ++it;
+            }
+        }
+        reservations_.remove_if(
+            [cut](const Reservation &r) { return r.iv >= cut; });
+        next_iv_ = cut;
+    }
+}
+
+std::optional<PreencEntry>
+SpeculativePipeline::find(const ChunkId &chunk) const
+{
+    for (const auto &slot : entries_) {
+        if (slot.valid && slot.entry.chunk == chunk)
+            return slot.entry;
+    }
+    return std::nullopt;
+}
+
+void
+SpeculativePipeline::consume(std::uint64_t iv)
+{
+    for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+        if (it->entry.iv == iv) {
+            ++stats_.consumed;
+            // A successful use clears the chunk's write-hot record.
+            fault_history_.erase(it->entry.chunk);
+            eraseSlot(it);
+            return;
+        }
+    }
+}
+
+void
+SpeculativePipeline::invalidateIv(std::uint64_t iv, Tick now)
+{
+    (void)now;
+    // Reserved IVs are *meant* to be consumed by demand sends.
+    for (auto it = reservations_.begin(); it != reservations_.end();
+         ++it) {
+        if (it->iv == iv) {
+            ++stats_.reservations_hit;
+            reservations_.erase(it);
+            return;
+        }
+    }
+    // Stale reservations below the consumed IV can never fire.
+    reservations_.remove_if(
+        [iv](const Reservation &r) { return r.iv < iv; });
+
+    for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+        if (it->entry.iv != iv)
+            continue;
+        // A foreign transfer consumed an IV the plan had assigned to
+        // real data: every later claim is now positionally shifted,
+        // so the plan tail is relinquished (§5.3's error-handling
+        // stage, from the divergence point). The freed IVs are safe
+        // to reuse — unvalidated ciphertext never leaves CVM private
+        // memory (§6), so no observer ever saw them.
+        ++stats_.invalidated_by_iv;
+        ++stats_.respeculated; // tail relinquish events
+        paused_ = true;        // epoch outlived the plan
+        while (it != entries_.end()) {
+            auto dead = it++;
+            ++stats_.relinquished;
+            eraseSlot(dead);
+        }
+        reservations_.remove_if(
+            [iv](const Reservation &r) { return r.iv > iv; });
+        next_iv_ = iv + 1;
+        return;
+    }
+}
+
+bool
+SpeculativePipeline::hasEntryInIvRange(std::uint64_t lo,
+                                       std::uint64_t hi) const
+{
+    for (const auto &slot : entries_) {
+        if (slot.valid && slot.entry.iv >= lo && slot.entry.iv < hi)
+            return true;
+    }
+    // A reservation in the gap means a demand send is expected to
+    // consume that IV; do not NOP over it.
+    for (const auto &res : reservations_) {
+        if (res.iv >= lo && res.iv < hi)
+            return true;
+    }
+    return false;
+}
+
+std::string
+SpeculativePipeline::debugString() const
+{
+    std::ostringstream os;
+    os << "entries:";
+    for (const auto &slot : entries_) {
+        os << " [iv=" << slot.entry.iv << " 0x" << std::hex
+           << slot.entry.chunk.addr << std::dec
+           << (slot.valid ? "" : " DEAD") << "]";
+    }
+    os << " reservations:";
+    for (const auto &res : reservations_) {
+        os << " [iv=" << res.iv << " 0x" << std::hex << res.chunk.addr
+           << std::dec << "]";
+    }
+    return os.str();
+}
+
+void
+SpeculativePipeline::relinquish()
+{
+    while (!entries_.empty()) {
+        ++stats_.relinquished;
+        eraseSlot(entries_.begin());
+    }
+    reservations_.clear();
+}
+
+} // namespace core
+} // namespace pipellm

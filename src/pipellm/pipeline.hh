@@ -1,0 +1,251 @@
+/**
+ * @file
+ * The speculative encryption pipeline and its validator
+ * (paper §4.3, §5.2).
+ *
+ * Prediction stage: chunks named by the predictor are encrypted ahead
+ * of time on dedicated CPU lanes, each bound to a *future* IV
+ * (IV_cur + leeway + position). Ciphertext stays in CVM private
+ * memory until validated (§6).
+ *
+ * Validation stage: each entry's plaintext pages are write-protected
+ * (MPK); a write by the application faults, invalidates the entry,
+ * and restores access — so a stale ciphertext can never be sent. At
+ * request time the entry is additionally matched by (address, length)
+ * label and by IV viability.
+ */
+
+#ifndef PIPELLM_PIPELLM_PIPELINE_HH
+#define PIPELLM_PIPELLM_PIPELINE_HH
+
+#include <cstdint>
+#include <list>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <unordered_map>
+
+#include "crypto/channel.hh"
+#include "crypto/iv.hh"
+#include "mem/sparse_memory.hh"
+#include "pipellm/chunk.hh"
+#include "pipellm/config.hh"
+#include "pipellm/predictor.hh"
+#include "sim/resource.hh"
+
+namespace pipellm {
+namespace core {
+
+/** One speculatively encrypted transfer. */
+struct PreencEntry
+{
+    ChunkId chunk;
+    /** IV counter value this ciphertext was sealed under. */
+    std::uint64_t iv = 0;
+    crypto::CipherBlob blob;
+    /** Tick at which the encryption lane finishes producing it. */
+    Tick ready_at = 0;
+};
+
+/** Pipeline statistics. */
+struct PipelineStats
+{
+    std::uint64_t pre_encrypted = 0;
+    std::uint64_t pre_encrypted_bytes = 0;
+    std::uint64_t invalidated_by_fault = 0;
+    std::uint64_t invalidated_by_iv = 0;
+    /** Entries re-encrypted at the tail after an IV collision. */
+    std::uint64_t respeculated = 0;
+    /** IVs reserved for predicted-but-write-hot chunks. */
+    std::uint64_t reservations = 0;
+    /** Reserved IVs consumed exactly in place by a demand send. */
+    std::uint64_t reservations_hit = 0;
+    std::uint64_t consumed = 0;
+    std::uint64_t relinquished = 0;
+    /** Full-plan rebuilds triggered by head divergence. */
+    std::uint64_t rebuilds = 0;
+    /** Tail cuts because claims vanished from the predictions. */
+    std::uint64_t stale_cuts = 0;
+    /** Leeway gaps inserted and total IVs they reserved. */
+    std::uint64_t gaps_inserted = 0;
+    std::uint64_t gap_ivs = 0;
+};
+
+/** Manager of pre-encrypted chunks with MPK-based validation. */
+class SpeculativePipeline
+{
+  public:
+    /**
+     * @param host the CVM arena holding the plaintext chunks
+     * @param channel session crypto
+     * @param enc_lanes CPU lanes that produce the ciphertext
+     */
+    SpeculativePipeline(mem::SparseMemory &host,
+                        const crypto::SecureChannel &channel,
+                        sim::LaneGroup &enc_lanes, Predictor &predictor,
+                        const PipeLlmConfig &config);
+
+    ~SpeculativePipeline();
+
+    /**
+     * Prediction stage: top the pipeline up to its depth with the
+     * predictor's next chunks, assigning IVs from
+     * max(speculation head, @p cpu_iv_current + leeway) upward.
+     */
+    void refill(Tick now, std::uint64_t cpu_iv_current);
+
+    /**
+     * Validation stage, label check: the valid entry for @p chunk, or
+     * nullopt. The entry remains owned by the pipeline until
+     * consume()/invalidate.
+     */
+    std::optional<PreencEntry> find(const ChunkId &chunk) const;
+
+    /** Remove the entry sealed under @p iv (it was sent or is dead). */
+    void consume(std::uint64_t iv);
+
+    /**
+     * Another transfer consumed IV @p iv; any entry sealed under it
+     * can never be sent. The chunk is immediately *re-speculated* at
+     * the pipeline tail with a fresh IV, so one interleaved small
+     * transfer costs one re-encryption instead of cascading every
+     * later entry into a miss.
+     */
+    void invalidateIv(std::uint64_t iv, Tick now);
+
+    /** Error-handling stage: drop everything and restart (§5.3). */
+    void relinquish();
+
+    /**
+     * Leeway bookkeeping (§5.1): the runtime reports small transfers
+     * and swap requests; at each batch boundary the pipeline updates
+     * its estimate of how many small transfers interleave between
+     * swap batches and reserves that many IVs as a gap after each
+     * predicted batch of entries.
+     */
+    void noteSmall();
+    void noteSwapRequest();
+    void noteBatch();
+
+    /** Swap activity observed (either direction): resume speculation. */
+    void unpause() { paused_ = false; }
+
+    /** Current estimated small transfers per swap batch. */
+    double smallsPerBatch() const { return smalls_ema_; }
+    /** Current estimated swaps per batch. */
+    double swapsPerBatch() const { return swaps_ema_; }
+
+    /**
+     * True if a valid entry exists with IV in [lo, hi). Used by the
+     * error handler to decide between suspending a request (a
+     * lower-IV sibling may still be requested, Figure 6) and padding
+     * NOPs immediately (nothing can fill the gap).
+     */
+    bool hasEntryInIvRange(std::uint64_t lo, std::uint64_t hi) const;
+
+    /** Entries currently held. */
+    std::size_t depth() const { return entries_.size(); }
+
+    /** Ciphertext bytes held in private memory. */
+    std::uint64_t bytesHeld() const { return bytes_held_; }
+
+    /** Highest IV assigned so far + 1 (the speculation head). */
+    std::uint64_t speculationHead() const { return next_iv_; }
+
+    const PipelineStats &stats() const { return stats_; }
+
+    /** Human-readable dump of entries and reservations (debugging). */
+    std::string debugString() const;
+
+  private:
+    struct Slot
+    {
+        PreencEntry entry;
+        bool valid = true;
+        bool protected_pages = false;
+    };
+
+    using SlotList = std::list<Slot>;
+
+    /** Outcome of trying to queue one more speculative entry. */
+    enum class AddResult
+    {
+        Added,     ///< entry queued and encryption charged
+        SkipChunk, ///< chunk unusable (region freed); try the next
+        WriteHot,  ///< chunk mutates every cycle; reserve its IV only
+        Full,      ///< depth or byte budget reached; stop refilling
+    };
+
+    /** An IV held for a predicted chunk we decline to pre-encrypt. */
+    struct Reservation
+    {
+        ChunkId chunk;
+        std::uint64_t iv;
+    };
+
+    void protectSlot(SlotList::iterator it);
+    void unprotectSlot(SlotList::iterator it);
+    void eraseSlot(SlotList::iterator it);
+    void dropInvalid();
+
+    /** Encrypt @p chunk under the next speculative IV. */
+    AddResult addEntry(const ChunkId &chunk, Tick now);
+
+    mem::SparseMemory &host_;
+    const crypto::SecureChannel &channel_;
+    sim::LaneGroup &enc_lanes_;
+    Predictor &predictor_;
+    PipeLlmConfig config_;
+
+    SlotList entries_;
+    std::uint64_t next_iv_ = 0;
+    std::uint64_t bytes_held_ = 0;
+    PipelineStats stats_;
+
+    // Leeway estimation state.
+    double smalls_ema_ = 0.0;
+    double swaps_ema_ = 0.0;
+    bool have_batch_stats_ = false;
+    unsigned smalls_accum_ = 0;
+    unsigned swaps_this_batch_ = 0;
+
+    // Write-hot chunk blacklist: chunks whose speculation keeps being
+    // fault-invalidated (the application mutates them every cycle,
+    // e.g. optimizer-updated adapters) are skipped for a while rather
+    // than wasting encryption lanes and IVs on them.
+    struct FaultStreak
+    {
+        unsigned streak = 0;
+        std::uint64_t last_batch = 0;
+    };
+    std::unordered_map<ChunkId, FaultStreak, ChunkIdHash> fault_history_;
+    std::uint64_t batch_counter_ = 0;
+
+    /**
+     * Set when the plan's head no longer matches the predicted next
+     * swap-in (e.g. LIFO predictions prepend on every swap-out). The
+     * plan is rebuilt once at the next batch boundary, reusing the
+     * never-exposed IVs.
+     */
+    bool rebuild_pending_ = false;
+
+    /**
+     * Set when a small transfer ran the leeway gap dry and collided
+     * with the plan: the current no-swap epoch has outlived the plan,
+     * so speculating again into the same epoch would just repeat the
+     * loss. Cleared by the next swap activity.
+     */
+    bool paused_ = false;
+
+    /**
+     * IVs reserved in sequence position for predicted write-hot
+     * chunks: the application will demand-send them, and the demand
+     * must land on the IV the surrounding speculation assumed.
+     */
+    std::list<Reservation> reservations_;
+};
+
+} // namespace core
+} // namespace pipellm
+
+#endif // PIPELLM_PIPELLM_PIPELINE_HH

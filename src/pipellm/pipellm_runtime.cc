@@ -1,0 +1,318 @@
+#include "pipellm/pipellm_runtime.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace pipellm {
+namespace core {
+
+using runtime::ApiResult;
+using runtime::CopyKind;
+using runtime::Stream;
+
+PipeLlmRuntime::PipeLlmRuntime(runtime::Platform &platform,
+                               const PipeLlmConfig &config)
+    : RuntimeApi(platform), config_(config),
+      classifier_(config.classifier), predictor_(config.predictor),
+      enc_lanes_(platform.eq(), "pipellm-enc", config.enc_lanes,
+                 platform.spec().cpu_crypto_bw_per_lane),
+      dec_lanes_(platform.eq(), "pipellm-dec", config.dec_lanes,
+                 platform.spec().cpu_crypto_bw_per_lane),
+      pipeline_(platform.hostMem(), platform.channel(), enc_lanes_,
+                predictor_, config),
+      h2d_path_(platform.eq(), platform.spec(),
+                platform.device().h2dLinkMut(), /*toward_device=*/true,
+                &platform.device().copyEngineCryptoMut()),
+      d2h_path_(platform.eq(), platform.spec(),
+                platform.device().d2hLinkMut(), /*toward_device=*/false,
+                &platform.device().copyEngineCryptoMut()),
+      nop_scratch_(platform.device().alloc(mem::pageBytes,
+                                           "pipellm-nop-scratch"))
+{
+    platform.device().enableCc(&platform.channel());
+}
+
+ApiResult
+PipeLlmRuntime::memcpyAsync(CopyKind kind, Addr dst, Addr src,
+                            std::uint64_t len, Stream &stream, Tick now)
+{
+    noteCopy(kind, len);
+    ApiResult result;
+    if (kind == CopyKind::HostToDevice)
+        result = copyH2d(dst, src, len, stream, now);
+    else
+        result = copyD2h(dst, src, len, stream, now);
+
+    // Prediction stage runs opportunistically after every call.
+    pipeline_.refill(std::max(now, result.api_return),
+                     h2d_iv_.current());
+    return result;
+}
+
+Tick
+PipeLlmRuntime::sendEntry(const PreencEntry &entry, Addr dst,
+                          Stream &stream, Tick now)
+{
+    PIPELLM_ASSERT(entry.iv == h2d_iv_.current(),
+                   "sending entry out of IV order: entry=", entry.iv,
+                   " current=", h2d_iv_.current());
+    h2d_iv_.next();
+
+    // Validated: the ciphertext may now enter shared memory (§6).
+    Tick start = std::max({now, entry.ready_at, stream.tail()});
+    Tick done = h2d_path_.transfer(start, entry.chunk.len);
+    platform_.device().commitEncrypted(entry.blob, dst);
+    stream.push(done);
+    trace(now, done, entry.chunk.len, true,
+          runtime::TransferOutcome::Hit);
+    return done;
+}
+
+Tick
+PipeLlmRuntime::sendOnDemand(Addr dst, Addr src, std::uint64_t len,
+                             Stream &stream, Tick now)
+{
+    std::uint64_t iv = h2d_iv_.next();
+    pipeline_.invalidateIv(iv, now);
+
+    std::uint64_t n = sampleLen(len);
+    std::vector<std::uint8_t> sample(n);
+    Tick src_ready = platform_.hostMem().read(src, sample.data(), n);
+
+    // Demand encryption: an idle worker lane takes the job without
+    // blocking the caller; when every lane is busy with speculative
+    // work, the calling thread encrypts (exactly like stock NVIDIA
+    // CC) rather than queue behind megabytes of speculation.
+    Tick enc_start = std::max(now, src_ready);
+    bool lane_idle = enc_lanes_.earliestFree() <= enc_start;
+    Tick enc_done =
+        lane_idle
+            ? enc_lanes_.submitNotBefore(enc_start, len)
+            : enc_start + transferTicks(
+                  len, platform_.spec().cpu_crypto_bw_per_lane);
+    stats_.cpu_encrypt_bytes += len;
+    auto blob = platform_.channel().seal(crypto::Direction::HostToDevice,
+                                         iv, sample.data(), len);
+
+    Tick start = std::max(enc_done, stream.tail());
+    Tick done = h2d_path_.transfer(start, len);
+    platform_.device().commitEncrypted(blob, dst);
+    stream.push(done);
+    trace(now, done, len, true, runtime::TransferOutcome::Miss);
+    // Caller resumes immediately when a worker took the job.
+    return lane_idle ? enc_start : enc_done;
+}
+
+void
+PipeLlmRuntime::sendNop(Tick now)
+{
+    std::uint64_t iv = h2d_iv_.next();
+    pipeline_.invalidateIv(iv, now);
+    ++pipe_stats_.nops;
+
+    // One byte is encrypted by the calling thread itself — routing it
+    // through the worker lanes would make it queue behind megabytes
+    // of speculative work.
+    auto blob = platform_.channel().sealNop(
+        crypto::Direction::HostToDevice, iv);
+    Tick enc_done = now + nanoseconds(200);
+    Tick done = h2d_path_.transfer(enc_done, 1);
+    platform_.device().commitEncrypted(blob, nop_scratch_.base);
+    trace(now, done, 1, true, runtime::TransferOutcome::Nop);
+}
+
+void
+PipeLlmRuntime::drainPending(Tick now)
+{
+    bool progress = true;
+    while (progress) {
+        progress = false;
+        for (auto it = pending_.begin(); it != pending_.end(); ++it) {
+            if (it->entry.iv == h2d_iv_.current()) {
+                sendEntry(it->entry, it->dst, *it->stream, now);
+                pending_.erase(it);
+                progress = true;
+                break;
+            }
+        }
+    }
+}
+
+void
+PipeLlmRuntime::flushPending(Tick now)
+{
+    std::sort(pending_.begin(), pending_.end(),
+              [](const PendingSend &a, const PendingSend &b) {
+                  return a.entry.iv < b.entry.iv;
+              });
+    for (auto &p : pending_) {
+        if (p.entry.iv < h2d_iv_.current()) {
+            // Interleaved transfers overtook this deferred send's IV
+            // while it waited (leeway exhausted mid-batch): the
+            // pre-encryption is dead, but the copy is still owed —
+            // re-encrypt on demand at the current counter.
+            ++pipe_stats_.stale_drops;
+            sendOnDemand(p.dst, p.entry.chunk.addr, p.entry.chunk.len,
+                         *p.stream, now);
+            continue;
+        }
+        // NOP padding (§5.3): advance the counter over IVs that were
+        // assigned to mispredicted chunks.
+        while (h2d_iv_.current() < p.entry.iv) {
+            ++pipe_stats_.nops_flush;
+            sendNop(now);
+        }
+        sendEntry(p.entry, p.dst, *p.stream, now);
+    }
+    pending_.clear();
+}
+
+ApiResult
+PipeLlmRuntime::copyH2d(Addr dst, Addr src, std::uint64_t len,
+                        Stream &stream, Tick now)
+{
+    const auto &spec = platform_.spec();
+    Tick control = now + spec.api_overhead + spec.cc_api_overhead;
+    ChunkId chunk{src, len};
+
+    if (!classifier_.isSwap(len)) {
+        // Small transfers keep NVIDIA CC's on-the-fly behavior: the
+        // encryption cost is negligible (§5.1).
+        pipeline_.noteSmall();
+        Tick api_return =
+            std::max(control,
+                     sendOnDemand(dst, src, len, stream, control));
+        return ApiResult{api_return, stream.tail()};
+    }
+
+    ++pipe_stats_.swap_requests;
+    pipeline_.noteSwapRequest();
+    predictor_.noteSwapIn(chunk);
+
+    auto entry = pipeline_.find(chunk);
+    if (entry && entry->iv >= h2d_iv_.current()) {
+        ++pipe_stats_.hits;
+        pipeline_.consume(entry->iv);
+        Tick complete;
+        std::uint64_t cur = h2d_iv_.current();
+        bool gap_fillable =
+            entry->iv > cur &&
+            (pipeline_.hasEntryInIvRange(cur, entry->iv) ||
+             std::any_of(pending_.begin(), pending_.end(),
+                         [&](const PendingSend &p) {
+                             return p.entry.iv < entry->iv;
+                         }));
+        if (entry->iv == cur) {
+            complete = sendEntry(*entry, dst, stream, control);
+            drainPending(control);
+        } else if (!gap_fillable) {
+            // Nothing can fill the IV gap below this entry: pad NOPs
+            // and send right away (Figure 6's sync step, done early).
+            while (h2d_iv_.current() < entry->iv) {
+                ++pipe_stats_.nops_eager;
+                sendNop(control);
+            }
+            complete = sendEntry(*entry, dst, stream, control);
+            drainPending(control);
+        } else {
+            // Swap re-ordering (§5.3): a lower-IV sibling in this
+            // batch should arrive first; defer this send.
+            ++pipe_stats_.reordered;
+            pending_.push_back(PendingSend{*entry, dst, &stream});
+            trace(now, 0, len, true,
+                  runtime::TransferOutcome::Deferred);
+            complete = 0; // resolved at drain/flush
+        }
+        return ApiResult{control, complete};
+    }
+
+    if (entry) {
+        // Irrecoverable: the pre-encrypted IV is already in the past.
+        ++pipe_stats_.stale_drops;
+        pipeline_.consume(entry->iv);
+    }
+    ++pipe_stats_.misses;
+    pipe_stats_.on_demand_bytes += len;
+    // The caller blocks for the demand encryption, as in stock CC.
+    // (Predicted-but-write-hot misses land on their reserved IV; the
+    // leeway EMA covers only genuinely unplanned small transfers.)
+    Tick enc_done = sendOnDemand(dst, src, len, stream, control);
+    drainPending(enc_done);
+    return ApiResult{enc_done, stream.tail()};
+}
+
+ApiResult
+PipeLlmRuntime::copyD2h(Addr dst, Addr src, std::uint64_t len,
+                        Stream &stream, Tick now)
+{
+    const auto &spec = platform_.spec();
+    auto &host = platform_.hostMem();
+    auto &dev = platform_.device();
+
+    Tick control = now + spec.api_overhead + spec.cc_api_overhead;
+    Tick start = std::max(control, stream.tail());
+
+    crypto::CipherBlob blob = dev.sealD2h(src, len);
+    Tick landed = d2h_path_.transfer(start, len);
+
+    std::vector<std::uint8_t> sample;
+    if (!platform_.channel().open(blob, d2h_iv_.next(), sample))
+        PANIC("PipeLLM: D2H tag failure (GPU IV ", blob.iv_counter, ")");
+
+    bool swap = classifier_.isSwap(len);
+    if (swap) {
+        predictor_.noteSwapOut(ChunkId{dst, len});
+        pipeline_.unpause();
+    }
+
+    if (swap && config_.async_decrypt) {
+        // §5.4: the copy returns before decryption. The plaintext
+        // becomes available when the decrypt lane gets to it; until
+        // then the destination is an access-revoked placeholder.
+        Tick plain_ready = dec_lanes_.submitNotBefore(landed, len);
+        stats_.cpu_decrypt_bytes += len;
+        ++pipe_stats_.async_decrypts;
+
+        host.write(dst, sample.data(), sample.size());
+        auto *stats = &pipe_stats_;
+        auto *prot = &host.protection();
+        Addr base = dst;
+        std::uint64_t n = len;
+        prot->protect(dst, len, mem::Protection::NoAccess,
+                      [stats, prot, base, n, plain_ready](Addr,
+                                                          bool) -> Tick {
+                          // Usage before decryption: decrypt
+                          // synchronously and let the access proceed.
+                          ++stats->decrypt_faults;
+                          prot->unprotect(base, n);
+                          return plain_ready;
+                      });
+
+        stream.push(landed);
+        trace(now, landed, len, false,
+              runtime::TransferOutcome::Direct);
+        return ApiResult{control, landed};
+    }
+
+    // Small transfers (and the ablation) decrypt on the critical path.
+    Tick dec_done = dec_lanes_.submitNotBefore(landed, len);
+    stats_.cpu_decrypt_bytes += len;
+    host.write(dst, sample.data(), sample.size());
+    stream.push(dec_done);
+    return ApiResult{dec_done, dec_done};
+}
+
+Tick
+PipeLlmRuntime::synchronize(Tick now)
+{
+    flushPending(now);
+    predictor_.noteBatchBoundary();
+    pipeline_.noteBatch();
+    Tick t = RuntimeApi::synchronize(now);
+    pipeline_.refill(t, h2d_iv_.current());
+    return t;
+}
+
+} // namespace core
+} // namespace pipellm

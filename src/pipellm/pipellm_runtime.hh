@@ -1,0 +1,145 @@
+/**
+ * @file
+ * The PipeLLM runtime (paper §5): a drop-in RuntimeApi that hides
+ * CC encryption latency behind speculative pipelined encryption.
+ *
+ * H2D swaps hit the speculative pipeline; the API call never blocks
+ * on encryption. IV mismatches are absorbed by swap re-ordering
+ * (within a batch, deferred sends) and NOP padding (§5.3, Figure 6);
+ * only an entry whose IV fell below the current counter is discarded.
+ * D2H swaps return before decryption (§5.4), with read/write access
+ * revoked on the placeholder until the decrypt lane finishes;
+ * a touch faults into a synchronous decrypt.
+ */
+
+#ifndef PIPELLM_PIPELLM_PIPELLM_RUNTIME_HH
+#define PIPELLM_PIPELLM_PIPELLM_RUNTIME_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "crypto/iv.hh"
+#include "pipellm/classifier.hh"
+#include "pipellm/config.hh"
+#include "pipellm/pipeline.hh"
+#include "pipellm/predictor.hh"
+#include "runtime/api.hh"
+#include "runtime/staged_path.hh"
+#include "sim/resource.hh"
+
+namespace pipellm {
+namespace core {
+
+/** PipeLLM-specific statistics (beyond RuntimeStats). */
+struct PipeLlmStats
+{
+    std::uint64_t swap_requests = 0;
+    /** Requests served from a pre-encrypted entry. */
+    std::uint64_t hits = 0;
+    /** Requests encrypted on demand. */
+    std::uint64_t misses = 0;
+    /** Entries dropped because their IV fell below the counter. */
+    std::uint64_t stale_drops = 0;
+    /** Hits whose send had to wait for a lower-IV sibling (§5.3). */
+    std::uint64_t reordered = 0;
+    /** NOP transfers sent to advance the IV (§5.3). */
+    std::uint64_t nops = 0;
+    /** NOPs sent eagerly before an in-order hit (unfillable gap). */
+    std::uint64_t nops_eager = 0;
+    /** NOPs sent while flushing deferred sends at a sync. */
+    std::uint64_t nops_flush = 0;
+    /** D2H transfers decrypted off the critical path (§5.4). */
+    std::uint64_t async_decrypts = 0;
+    /** Usage-before-decryption faults resolved synchronously. */
+    std::uint64_t decrypt_faults = 0;
+    std::uint64_t on_demand_bytes = 0;
+};
+
+/** User-transparent speculative-pipelined-encryption runtime. */
+class PipeLlmRuntime : public runtime::RuntimeApi
+{
+  public:
+    PipeLlmRuntime(runtime::Platform &platform,
+                   const PipeLlmConfig &config = PipeLlmConfig{});
+
+    const char *name() const override { return "PipeLLM"; }
+
+    runtime::ApiResult memcpyAsync(runtime::CopyKind kind, Addr dst,
+                                   Addr src, std::uint64_t len,
+                                   runtime::Stream &stream,
+                                   Tick now) override;
+
+    /** Flushes deferred sends (NOP padding) then waits for streams. */
+    Tick synchronize(Tick now) override;
+
+    const PipeLlmStats &pipeStats() const { return pipe_stats_; }
+    const PipelineStats &pipelineStats() const {
+        return pipeline_.stats();
+    }
+    Predictor &predictor() { return predictor_; }
+    const PipeLlmConfig &config() const { return config_; }
+
+    /** CPU-side next-IV counters, for tests. */
+    std::uint64_t h2dCounter() const { return h2d_iv_.current(); }
+    std::uint64_t d2hCounter() const { return d2h_iv_.current(); }
+
+    /** Pipeline plan dump for debugging. */
+    std::string pipelineDebug() const { return pipeline_.debugString(); }
+
+    /** Deferred (re-ordered) sends currently waiting. */
+    std::size_t pendingSends() const { return pending_.size(); }
+
+  private:
+    struct PendingSend
+    {
+        PreencEntry entry;
+        Addr dst = 0;
+        runtime::Stream *stream = nullptr;
+    };
+
+    runtime::ApiResult copyH2d(Addr dst, Addr src, std::uint64_t len,
+                               runtime::Stream &stream, Tick now);
+    runtime::ApiResult copyD2h(Addr dst, Addr src, std::uint64_t len,
+                               runtime::Stream &stream, Tick now);
+
+    /** Send a validated entry; requires entry.iv == current IV. */
+    Tick sendEntry(const PreencEntry &entry, Addr dst,
+                   runtime::Stream &stream, Tick now);
+
+    /**
+     * Encrypt + send at the current IV. An idle worker lane takes the
+     * encryption without blocking the caller; otherwise the calling
+     * thread encrypts (stock CC behavior).
+     * @return tick at which the caller resumes
+     */
+    Tick sendOnDemand(Addr dst, Addr src, std::uint64_t len,
+                      runtime::Stream &stream, Tick now);
+
+    /** 1-byte dummy transfer advancing both IV counters (§5.3). */
+    void sendNop(Tick now);
+
+    /** Send every deferred entry whose IV equals the counter. */
+    void drainPending(Tick now);
+
+    /** NOP-pad and send all deferred entries (batch boundary). */
+    void flushPending(Tick now);
+
+    PipeLlmConfig config_;
+    SwapClassifier classifier_;
+    Predictor predictor_;
+    sim::LaneGroup enc_lanes_;
+    sim::LaneGroup dec_lanes_;
+    SpeculativePipeline pipeline_;
+    runtime::StagedCopyPath h2d_path_;
+    runtime::StagedCopyPath d2h_path_;
+    crypto::IvCounter h2d_iv_{crypto::Direction::HostToDevice};
+    crypto::IvCounter d2h_iv_{crypto::Direction::DeviceToHost};
+    std::vector<PendingSend> pending_;
+    mem::Region nop_scratch_;
+    PipeLlmStats pipe_stats_;
+};
+
+} // namespace core
+} // namespace pipellm
+
+#endif // PIPELLM_PIPELLM_PIPELLM_RUNTIME_HH

@@ -1,0 +1,61 @@
+#include "runtime/api.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace pipellm {
+namespace runtime {
+
+const char *
+toString(CopyKind kind)
+{
+    return kind == CopyKind::HostToDevice ? "H2D" : "D2H";
+}
+
+ApiResult
+RuntimeApi::launchKernel(const gpu::KernelDesc &kernel, Stream &stream,
+                         Tick now)
+{
+    ++stats_.kernels;
+    Tick api_return = now + platform_.spec().api_overhead;
+    Tick start = std::max(api_return, stream.tail());
+    Tick done = platform_.device().launchKernel(kernel, start);
+    stream.push(done);
+    return ApiResult{api_return, done};
+}
+
+Tick
+RuntimeApi::synchronize(Tick now)
+{
+    Tick t = now + platform_.spec().api_overhead;
+    for (const auto &stream : streams_)
+        t = std::max(t, stream->tail());
+    return t;
+}
+
+Stream &
+RuntimeApi::createStream(std::string name)
+{
+    streams_.push_back(std::make_unique<Stream>(std::move(name)));
+    return *streams_.back();
+}
+
+Tick
+RuntimeApi::memcpy(CopyKind kind, Addr dst, Addr src, std::uint64_t len,
+                   Stream &stream, Tick now)
+{
+    auto result = memcpyAsync(kind, dst, src, len, stream, now);
+    return std::max(result.api_return, result.complete);
+}
+
+std::uint64_t
+RuntimeApi::sampleLen(std::uint64_t len) const
+{
+    // Use the channel's sampling rule even on the plain path so both
+    // modes move identical functional payloads.
+    return platform_.channel().sampledLen(len);
+}
+
+} // namespace runtime
+} // namespace pipellm

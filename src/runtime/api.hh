@@ -1,0 +1,180 @@
+/**
+ * @file
+ * The CUDA-like runtime interface that LLM engines program against.
+ *
+ * This is the paper's interposition point: NVIDIA CC performs
+ * encryption *inside* cudaMemcpyAsync (blocking the caller), while
+ * PipeLLM replaces the implementation without changing the interface
+ * (user transparency, §4). Three implementations exist:
+ *
+ *   PlainRuntime   - CC disabled ("w/o CC" baseline)
+ *   CcRuntime      - NVIDIA CC with on-the-fly encryption ("CC")
+ *   PipeLlmRuntime - speculative pipelined encryption (the system)
+ *
+ * Engines are written in timestamp style: they carry their own clock
+ * cursor and pass it as @p now; calls return both the tick at which
+ * the API hands control back to the caller (api_return) and the tick
+ * at which the operation completes on the device (complete).
+ */
+
+#ifndef PIPELLM_RUNTIME_API_HH
+#define PIPELLM_RUNTIME_API_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/units.hh"
+#include "gpu/device.hh"
+#include "runtime/platform.hh"
+#include "runtime/transfer_trace.hh"
+
+namespace pipellm {
+namespace runtime {
+
+/** Direction of a memcpy, mirroring cudaMemcpyKind. */
+enum class CopyKind : std::uint8_t
+{
+    HostToDevice,
+    DeviceToHost,
+};
+
+/** An in-order execution queue, mirroring cudaStream_t. */
+class Stream
+{
+  public:
+    explicit Stream(std::string name) : name_(std::move(name)) {}
+
+    /** Completion tick of the last operation in the stream. */
+    Tick tail() const { return tail_; }
+
+    /** Append an operation completing at @p t. */
+    void
+    push(Tick t)
+    {
+        if (t > tail_)
+            tail_ = t;
+    }
+
+    /** cudaStreamWaitEvent: order this stream after @p event_tick. */
+    void waitEvent(Tick event_tick) { push(event_tick); }
+
+    const std::string &name() const { return name_; }
+
+  private:
+    std::string name_;
+    Tick tail_ = 0;
+};
+
+/** Outcome of an asynchronous API call. */
+struct ApiResult
+{
+    /** Tick at which the call returns control to the caller. */
+    Tick api_return = 0;
+    /** Tick at which the operation completes. */
+    Tick complete = 0;
+};
+
+/** Aggregate transfer statistics per runtime. */
+struct RuntimeStats
+{
+    std::uint64_t h2d_calls = 0;
+    std::uint64_t h2d_bytes = 0;
+    std::uint64_t d2h_calls = 0;
+    std::uint64_t d2h_bytes = 0;
+    std::uint64_t kernels = 0;
+    /** Bytes encrypted on CPU lanes (CC paths only). */
+    std::uint64_t cpu_encrypt_bytes = 0;
+    /** Bytes decrypted on CPU lanes (CC paths only). */
+    std::uint64_t cpu_decrypt_bytes = 0;
+};
+
+/** Abstract CUDA-like runtime. */
+class RuntimeApi
+{
+  public:
+    explicit RuntimeApi(Platform &platform) : platform_(platform) {}
+    virtual ~RuntimeApi() = default;
+
+    RuntimeApi(const RuntimeApi &) = delete;
+    RuntimeApi &operator=(const RuntimeApi &) = delete;
+
+    /** Human-readable implementation name ("w/o CC", "CC", ...). */
+    virtual const char *name() const = 0;
+
+    /**
+     * cudaMemcpyAsync. Submitted at @p now on @p stream.
+     * Functional effect: the sampled prefix of [src, src+len) appears
+     * at dst (through whatever encryption path the implementation
+     * models).
+     */
+    virtual ApiResult memcpyAsync(CopyKind kind, Addr dst, Addr src,
+                                  std::uint64_t len, Stream &stream,
+                                  Tick now) = 0;
+
+    /**
+     * Kernel launch on @p stream at @p now; launching is cheap for the
+     * caller, execution is ordered behind the stream.
+     */
+    virtual ApiResult launchKernel(const gpu::KernelDesc &kernel,
+                                   Stream &stream, Tick now);
+
+    /**
+     * cudaDeviceSynchronize: block until every stream created from
+     * this runtime has drained.
+     * @return the tick at which the caller resumes
+     */
+    virtual Tick synchronize(Tick now);
+
+    /** Create a stream owned by this runtime. */
+    Stream &createStream(std::string name);
+
+    /** Convenience: synchronous memcpy (submit + wait). */
+    Tick memcpy(CopyKind kind, Addr dst, Addr src, std::uint64_t len,
+                Stream &stream, Tick now);
+
+    const RuntimeStats &stats() const { return stats_; }
+    Platform &platform() { return platform_; }
+
+    /** Attach an optional transfer recorder (not owned). */
+    void attachTrace(TransferTrace *trace) { trace_ = trace; }
+
+  protected:
+    /** Sampled prefix length for functional data movement. */
+    std::uint64_t sampleLen(std::uint64_t len) const;
+
+    void
+    noteCopy(CopyKind kind, std::uint64_t len)
+    {
+        if (kind == CopyKind::HostToDevice) {
+            ++stats_.h2d_calls;
+            stats_.h2d_bytes += len;
+        } else {
+            ++stats_.d2h_calls;
+            stats_.d2h_bytes += len;
+        }
+    }
+
+    /** Record one transfer if a trace is attached. */
+    void
+    trace(Tick submit, Tick complete, std::uint64_t bytes,
+          bool to_device, TransferOutcome outcome)
+    {
+        if (trace_)
+            trace_->record(TransferRecord{submit, complete, bytes,
+                                          to_device, outcome});
+    }
+
+    Platform &platform_;
+    RuntimeStats stats_;
+    std::vector<std::unique_ptr<Stream>> streams_;
+    TransferTrace *trace_ = nullptr;
+};
+
+const char *toString(CopyKind kind);
+
+} // namespace runtime
+} // namespace pipellm
+
+#endif // PIPELLM_RUNTIME_API_HH

@@ -1,0 +1,126 @@
+#include "runtime/cc_runtime.hh"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/logging.hh"
+
+namespace pipellm {
+namespace runtime {
+
+CcRuntime::CcRuntime(Platform &platform, unsigned threads)
+    : RuntimeApi(platform),
+      name_(threads == 1 ? "CC" : "CC-" + std::to_string(threads) + "t"),
+      threads_(threads),
+      enc_lanes_(platform.eq(), "cc-enc", threads,
+                 platform.spec().cpu_crypto_bw_per_lane),
+      dec_lanes_(platform.eq(), "cc-dec", threads,
+                 platform.spec().cpu_crypto_bw_per_lane),
+      h2d_path_(platform.eq(), platform.spec(),
+                platform.device().h2dLinkMut(), /*toward_device=*/true,
+                &platform.device().copyEngineCryptoMut()),
+      d2h_path_(platform.eq(), platform.spec(),
+                platform.device().d2hLinkMut(), /*toward_device=*/false,
+                &platform.device().copyEngineCryptoMut())
+{
+    platform.device().enableCc(&platform.channel());
+}
+
+Tick
+CcRuntime::chargeCpuCrypto(sim::LaneGroup &lanes, Tick start,
+                           std::uint64_t len)
+{
+    // Trivial multi-threading: slice the buffer evenly across the
+    // available threads; the transfer is done when the slowest slice
+    // is done. With one thread this is plain serial encryption.
+    unsigned k = lanes.lanes();
+    std::uint64_t slice = len / k;
+    std::uint64_t rem = len % k;
+    Tick done = start;
+    for (unsigned i = 0; i < k; ++i) {
+        std::uint64_t n = slice + (i < rem ? 1 : 0);
+        if (n == 0)
+            continue;
+        done = std::max(done, lanes.submitNotBefore(start, n));
+    }
+    return done;
+}
+
+ApiResult
+CcRuntime::memcpyAsync(CopyKind kind, Addr dst, Addr src,
+                       std::uint64_t len, Stream &stream, Tick now)
+{
+    noteCopy(kind, len);
+    if (kind == CopyKind::HostToDevice)
+        return copyH2d(dst, src, len, stream, now);
+    return copyD2h(dst, src, len, stream, now);
+}
+
+ApiResult
+CcRuntime::copyH2d(Addr dst, Addr src, std::uint64_t len,
+                   Stream &stream, Tick now)
+{
+    const auto &spec = platform_.spec();
+    auto &host = platform_.hostMem();
+    auto &dev = platform_.device();
+
+    Tick control = now + spec.api_overhead + spec.cc_api_overhead;
+
+    // The CUDA library reads the plaintext and encrypts it while the
+    // caller waits inside the call.
+    std::uint64_t n = sampleLen(len);
+    std::vector<std::uint8_t> sample(n);
+    Tick src_ready = host.read(src, sample.data(), n);
+    Tick enc_start = std::max(control, src_ready);
+    Tick enc_done = chargeCpuCrypto(enc_lanes_, enc_start, len);
+    stats_.cpu_encrypt_bytes += len;
+
+    auto blob = platform_.channel().seal(crypto::Direction::HostToDevice,
+                                         h2d_iv_.next(), sample.data(),
+                                         len);
+
+    // Only after encryption does the call return; the staged copy,
+    // DMA, and copy-engine decrypt proceed asynchronously, ordered
+    // behind the stream.
+    Tick api_return = enc_done;
+    Tick xfer_start = std::max(enc_done, stream.tail());
+    Tick done = h2d_path_.transfer(xfer_start, len);
+    dev.commitEncrypted(blob, dst);
+    stream.push(done);
+    trace(now, done, len, true, TransferOutcome::Direct);
+    return ApiResult{api_return, done};
+}
+
+ApiResult
+CcRuntime::copyD2h(Addr dst, Addr src, std::uint64_t len,
+                   Stream &stream, Tick now)
+{
+    const auto &spec = platform_.spec();
+    auto &host = platform_.hostMem();
+    auto &dev = platform_.device();
+
+    Tick control = now + spec.api_overhead + spec.cc_api_overhead;
+    Tick start = std::max(control, stream.tail());
+
+    // GPU copy engine encrypts, ciphertext is DMAed into staging and
+    // copied to private memory, then the CPU decrypts before the call
+    // returns (stock NVIDIA CC behavior, §5.4).
+    crypto::CipherBlob blob = dev.sealD2h(src, len);
+    Tick landed = d2h_path_.transfer(start, len);
+    Tick dec_done = chargeCpuCrypto(dec_lanes_, landed, len);
+    stats_.cpu_decrypt_bytes += len;
+
+    std::vector<std::uint8_t> sample;
+    if (!platform_.channel().open(blob, d2h_iv_.next(), sample)) {
+        PANIC("CC runtime: D2H tag failure (GPU IV ", blob.iv_counter,
+              ")");
+    }
+    host.write(dst, sample.data(), sample.size());
+
+    stream.push(dec_done);
+    trace(now, dec_done, len, false, TransferOutcome::Direct);
+    return ApiResult{dec_done, dec_done};
+}
+
+} // namespace runtime
+} // namespace pipellm

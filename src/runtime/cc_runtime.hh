@@ -1,0 +1,76 @@
+/**
+ * @file
+ * The "CC" baseline: NVIDIA Confidential Computing as shipped.
+ *
+ * On H2D, the CUDA library encrypts *inside* cudaMemcpyAsync with the
+ * caller blocked (paper §2.2, Fig. 2: API latency grows linearly with
+ * size); the ciphertext then flows through shared-memory staging and
+ * DMA, and the GPU copy engine decrypts at line rate. On D2H the CPU
+ * decrypts before the call completes (§5.4: "decryption is
+ * unnecessarily synchronous").
+ *
+ * The optional thread count models the Fig. 9 "CC-4t" variant:
+ * trivially splitting each transfer's encryption across k CPU threads
+ * without any pipelining.
+ */
+
+#ifndef PIPELLM_RUNTIME_CC_RUNTIME_HH
+#define PIPELLM_RUNTIME_CC_RUNTIME_HH
+
+#include "crypto/iv.hh"
+#include "runtime/api.hh"
+#include "runtime/staged_path.hh"
+#include "sim/resource.hh"
+
+namespace pipellm {
+namespace runtime {
+
+/** NVIDIA CC runtime with on-the-fly (critical path) encryption. */
+class CcRuntime : public RuntimeApi
+{
+  public:
+    /**
+     * @param threads CPU threads used to encrypt/decrypt each
+     *        individual transfer (1 = stock behavior; 4 = "CC-4t")
+     */
+    explicit CcRuntime(Platform &platform, unsigned threads = 1);
+
+    const char *name() const override { return name_.c_str(); }
+
+    ApiResult memcpyAsync(CopyKind kind, Addr dst, Addr src,
+                          std::uint64_t len, Stream &stream,
+                          Tick now) override;
+
+    unsigned threads() const { return threads_; }
+
+    /** CPU-side next-IV counters, for tests. */
+    std::uint64_t h2dCounter() const { return h2d_iv_.current(); }
+    std::uint64_t d2hCounter() const { return d2h_iv_.current(); }
+
+  private:
+    /**
+     * Charge @p len bytes of CPU crypto split across the lanes.
+     * @return completion tick of the slowest slice
+     */
+    Tick chargeCpuCrypto(sim::LaneGroup &lanes, Tick start,
+                         std::uint64_t len);
+
+    ApiResult copyH2d(Addr dst, Addr src, std::uint64_t len,
+                      Stream &stream, Tick now);
+    ApiResult copyD2h(Addr dst, Addr src, std::uint64_t len,
+                      Stream &stream, Tick now);
+
+    std::string name_;
+    unsigned threads_;
+    sim::LaneGroup enc_lanes_;
+    sim::LaneGroup dec_lanes_;
+    StagedCopyPath h2d_path_;
+    StagedCopyPath d2h_path_;
+    crypto::IvCounter h2d_iv_{crypto::Direction::HostToDevice};
+    crypto::IvCounter d2h_iv_{crypto::Direction::DeviceToHost};
+};
+
+} // namespace runtime
+} // namespace pipellm
+
+#endif // PIPELLM_RUNTIME_CC_RUNTIME_HH

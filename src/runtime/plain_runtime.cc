@@ -1,0 +1,45 @@
+#include "runtime/plain_runtime.hh"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/logging.hh"
+
+namespace pipellm {
+namespace runtime {
+
+PlainRuntime::PlainRuntime(Platform &platform) : RuntimeApi(platform)
+{
+}
+
+ApiResult
+PlainRuntime::memcpyAsync(CopyKind kind, Addr dst, Addr src,
+                          std::uint64_t len, Stream &stream, Tick now)
+{
+    noteCopy(kind, len);
+    auto &dev = platform_.device();
+    auto &host = platform_.hostMem();
+
+    Tick api_return = now + platform_.spec().api_overhead;
+    Tick start = std::max(api_return, stream.tail());
+    std::uint64_t n = sampleLen(len);
+
+    Tick done;
+    if (kind == CopyKind::HostToDevice) {
+        std::vector<std::uint8_t> sample(n);
+        Tick src_ready = host.read(src, sample.data(), n);
+        start = std::max(start, src_ready);
+        done = dev.dmaH2dPlain(dst, sample.data(), n, len, start);
+    } else {
+        std::vector<std::uint8_t> sample(n);
+        done = dev.dmaD2hPlain(src, sample.data(), n, len, start);
+        host.write(dst, sample.data(), n);
+    }
+    stream.push(done);
+    trace(now, done, len, kind == CopyKind::HostToDevice,
+          TransferOutcome::Direct);
+    return ApiResult{api_return, done};
+}
+
+} // namespace runtime
+} // namespace pipellm

@@ -1,0 +1,32 @@
+/**
+ * @file
+ * The "w/o CC" baseline: no encryption anywhere; memcpyAsync costs
+ * only the control plane for the caller, and transfers run at full
+ * PCIe rate (paper Fig. 2, CC-disabled row).
+ */
+
+#ifndef PIPELLM_RUNTIME_PLAIN_RUNTIME_HH
+#define PIPELLM_RUNTIME_PLAIN_RUNTIME_HH
+
+#include "runtime/api.hh"
+
+namespace pipellm {
+namespace runtime {
+
+/** Native (confidential computing disabled) runtime. */
+class PlainRuntime : public RuntimeApi
+{
+  public:
+    explicit PlainRuntime(Platform &platform);
+
+    const char *name() const override { return "w/o CC"; }
+
+    ApiResult memcpyAsync(CopyKind kind, Addr dst, Addr src,
+                          std::uint64_t len, Stream &stream,
+                          Tick now) override;
+};
+
+} // namespace runtime
+} // namespace pipellm
+
+#endif // PIPELLM_RUNTIME_PLAIN_RUNTIME_HH

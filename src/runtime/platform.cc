@@ -1,0 +1,29 @@
+#include "runtime/platform.hh"
+
+#include <utility>
+
+namespace pipellm {
+namespace runtime {
+
+Platform::Platform(const gpu::SystemSpec &spec,
+                   const crypto::ChannelConfig &channel_cfg)
+    : spec_(spec), channel_(channel_cfg), device_(eq_, spec),
+      host_mem_("cvm-dram", spec.host_mem_bytes)
+{
+}
+
+mem::Region
+Platform::allocHost(std::uint64_t len, std::string name)
+{
+    return host_mem_.alloc(len, std::move(name),
+                           mem::MemSpace::CvmPrivate);
+}
+
+void
+Platform::freeHost(const mem::Region &region)
+{
+    host_mem_.free(region);
+}
+
+} // namespace runtime
+} // namespace pipellm

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * The simulated machine: one CVM (host memory) attached to one GPU
+ * over PCIe, with an optional confidential-computing session.
+ */
+
+#ifndef PIPELLM_RUNTIME_PLATFORM_HH
+#define PIPELLM_RUNTIME_PLATFORM_HH
+
+#include <memory>
+
+#include "crypto/channel.hh"
+#include "gpu/device.hh"
+#include "gpu/spec.hh"
+#include "mem/sparse_memory.hh"
+#include "sim/event_queue.hh"
+
+namespace pipellm {
+namespace runtime {
+
+/** Owns the clock, the host arena, the device, and the CC session. */
+class Platform
+{
+  public:
+    explicit Platform(const gpu::SystemSpec &spec = gpu::SystemSpec::h100(),
+                      const crypto::ChannelConfig &channel_cfg =
+                          crypto::ChannelConfig{});
+
+    sim::EventQueue &eq() { return eq_; }
+    const gpu::SystemSpec &spec() const { return spec_; }
+    gpu::GpuDevice &device() { return device_; }
+    mem::SparseMemory &hostMem() { return host_mem_; }
+    crypto::SecureChannel &channel() { return channel_; }
+
+    /** Allocate CVM-private host memory. */
+    mem::Region allocHost(std::uint64_t len, std::string name);
+    void freeHost(const mem::Region &region);
+
+  private:
+    sim::EventQueue eq_;
+    gpu::SystemSpec spec_;
+    crypto::SecureChannel channel_;
+    gpu::GpuDevice device_;
+    mem::SparseMemory host_mem_;
+};
+
+} // namespace runtime
+} // namespace pipellm
+
+#endif // PIPELLM_RUNTIME_PLATFORM_HH

@@ -1,0 +1,184 @@
+#include "runtime/reuse_runtime.hh"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/logging.hh"
+
+namespace pipellm {
+namespace runtime {
+
+CiphertextReuseRuntime::CiphertextReuseRuntime(Platform &platform)
+    : RuntimeApi(platform),
+      h2d_path_(platform.eq(), platform.spec(),
+                platform.device().h2dLinkMut(), /*toward_device=*/true,
+                &platform.device().copyEngineCryptoMut()),
+      d2h_path_(platform.eq(), platform.spec(),
+                platform.device().d2hLinkMut(), /*toward_device=*/false,
+                &platform.device().copyEngineCryptoMut()),
+      seal_lane_(platform.eq(), "reuse-seal",
+                 platform.spec().cpu_crypto_bw_per_lane)
+{
+    platform.device().enableCc(&platform.channel());
+}
+
+CiphertextReuseRuntime::~CiphertextReuseRuntime()
+{
+    auto &prot = platform_.hostMem().protection();
+    for (auto &[key, retained] : retained_) {
+        if (retained.protected_pages)
+            prot.unprotect(key.addr, key.len);
+    }
+}
+
+bool
+CiphertextReuseRuntime::isSwap(std::uint64_t len) const
+{
+    return len >= 128 * KiB;
+}
+
+void
+CiphertextReuseRuntime::dropRetained(const Key &key)
+{
+    auto it = retained_.find(key);
+    if (it == retained_.end())
+        return;
+    if (it->second.protected_pages)
+        platform_.hostMem().protection().unprotect(key.addr, key.len);
+    retained_.erase(it);
+}
+
+void
+CiphertextReuseRuntime::retain(const Key &key, crypto::CipherBlob blob)
+{
+    dropRetained(key);
+    Retained r;
+    r.blob = std::move(blob);
+    r.protected_pages = true;
+    retained_.emplace(key, std::move(r));
+
+    // A plaintext update must drop the retained ciphertext, or a
+    // stale version would be replayed to the GPU.
+    auto *self = this;
+    platform_.hostMem().protection().protect(
+        key.addr, key.len, mem::Protection::NoWrite,
+        [self, key](Addr, bool) -> Tick {
+            auto it = self->retained_.find(key);
+            if (it != self->retained_.end()) {
+                it->second.protected_pages = false;
+                self->retained_.erase(it);
+                ++self->reuse_stats_.invalidated;
+            }
+            self->platform_.hostMem().protection().unprotect(key.addr,
+                                                             key.len);
+            return 0;
+        });
+}
+
+ApiResult
+CiphertextReuseRuntime::memcpyAsync(CopyKind kind, Addr dst, Addr src,
+                                    std::uint64_t len, Stream &stream,
+                                    Tick now)
+{
+    noteCopy(kind, len);
+    if (kind == CopyKind::HostToDevice)
+        return copyH2d(dst, src, len, stream, now);
+    return copyD2h(dst, src, len, stream, now);
+}
+
+ApiResult
+CiphertextReuseRuntime::copyH2d(Addr dst, Addr src, std::uint64_t len,
+                                Stream &stream, Tick now)
+{
+    const auto &spec = platform_.spec();
+    auto &host = platform_.hostMem();
+    auto &dev = platform_.device();
+    Tick control = now + spec.api_overhead + spec.cc_api_overhead;
+
+    if (isSwap(len)) {
+        Key key{src, len};
+        auto it = retained_.find(key);
+        if (it != retained_.end()) {
+            // Resend the retained ciphertext: zero crypto anywhere.
+            ++reuse_stats_.reuse_hits;
+            Tick start = std::max(control, stream.tail());
+            Tick done = h2d_path_.transfer(start, len);
+            dev.commitRetained(it->second.blob, dst);
+            stream.push(done);
+            return ApiResult{control, done};
+        }
+
+        // First touch: seal once on the CPU, retain, then send.
+        ++reuse_stats_.seals;
+        std::uint64_t n = sampleLen(len);
+        std::vector<std::uint8_t> sample(n);
+        Tick src_ready = host.read(src, sample.data(), n);
+        Tick enc_done = seal_lane_.submitNotBefore(
+            std::max(control, src_ready), len);
+        stats_.cpu_encrypt_bytes += len;
+        auto blob = platform_.channel().seal(
+            crypto::Direction::DeviceToHost /* retained namespace */,
+            generation_++, sample.data(), len);
+        Tick start = std::max(enc_done, stream.tail());
+        Tick done = h2d_path_.transfer(start, len);
+        dev.commitRetained(blob, dst);
+        retain(key, std::move(blob));
+        stream.push(done);
+        return ApiResult{enc_done, done};
+    }
+
+    // Small transfers keep stock lockstep CC behavior.
+    std::uint64_t n = sampleLen(len);
+    std::vector<std::uint8_t> sample(n);
+    Tick src_ready = host.read(src, sample.data(), n);
+    Tick enc_done =
+        std::max(control, src_ready) +
+        transferTicks(len, spec.cpu_crypto_bw_per_lane);
+    stats_.cpu_encrypt_bytes += len;
+    auto blob = platform_.channel().seal(crypto::Direction::HostToDevice,
+                                         h2d_iv_.next(), sample.data(),
+                                         len);
+    Tick start = std::max(enc_done, stream.tail());
+    Tick done = h2d_path_.transfer(start, len);
+    dev.commitEncrypted(blob, dst);
+    stream.push(done);
+    return ApiResult{enc_done, done};
+}
+
+ApiResult
+CiphertextReuseRuntime::copyD2h(Addr dst, Addr src, std::uint64_t len,
+                                Stream &stream, Tick now)
+{
+    const auto &spec = platform_.spec();
+    auto &host = platform_.hostMem();
+    auto &dev = platform_.device();
+    Tick control = now + spec.api_overhead + spec.cc_api_overhead;
+    Tick start = std::max(control, stream.tail());
+
+    if (isSwap(len)) {
+        // Swap-outs stay encrypted at rest: the GPU seals under a
+        // fresh content-generation IV, the host stores the ciphertext
+        // and never decrypts it. Swap-in is a pure resend.
+        ++reuse_stats_.encrypted_at_rest;
+        auto blob = dev.sealRetainedD2h(src, len, generation_++);
+        Tick done = d2h_path_.transfer(start, len);
+        retain(Key{dst, len}, std::move(blob));
+        stream.push(done);
+        return ApiResult{control, done};
+    }
+
+    crypto::CipherBlob blob = dev.sealD2h(src, len);
+    Tick landed = d2h_path_.transfer(start, len);
+    Tick dec_done =
+        landed + transferTicks(len, spec.cpu_crypto_bw_per_lane);
+    stats_.cpu_decrypt_bytes += len;
+    std::vector<std::uint8_t> sample;
+    if (!platform_.channel().open(blob, d2h_iv_.next(), sample))
+        PANIC("CT-Reuse: D2H tag failure");
+    host.write(dst, sample.data(), sample.size());
+    stream.push(dec_done);
+    return ApiResult{dec_done, dec_done};
+}
+
+} // namespace runtime
+} // namespace pipellm

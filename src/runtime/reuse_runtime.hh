@@ -1,0 +1,120 @@
+/**
+ * @file
+ * The ciphertext-reuse design point (paper §8.2).
+ *
+ * Observation: swapped data is read-only on the CPU, so its
+ * ciphertext could be retained and resent instead of re-encrypted
+ * every swap-in. The paper rejects this for today's hardware — plain
+ * reuse lets an attacker correlate identical transfers and opens a
+ * replay window — but sketches it as what a future CC interface could
+ * enable. This runtime implements that sketch as a performance upper
+ * bound:
+ *
+ *  - H2D swaps of previously sealed chunks resend the retained blob
+ *    (no CPU crypto at all); the simulated device accepts it under
+ *    its original IV (commitRetained).
+ *  - D2H swaps keep the ciphertext *encrypted at rest* on the host —
+ *    the CPU never decrypts swap-outs; each swap-out seals under a
+ *    fresh content-generation IV, so IVs are never reused across
+ *    different plaintexts.
+ *  - A write to a retained chunk's plaintext faults (MPK) and drops
+ *    the retained ciphertext, so stale data is never replayed.
+ *  - Small transfers keep stock lockstep-IV CC behavior.
+ *
+ * SECURITY: this mode weakens NVIDIA CC's replay protection by
+ * construction (that is §8.2's point). It exists for the comparison
+ * bench, not for adoption.
+ */
+
+#ifndef PIPELLM_RUNTIME_REUSE_RUNTIME_HH
+#define PIPELLM_RUNTIME_REUSE_RUNTIME_HH
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "crypto/iv.hh"
+#include "runtime/api.hh"
+#include "runtime/staged_path.hh"
+#include "sim/resource.hh"
+
+namespace pipellm {
+namespace runtime {
+
+/** Statistics specific to the reuse design. */
+struct ReuseStats
+{
+    /** H2D swaps served from a retained ciphertext. */
+    std::uint64_t reuse_hits = 0;
+    /** H2D swaps that had to seal (first touch or invalidated). */
+    std::uint64_t seals = 0;
+    /** Retained ciphertexts dropped because the plaintext changed. */
+    std::uint64_t invalidated = 0;
+    /** D2H swaps kept encrypted at rest (never CPU-decrypted). */
+    std::uint64_t encrypted_at_rest = 0;
+};
+
+/** Hypothetical ciphertext-reuse runtime (§8.2). */
+class CiphertextReuseRuntime : public RuntimeApi
+{
+  public:
+    explicit CiphertextReuseRuntime(Platform &platform);
+    ~CiphertextReuseRuntime() override;
+
+    const char *name() const override { return "CT-Reuse"; }
+
+    ApiResult memcpyAsync(CopyKind kind, Addr dst, Addr src,
+                          std::uint64_t len, Stream &stream,
+                          Tick now) override;
+
+    const ReuseStats &reuseStats() const { return reuse_stats_; }
+
+  private:
+    struct Key
+    {
+        Addr addr;
+        std::uint64_t len;
+        bool
+        operator==(const Key &o) const
+        {
+            return addr == o.addr && len == o.len;
+        }
+    };
+    struct KeyHash
+    {
+        std::size_t
+        operator()(const Key &k) const
+        {
+            return std::size_t((k.addr * 0x9e3779b97f4a7c15ull) ^ k.len);
+        }
+    };
+    struct Retained
+    {
+        crypto::CipherBlob blob;
+        bool protected_pages = false;
+    };
+
+    bool isSwap(std::uint64_t len) const;
+    void retain(const Key &key, crypto::CipherBlob blob);
+    void dropRetained(const Key &key);
+
+    ApiResult copyH2d(Addr dst, Addr src, std::uint64_t len,
+                      Stream &stream, Tick now);
+    ApiResult copyD2h(Addr dst, Addr src, std::uint64_t len,
+                      Stream &stream, Tick now);
+
+    StagedCopyPath h2d_path_;
+    StagedCopyPath d2h_path_;
+    sim::BandwidthResource seal_lane_;
+    crypto::IvCounter h2d_iv_{crypto::Direction::HostToDevice};
+    crypto::IvCounter d2h_iv_{crypto::Direction::DeviceToHost};
+    /** Content-generation counter for retained D2H seals. */
+    std::uint64_t generation_ = 1u << 20; // disjoint from lockstep IVs
+
+    std::unordered_map<Key, Retained, KeyHash> retained_;
+    ReuseStats reuse_stats_;
+};
+
+} // namespace runtime
+} // namespace pipellm
+
+#endif // PIPELLM_RUNTIME_REUSE_RUNTIME_HH

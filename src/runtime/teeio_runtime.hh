@@ -1,0 +1,53 @@
+/**
+ * @file
+ * The TEE I/O design point (paper §8.3): next-generation CVMs add
+ * dedicated line-rate encryption hardware on the CPU SoC, so CPU<->GPU
+ * transfers are encrypted at link speed with no CPU-thread cost and
+ * no caller blocking.
+ *
+ * The paper discusses this as the hardware alternative to PipeLLM and
+ * notes its open questions (can one SoC engine sustain eight GPUs?).
+ * This runtime models a single-GPU instance of it as an upper bound:
+ * the CC control-plane overhead and the bounce-buffer copy path
+ * remain, but AES-GCM costs nothing and stays off the critical path.
+ * IV accounting and real (sampled) sealing are identical to CcRuntime
+ * — only the timing of the crypto changes.
+ */
+
+#ifndef PIPELLM_RUNTIME_TEEIO_RUNTIME_HH
+#define PIPELLM_RUNTIME_TEEIO_RUNTIME_HH
+
+#include "crypto/iv.hh"
+#include "runtime/api.hh"
+#include "runtime/staged_path.hh"
+
+namespace pipellm {
+namespace runtime {
+
+/** Hypothetical hardware-encrypted (TEE I/O) runtime. */
+class TeeIoRuntime : public RuntimeApi
+{
+  public:
+    explicit TeeIoRuntime(Platform &platform);
+
+    const char *name() const override { return "TEE-I/O"; }
+
+    ApiResult memcpyAsync(CopyKind kind, Addr dst, Addr src,
+                          std::uint64_t len, Stream &stream,
+                          Tick now) override;
+
+    /** CPU-side next-IV counters, for tests. */
+    std::uint64_t h2dCounter() const { return h2d_iv_.current(); }
+    std::uint64_t d2hCounter() const { return d2h_iv_.current(); }
+
+  private:
+    StagedCopyPath h2d_path_;
+    StagedCopyPath d2h_path_;
+    crypto::IvCounter h2d_iv_{crypto::Direction::HostToDevice};
+    crypto::IvCounter d2h_iv_{crypto::Direction::DeviceToHost};
+};
+
+} // namespace runtime
+} // namespace pipellm
+
+#endif // PIPELLM_RUNTIME_TEEIO_RUNTIME_HH

@@ -1,0 +1,99 @@
+#include "runtime/transfer_trace.hh"
+
+#include "common/csv.hh"
+#include "common/units.hh"
+
+namespace pipellm {
+namespace runtime {
+
+const char *
+toString(TransferOutcome outcome)
+{
+    switch (outcome) {
+      case TransferOutcome::Direct:
+        return "direct";
+      case TransferOutcome::Hit:
+        return "hit";
+      case TransferOutcome::Miss:
+        return "miss";
+      case TransferOutcome::Deferred:
+        return "deferred";
+      case TransferOutcome::Nop:
+        return "nop";
+    }
+    return "?";
+}
+
+void
+TransferTrace::record(const TransferRecord &r)
+{
+    if (cap_ != 0 && records_.size() >= cap_) {
+        ++dropped_;
+        return;
+    }
+    records_.push_back(r);
+}
+
+std::uint64_t
+TransferTrace::count(TransferOutcome outcome) const
+{
+    std::uint64_t n = 0;
+    for (const auto &r : records_)
+        n += r.outcome == outcome;
+    return n;
+}
+
+std::uint64_t
+TransferTrace::totalBytes(bool to_device) const
+{
+    std::uint64_t n = 0;
+    for (const auto &r : records_) {
+        if (r.to_device == to_device)
+            n += r.bytes;
+    }
+    return n;
+}
+
+TransferTrace::BusView
+TransferTrace::busView() const
+{
+    BusView view;
+    for (const auto &r : records_) {
+        ++view.transfers;
+        if (r.bytes == 1)
+            ++view.nop_like;
+        if (r.bytes >= 128 * KiB)
+            ++view.swap_like;
+    }
+    if (view.transfers > 0)
+        view.nop_fraction =
+            double(view.nop_like) / double(view.transfers);
+    return view;
+}
+
+std::size_t
+TransferTrace::writeCsv(const std::string &path) const
+{
+    CsvWriter csv(path);
+    csv.header({"submit_us", "complete_us", "bytes", "direction",
+                "outcome"});
+    for (const auto &r : records_) {
+        csv.field(toMicroseconds(r.submit))
+            .field(toMicroseconds(r.complete))
+            .field(r.bytes)
+            .field(r.to_device ? "H2D" : "D2H")
+            .field(toString(r.outcome))
+            .endRow();
+    }
+    return csv.rows();
+}
+
+void
+TransferTrace::clear()
+{
+    records_.clear();
+    dropped_ = 0;
+}
+
+} // namespace runtime
+} // namespace pipellm

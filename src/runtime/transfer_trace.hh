@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Optional transfer tracing: a recorder any runtime can carry to log
+ * every CPU<->GPU transfer with its timing and (for PipeLLM) its
+ * speculation outcome. Useful for debugging prediction behavior, for
+ * the side-channel analysis of §8.1 (an attacker on the bus sees
+ * exactly this sequence of sizes and NOPs), and for generating
+ * timeline CSVs.
+ */
+
+#ifndef PIPELLM_RUNTIME_TRANSFER_TRACE_HH
+#define PIPELLM_RUNTIME_TRANSFER_TRACE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/units.hh"
+
+namespace pipellm {
+namespace runtime {
+
+/** How one transfer was served (PipeLLM outcomes; others use Direct). */
+enum class TransferOutcome : std::uint8_t
+{
+    Direct,   ///< no speculation involved (plain/CC/small)
+    Hit,      ///< served from a pre-encrypted entry
+    Miss,     ///< encrypted on demand
+    Deferred, ///< re-ordered behind a lower-IV sibling
+    Nop,      ///< 1-byte IV-advancing dummy
+};
+
+const char *toString(TransferOutcome outcome);
+
+/** One recorded transfer event. */
+struct TransferRecord
+{
+    Tick submit = 0;
+    Tick complete = 0;
+    std::uint64_t bytes = 0;
+    bool to_device = true;
+    TransferOutcome outcome = TransferOutcome::Direct;
+};
+
+/** Bounded in-memory trace with summary queries. */
+class TransferTrace
+{
+  public:
+    /** @param cap retain at most this many records (0 = unlimited) */
+    explicit TransferTrace(std::size_t cap = 0) : cap_(cap) {}
+
+    void record(const TransferRecord &r);
+
+    const std::vector<TransferRecord> &records() const {
+        return records_;
+    }
+
+    std::uint64_t count(TransferOutcome outcome) const;
+    std::uint64_t totalBytes(bool to_device) const;
+
+    /**
+     * §8.1 side-channel view: what a bus observer learns. NOPs are
+     * distinguishable by size, so their count (and thus the
+     * misprediction pattern) leaks; this quantifies it.
+     */
+    struct BusView
+    {
+        std::uint64_t transfers = 0;
+        std::uint64_t nop_like = 0;   ///< 1-byte transfers seen
+        std::uint64_t swap_like = 0;  ///< >=128 KiB transfers seen
+        double nop_fraction = 0.0;
+    };
+    BusView busView() const;
+
+    /** Dump to CSV at @p path; returns rows written. */
+    std::size_t writeCsv(const std::string &path) const;
+
+    void clear();
+
+  private:
+    std::size_t cap_;
+    std::vector<TransferRecord> records_;
+    std::uint64_t dropped_ = 0;
+};
+
+} // namespace runtime
+} // namespace pipellm
+
+#endif // PIPELLM_RUNTIME_TRANSFER_TRACE_HH

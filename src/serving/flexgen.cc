@@ -1,0 +1,156 @@
+#include "serving/flexgen.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace pipellm {
+namespace serving {
+
+FlexGenEngine::FlexGenEngine(runtime::RuntimeApi &rt,
+                             const FlexGenConfig &config)
+    : rt_(rt), config_(config), cost_(config.model),
+      compute_stream_(rt.createStream("flexgen-compute"))
+{
+    auto &platform = rt_.platform();
+    const auto &model = config_.model;
+
+    // Carve the GPU: KV cache for the batch + embeddings + workspace,
+    // remainder goes to resident layers. In KV-offload mode only two
+    // per-layer KV slots live on the GPU.
+    kv_block_bytes_ = std::uint64_t(config_.batch) *
+                      (config_.input_len + config_.output_len) *
+                      model.kvBytesPerTokenPerLayer();
+    std::uint64_t kv_bytes =
+        config_.kv_offload ? 2 * kv_block_bytes_
+                           : kv_block_bytes_ * model.num_layers;
+    std::uint64_t gpu_total = platform.spec().gpu_mem_bytes;
+    // Workspace scales down with small (test) GPUs.
+    std::uint64_t workspace =
+        std::min<std::uint64_t>(2 * GiB, gpu_total / 8);
+    std::uint64_t reserved = config_.gpu_reserved_bytes
+                                 ? config_.gpu_reserved_bytes
+                                 : kv_bytes + model.embeddingBytes() +
+                                       workspace;
+    // Two streaming slots are carved out by the LayerStore itself.
+    std::uint64_t slots = 2 * model.layerParamBytes();
+    if (reserved + slots >= gpu_total) {
+        FATAL("FlexGen config does not fit: batch ", config_.batch,
+              " needs ", reserved, " reserved bytes of ", gpu_total);
+    }
+    std::uint64_t weight_budget = gpu_total - reserved - slots;
+
+    layers_ = std::make_unique<LayerStore>(rt_, model, weight_budget);
+
+    if (config_.kv_offload) {
+        kv_slots_ = platform.device().alloc(2 * kv_block_bytes_,
+                                            "flexgen-kv-slots");
+        for (unsigned l = 0; l < model.num_layers; ++l) {
+            kv_host_.push_back(platform.allocHost(
+                kv_block_bytes_, "flexgen-kv-host" +
+                                     std::to_string(l)));
+        }
+        kv_stream_ = &rt_.createStream("flexgen-kv");
+    } else {
+        kv_region_ = platform.device().alloc(
+            std::max(kv_bytes, pipellm::KiB), "flexgen-kv");
+    }
+    token_buf_host_ = platform.allocHost(4 * KiB, "flexgen-tokens-host");
+    token_buf_dev_ = platform.device().alloc(4 * KiB,
+                                             "flexgen-tokens-dev");
+}
+
+FlexGenEngine::~FlexGenEngine() = default;
+
+Tick
+FlexGenEngine::layerPass(Tick now, bool prefill, std::uint64_t context)
+{
+    const unsigned L = layers_->layers();
+
+    // Kick off the first offloaded layer's copy before computing.
+    for (unsigned l = 0; l < std::min(1u, L); ++l)
+        now = layers_->prefetch(l, now);
+
+    for (unsigned l = 0; l < L; ++l) {
+        // Prefetch the next layer while this one computes.
+        if (l + 1 < L)
+            now = layers_->prefetch(l + 1, now);
+
+        // KV-offload: this layer's cache block streams in ahead of
+        // the compute and back out after it.
+        Addr kv_slot = 0;
+        if (config_.kv_offload) {
+            kv_slot = kv_slots_.base + (l % 2) * kv_block_bytes_;
+            auto kv_in = rt_.memcpyAsync(
+                runtime::CopyKind::HostToDevice, kv_slot,
+                kv_host_[l].base, kv_block_bytes_, *kv_stream_, now);
+            now = kv_in.api_return;
+            compute_stream_.waitEvent(kv_in.complete);
+        }
+
+        compute_stream_.waitEvent(layers_->readyAt(l));
+        auto kernel = prefill
+                          ? cost_.prefillLayerKernel(config_.batch,
+                                                     context)
+                          : cost_.decodeLayerKernel(config_.batch,
+                                                    context);
+        auto r = rt_.launchKernel(kernel, compute_stream_, now);
+        now = r.api_return;
+        layers_->computeDone(l, r.complete);
+
+        if (config_.kv_offload) {
+            kv_stream_->waitEvent(r.complete);
+            now = rt_.memcpyAsync(runtime::CopyKind::DeviceToHost,
+                                  kv_host_[l].base, kv_slot,
+                                  kv_block_bytes_, *kv_stream_, now)
+                      .api_return;
+        }
+    }
+
+    // Output embedding / sampling for the step.
+    auto r = rt_.launchKernel(cost_.embeddingKernel(config_.batch),
+                              compute_stream_, now);
+    now = r.api_return;
+
+    // Token traffic: sampled ids out, next ids in (small transfers).
+    now = rt_.memcpyAsync(runtime::CopyKind::DeviceToHost,
+                          token_buf_host_.base, token_buf_dev_.base,
+                          4 * config_.batch, compute_stream_, now)
+              .api_return;
+    now = rt_.memcpyAsync(runtime::CopyKind::HostToDevice,
+                          token_buf_dev_.base, token_buf_host_.base,
+                          4 * config_.batch, compute_stream_, now)
+              .api_return;
+
+    return rt_.synchronize(now);
+}
+
+FlexGenResult
+FlexGenEngine::run()
+{
+    const unsigned batches =
+        (config_.num_requests + config_.batch - 1) / config_.batch;
+
+    Tick now = 0;
+    for (unsigned b = 0; b < batches; ++b) {
+        // Prefill over the prompt, then autoregressive decode.
+        now = layerPass(now, /*prefill=*/true, config_.input_len);
+        for (std::uint32_t t = 1; t < config_.output_len; ++t) {
+            std::uint64_t ctx = config_.input_len + t;
+            now = layerPass(now, /*prefill=*/false, ctx);
+        }
+    }
+
+    FlexGenResult result;
+    result.total_time = now;
+    result.generated_tokens =
+        std::uint64_t(batches) * config_.batch * config_.output_len;
+    result.tokens_per_sec =
+        double(result.generated_tokens) / toSeconds(now);
+    result.resident_layers = layers_->residentLayers();
+    result.offloaded_layers = layers_->offloadedLayers();
+    return result;
+}
+
+} // namespace serving
+} // namespace pipellm

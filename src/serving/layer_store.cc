@@ -1,0 +1,117 @@
+#include "serving/layer_store.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace pipellm {
+namespace serving {
+
+LayerStore::LayerStore(runtime::RuntimeApi &rt,
+                       const llm::ModelConfig &model,
+                       std::uint64_t gpu_weight_budget)
+    : rt_(rt), model_(model), layer_bytes_(model.layerParamBytes())
+{
+    model_.validate();
+    auto &platform = rt_.platform();
+
+    unsigned fit = unsigned(gpu_weight_budget / layer_bytes_);
+    resident_layers_ = std::min(fit, model_.num_layers);
+    unsigned offloaded = model_.num_layers - resident_layers_;
+
+    for (unsigned l = 0; l < resident_layers_; ++l) {
+        resident_regions_.push_back(platform.device().alloc(
+            layer_bytes_, model_.name + "/gpu-layer" +
+                              std::to_string(l)));
+    }
+    for (unsigned l = 0; l < offloaded; ++l) {
+        host_regions_.push_back(platform.allocHost(
+            layer_bytes_, model_.name + "/host-layer" +
+                              std::to_string(resident_layers_ + l)));
+    }
+    if (offloaded > 0) {
+        // Double-buffered streaming slots.
+        unsigned n_slots = std::min(2u, offloaded);
+        for (unsigned s = 0; s < n_slots; ++s) {
+            slot_regions_.push_back(platform.device().alloc(
+                layer_bytes_, model_.name + "/slot" +
+                                  std::to_string(s)));
+        }
+        slot_free_at_.assign(slot_regions_.size(), 0);
+        for (unsigned s = 0; s < slot_regions_.size(); ++s) {
+            copy_streams_.push_back(
+                &rt_.createStream("layer-copy" + std::to_string(s)));
+        }
+    }
+    layer_ready_.assign(model_.num_layers, 0);
+    layer_slot_.assign(model_.num_layers, 0);
+}
+
+LayerStore::~LayerStore() = default;
+
+double
+LayerStore::offloadedFraction() const
+{
+    return double(offloadedLayers()) / double(model_.num_layers);
+}
+
+Addr
+LayerStore::hostAddr(unsigned layer) const
+{
+    PIPELLM_ASSERT(!resident(layer), "layer ", layer, " is resident");
+    return host_regions_[layer - resident_layers_].base;
+}
+
+Addr
+LayerStore::slotAddr(unsigned layer) const
+{
+    PIPELLM_ASSERT(!resident(layer), "layer ", layer, " is resident");
+    return slot_regions_[layer_slot_[layer]].base;
+}
+
+Tick
+LayerStore::prefetch(unsigned layer, Tick now)
+{
+    if (resident(layer)) {
+        layer_ready_[layer] = 0;
+        return now;
+    }
+    unsigned slot = (layer - resident_layers_) %
+                    unsigned(slot_regions_.size());
+    layer_slot_[layer] = slot;
+
+    // Double-buffer hazard: the slot must not be overwritten while a
+    // previous layer's compute is still reading it.
+    runtime::Stream &cs = *copy_streams_[slot];
+    cs.waitEvent(slot_free_at_[slot]);
+
+    auto r = rt_.memcpyAsync(runtime::CopyKind::HostToDevice,
+                             slot_regions_[slot].base, hostAddr(layer),
+                             layer_bytes_, cs, now);
+    // Deferred sends (PipeLLM re-ordering) report complete=0; the
+    // consumer must then wait on the copy-stream sync instead.
+    layer_ready_[layer] = r.complete;
+    return r.api_return;
+}
+
+Tick
+LayerStore::readyAt(unsigned layer) const
+{
+    return resident(layer) ? 0 : layer_ready_[layer];
+}
+
+void
+LayerStore::computeDone(unsigned layer, Tick t)
+{
+    if (!resident(layer))
+        slot_free_at_[layer_slot_[layer]] = t;
+}
+
+Tick
+LayerStore::sync(Tick now)
+{
+    return rt_.synchronize(now);
+}
+
+} // namespace serving
+} // namespace pipellm

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Layer placement and prefetch for weight-offloaded execution
+ * (FlexGen inference and DeepSpeed/PEFT fine-tuning).
+ *
+ * A prefix of the model's layers stays resident in GPU memory; the
+ * rest live in CVM DRAM and stream through a pair of double-buffered
+ * GPU slots in use order. Copies are issued on a dedicated copy
+ * stream ahead of the compute that consumes them — the overlap that
+ * NVIDIA CC destroys by blocking the issuing thread inside the API
+ * call (paper §3, case study 1).
+ */
+
+#ifndef PIPELLM_SERVING_LAYER_STORE_HH
+#define PIPELLM_SERVING_LAYER_STORE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "llm/model.hh"
+#include "runtime/api.hh"
+
+namespace pipellm {
+namespace serving {
+
+/** Placement plan and streaming machinery for one model's weights. */
+class LayerStore
+{
+  public:
+    /**
+     * @param gpu_weight_budget bytes of GPU memory available for
+     *        resident layers (after KV/activations are carved out)
+     */
+    LayerStore(runtime::RuntimeApi &rt, const llm::ModelConfig &model,
+               std::uint64_t gpu_weight_budget);
+
+    ~LayerStore();
+
+    unsigned layers() const { return model_.num_layers; }
+    unsigned residentLayers() const { return resident_layers_; }
+    unsigned offloadedLayers() const {
+        return model_.num_layers - resident_layers_;
+    }
+
+    /** Fraction of weight bytes that must stream per pass. */
+    double offloadedFraction() const;
+
+    bool resident(unsigned layer) const {
+        return layer < resident_layers_;
+    }
+
+    /**
+     * Issue the H2D copy for @p layer's weights (no-op if resident).
+     * The copy is enqueued on the internal copy stream at @p now.
+     * @return the API-return tick (the caller's new clock)
+     */
+    Tick prefetch(unsigned layer, Tick now);
+
+    /**
+     * Tick at which @p layer's weights are usable on the GPU for the
+     * current pass (0 for resident layers). Valid only after the
+     * corresponding prefetch() in this pass.
+     */
+    Tick readyAt(unsigned layer) const;
+
+    /**
+     * Record that compute on @p layer finished at @p t; the slot it
+     * occupied becomes reusable (double-buffer hazard tracking).
+     */
+    void computeDone(unsigned layer, Tick t);
+
+    /** GPU address a streamed layer lands at (its slot). */
+    Addr slotAddr(unsigned layer) const;
+
+    /** Host address of an offloaded layer's weights. */
+    Addr hostAddr(unsigned layer) const;
+
+    std::uint64_t layerBytes() const { return layer_bytes_; }
+
+    /** Number of streaming slots (prefetch depth + 1). */
+    unsigned slots() const { return unsigned(slot_regions_.size()); }
+
+    /** Synchronize the copy stream (used at pass boundaries). */
+    Tick sync(Tick now);
+
+  private:
+    runtime::RuntimeApi &rt_;
+    llm::ModelConfig model_;
+    std::uint64_t layer_bytes_;
+    unsigned resident_layers_;
+
+    /** One copy stream per slot so consecutive transfers overlap. */
+    std::vector<runtime::Stream *> copy_streams_;
+    std::vector<mem::Region> host_regions_;   // offloaded layers
+    std::vector<mem::Region> resident_regions_;
+    std::vector<mem::Region> slot_regions_;   // streaming slots
+    std::vector<Tick> slot_free_at_;          // compute-done per slot
+    std::vector<Tick> layer_ready_;           // per pass
+    std::vector<unsigned> layer_slot_;        // slot used this pass
+};
+
+} // namespace serving
+} // namespace pipellm
+
+#endif // PIPELLM_SERVING_LAYER_STORE_HH

@@ -1,0 +1,141 @@
+#include "serving/peft.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace pipellm {
+namespace serving {
+
+using runtime::CopyKind;
+
+PeftEngine::PeftEngine(runtime::RuntimeApi &rt, const PeftConfig &config)
+    : rt_(rt), config_(config), cost_(config.model),
+      compute_stream_(rt.createStream("peft-compute"))
+{
+    auto &platform = rt_.platform();
+    const auto &model = config_.model;
+
+    // Activation memory for the batch at full context (checkpointed).
+    std::uint64_t act_bytes =
+        std::uint64_t(config_.batch) * model.max_positions *
+        cost_.activationBytesPerTokenPerLayer() * model.num_layers / 4;
+    std::uint64_t gpu_total = platform.spec().gpu_mem_bytes;
+    std::uint64_t slots = 2 * model.layerParamBytes();
+    std::uint64_t reserved = act_bytes + config_.gpu_reserved_bytes +
+                             model.embeddingBytes();
+    if (reserved + slots >= gpu_total) {
+        FATAL("PEFT config does not fit: batch ", config_.batch,
+              " needs ", reserved, " reserved bytes of ", gpu_total);
+    }
+
+    layers_ = std::make_unique<LayerStore>(rt_, model,
+                                           gpu_total - reserved - slots);
+
+    std::uint64_t gbytes = std::max(adapterBytes(),
+                                    std::uint64_t(4 * KiB));
+    for (unsigned l = 0; l < model.num_layers; ++l) {
+        grad_host_.push_back(platform.allocHost(
+            gbytes, "lora-grads" + std::to_string(l)));
+    }
+    grad_dev_ = platform.device().alloc(gbytes, "lora-grads-dev");
+}
+
+PeftEngine::~PeftEngine() = default;
+
+std::uint64_t
+PeftEngine::adapterBytes()
+const
+{
+    // LoRA A and B matrices for the four attention projections:
+    // 4 * 2 * hidden * rank parameters in fp16.
+    return 8ull * config_.model.hidden * config_.lora_rank * 2;
+}
+
+Tick
+PeftEngine::step(Tick now, std::uint64_t tokens)
+{
+    const unsigned L = layers_->layers();
+
+    // ---- forward sweep ----
+    now = layers_->prefetch(0, now);
+    for (unsigned l = 0; l < L; ++l) {
+        if (l + 1 < L)
+            now = layers_->prefetch(l + 1, now);
+        compute_stream_.waitEvent(layers_->readyAt(l));
+        auto r = rt_.launchKernel(cost_.forwardLayerKernel(tokens),
+                                  compute_stream_, now);
+        now = r.api_return;
+        layers_->computeDone(l, r.complete);
+    }
+    now = rt_.synchronize(now);
+
+    // ---- backward sweep (reverse layer order) ----
+    now = layers_->prefetch(L - 1, now);
+    for (unsigned l = L; l-- > 0;) {
+        if (l > 0)
+            now = layers_->prefetch(l - 1, now);
+        compute_stream_.waitEvent(layers_->readyAt(l));
+        auto r = rt_.launchKernel(cost_.backwardLayerKernel(tokens),
+                                  compute_stream_, now);
+        now = r.api_return;
+        layers_->computeDone(l, r.complete);
+
+        // This layer's adapter gradients stream out.
+        now = rt_.memcpyAsync(CopyKind::DeviceToHost,
+                              grad_host_[l].base, grad_dev_.base,
+                              adapterBytes(), compute_stream_, now)
+                  .api_return;
+    }
+    now = rt_.synchronize(now);
+
+    // CPU optimizer step over the (tiny) adapter parameters. The
+    // update *writes* the host buffers — if a runtime speculatively
+    // encrypted them, the validator must fault and invalidate (§5.2).
+    now += microseconds(50);
+    auto &host = rt_.platform().hostMem();
+    for (unsigned l = 0; l < L; ++l) {
+        std::uint8_t update[64];
+        for (unsigned i = 0; i < sizeof(update); ++i)
+            update[i] = std::uint8_t((now + l) >> (i % 8));
+        now = std::max(now, host.write(grad_host_[l].base, update,
+                                       sizeof(update)));
+        // The updated adapters return to the GPU.
+        now = rt_.memcpyAsync(CopyKind::HostToDevice, grad_dev_.base,
+                              grad_host_[l].base, adapterBytes(),
+                              compute_stream_, now)
+                  .api_return;
+    }
+    return rt_.synchronize(now);
+}
+
+PeftResult
+PeftEngine::run(const trace::Trace &data)
+{
+    unsigned n = std::min<unsigned>(config_.num_sequences,
+                                    unsigned(data.size()));
+    PIPELLM_ASSERT(n > 0, "empty fine-tuning dataset");
+
+    Tick now = 0;
+    std::uint64_t tokens_total = 0;
+    for (unsigned i = 0; i < n; i += config_.batch) {
+        unsigned b = std::min(config_.batch, n - i);
+        std::uint64_t tokens = 0;
+        for (unsigned j = 0; j < b; ++j)
+            tokens += data[i + j].prompt_len;
+        tokens_total += tokens;
+        now = step(now, tokens);
+    }
+
+    PeftResult result;
+    result.total_time = now;
+    result.trained_tokens = tokens_total;
+    result.sequences_per_sec = double(n) / toSeconds(now);
+    result.tokens_per_sec = double(tokens_total) / toSeconds(now);
+    result.resident_layers = layers_->residentLayers();
+    result.offloaded_layers = layers_->offloadedLayers();
+    return result;
+}
+
+} // namespace serving
+} // namespace pipellm

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * PEFT/DeepSpeed-style LoRA fine-tuning with weight offloading
+ * (paper §3 case study 3, §7.2 "model offloading" fine-tuning half).
+ *
+ * The base model is frozen; only LoRA adapters train. Each step runs
+ * a forward sweep over the layers and a backward sweep in reverse,
+ * streaming offloaded base weights through the LayerStore both ways
+ * (the swap-in sequence is the repeating palindrome
+ * 0,1,...,L-1,L-1,...,1,0 — a repetitive pattern for the predictor).
+ * Adapter gradients leave the GPU as small transfers; the optimizer
+ * step runs on the CPU.
+ */
+
+#ifndef PIPELLM_SERVING_PEFT_HH
+#define PIPELLM_SERVING_PEFT_HH
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "llm/cost_model.hh"
+#include "runtime/api.hh"
+#include "serving/layer_store.hh"
+#include "trace/request.hh"
+
+namespace pipellm {
+namespace serving {
+
+/** Fine-tuning run configuration. */
+struct PeftConfig
+{
+    llm::ModelConfig model;
+    /** Sequences per step (the paper maximizes this). */
+    unsigned batch = 8;
+    /** LoRA rank (adapter size). */
+    unsigned lora_rank = 16;
+    /** GPU bytes reserved beyond activations (workspace, optimizer). */
+    std::uint64_t gpu_reserved_bytes = 2 * GiB;
+    /** Sequences to train on (the paper's epoch is ~6k). */
+    unsigned num_sequences = 6000;
+};
+
+/** Result of a fine-tuning run. */
+struct PeftResult
+{
+    /** Training throughput in sequences per second. */
+    double sequences_per_sec = 0;
+    /** Training throughput in tokens per second. */
+    double tokens_per_sec = 0;
+    Tick total_time = 0;
+    std::uint64_t trained_tokens = 0;
+    unsigned resident_layers = 0;
+    unsigned offloaded_layers = 0;
+};
+
+/** The engine. */
+class PeftEngine
+{
+  public:
+    PeftEngine(runtime::RuntimeApi &rt, const PeftConfig &config);
+    ~PeftEngine();
+
+    /** Train over @p data for one epoch; returns the metrics. */
+    PeftResult run(const trace::Trace &data);
+
+    const LayerStore &layerStore() const { return *layers_; }
+
+    /** Bytes of one layer's LoRA adapter gradients. */
+    std::uint64_t adapterBytes() const;
+
+  private:
+    Tick step(Tick now, std::uint64_t tokens);
+
+    runtime::RuntimeApi &rt_;
+    PeftConfig config_;
+    llm::CostModel cost_;
+    std::unique_ptr<LayerStore> layers_;
+    runtime::Stream &compute_stream_;
+    /** Per-layer adapter gradient/weight staging on the host. */
+    std::vector<mem::Region> grad_host_;
+    mem::Region grad_dev_{};
+};
+
+} // namespace serving
+} // namespace pipellm
+
+#endif // PIPELLM_SERVING_PEFT_HH

@@ -1,0 +1,352 @@
+#include "serving/vllm.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace pipellm {
+namespace serving {
+
+using runtime::CopyKind;
+
+VllmEngine::VllmEngine(runtime::RuntimeApi &rt, const VllmConfig &config)
+    : rt_(rt), config_(config), cost_(config.model),
+      compute_stream_(rt.createStream("vllm-compute")),
+      swap_stream_(rt.createStream("vllm-swap"))
+{
+    auto &platform = rt_.platform();
+    const auto &model = config_.model;
+
+    std::uint64_t weight_bytes = model.totalParamBytes();
+    std::uint64_t gpu_total = platform.spec().gpu_mem_bytes;
+    if (weight_bytes + config_.gpu_reserved_bytes >= gpu_total) {
+        FATAL("vLLM requires resident weights: ", model.name,
+              " needs ", weight_bytes, " of ", gpu_total, " bytes");
+    }
+
+    weights_ = platform.device().alloc(weight_bytes,
+                                       model.name + "/weights");
+    std::uint64_t kv_budget =
+        gpu_total - weight_bytes - config_.gpu_reserved_bytes;
+
+    block_bytes_ = std::uint64_t(config_.block_tokens) *
+                   model.kvBytesPerToken();
+    total_blocks_ = kv_budget / block_bytes_;
+    PIPELLM_ASSERT(total_blocks_ > 8,
+                   "KV pool too small: ", total_blocks_, " blocks");
+    kv_pool_ = platform.device().alloc(total_blocks_ * block_bytes_,
+                                       "vllm-kv-pool");
+    for (std::uint32_t b = 0; b < total_blocks_; ++b)
+        free_block_ids_.push_back(std::uint32_t(total_blocks_) - 1 - b);
+
+    token_host_ = platform.allocHost(16 * KiB, "vllm-tokens-host");
+    token_dev_ = platform.device().alloc(16 * KiB, "vllm-tokens-dev");
+}
+
+VllmEngine::~VllmEngine() = default;
+
+std::uint64_t
+VllmEngine::blocksFor(const Group &g, std::uint32_t generated) const
+{
+    std::uint64_t bt = config_.block_tokens;
+    std::uint64_t prompt_blocks = (g.prompt_len + bt - 1) / bt;
+    std::uint64_t gen = std::max<std::uint32_t>(generated, 1);
+    std::uint64_t per_seq = (gen + bt - 1) / bt;
+    return prompt_blocks + config_.parallel_sampling * per_seq;
+}
+
+std::uint64_t
+VllmEngine::contextOf(const Group &g) const
+{
+    return g.prompt_len + g.generated;
+}
+
+bool
+VllmEngine::admit(Group &g, Tick &now)
+{
+    std::uint64_t need = blocksFor(g, 1);
+    if (free_block_ids_.size() < need)
+        return false;
+    for (std::uint64_t i = 0; i < need; ++i) {
+        g.block_ids.push_back(free_block_ids_.back());
+        free_block_ids_.pop_back();
+    }
+    (void)now;
+    return true;
+}
+
+void
+VllmEngine::freeBlocks(Group &g)
+{
+    for (auto b : g.block_ids)
+        free_block_ids_.push_back(b);
+    g.block_ids.clear();
+}
+
+void
+VllmEngine::swapOut(Group &g, Tick &now)
+{
+    if (config_.preempt_mode == PreemptMode::Recompute) {
+        // Drop the KV entirely; the group will re-prefill on resume.
+        ++result_.preemptions;
+        freeBlocks(g);
+        g.swapped = true;
+        return;
+    }
+    auto &platform = rt_.platform();
+    std::uint64_t nblocks = g.block_ids.size();
+    g.host_swap = platform.allocHost(nblocks * block_bytes_,
+                                     "vllm-swap-" + std::to_string(g.id));
+    for (std::uint64_t i = 0; i < nblocks; ++i) {
+        now = rt_.memcpyAsync(CopyKind::DeviceToHost,
+                              g.host_swap.base + i * block_bytes_,
+                              kv_pool_.base +
+                                  std::uint64_t(g.block_ids[i]) *
+                                      block_bytes_,
+                              block_bytes_, swap_stream_, now)
+                  .api_return;
+    }
+    now = rt_.synchronize(now);
+    result_.swap_out_bytes += nblocks * block_bytes_;
+    ++result_.preemptions;
+    freeBlocks(g);
+    g.swapped = true;
+}
+
+bool
+VllmEngine::swapIn(Group &g, Tick &now)
+{
+    auto &platform = rt_.platform();
+    // Watermark hysteresis: resuming a group the moment it barely
+    // fits gets it preempted right back (thrash); require headroom
+    // for near-term growth too.
+    std::uint64_t watermark = total_blocks_ / 10;
+    if (free_block_ids_.size() <
+        blocksFor(g, g.generated + 1) + watermark)
+        return false;
+
+    if (config_.preempt_mode == PreemptMode::Recompute) {
+        // Reclaim blocks and re-prefill the full context
+        // (prompt + tokens generated so far) on the GPU.
+        std::uint64_t want = blocksFor(g, std::max(g.generated, 1u));
+        for (std::uint64_t i = 0; i < want; ++i) {
+            g.block_ids.push_back(free_block_ids_.back());
+            free_block_ids_.pop_back();
+        }
+        std::uint64_t ctx = contextOf(g);
+        result_.recomputed_tokens += ctx;
+        for (unsigned l = 0; l < config_.model.num_layers; ++l) {
+            now = rt_.launchKernel(
+                         cost_.prefillLayerKernel(1, ctx),
+                         compute_stream_, now)
+                      .api_return;
+        }
+        now = rt_.synchronize(now);
+        g.swapped = false;
+        return true;
+    }
+
+    std::uint64_t nblocks =
+        g.host_swap.len / block_bytes_;
+    for (std::uint64_t i = 0; i < nblocks; ++i) {
+        g.block_ids.push_back(free_block_ids_.back());
+        free_block_ids_.pop_back();
+    }
+    for (std::uint64_t i = 0; i < nblocks; ++i) {
+        now = rt_.memcpyAsync(CopyKind::HostToDevice,
+                              kv_pool_.base +
+                                  std::uint64_t(g.block_ids[i]) *
+                                      block_bytes_,
+                              g.host_swap.base + i * block_bytes_,
+                              block_bytes_, swap_stream_, now)
+                  .api_return;
+    }
+    now = rt_.synchronize(now);
+    result_.swap_in_bytes += nblocks * block_bytes_;
+    platform.freeHost(g.host_swap);
+    g.host_swap = mem::Region{};
+    g.swapped = false;
+    return true;
+}
+
+Tick
+VllmEngine::computeStep(Tick now, const std::vector<std::size_t> &prefill,
+                        std::uint64_t decode_seqs,
+                        std::uint64_t decode_ctx_sum)
+{
+    // Prefill kernels for newly admitted groups (per layer, batched).
+    if (!prefill.empty()) {
+        std::uint64_t prompt_sum = 0;
+        for (auto gi : prefill)
+            prompt_sum += groups_[gi].prompt_len;
+        std::uint64_t avg_prompt =
+            std::max<std::uint64_t>(1, prompt_sum / prefill.size());
+        for (unsigned l = 0; l < config_.model.num_layers; ++l) {
+            now = rt_.launchKernel(
+                         cost_.prefillLayerKernel(prefill.size(),
+                                                  avg_prompt),
+                         compute_stream_, now)
+                      .api_return;
+        }
+    }
+
+    // Decode kernels for the running batch.
+    if (decode_seqs > 0) {
+        std::uint64_t avg_ctx =
+            std::max<std::uint64_t>(1, decode_ctx_sum / decode_seqs);
+        for (unsigned l = 0; l < config_.model.num_layers; ++l) {
+            now = rt_.launchKernel(
+                         cost_.decodeLayerKernel(decode_seqs, avg_ctx),
+                         compute_stream_, now)
+                      .api_return;
+        }
+        now = rt_.launchKernel(cost_.embeddingKernel(decode_seqs),
+                               compute_stream_, now)
+                  .api_return;
+        // Token traffic (small transfers).
+        now = rt_.memcpyAsync(CopyKind::DeviceToHost, token_host_.base,
+                              token_dev_.base, 4 * decode_seqs,
+                              compute_stream_, now)
+                  .api_return;
+        now = rt_.memcpyAsync(CopyKind::HostToDevice, token_dev_.base,
+                              token_host_.base, 4 * decode_seqs,
+                              compute_stream_, now)
+                  .api_return;
+    }
+    return rt_.synchronize(now);
+}
+
+VllmResult
+VllmEngine::run(const trace::Trace &requests)
+{
+    groups_.clear();
+    groups_.reserve(requests.size());
+    for (const auto &r : requests) {
+        Group g;
+        g.id = r.id;
+        g.arrival = r.arrival;
+        g.prompt_len = r.prompt_len;
+        g.output_len = std::max<std::uint32_t>(r.output_len, 1);
+        groups_.push_back(g);
+    }
+
+    std::vector<std::size_t> waiting;  // FIFO of group indices
+    std::vector<std::size_t> running;
+    std::vector<std::size_t> swapped;  // LIFO stack
+    std::size_t next_arrival = 0;
+    std::uint64_t completed = 0;
+    Tick now = 0;
+
+    while (completed < groups_.size()) {
+        // Pull in arrivals.
+        while (next_arrival < groups_.size() &&
+               groups_[next_arrival].arrival <= now) {
+            waiting.push_back(next_arrival);
+            ++next_arrival;
+        }
+        if (running.empty() && swapped.empty() && waiting.empty()) {
+            PIPELLM_ASSERT(next_arrival < groups_.size(),
+                           "scheduler idle with work remaining");
+            now = groups_[next_arrival].arrival;
+            continue;
+        }
+
+        // Resume preempted groups first, most recent first (LIFO).
+        while (!swapped.empty()) {
+            Group &g = groups_[swapped.back()];
+            if (!swapIn(g, now))
+                break;
+            running.push_back(swapped.back());
+            swapped.pop_back();
+        }
+
+        // Admit new requests while memory allows.
+        std::vector<std::size_t> prefill;
+        while (!waiting.empty() &&
+               running.size() < config_.max_running_groups &&
+               swapped.empty()) {
+            Group &g = groups_[waiting.front()];
+            if (!admit(g, now))
+                break;
+            prefill.push_back(waiting.front());
+            running.push_back(waiting.front());
+            waiting.erase(waiting.begin());
+        }
+
+        if (running.empty()) {
+            // Neither a resume nor an admission fit: some group alone
+            // exceeds the pool, which even real vLLM cannot serve.
+            FATAL("vLLM cannot make progress: a single group needs "
+                  "more KV blocks than the pool holds (",
+                  total_blocks_, " blocks); shorten the trace or use "
+                  "a smaller parallel_sampling");
+        }
+
+        // Ensure every running group can append one token; preempt
+        // the lowest-priority (latest arrival) groups until it fits.
+        auto growth = [&]() {
+            std::uint64_t need = 0;
+            for (auto gi : running) {
+                Group &g = groups_[gi];
+                need += blocksFor(g, g.generated + 1) -
+                        g.block_ids.size();
+            }
+            return need;
+        };
+        while (growth() > free_block_ids_.size()) {
+            PIPELLM_ASSERT(running.size() > 1,
+                           "KV pool cannot hold a single group; "
+                           "shorten the trace or grow the pool");
+            // Latest arrival = lowest priority.
+            auto victim = std::max_element(
+                running.begin(), running.end(),
+                [&](std::size_t a, std::size_t b) {
+                    return groups_[a].arrival < groups_[b].arrival;
+                });
+            std::size_t gi = *victim;
+            running.erase(victim);
+            swapOut(groups_[gi], now);
+            swapped.push_back(gi);
+        }
+
+        // Allocate the growth blocks.
+        std::uint64_t decode_seqs = 0;
+        std::uint64_t ctx_sum = 0;
+        for (auto gi : running) {
+            Group &g = groups_[gi];
+            std::uint64_t want = blocksFor(g, g.generated + 1);
+            while (g.block_ids.size() < want) {
+                g.block_ids.push_back(free_block_ids_.back());
+                free_block_ids_.pop_back();
+            }
+            decode_seqs += config_.parallel_sampling;
+            ctx_sum += contextOf(g) * config_.parallel_sampling;
+        }
+
+        now = computeStep(now, prefill, decode_seqs, ctx_sum);
+
+        // One token generated per sequence; retire finished groups.
+        for (auto it = running.begin(); it != running.end();) {
+            Group &g = groups_[*it];
+            ++g.generated;
+            if (g.generated >= g.output_len) {
+                freeBlocks(g);
+                norm_latency_.add(toSeconds(now - g.arrival) /
+                                  double(g.generated));
+                ++completed;
+                it = running.erase(it);
+            } else {
+                ++it;
+            }
+        }
+    }
+
+    result_.completed = completed;
+    result_.total_time = now;
+    result_.normalized_latency = norm_latency_.mean();
+    result_.p90_normalized_latency = norm_latency_.percentile(90);
+    return result_;
+}
+
+} // namespace serving
+} // namespace pipellm

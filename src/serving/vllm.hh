@@ -1,0 +1,135 @@
+/**
+ * @file
+ * vLLM-style low-latency serving with block-granular KV cache and
+ * request-wise swapping (paper §3 case study 2, §7.2 "KV cache
+ * swapping").
+ *
+ * Model weights stay resident; memory pressure comes from the KV
+ * cache of concurrently served requests. Parallel sampling keeps n
+ * sequences per request sharing the prompt KV. Under pressure the
+ * scheduler preempts the lowest-priority (latest-arrival) running
+ * group and swaps its KV blocks to CVM DRAM; preempted groups resume
+ * in LIFO order — the pattern PipeLLM's predictor exploits (§5.1).
+ */
+
+#ifndef PIPELLM_SERVING_VLLM_HH
+#define PIPELLM_SERVING_VLLM_HH
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "llm/cost_model.hh"
+#include "runtime/api.hh"
+#include "sim/stats.hh"
+#include "trace/request.hh"
+
+namespace pipellm {
+namespace serving {
+
+/** What a preempted group does with its KV cache. */
+enum class PreemptMode : std::uint8_t
+{
+    /** Swap blocks to CVM DRAM and back (the paper's focus). */
+    Swap,
+    /**
+     * Drop the KV and re-prefill prompt+generated tokens on resume
+     * (vLLM's alternative policy; trades GPU compute for PCIe/crypto
+     * traffic — an interesting lever *under CC*).
+     */
+    Recompute,
+};
+
+/** vLLM run configuration. */
+struct VllmConfig
+{
+    llm::ModelConfig model;
+    PreemptMode preempt_mode = PreemptMode::Swap;
+    /** Output sequences sampled per request (paper: 2, 4, 6). */
+    unsigned parallel_sampling = 6;
+    /** Tokens per KV block (vLLM default). */
+    unsigned block_tokens = 16;
+    /** Cap on concurrently running groups. */
+    unsigned max_running_groups = 64;
+    /** GPU bytes reserved for activations/workspace. */
+    std::uint64_t gpu_reserved_bytes = 2 * GiB;
+};
+
+/** Result of serving one trace. */
+struct VllmResult
+{
+    /** Mean end-to-end latency per generated token (s/token). */
+    double normalized_latency = 0;
+    double p90_normalized_latency = 0;
+    std::uint64_t completed = 0;
+    std::uint64_t preemptions = 0;
+    /** Tokens re-prefilled due to recompute preemptions. */
+    std::uint64_t recomputed_tokens = 0;
+    std::uint64_t swap_out_bytes = 0;
+    std::uint64_t swap_in_bytes = 0;
+    Tick total_time = 0;
+};
+
+/** The engine. */
+class VllmEngine
+{
+  public:
+    VllmEngine(runtime::RuntimeApi &rt, const VllmConfig &config);
+    ~VllmEngine();
+
+    /** Serve @p requests (arrival-stamped); returns the metrics. */
+    VllmResult run(const trace::Trace &requests);
+
+    /** KV pool capacity in blocks (for tests). */
+    std::uint64_t totalBlocks() const { return total_blocks_; }
+
+    /** Bytes of one swap unit (one KV block across all layers). */
+    std::uint64_t blockBytes() const { return block_bytes_; }
+
+  private:
+    struct Group
+    {
+        std::uint64_t id = 0;
+        Tick arrival = 0;
+        std::uint32_t prompt_len = 0;
+        std::uint32_t output_len = 0;
+        std::uint32_t generated = 0;
+        std::vector<std::uint32_t> block_ids;
+        mem::Region host_swap{};
+        bool swapped = false;
+    };
+
+    std::uint64_t blocksFor(const Group &g, std::uint32_t generated) const;
+    std::uint64_t contextOf(const Group &g) const;
+
+    bool admit(Group &g, Tick &now);
+    void swapOut(Group &g, Tick &now);
+    bool swapIn(Group &g, Tick &now);
+    void freeBlocks(Group &g);
+    Tick computeStep(Tick now, const std::vector<std::size_t> &prefill,
+                     std::uint64_t decode_seqs,
+                     std::uint64_t decode_ctx_sum);
+
+    runtime::RuntimeApi &rt_;
+    VllmConfig config_;
+    llm::CostModel cost_;
+    runtime::Stream &compute_stream_;
+    runtime::Stream &swap_stream_;
+
+    mem::Region weights_{};
+    mem::Region kv_pool_{};
+    mem::Region token_host_{};
+    mem::Region token_dev_{};
+    std::uint64_t block_bytes_ = 0;
+    std::uint64_t total_blocks_ = 0;
+    std::vector<std::uint32_t> free_block_ids_;
+
+    std::vector<Group> groups_; // all groups, indexed by position
+    VllmResult result_;
+    sim::SampleSet norm_latency_;
+};
+
+} // namespace serving
+} // namespace pipellm
+
+#endif // PIPELLM_SERVING_VLLM_HH

@@ -1,0 +1,55 @@
+#include "sim/event_queue.hh"
+
+#include <utility>
+
+#include "common/logging.hh"
+
+namespace pipellm {
+namespace sim {
+
+void
+EventQueue::schedule(Tick when, EventFn fn)
+{
+    PIPELLM_ASSERT(when >= now_, "scheduling into the past: when=", when,
+                   " now=", now_);
+    events_.push(Event{when, next_seq_++, std::move(fn)});
+}
+
+void
+EventQueue::scheduleIn(Tick delay, EventFn fn)
+{
+    schedule(now_ + delay, std::move(fn));
+}
+
+bool
+EventQueue::step()
+{
+    if (events_.empty())
+        return false;
+    // Copy out before pop: the callback may schedule new events.
+    Event ev = events_.top();
+    events_.pop();
+    now_ = ev.when;
+    ++dispatched_;
+    ev.fn();
+    return true;
+}
+
+void
+EventQueue::run()
+{
+    while (step()) {
+    }
+}
+
+void
+EventQueue::runUntil(Tick deadline)
+{
+    while (!events_.empty() && events_.top().when <= deadline)
+        step();
+    if (now_ < deadline)
+        now_ = deadline;
+}
+
+} // namespace sim
+} // namespace pipellm

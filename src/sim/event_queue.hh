@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Discrete-event simulation core.
+ *
+ * The whole reproduction is a single-threaded discrete-event
+ * simulation: hardware concurrency (PCIe DMA, GPU kernels, CPU crypto
+ * lanes) is expressed as events on one queue, which makes every
+ * experiment deterministic. Events at the same tick fire in insertion
+ * order.
+ */
+
+#ifndef PIPELLM_SIM_EVENT_QUEUE_HH
+#define PIPELLM_SIM_EVENT_QUEUE_HH
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/units.hh"
+
+namespace pipellm {
+namespace sim {
+
+/** Callback fired when its scheduled tick is reached. */
+using EventFn = std::function<void()>;
+
+/**
+ * The global ordered event queue and simulated clock.
+ *
+ * Components schedule callbacks; run() (or runUntil()) dispatches them
+ * in (tick, insertion) order while advancing now().
+ */
+class EventQueue
+{
+  public:
+    EventQueue() = default;
+
+    EventQueue(const EventQueue &) = delete;
+    EventQueue &operator=(const EventQueue &) = delete;
+
+    /** Current simulated time. */
+    Tick now() const { return now_; }
+
+    /** Schedule @p fn at absolute tick @p when (>= now). */
+    void schedule(Tick when, EventFn fn);
+
+    /** Schedule @p fn @p delay ticks from now. */
+    void scheduleIn(Tick delay, EventFn fn);
+
+    /** True when no events remain. */
+    bool empty() const { return events_.empty(); }
+
+    /** Number of pending events. */
+    std::size_t pending() const { return events_.size(); }
+
+    /** Dispatch the single next event; returns false if none remain. */
+    bool step();
+
+    /** Run until the queue drains. */
+    void run();
+
+    /**
+     * Run until the queue drains or simulated time would pass
+     * @p deadline; events at exactly @p deadline still fire.
+     */
+    void runUntil(Tick deadline);
+
+    /** Total events dispatched over the queue's lifetime. */
+    std::uint64_t dispatched() const { return dispatched_; }
+
+  private:
+    struct Event
+    {
+        Tick when;
+        std::uint64_t seq;
+        EventFn fn;
+    };
+
+    struct Later
+    {
+        bool
+        operator()(const Event &a, const Event &b) const
+        {
+            if (a.when != b.when)
+                return a.when > b.when;
+            return a.seq > b.seq;
+        }
+    };
+
+    std::priority_queue<Event, std::vector<Event>, Later> events_;
+    Tick now_ = 0;
+    std::uint64_t next_seq_ = 0;
+    std::uint64_t dispatched_ = 0;
+};
+
+} // namespace sim
+} // namespace pipellm
+
+#endif // PIPELLM_SIM_EVENT_QUEUE_HH

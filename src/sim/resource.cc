@@ -1,0 +1,148 @@
+#include "sim/resource.hh"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/logging.hh"
+
+namespace pipellm {
+namespace sim {
+
+BandwidthResource::BandwidthResource(EventQueue &eq, std::string name,
+                                     double bytes_per_sec,
+                                     Tick per_op_latency)
+    : eq_(eq), name_(std::move(name)), rate_(bytes_per_sec),
+      latency_(per_op_latency)
+{
+    PIPELLM_ASSERT(rate_ > 0, "resource rate must be positive: ", name_);
+}
+
+Tick
+BandwidthResource::submit(std::uint64_t bytes)
+{
+    return submitNotBefore(eq_.now(), bytes);
+}
+
+Tick
+BandwidthResource::submitNotBefore(Tick earliest, std::uint64_t bytes)
+{
+    Tick start = std::max({earliest, eq_.now(), free_at_});
+    Tick service = latency_ + transferTicks(bytes, rate_);
+    Tick done = start + service;
+    free_at_ = done;
+    bytes_served_ += bytes;
+    ++requests_;
+    busy_ticks_ += service;
+    return done;
+}
+
+Tick
+BandwidthResource::submit(std::uint64_t bytes, EventFn fn)
+{
+    Tick done = submit(bytes);
+    eq_.schedule(done, std::move(fn));
+    return done;
+}
+
+double
+BandwidthResource::utilization() const
+{
+    Tick horizon = std::max(eq_.now(), free_at_);
+    if (horizon == 0)
+        return 0.0;
+    return double(busy_ticks_) / double(horizon);
+}
+
+LaneGroup::LaneGroup(EventQueue &eq, std::string name, unsigned lanes,
+                     double bytes_per_sec_per_lane, Tick per_op_latency)
+    : eq_(eq)
+{
+    PIPELLM_ASSERT(lanes > 0, "lane group needs at least one lane");
+    lanes_.reserve(lanes);
+    for (unsigned i = 0; i < lanes; ++i) {
+        lanes_.emplace_back(eq, name + "[" + std::to_string(i) + "]",
+                            bytes_per_sec_per_lane, per_op_latency);
+    }
+}
+
+BandwidthResource &
+LaneGroup::pickLane()
+{
+    auto it = std::min_element(
+        lanes_.begin(), lanes_.end(),
+        [](const BandwidthResource &a, const BandwidthResource &b) {
+            return a.freeAt() < b.freeAt();
+        });
+    return *it;
+}
+
+Tick
+LaneGroup::submit(std::uint64_t bytes)
+{
+    return pickLane().submit(bytes);
+}
+
+Tick
+LaneGroup::submitNotBefore(Tick earliest, std::uint64_t bytes)
+{
+    return pickLane().submitNotBefore(earliest, bytes);
+}
+
+Tick
+LaneGroup::submit(std::uint64_t bytes, EventFn fn)
+{
+    Tick done = submit(bytes);
+    eq_.schedule(done, std::move(fn));
+    return done;
+}
+
+Tick
+LaneGroup::earliestFree() const
+{
+    Tick best = maxTick;
+    for (const auto &lane : lanes_)
+        best = std::min(best, lane.freeAt());
+    return best;
+}
+
+std::uint64_t
+LaneGroup::bytesServed() const
+{
+    std::uint64_t total = 0;
+    for (const auto &lane : lanes_)
+        total += lane.bytesServed();
+    return total;
+}
+
+SerialTimeline::SerialTimeline(EventQueue &eq, std::string name)
+    : eq_(eq), name_(std::move(name))
+{
+}
+
+Tick
+SerialTimeline::submit(Tick earliest, Tick duration)
+{
+    Tick start = std::max({earliest, eq_.now(), free_at_});
+    free_at_ = start + duration;
+    busy_ticks_ += duration;
+    ++requests_;
+    return free_at_;
+}
+
+Tick
+SerialTimeline::submitNow(Tick duration)
+{
+    return submit(eq_.now(), duration);
+}
+
+double
+SerialTimeline::utilization() const
+{
+    Tick horizon = std::max(eq_.now(), free_at_);
+    if (horizon == 0)
+        return 0.0;
+    return double(busy_ticks_) / double(horizon);
+}
+
+} // namespace sim
+} // namespace pipellm

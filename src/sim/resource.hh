@@ -1,0 +1,163 @@
+/**
+ * @file
+ * Timed hardware resources: serialized bandwidth servers and lane
+ * groups.
+ *
+ * A BandwidthResource models a device that serves requests one at a
+ * time at a fixed byte rate plus a fixed per-request latency: a PCIe
+ * link, a copy engine, one CPU encryption thread. A LaneGroup models k
+ * identical lanes with earliest-free dispatch, e.g. a pool of
+ * encryption threads.
+ */
+
+#ifndef PIPELLM_SIM_RESOURCE_HH
+#define PIPELLM_SIM_RESOURCE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/units.hh"
+#include "sim/event_queue.hh"
+
+namespace pipellm {
+namespace sim {
+
+/** Serialized FIFO server with a byte rate and per-request latency. */
+class BandwidthResource
+{
+  public:
+    /**
+     * @param eq event queue providing the clock
+     * @param name for diagnostics
+     * @param bytes_per_sec service rate
+     * @param per_op_latency fixed overhead added to every request
+     */
+    BandwidthResource(EventQueue &eq, std::string name,
+                      double bytes_per_sec, Tick per_op_latency = 0);
+
+    /**
+     * Enqueue a request of @p bytes arriving now; returns its
+     * completion tick. Requests are served strictly in submission
+     * order.
+     */
+    Tick submit(std::uint64_t bytes);
+
+    /** Enqueue a request that cannot start before @p earliest. */
+    Tick submitNotBefore(Tick earliest, std::uint64_t bytes);
+
+    /** submit() and fire @p fn at the completion tick. */
+    Tick submit(std::uint64_t bytes, EventFn fn);
+
+    /** Tick at which the resource next becomes idle. */
+    Tick freeAt() const { return free_at_; }
+
+    /** True if a request submitted now would start immediately. */
+    bool idle() const { return free_at_ <= eq_.now(); }
+
+    double rate() const { return rate_; }
+    void setRate(double bytes_per_sec) { rate_ = bytes_per_sec; }
+
+    Tick perOpLatency() const { return latency_; }
+    void setPerOpLatency(Tick t) { latency_ = t; }
+
+    const std::string &name() const { return name_; }
+
+    /** Total bytes served. */
+    std::uint64_t bytesServed() const { return bytes_served_; }
+
+    /** Total requests served. */
+    std::uint64_t requests() const { return requests_; }
+
+    /** Accumulated busy time (service, not queueing). */
+    Tick busyTicks() const { return busy_ticks_; }
+
+    /** Mean utilization over [0, now]. */
+    double utilization() const;
+
+  private:
+    EventQueue &eq_;
+    std::string name_;
+    double rate_;
+    Tick latency_;
+    Tick free_at_ = 0;
+    std::uint64_t bytes_served_ = 0;
+    std::uint64_t requests_ = 0;
+    Tick busy_ticks_ = 0;
+};
+
+/**
+ * k identical bandwidth lanes with earliest-free dispatch. Models a
+ * pool of CPU encryption threads: aggregate throughput scales with the
+ * lane count while each request is still served by a single lane.
+ */
+class LaneGroup
+{
+  public:
+    LaneGroup(EventQueue &eq, std::string name, unsigned lanes,
+              double bytes_per_sec_per_lane, Tick per_op_latency = 0);
+
+    /** Dispatch @p bytes to the earliest-free lane; completion tick. */
+    Tick submit(std::uint64_t bytes);
+
+    /** Dispatch with a start-time floor. */
+    Tick submitNotBefore(Tick earliest, std::uint64_t bytes);
+
+    /** Dispatch and fire @p fn at completion. */
+    Tick submit(std::uint64_t bytes, EventFn fn);
+
+    unsigned lanes() const { return unsigned(lanes_.size()); }
+
+    /** Earliest tick at which any lane is free. */
+    Tick earliestFree() const;
+
+    /** Sum of bytes served across lanes. */
+    std::uint64_t bytesServed() const;
+
+    /** Per-lane access for stats. */
+    const BandwidthResource &lane(unsigned i) const { return lanes_[i]; }
+
+  private:
+    BandwidthResource &pickLane();
+
+    EventQueue &eq_;
+    std::vector<BandwidthResource> lanes_;
+};
+
+/**
+ * Serialized FIFO server for requests measured in *time* rather than
+ * bytes — e.g. a GPU compute engine executing kernels of modeled
+ * duration.
+ */
+class SerialTimeline
+{
+  public:
+    SerialTimeline(EventQueue &eq, std::string name);
+
+    /** Occupy the resource for @p duration, not before @p earliest. */
+    Tick submit(Tick earliest, Tick duration);
+
+    /** Occupy starting now. */
+    Tick submitNow(Tick duration);
+
+    Tick freeAt() const { return free_at_; }
+    Tick busyTicks() const { return busy_ticks_; }
+    std::uint64_t requests() const { return requests_; }
+
+    /** Mean utilization over [0, max(now, freeAt)]. */
+    double utilization() const;
+
+    const std::string &name() const { return name_; }
+
+  private:
+    EventQueue &eq_;
+    std::string name_;
+    Tick free_at_ = 0;
+    Tick busy_ticks_ = 0;
+    std::uint64_t requests_ = 0;
+};
+
+} // namespace sim
+} // namespace pipellm
+
+#endif // PIPELLM_SIM_RESOURCE_HH

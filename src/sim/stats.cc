@@ -1,0 +1,118 @@
+#include "sim/stats.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace pipellm {
+namespace sim {
+
+void
+Accumulator::add(double value)
+{
+    ++count_;
+    sum_ += value;
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+}
+
+void
+Accumulator::reset()
+{
+    *this = Accumulator();
+}
+
+void
+SampleSet::add(double value)
+{
+    samples_.push_back(value);
+    sorted_valid_ = false;
+}
+
+double
+SampleSet::mean() const
+{
+    if (samples_.empty())
+        return 0.0;
+    double sum = 0.0;
+    for (double s : samples_)
+        sum += s;
+    return sum / double(samples_.size());
+}
+
+void
+SampleSet::ensureSorted() const
+{
+    if (sorted_valid_)
+        return;
+    sorted_ = samples_;
+    std::sort(sorted_.begin(), sorted_.end());
+    sorted_valid_ = true;
+}
+
+double
+SampleSet::percentile(double p) const
+{
+    PIPELLM_ASSERT(p >= 0.0 && p <= 100.0, "percentile out of range: ", p);
+    if (samples_.empty())
+        return 0.0;
+    ensureSorted();
+    if (sorted_.size() == 1)
+        return sorted_[0];
+    double rank = p / 100.0 * double(sorted_.size() - 1);
+    std::size_t lo = std::size_t(std::floor(rank));
+    std::size_t hi = std::min(lo + 1, sorted_.size() - 1);
+    double frac = rank - double(lo);
+    return sorted_[lo] * (1.0 - frac) + sorted_[hi] * frac;
+}
+
+void
+SampleSet::reset()
+{
+    samples_.clear();
+    sorted_.clear();
+    sorted_valid_ = false;
+}
+
+Histogram::Histogram(double lo, double hi, unsigned buckets)
+    : lo_(lo), hi_(hi), width_((hi - lo) / double(buckets)),
+      counts_(buckets, 0)
+{
+    PIPELLM_ASSERT(hi > lo && buckets > 0, "bad histogram bounds");
+}
+
+void
+Histogram::add(double value)
+{
+    ++total_;
+    if (value < lo_) {
+        ++underflow_;
+    } else if (value >= hi_) {
+        ++overflow_;
+    } else {
+        auto idx = unsigned((value - lo_) / width_);
+        if (idx >= counts_.size()) // floating point edge
+            idx = unsigned(counts_.size()) - 1;
+        ++counts_[idx];
+    }
+}
+
+double
+Histogram::bucketLo(unsigned i) const
+{
+    return lo_ + width_ * double(i);
+}
+
+std::string
+Histogram::summary() const
+{
+    std::ostringstream os;
+    os << "hist[" << lo_ << "," << hi_ << ") n=" << total_
+       << " under=" << underflow_ << " over=" << overflow_;
+    return os.str();
+}
+
+} // namespace sim
+} // namespace pipellm

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Lightweight statistics containers used by engines and benches:
+ * running accumulators and sample sets with percentile queries.
+ */
+
+#ifndef PIPELLM_SIM_STATS_HH
+#define PIPELLM_SIM_STATS_HH
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace pipellm {
+namespace sim {
+
+/** Running scalar accumulator: count, sum, mean, min, max. */
+class Accumulator
+{
+  public:
+    void add(double value);
+
+    std::uint64_t count() const { return count_; }
+    double sum() const { return sum_; }
+    double mean() const { return count_ ? sum_ / double(count_) : 0.0; }
+    double min() const { return count_ ? min_ : 0.0; }
+    double max() const { return count_ ? max_ : 0.0; }
+
+    void reset();
+
+  private:
+    std::uint64_t count_ = 0;
+    double sum_ = 0.0;
+    double min_ = std::numeric_limits<double>::infinity();
+    double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/**
+ * Full sample set with percentile queries. Stores every sample; the
+ * workloads here produce at most a few hundred thousand.
+ */
+class SampleSet
+{
+  public:
+    void add(double value);
+
+    std::uint64_t count() const { return samples_.size(); }
+    double mean() const;
+
+    /** p in [0, 100]; linear interpolation between order statistics. */
+    double percentile(double p) const;
+
+    double median() const { return percentile(50.0); }
+    double p99() const { return percentile(99.0); }
+
+    const std::vector<double> &samples() const { return samples_; }
+
+    void reset();
+
+  private:
+    void ensureSorted() const;
+
+    std::vector<double> samples_;
+    mutable std::vector<double> sorted_;
+    mutable bool sorted_valid_ = false;
+};
+
+/** Fixed-bucket histogram over [lo, hi) with overflow buckets. */
+class Histogram
+{
+  public:
+    Histogram(double lo, double hi, unsigned buckets);
+
+    void add(double value);
+
+    std::uint64_t bucketCount(unsigned i) const { return counts_[i]; }
+    unsigned buckets() const { return unsigned(counts_.size()); }
+    std::uint64_t underflow() const { return underflow_; }
+    std::uint64_t overflow() const { return overflow_; }
+    std::uint64_t total() const { return total_; }
+
+    /** Inclusive lower edge of bucket @p i. */
+    double bucketLo(unsigned i) const;
+
+    std::string summary() const;
+
+  private:
+    double lo_;
+    double hi_;
+    double width_;
+    std::vector<std::uint64_t> counts_;
+    std::uint64_t underflow_ = 0;
+    std::uint64_t overflow_ = 0;
+    std::uint64_t total_ = 0;
+};
+
+} // namespace sim
+} // namespace pipellm
+
+#endif // PIPELLM_SIM_STATS_HH

@@ -1,0 +1,116 @@
+#include "trace/generator.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace pipellm {
+namespace trace {
+
+DatasetProfile
+DatasetProfile::shareGpt()
+{
+    // vLLM (SOSP'23) reports ShareGPT means of ~161 input and ~338
+    // output tokens with long tails.
+    return DatasetProfile{"sharegpt", 161.0, 0.9, 338.0, 0.9};
+}
+
+DatasetProfile
+DatasetProfile::alpaca()
+{
+    return DatasetProfile{"alpaca", 19.0, 0.6, 58.0, 0.8};
+}
+
+DatasetProfile
+DatasetProfile::ultrachat()
+{
+    DatasetProfile p{"ultrachat", 1024.0, 0.4, 0.0, 0.0};
+    p.min_len = 128;
+    return p;
+}
+
+TraceGenerator::TraceGenerator(const DatasetProfile &profile,
+                               std::uint64_t seed)
+    : profile_(profile), rng_(seed)
+{
+}
+
+namespace {
+
+/**
+ * Draw a log-normal token count whose *mean* is @p mean (the mu of
+ * the underlying normal is adjusted for sigma), clipped to range.
+ */
+std::uint32_t
+lengthDraw(Rng &rng, double mean, double sigma, std::uint32_t lo,
+           std::uint32_t hi)
+{
+    if (mean <= 0.0)
+        return 0;
+    double mu = std::log(mean) - 0.5 * sigma * sigma;
+    double draw = rng.logNormal(mu, sigma);
+    auto len = std::uint32_t(std::lround(draw));
+    return std::clamp(len, lo, hi);
+}
+
+} // namespace
+
+Request
+TraceGenerator::sample(std::uint64_t id)
+{
+    Request r;
+    r.id = id;
+    r.prompt_len = lengthDraw(rng_, profile_.input_mean,
+                              profile_.input_sigma, profile_.min_len,
+                              profile_.max_len);
+    r.output_len = lengthDraw(rng_, profile_.output_mean,
+                              profile_.output_sigma, 1,
+                              profile_.max_len);
+    return r;
+}
+
+Trace
+TraceGenerator::poisson(std::size_t n, double requests_per_sec)
+{
+    PIPELLM_ASSERT(requests_per_sec > 0, "need a positive rate");
+    Trace out;
+    out.reserve(n);
+    double t = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+        t += rng_.exponential(requests_per_sec);
+        Request r = sample(i);
+        r.arrival = seconds(t);
+        out.push_back(r);
+    }
+    return out;
+}
+
+Trace
+TraceGenerator::closedLoop(std::size_t n)
+{
+    Trace out;
+    out.reserve(n);
+    for (std::size_t i = 0; i < n; ++i)
+        out.push_back(sample(i));
+    return out;
+}
+
+Trace
+TraceGenerator::fixed(std::size_t n, std::uint32_t prompt_len,
+                      std::uint32_t output_len)
+{
+    Trace out;
+    out.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        Request r;
+        r.id = i;
+        r.prompt_len = prompt_len;
+        r.output_len = output_len;
+        out.push_back(r);
+    }
+    return out;
+}
+
+} // namespace trace
+} // namespace pipellm

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Workload generators standing in for the paper's datasets.
+ *
+ * We have no access to ShareGPT/Alpaca/ultrachat dumps, so we generate
+ * synthetic traces whose *length distributions* match the published
+ * statistics (the only property the swapping behavior depends on):
+ *
+ *   ShareGPT: long conversational prompts and outputs
+ *             (mean input ~161 tok, mean output ~338 tok — vLLM paper)
+ *   Alpaca:   short instructions (mean input ~19, mean output ~58)
+ *   ultrachat: fine-tuning sequences around 1k tokens
+ *
+ * Lengths are log-normal (heavy-tailed like the real data), clipped
+ * to the model context window. Arrivals are Poisson, as in the
+ * paper's vLLM evaluation.
+ */
+
+#ifndef PIPELLM_TRACE_GENERATOR_HH
+#define PIPELLM_TRACE_GENERATOR_HH
+
+#include <cstdint>
+
+#include "common/rng.hh"
+#include "trace/request.hh"
+
+namespace pipellm {
+namespace trace {
+
+/** Length-distribution parameters of a dataset. */
+struct DatasetProfile
+{
+    const char *name;
+    double input_mean;
+    double input_sigma; ///< sigma of the underlying normal
+    double output_mean;
+    double output_sigma;
+    std::uint32_t min_len = 4;
+    std::uint32_t max_len = 2048;
+
+    /** The profiles used in the paper's evaluation. */
+    static DatasetProfile shareGpt();
+    static DatasetProfile alpaca();
+    static DatasetProfile ultrachat();
+};
+
+/** Deterministic trace generator. */
+class TraceGenerator
+{
+  public:
+    TraceGenerator(const DatasetProfile &profile, std::uint64_t seed);
+
+    /**
+     * Open-loop serving trace: @p n requests with Poisson arrivals at
+     * @p requests_per_sec.
+     */
+    Trace poisson(std::size_t n, double requests_per_sec);
+
+    /** Closed-loop trace (arrival 0), e.g. FlexGen throughput runs. */
+    Trace closedLoop(std::size_t n);
+
+    /**
+     * Fixed-shape synthetic trace (FlexGen's configurations, e.g.
+     * input 32 / output 128).
+     */
+    static Trace fixed(std::size_t n, std::uint32_t prompt_len,
+                       std::uint32_t output_len);
+
+    const DatasetProfile &profile() const { return profile_; }
+
+  private:
+    Request sample(std::uint64_t id);
+
+    DatasetProfile profile_;
+    Rng rng_;
+};
+
+} // namespace trace
+} // namespace pipellm
+
+#endif // PIPELLM_TRACE_GENERATOR_HH

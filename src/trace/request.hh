@@ -1,0 +1,34 @@
+/**
+ * @file
+ * A serving request as produced by the workload generators.
+ */
+
+#ifndef PIPELLM_TRACE_REQUEST_HH
+#define PIPELLM_TRACE_REQUEST_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/units.hh"
+
+namespace pipellm {
+namespace trace {
+
+/** One inference request. */
+struct Request
+{
+    std::uint64_t id = 0;
+    /** Arrival time (0 for closed-loop workloads). */
+    Tick arrival = 0;
+    /** Prompt length in tokens. */
+    std::uint32_t prompt_len = 0;
+    /** Output tokens to generate (per sampled sequence). */
+    std::uint32_t output_len = 0;
+};
+
+using Trace = std::vector<Request>;
+
+} // namespace trace
+} // namespace pipellm
+
+#endif // PIPELLM_TRACE_REQUEST_HH

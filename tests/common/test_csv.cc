@@ -1,0 +1,47 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "common/csv.hh"
+
+using pipellm::CsvWriter;
+
+namespace {
+
+std::string
+slurp(const std::string &path)
+{
+    std::ifstream in(path);
+    std::ostringstream os;
+    os << in.rdbuf();
+    return os.str();
+}
+
+} // namespace
+
+TEST(Csv, WritesHeaderAndRows)
+{
+    std::string path = ::testing::TempDir() + "csv_basic.csv";
+    {
+        CsvWriter csv(path);
+        csv.header({"a", "b"});
+        csv.field(1).field("x").endRow();
+        csv.field(2.5).field("y").endRow();
+        EXPECT_EQ(csv.rows(), 2u);
+    }
+    EXPECT_EQ(slurp(path), "a,b\n1,x\n2.5,y\n");
+    std::remove(path.c_str());
+}
+
+TEST(Csv, EscapesSpecialCharacters)
+{
+    std::string path = ::testing::TempDir() + "csv_escape.csv";
+    {
+        CsvWriter csv(path);
+        csv.field("a,b").field("he said \"hi\"").endRow();
+    }
+    EXPECT_EQ(slurp(path), "\"a,b\",\"he said \"\"hi\"\"\"\n");
+    std::remove(path.c_str());
+}

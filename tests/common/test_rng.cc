@@ -1,0 +1,107 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "common/rng.hh"
+
+using pipellm::Rng;
+
+TEST(Rng, DeterministicForSameSeed)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        same += a.next() == b.next();
+    EXPECT_LT(same, 3);
+}
+
+TEST(Rng, UniformIntRespectsBounds)
+{
+    Rng rng(7);
+    for (int i = 0; i < 10000; ++i) {
+        auto v = rng.uniformInt(10, 20);
+        EXPECT_GE(v, 10u);
+        EXPECT_LE(v, 20u);
+    }
+}
+
+TEST(Rng, UniformIntSingletonRange)
+{
+    Rng rng(7);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(rng.uniformInt(5, 5), 5u);
+}
+
+TEST(Rng, UniformIntCoversRange)
+{
+    Rng rng(3);
+    std::set<std::uint64_t> seen;
+    for (int i = 0; i < 1000; ++i)
+        seen.insert(rng.uniformInt(0, 9));
+    EXPECT_EQ(seen.size(), 10u);
+}
+
+TEST(Rng, UniformRealInUnitInterval)
+{
+    Rng rng(9);
+    for (int i = 0; i < 10000; ++i) {
+        double u = rng.uniformReal();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+    }
+}
+
+TEST(Rng, ExponentialMeanApproximatesInverseRate)
+{
+    Rng rng(11);
+    const double rate = 4.0;
+    double sum = 0;
+    const int n = 200000;
+    for (int i = 0; i < n; ++i)
+        sum += rng.exponential(rate);
+    EXPECT_NEAR(sum / n, 1.0 / rate, 0.01);
+}
+
+TEST(Rng, NormalMomentsApproximate)
+{
+    Rng rng(13);
+    const int n = 200000;
+    double sum = 0, sq = 0;
+    for (int i = 0; i < n; ++i) {
+        double x = rng.normal(3.0, 2.0);
+        sum += x;
+        sq += x * x;
+    }
+    double mean = sum / n;
+    double var = sq / n - mean * mean;
+    EXPECT_NEAR(mean, 3.0, 0.05);
+    EXPECT_NEAR(std::sqrt(var), 2.0, 0.05);
+}
+
+TEST(Rng, BernoulliFrequency)
+{
+    Rng rng(17);
+    int hits = 0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        hits += rng.bernoulli(0.3);
+    EXPECT_NEAR(double(hits) / n, 0.3, 0.01);
+}
+
+TEST(Rng, SyntheticByteDeterministic)
+{
+    EXPECT_EQ(Rng::syntheticByte(1, 100), Rng::syntheticByte(1, 100));
+    // Different regions or offsets should usually differ.
+    int same = 0;
+    for (std::uint64_t off = 0; off < 256; ++off)
+        same += Rng::syntheticByte(1, off) == Rng::syntheticByte(2, off);
+    EXPECT_LT(same, 32);
+}

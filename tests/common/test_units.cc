@@ -1,0 +1,45 @@
+#include <gtest/gtest.h>
+
+#include "common/units.hh"
+
+namespace pl = pipellm;
+
+TEST(Units, TimeConversions)
+{
+    EXPECT_EQ(pl::microseconds(1), 1000u);
+    EXPECT_EQ(pl::milliseconds(1), 1000000u);
+    EXPECT_EQ(pl::seconds(1), 1000000000u);
+    EXPECT_DOUBLE_EQ(pl::toSeconds(pl::seconds(2.5)), 2.5);
+    EXPECT_DOUBLE_EQ(pl::toMicroseconds(pl::microseconds(7)), 7.0);
+    EXPECT_DOUBLE_EQ(pl::toMilliseconds(pl::milliseconds(3)), 3.0);
+}
+
+TEST(Units, ByteConstants)
+{
+    EXPECT_EQ(pl::KiB, 1024u);
+    EXPECT_EQ(pl::MiB, 1024u * 1024u);
+    EXPECT_EQ(pl::GiB, 1024u * 1024u * 1024u);
+}
+
+TEST(Units, TransferTicksMatchesRate)
+{
+    // 1 GB at 1 GB/s is one second.
+    EXPECT_EQ(pl::transferTicks(std::uint64_t(1e9), 1e9),
+              pl::seconds(1));
+    // 64 KiB at 64 GB/s is ~1.024 us.
+    auto t = pl::transferTicks(64 * pl::KiB, 64e9);
+    EXPECT_NEAR(pl::toMicroseconds(t), 1.024, 0.01);
+}
+
+TEST(Units, TransferTicksNeverZeroForNonEmpty)
+{
+    EXPECT_EQ(pl::transferTicks(0, 1e30), 0u);
+    EXPECT_GE(pl::transferTicks(1, 1e30), 1u);
+}
+
+TEST(Units, AchievedRateRoundTrips)
+{
+    auto t = pl::transferTicks(1000000, 5.8e9);
+    EXPECT_NEAR(pl::achievedRate(1000000, t), 5.8e9, 1e7);
+    EXPECT_DOUBLE_EQ(pl::achievedRate(100, 0), 0.0);
+}

@@ -1,0 +1,49 @@
+/** @file Test-only hex helpers for NIST vectors. */
+
+#ifndef PIPELLM_TESTS_CRYPTO_HEX_UTIL_HH
+#define PIPELLM_TESTS_CRYPTO_HEX_UTIL_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace hexutil {
+
+inline std::vector<std::uint8_t>
+fromHex(const std::string &hex)
+{
+    auto nibble = [](char c) -> std::uint8_t {
+        if (c >= '0' && c <= '9')
+            return std::uint8_t(c - '0');
+        if (c >= 'a' && c <= 'f')
+            return std::uint8_t(c - 'a' + 10);
+        return std::uint8_t(c - 'A' + 10);
+    };
+    std::vector<std::uint8_t> out;
+    for (std::size_t i = 0; i + 1 < hex.size(); i += 2)
+        out.push_back(std::uint8_t(nibble(hex[i]) << 4 | nibble(hex[i + 1])));
+    return out;
+}
+
+inline std::string
+toHex(const std::uint8_t *data, std::size_t len)
+{
+    static const char digits[] = "0123456789abcdef";
+    std::string out;
+    out.reserve(len * 2);
+    for (std::size_t i = 0; i < len; ++i) {
+        out += digits[data[i] >> 4];
+        out += digits[data[i] & 0xf];
+    }
+    return out;
+}
+
+inline std::string
+toHex(const std::vector<std::uint8_t> &v)
+{
+    return toHex(v.data(), v.size());
+}
+
+} // namespace hexutil
+
+#endif // PIPELLM_TESTS_CRYPTO_HEX_UTIL_HH

@@ -1,0 +1,97 @@
+#include <gtest/gtest.h>
+
+#include "crypto/aes.hh"
+#include "tests/crypto/hex_util.hh"
+
+using pipellm::crypto::Aes;
+using hexutil::fromHex;
+using hexutil::toHex;
+
+namespace {
+
+std::string
+encryptHex(const std::string &key_hex, const std::string &pt_hex)
+{
+    auto key = fromHex(key_hex);
+    auto pt = fromHex(pt_hex);
+    Aes aes(key.data(), key.size());
+    std::uint8_t ct[16];
+    aes.encryptBlock(pt.data(), ct);
+    return toHex(ct, 16);
+}
+
+} // namespace
+
+// FIPS-197 Appendix C.1: AES-128 example vector.
+TEST(Aes, Fips197Aes128)
+{
+    EXPECT_EQ(encryptHex("000102030405060708090a0b0c0d0e0f",
+                         "00112233445566778899aabbccddeeff"),
+              "69c4e0d86a7b0430d8cdb78070b4c55a");
+}
+
+// FIPS-197 Appendix C.3: AES-256 example vector.
+TEST(Aes, Fips197Aes256)
+{
+    EXPECT_EQ(encryptHex(
+                  "000102030405060708090a0b0c0d0e0f"
+                  "101112131415161718191a1b1c1d1e1f",
+                  "00112233445566778899aabbccddeeff"),
+              "8ea2b7ca516745bfeafc49904b496089");
+}
+
+// NIST SP 800-38A F.1.1 ECB-AES128 block 1.
+TEST(Aes, Sp80038aEcbAes128)
+{
+    EXPECT_EQ(encryptHex("2b7e151628aed2a6abf7158809cf4f3c",
+                         "6bc1bee22e409f96e93d7e117393172a"),
+              "3ad77bb40d7a3660a89ecaf32466ef97");
+}
+
+// NIST SP 800-38A F.1.5 ECB-AES256 block 1.
+TEST(Aes, Sp80038aEcbAes256)
+{
+    EXPECT_EQ(encryptHex(
+                  "603deb1015ca71be2b73aef0857d7781"
+                  "1f352c073b6108d72d9810a30914dff4",
+                  "6bc1bee22e409f96e93d7e117393172a"),
+              "f3eed1bdb5d2a03c064b5a7e3db181f8");
+}
+
+TEST(Aes, RoundCounts)
+{
+    auto k128 = fromHex("00000000000000000000000000000000");
+    auto k256 = fromHex("00000000000000000000000000000000"
+                        "00000000000000000000000000000000");
+    EXPECT_EQ(Aes(k128.data(), 16).rounds(), 10u);
+    EXPECT_EQ(Aes(k256.data(), 32).rounds(), 14u);
+}
+
+TEST(Aes, InPlaceEncryptionAllowed)
+{
+    auto key = fromHex("000102030405060708090a0b0c0d0e0f");
+    auto buf = fromHex("00112233445566778899aabbccddeeff");
+    Aes aes(key.data(), key.size());
+    aes.encryptBlock(buf.data(), buf.data());
+    EXPECT_EQ(toHex(buf), "69c4e0d86a7b0430d8cdb78070b4c55a");
+}
+
+TEST(AesDeath, RejectsBadKeySize)
+{
+    std::uint8_t key[20] = {};
+    EXPECT_DEATH(Aes(key, 20), "unsupported AES key size");
+}
+
+// FIPS-197 Appendix C.2: AES-192 example vector.
+TEST(Aes, Fips197Aes192)
+{
+    EXPECT_EQ(encryptHex("000102030405060708090a0b0c0d0e0f1011121314151617",
+                         "00112233445566778899aabbccddeeff"),
+              "dda97ca4864cdfe06eaf70a0ec0d7191");
+}
+
+TEST(Aes, Aes192RoundCount)
+{
+    auto key = fromHex("000102030405060708090a0b0c0d0e0f1011121314151617");
+    EXPECT_EQ(Aes(key.data(), 24).rounds(), 12u);
+}

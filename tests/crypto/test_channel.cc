@@ -1,0 +1,125 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "crypto/channel.hh"
+
+using namespace pipellm::crypto;
+
+namespace {
+
+std::vector<std::uint8_t>
+pattern(std::size_t n, std::uint8_t seed = 1)
+{
+    std::vector<std::uint8_t> v(n);
+    for (std::size_t i = 0; i < n; ++i)
+        v[i] = std::uint8_t(seed + i * 3);
+    return v;
+}
+
+} // namespace
+
+TEST(SecureChannel, SealOpenRoundTrip)
+{
+    SecureChannel ch;
+    auto pt = pattern(1024);
+    auto blob = ch.seal(Direction::HostToDevice, 7, pt.data(),
+                        pt.size());
+    EXPECT_EQ(blob.iv_counter, 7u);
+    EXPECT_EQ(blob.full_len, 1024u);
+    std::vector<std::uint8_t> out;
+    ASSERT_TRUE(ch.open(blob, 7, out));
+    EXPECT_EQ(out, pt);
+}
+
+TEST(SecureChannel, WrongCounterFailsTag)
+{
+    SecureChannel ch;
+    auto pt = pattern(256);
+    auto blob = ch.seal(Direction::HostToDevice, 7, pt.data(),
+                        pt.size());
+    std::vector<std::uint8_t> out;
+    EXPECT_FALSE(ch.open(blob, 8, out));
+    EXPECT_FALSE(ch.open(blob, 6, out));
+    EXPECT_TRUE(ch.open(blob, 7, out));
+}
+
+TEST(SecureChannel, DirectionIsBoundIntoIv)
+{
+    SecureChannel ch;
+    auto pt = pattern(64);
+    auto blob = ch.seal(Direction::HostToDevice, 3, pt.data(), pt.size());
+    // Pretend the attacker reflects the blob on the other direction.
+    blob.dir = Direction::DeviceToHost;
+    std::vector<std::uint8_t> out;
+    EXPECT_FALSE(ch.open(blob, 3, out));
+}
+
+TEST(SecureChannel, SamplingCapsRealCiphertext)
+{
+    ChannelConfig cfg;
+    cfg.sample_limit = 128;
+    SecureChannel ch(cfg);
+    auto pt = pattern(128); // sampled prefix of a large transfer
+    auto blob = ch.seal(Direction::HostToDevice, 0, pt.data(),
+                        1 * 1024 * 1024);
+    EXPECT_EQ(blob.full_len, 1024u * 1024u);
+    EXPECT_EQ(blob.sample_ct.size(), 128u);
+    std::vector<std::uint8_t> out;
+    ASSERT_TRUE(ch.open(blob, 0, out));
+    EXPECT_EQ(out, pt);
+}
+
+TEST(SecureChannel, FullLenIsAuthenticated)
+{
+    SecureChannel ch;
+    auto pt = pattern(64);
+    auto blob = ch.seal(Direction::HostToDevice, 1, pt.data(), pt.size());
+    blob.full_len = 128; // replay as a different-sized transfer
+    std::vector<std::uint8_t> out;
+    EXPECT_FALSE(ch.open(blob, 1, out));
+}
+
+TEST(SecureChannel, SampleLimitZeroMeansFull)
+{
+    ChannelConfig cfg;
+    cfg.sample_limit = 0;
+    SecureChannel ch(cfg);
+    EXPECT_EQ(ch.sampledLen(12345), 12345u);
+}
+
+TEST(SecureChannel, NopIsOneByteAndOpens)
+{
+    SecureChannel ch;
+    auto nop = ch.sealNop(Direction::HostToDevice, 99);
+    EXPECT_EQ(nop.full_len, 1u);
+    EXPECT_EQ(nop.sample_ct.size(), 1u);
+    std::vector<std::uint8_t> out;
+    ASSERT_TRUE(ch.open(nop, 99, out));
+    EXPECT_EQ(out.size(), 1u);
+    EXPECT_EQ(out[0], 0u);
+}
+
+TEST(SecureChannel, DifferentKeysCannotOpen)
+{
+    ChannelConfig a, b;
+    a.key_seed = 1;
+    b.key_seed = 2;
+    SecureChannel cha(a), chb(b);
+    auto pt = pattern(32);
+    auto blob = cha.seal(Direction::HostToDevice, 0, pt.data(), pt.size());
+    std::vector<std::uint8_t> out;
+    EXPECT_FALSE(chb.open(blob, 0, out));
+}
+
+TEST(SecureChannel, Aes128ModeWorks)
+{
+    ChannelConfig cfg;
+    cfg.key_bytes = 16;
+    SecureChannel ch(cfg);
+    auto pt = pattern(100);
+    auto blob = ch.seal(Direction::DeviceToHost, 4, pt.data(), pt.size());
+    std::vector<std::uint8_t> out;
+    ASSERT_TRUE(ch.open(blob, 4, out));
+    EXPECT_EQ(out, pt);
+}

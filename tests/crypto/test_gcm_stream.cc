@@ -1,0 +1,171 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "crypto/gcm.hh"
+#include "tests/crypto/hex_util.hh"
+
+using namespace pipellm::crypto;
+using hexutil::fromHex;
+using hexutil::toHex;
+
+namespace {
+
+AesGcm
+testGcm()
+{
+    auto key = fromHex("feffe9928665731c6d6a8f9467308308"
+                       "feffe9928665731c6d6a8f9467308308");
+    return AesGcm(key.data(), key.size());
+}
+
+std::vector<std::uint8_t>
+pattern(std::size_t n)
+{
+    std::vector<std::uint8_t> v(n);
+    for (std::size_t i = 0; i < n; ++i)
+        v[i] = std::uint8_t(i * 13 + 1);
+    return v;
+}
+
+} // namespace
+
+TEST(GcmStream, SingleUpdateMatchesOneShot)
+{
+    auto gcm = testGcm();
+    GcmIv iv{};
+    iv[5] = 7;
+    auto pt = pattern(100);
+
+    std::vector<std::uint8_t> ct_oneshot(100);
+    GcmTag tag_oneshot;
+    gcm.seal(iv, nullptr, 0, pt.data(), pt.size(), ct_oneshot.data(),
+             tag_oneshot);
+
+    GcmStream enc(gcm, iv, GcmStream::Op::Encrypt);
+    std::vector<std::uint8_t> ct_stream(100);
+    enc.update(pt.data(), pt.size(), ct_stream.data());
+    GcmTag tag_stream;
+    EXPECT_TRUE(enc.finish(tag_stream));
+
+    EXPECT_EQ(ct_stream, ct_oneshot);
+    EXPECT_EQ(tag_stream, tag_oneshot);
+}
+
+TEST(GcmStream, ChunkedUpdatesMatchOneShot)
+{
+    auto gcm = testGcm();
+    GcmIv iv{};
+    auto pt = pattern(1000);
+    std::vector<std::uint8_t> ct_oneshot(pt.size());
+    GcmTag tag_oneshot;
+    gcm.seal(iv, nullptr, 0, pt.data(), pt.size(), ct_oneshot.data(),
+             tag_oneshot);
+
+    // Deliberately awkward chunk sizes straddling block boundaries.
+    for (std::size_t chunk : {1u, 3u, 7u, 16u, 17u, 33u, 250u}) {
+        GcmStream enc(gcm, iv, GcmStream::Op::Encrypt);
+        std::vector<std::uint8_t> ct(pt.size());
+        std::size_t off = 0;
+        while (off < pt.size()) {
+            std::size_t n = std::min(chunk, pt.size() - off);
+            enc.update(pt.data() + off, n, ct.data() + off);
+            off += n;
+        }
+        GcmTag tag;
+        EXPECT_TRUE(enc.finish(tag));
+        EXPECT_EQ(ct, ct_oneshot) << "chunk=" << chunk;
+        EXPECT_EQ(tag, tag_oneshot) << "chunk=" << chunk;
+        EXPECT_EQ(enc.processedBytes(), pt.size());
+    }
+}
+
+TEST(GcmStream, AadMatchesOneShot)
+{
+    auto gcm = testGcm();
+    GcmIv iv{};
+    iv[0] = 1;
+    auto pt = pattern(77);
+    auto aad = fromHex("feedfacedeadbeef01");
+
+    std::vector<std::uint8_t> ct_oneshot(pt.size());
+    GcmTag tag_oneshot;
+    gcm.seal(iv, aad.data(), aad.size(), pt.data(), pt.size(),
+             ct_oneshot.data(), tag_oneshot);
+
+    GcmStream enc(gcm, iv, GcmStream::Op::Encrypt);
+    enc.aad(aad.data(), aad.size());
+    std::vector<std::uint8_t> ct(pt.size());
+    enc.update(pt.data(), pt.size(), ct.data());
+    GcmTag tag;
+    EXPECT_TRUE(enc.finish(tag));
+    EXPECT_EQ(ct, ct_oneshot);
+    EXPECT_EQ(tag, tag_oneshot);
+}
+
+TEST(GcmStream, DecryptVerifiesAndRecoversPlaintext)
+{
+    auto gcm = testGcm();
+    GcmIv iv{};
+    iv[11] = 42;
+    auto pt = pattern(333);
+    std::vector<std::uint8_t> ct(pt.size());
+    GcmTag tag;
+    gcm.seal(iv, nullptr, 0, pt.data(), pt.size(), ct.data(), tag);
+
+    GcmStream dec(gcm, iv, GcmStream::Op::Decrypt);
+    std::vector<std::uint8_t> out(pt.size());
+    dec.update(ct.data(), 100, out.data());
+    dec.update(ct.data() + 100, 233, out.data() + 100);
+    EXPECT_TRUE(dec.finish(tag));
+    EXPECT_EQ(out, pt);
+}
+
+TEST(GcmStream, DecryptRejectsTamperedTag)
+{
+    auto gcm = testGcm();
+    GcmIv iv{};
+    auto pt = pattern(64);
+    std::vector<std::uint8_t> ct(pt.size());
+    GcmTag tag;
+    gcm.seal(iv, nullptr, 0, pt.data(), pt.size(), ct.data(), tag);
+    tag[3] ^= 0x10;
+
+    GcmStream dec(gcm, iv, GcmStream::Op::Decrypt);
+    std::vector<std::uint8_t> out(pt.size());
+    dec.update(ct.data(), ct.size(), out.data());
+    EXPECT_FALSE(dec.finish(tag));
+}
+
+TEST(GcmStream, EmptyMessageMatchesOneShot)
+{
+    auto gcm = testGcm();
+    GcmIv iv{};
+    GcmTag tag_oneshot;
+    gcm.seal(iv, nullptr, 0, nullptr, 0, nullptr, tag_oneshot);
+
+    GcmStream enc(gcm, iv, GcmStream::Op::Encrypt);
+    GcmTag tag;
+    EXPECT_TRUE(enc.finish(tag));
+    EXPECT_EQ(tag, tag_oneshot);
+}
+
+TEST(GcmStreamDeath, AadAfterDataPanics)
+{
+    auto gcm = testGcm();
+    GcmIv iv{};
+    GcmStream enc(gcm, iv, GcmStream::Op::Encrypt);
+    std::uint8_t b = 1, o;
+    enc.update(&b, 1, &o);
+    EXPECT_DEATH(enc.aad(&b, 1), "AAD must precede");
+}
+
+TEST(GcmStreamDeath, DoubleFinishPanics)
+{
+    auto gcm = testGcm();
+    GcmIv iv{};
+    GcmStream enc(gcm, iv, GcmStream::Op::Encrypt);
+    GcmTag tag;
+    EXPECT_TRUE(enc.finish(tag));
+    EXPECT_DEATH((void)enc.finish(tag), "already finished");
+}

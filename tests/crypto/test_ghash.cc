@@ -1,0 +1,100 @@
+#include <gtest/gtest.h>
+
+#include "crypto/aes.hh"
+#include "crypto/ghash.hh"
+#include "tests/crypto/hex_util.hh"
+
+using namespace pipellm::crypto;
+using hexutil::fromHex;
+using hexutil::toHex;
+
+namespace {
+
+Block128
+hashKeyFromAesKey(const std::string &key_hex)
+{
+    auto key = fromHex(key_hex);
+    Aes aes(key.data(), key.size());
+    std::uint8_t zero[16] = {};
+    std::uint8_t h[16];
+    aes.encryptBlock(zero, h);
+    return loadBlock(h);
+}
+
+std::string
+digestHex(const Ghash &g)
+{
+    std::uint8_t out[16];
+    storeBlock(g.digest(), out);
+    return toHex(out, 16);
+}
+
+} // namespace
+
+TEST(Block128, LoadStoreRoundTrip)
+{
+    auto bytes = fromHex("0123456789abcdef0011223344556677");
+    Block128 b = loadBlock(bytes.data());
+    EXPECT_EQ(b.hi, 0x0123456789abcdefull);
+    EXPECT_EQ(b.lo, 0x0011223344556677ull);
+    std::uint8_t back[16];
+    storeBlock(b, back);
+    EXPECT_EQ(toHex(back, 16), "0123456789abcdef0011223344556677");
+}
+
+TEST(Ghash, ZeroInputIsZero)
+{
+    Block128 h = hashKeyFromAesKey("00000000000000000000000000000000");
+    Ghash g(h);
+    std::uint8_t zeros[16] = {};
+    g.updateBlock(zeros);
+    // GHASH of a zero block is 0 * H = 0.
+    EXPECT_EQ(digestHex(g), "00000000000000000000000000000000");
+}
+
+// Intermediate GHASH value from McGrew & Viega GCM spec, test case 2:
+// GHASH(H, {}, C) with K = 0^128, C = 0388dace60b6a392f328c2b971b2fe78
+// equals f38cbb1ad69223dcc3457ae5b6b0f885.
+TEST(Ghash, McGrewViegaCase2Intermediate)
+{
+    Block128 h = hashKeyFromAesKey("00000000000000000000000000000000");
+    Ghash g(h);
+    auto ct = fromHex("0388dace60b6a392f328c2b971b2fe78");
+    g.update(ct.data(), ct.size());
+    g.updateLengths(0, 16);
+    EXPECT_EQ(digestHex(g), "f38cbb1ad69223dcc3457ae5b6b0f885");
+}
+
+TEST(Ghash, ResetClearsState)
+{
+    Block128 h = hashKeyFromAesKey("00000000000000000000000000000000");
+    Ghash g(h);
+    auto ct = fromHex("0388dace60b6a392f328c2b971b2fe78");
+    g.update(ct.data(), ct.size());
+    g.reset();
+    EXPECT_EQ(digestHex(g), "00000000000000000000000000000000");
+}
+
+TEST(Ghash, PartialBlockIsZeroPadded)
+{
+    Block128 h = hashKeyFromAesKey("feffe9928665731c6d6a8f9467308308");
+    Ghash a(h), b(h);
+    auto data = fromHex("deadbeef");
+    auto padded = fromHex("deadbeef000000000000000000000000");
+    a.update(data.data(), data.size());
+    b.updateBlock(padded.data());
+    EXPECT_EQ(digestHex(a), digestHex(b));
+}
+
+TEST(Ghash, MultiBlockMatchesIncremental)
+{
+    Block128 h = hashKeyFromAesKey("feffe9928665731c6d6a8f9467308308");
+    auto data = fromHex(
+        "d9313225f88406e5a55909c5aff5269a"
+        "86a7a9531534f7da2e4c303d8a318a72");
+    Ghash one(h), two(h);
+    one.update(data.data(), data.size());
+    two.updateBlock(data.data());
+    two.updateBlock(data.data() + 16);
+    EXPECT_EQ(digestHex(one), digestHex(two));
+}

@@ -1,0 +1,68 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "crypto/iv.hh"
+
+using namespace pipellm::crypto;
+
+TEST(IvCounter, StartsAtConfiguredValue)
+{
+    IvCounter c(Direction::HostToDevice, 5);
+    EXPECT_EQ(c.current(), 5u);
+    EXPECT_EQ(c.direction(), Direction::HostToDevice);
+}
+
+TEST(IvCounter, NextConsumesSequentially)
+{
+    IvCounter c(Direction::HostToDevice);
+    EXPECT_EQ(c.next(), 0u);
+    EXPECT_EQ(c.next(), 1u);
+    EXPECT_EQ(c.next(), 2u);
+    EXPECT_EQ(c.current(), 3u);
+}
+
+TEST(IvCounter, PeekDoesNotConsume)
+{
+    IvCounter c(Direction::DeviceToHost, 10);
+    EXPECT_EQ(c.peek(), 10u);
+    EXPECT_EQ(c.peek(5), 15u);
+    EXPECT_EQ(c.current(), 10u);
+}
+
+TEST(IvCounter, AdvanceSkipsValues)
+{
+    IvCounter c(Direction::HostToDevice);
+    c.advance(3);
+    EXPECT_EQ(c.next(), 3u);
+}
+
+TEST(MakeIv, DistinctPerCounter)
+{
+    std::set<std::string> seen;
+    for (std::uint64_t i = 0; i < 1000; ++i) {
+        auto iv = makeIv(Direction::HostToDevice, i);
+        seen.insert(std::string(iv.begin(), iv.end()));
+    }
+    EXPECT_EQ(seen.size(), 1000u);
+}
+
+TEST(MakeIv, DistinctPerDirection)
+{
+    auto h2d = makeIv(Direction::HostToDevice, 42);
+    auto d2h = makeIv(Direction::DeviceToHost, 42);
+    EXPECT_NE(h2d, d2h);
+}
+
+TEST(MakeIv, EncodesCounterBigEndian)
+{
+    auto iv = makeIv(Direction::HostToDevice, 0x0102030405060708ull);
+    EXPECT_EQ(iv[4], 0x01);
+    EXPECT_EQ(iv[11], 0x08);
+}
+
+TEST(Direction, ToString)
+{
+    EXPECT_STREQ(toString(Direction::HostToDevice), "H2D");
+    EXPECT_STREQ(toString(Direction::DeviceToHost), "D2H");
+}

@@ -1,0 +1,257 @@
+/**
+ * @file
+ * Cross-runtime equivalence: the same workload must produce the same
+ * *functional* outcome (GPU memory contents, IV lockstep) under every
+ * security mode, while the *timing* ordering reflects each design:
+ * w/o CC fastest, stock CC slowest, PipeLLM/TEE-I/O/CT-Reuse between.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "pipellm/pipellm_runtime.hh"
+#include "runtime/cc_runtime.hh"
+#include "runtime/plain_runtime.hh"
+#include "runtime/reuse_runtime.hh"
+#include "runtime/teeio_runtime.hh"
+#include "serving/flexgen.hh"
+#include "serving/peft.hh"
+#include "serving/vllm.hh"
+#include "tests/serving/serving_fixture.hh"
+#include "trace/generator.hh"
+
+using namespace pipellm;
+using namespace serving_test;
+using runtime::CopyKind;
+using runtime::Platform;
+using runtime::Stream;
+
+namespace {
+
+enum class Sys
+{
+    Plain,
+    Cc,
+    Pipe,
+    TeeIo,
+    Reuse,
+};
+
+std::unique_ptr<runtime::RuntimeApi>
+make(Sys s, Platform &p)
+{
+    switch (s) {
+      case Sys::Plain:
+        return std::make_unique<runtime::PlainRuntime>(p);
+      case Sys::Cc:
+        return std::make_unique<runtime::CcRuntime>(p);
+      case Sys::Pipe: {
+        core::PipeLlmConfig cfg;
+        cfg.classifier.layer_param_bytes = 2 * MiB;
+        return std::make_unique<core::PipeLlmRuntime>(p, cfg);
+      }
+      case Sys::TeeIo:
+        return std::make_unique<runtime::TeeIoRuntime>(p);
+      case Sys::Reuse:
+        return std::make_unique<runtime::CiphertextReuseRuntime>(p);
+    }
+    return nullptr;
+}
+
+constexpr Sys kAll[] = {Sys::Plain, Sys::Cc, Sys::Pipe, Sys::TeeIo,
+                        Sys::Reuse};
+
+} // namespace
+
+TEST(CrossRuntime, IdenticalFunctionalOutcome)
+{
+    // Cyclic swaps of two chunks with distinctive content; afterwards
+    // the device must hold chunk 1's bytes under every runtime.
+    std::vector<std::uint8_t> final_content;
+    for (Sys s : kAll) {
+        Platform p;
+        auto rt = make(s, p);
+        auto a = p.allocHost(2 * MiB, "a");
+        auto b = p.allocHost(2 * MiB, "b");
+        auto d = p.device().alloc(2 * MiB, "d");
+        std::vector<std::uint8_t> wa(64, 0xaa), wb(64, 0xbb);
+        p.hostMem().write(a.base, wa.data(), wa.size());
+        p.hostMem().write(b.base, wb.data(), wb.size());
+
+        Stream &st = rt->createStream("s");
+        Tick now = 0;
+        for (int i = 0; i < 6; ++i) {
+            Addr src = (i % 2 == 0) ? a.base : b.base;
+            now = rt->memcpyAsync(CopyKind::HostToDevice, d.base, src,
+                                  2 * MiB, st, now)
+                      .api_return;
+            now = rt->synchronize(now);
+        }
+        auto content = p.device().memory().readSample(d.base, 64);
+        EXPECT_EQ(content, wb) << "runtime " << rt->name();
+        if (final_content.empty())
+            final_content = content;
+        EXPECT_EQ(content, final_content) << rt->name();
+        EXPECT_EQ(p.device().integrityFailures(), 0u) << rt->name();
+    }
+}
+
+TEST(CrossRuntime, FlexGenTimingOrdering)
+{
+    auto model = tinyModel();
+    serving::FlexGenConfig cfg;
+    cfg.model = model;
+    cfg.batch = 8;
+    cfg.input_len = 16;
+    cfg.output_len = 8;
+    cfg.num_requests = 24;
+    cfg.gpu_reserved_bytes = 96 * MiB;
+
+    double tput[5];
+    int i = 0;
+    for (Sys s : kAll) {
+        Platform p(tinyGpu(256 * MiB));
+        std::unique_ptr<runtime::RuntimeApi> rt;
+        if (s == Sys::Pipe) {
+            auto pcfg = tinyPipeConfig(model);
+            pcfg.enc_lanes = 8;
+            rt = std::make_unique<core::PipeLlmRuntime>(p, pcfg);
+        } else {
+            rt = make(s, p);
+        }
+        tput[i++] = serving::FlexGenEngine(*rt, cfg).run()
+                        .tokens_per_sec;
+    }
+    double plain = tput[0], cc = tput[1], pipe = tput[2],
+           teeio = tput[3], reuse = tput[4];
+    EXPECT_GT(plain, teeio);
+    EXPECT_GT(teeio, cc);
+    EXPECT_GT(pipe, cc * 2);
+    EXPECT_GT(reuse, cc * 2);
+    // The two hypothetical designs bound PipeLLM loosely from above.
+    EXPECT_GT(teeio, pipe * 0.9);
+}
+
+TEST(CrossRuntime, VllmAllModesServeEveryRequest)
+{
+    auto model = tinyModel();
+    serving::VllmConfig cfg;
+    cfg.model = model;
+    cfg.parallel_sampling = 2;
+    cfg.gpu_reserved_bytes = 160 * MiB;
+
+    trace::DatasetProfile profile{"x", 48.0, 0.4, 32.0, 0.4};
+    profile.max_len = 96;
+
+    for (Sys s : kAll) {
+        Platform p(tinyGpu(448 * MiB));
+        std::unique_ptr<runtime::RuntimeApi> rt;
+        if (s == Sys::Pipe) {
+            auto pcfg = tinyPipeConfig(model);
+            pcfg.classifier.kv_unit_bytes =
+                16 * model.kvBytesPerToken();
+            rt = std::make_unique<core::PipeLlmRuntime>(p, pcfg);
+        } else {
+            rt = make(s, p);
+        }
+        serving::VllmEngine engine(*rt, cfg);
+        trace::TraceGenerator gen(profile, 5);
+        auto r = engine.run(gen.poisson(80, 3000.0));
+        EXPECT_EQ(r.completed, 80u) << rt->name();
+        EXPECT_GT(r.preemptions, 0u) << rt->name();
+        EXPECT_EQ(p.device().integrityFailures(), 0u) << rt->name();
+    }
+}
+
+TEST(CrossRuntime, PeftAllModesTrainDeterministically)
+{
+    auto model = tinyModel();
+    serving::PeftConfig cfg;
+    cfg.model = model;
+    cfg.batch = 4;
+    cfg.gpu_reserved_bytes = 16 * MiB;
+    cfg.num_sequences = 12;
+
+    trace::DatasetProfile profile{"ft", 256.0, 0.3, 0.0, 0.0};
+    profile.min_len = 64;
+    profile.max_len = 512;
+
+    for (Sys s : kAll) {
+        double first = 0;
+        for (int rep = 0; rep < 2; ++rep) {
+            Platform p(tinyGpu(384 * MiB));
+            std::unique_ptr<runtime::RuntimeApi> rt;
+            if (s == Sys::Pipe) {
+                auto pcfg = tinyPipeConfig(model);
+                rt = std::make_unique<core::PipeLlmRuntime>(p, pcfg);
+            } else {
+                rt = make(s, p);
+            }
+            trace::TraceGenerator gen(profile, 9);
+            auto r = serving::PeftEngine(*rt, cfg)
+                         .run(gen.closedLoop(12));
+            EXPECT_GT(r.tokens_per_sec, 0.0);
+            if (rep == 0)
+                first = r.tokens_per_sec;
+            else
+                EXPECT_DOUBLE_EQ(r.tokens_per_sec, first)
+                    << rt->name() << " not deterministic";
+        }
+    }
+}
+
+TEST(CrossRuntime, LayerWiseFifoKvSwapping)
+{
+    // The paper's *other* KV policy (§5.1, Fig. 5b): layer-wise
+    // swapping writes KV out layer by layer and reads it back in the
+    // same order — FIFO. Drive that shape directly and check the
+    // predictor locks onto it with high hit rates.
+    Platform p;
+    core::PipeLlmConfig cfg;
+    cfg.classifier.kv_unit_bytes = 1 * MiB;
+    cfg.enc_lanes = 1;
+    core::PipeLlmRuntime rt(p, cfg);
+
+    const int layers = 6;
+    std::vector<mem::Region> host_kv;
+    std::vector<mem::Region> dev_kv;
+    for (int l = 0; l < layers; ++l) {
+        host_kv.push_back(p.allocHost(1 * MiB, "kv-host"));
+        dev_kv.push_back(p.device().alloc(1 * MiB, "kv-dev"));
+    }
+    Stream &s = rt.createStream("s");
+    gpu::KernelDesc k{"layer", 2e10, 1e8};
+
+    Tick now = 0;
+    for (int round = 0; round < 8; ++round) {
+        // Swap out layer by layer (forward order)...
+        for (int l = 0; l < layers; ++l)
+            now = rt.memcpyAsync(CopyKind::DeviceToHost,
+                                 host_kv[l].base, dev_kv[l].base,
+                                 1 * MiB, s, now)
+                      .api_return;
+        now = rt.synchronize(now);
+        now = rt.launchKernel(k, s, now).api_return;
+        now = rt.synchronize(now);
+        // ...and back in the same (FIFO) order.
+        for (int l = 0; l < layers; ++l)
+            now = rt.memcpyAsync(CopyKind::HostToDevice,
+                                 dev_kv[l].base, host_kv[l].base,
+                                 1 * MiB, s, now)
+                      .api_return;
+        now = rt.synchronize(now);
+    }
+
+    const auto &ps = rt.pipeStats();
+    EXPECT_EQ(ps.swap_requests, 8u * layers);
+    EXPECT_GT(ps.hits, 5u * layers);
+    EXPECT_EQ(p.device().integrityFailures(), 0u);
+    // Either the FIFO or the group recognizer may win; both predict
+    // this stream correctly.
+    std::string pattern = rt.predictor().activePattern();
+    EXPECT_TRUE(pattern == "fifo" || pattern == "lifo-group" ||
+                pattern == "markov")
+        << pattern;
+}

@@ -1,0 +1,162 @@
+/**
+ * @file
+ * Randomized-workload invariant fuzz.
+ *
+ * A deterministic random driver throws arbitrary interleavings of
+ * swap-ins, swap-outs, small transfers, plaintext writes, region
+ * churn, kernels, and syncs at the PipeLLM runtime. Whatever the
+ * predictor does with that chaos, the hard invariants must hold:
+ *
+ *  I1  zero GPU integrity failures (every delivered blob verified
+ *      under the device's lockstep IV);
+ *  I2  CPU and GPU IV counters stay in lockstep in both directions;
+ *  I3  after every synchronize, no deferred sends remain;
+ *  I4  delivered H2D content equals the host plaintext at request
+ *      time (checked on a sampled subset);
+ *  I5  time never runs backwards and every API returns >= its call
+ *      tick.
+ *
+ * A failure of PipeLLM's planning logic manifests as a loud AES-GCM
+ * tag panic (I1), so simply *surviving* the run is most of the test.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.hh"
+#include "pipellm/pipellm_runtime.hh"
+
+using namespace pipellm;
+using namespace pipellm::core;
+using runtime::CopyKind;
+using runtime::Platform;
+using runtime::Stream;
+
+namespace {
+
+class RandomWorkload : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+struct HostChunk
+{
+    mem::Region region;
+    Addr dev_slot = 0; ///< this chunk's own device destination
+    bool swapped_out = false; // host copy currently the only one
+};
+
+} // namespace
+
+TEST_P(RandomWorkload, InvariantsHoldUnderChaos)
+{
+    const std::uint64_t seed = GetParam();
+    Rng rng(seed);
+
+    Platform platform;
+    PipeLlmConfig cfg;
+    cfg.classifier.layer_param_bytes = 0; // sizes vary: OtherSwap
+    cfg.pipeline_depth = 4 + unsigned(rng.uniformInt(0, 12));
+    cfg.enc_lanes = 1 + unsigned(rng.uniformInt(0, 3));
+    cfg.iv_leeway = rng.uniformInt(0, 4);
+    PipeLlmRuntime rt(platform, cfg);
+
+    // A pool of host chunks of assorted swap-class sizes.
+    std::vector<HostChunk> chunks;
+    for (int i = 0; i < 10; ++i) {
+        std::uint64_t len = 128 * KiB << rng.uniformInt(0, 4);
+        HostChunk c;
+        c.region = platform.allocHost(len, "chunk" + std::to_string(i));
+        c.dev_slot =
+            platform.device().alloc(len, "dev" + std::to_string(i)).base;
+        chunks.push_back(c);
+    }
+    auto token_buf = platform.allocHost(8 * KiB, "tokens");
+    auto dev = platform.device().alloc(64 * MiB, "dev");
+    Stream &s = rt.createStream("s");
+
+    Tick now = 0;
+    int content_checks = 0;
+    for (int step = 0; step < 400; ++step) {
+        Tick before = now;
+        switch (rng.uniformInt(0, 9)) {
+          case 0:
+          case 1:
+          case 2:
+          case 3: { // swap-in of a random chunk
+            auto &c = chunks[rng.uniformInt(0, chunks.size() - 1)];
+            bool check = rng.bernoulli(0.1);
+            std::vector<std::uint8_t> expect;
+            if (check) {
+                expect = platform.hostMem().readSample(
+                    c.region.base,
+                    platform.channel().sampledLen(c.region.len));
+            }
+            auto r = rt.memcpyAsync(CopyKind::HostToDevice,
+                                    c.dev_slot, c.region.base,
+                                    c.region.len, s, now);
+            now = std::max(now, r.api_return);
+            c.swapped_out = false;
+            if (check) {
+                now = rt.synchronize(now);
+                EXPECT_EQ(platform.device().memory().readSample(
+                              c.dev_slot, expect.size()),
+                          expect); // I4
+                ++content_checks;
+            }
+            break;
+          }
+          case 4:
+          case 5: { // swap-out to a random chunk
+            auto &c = chunks[rng.uniformInt(0, chunks.size() - 1)];
+            auto r = rt.memcpyAsync(CopyKind::DeviceToHost,
+                                    c.region.base, c.dev_slot,
+                                    c.region.len, s, now);
+            now = std::max(now, r.api_return);
+            c.swapped_out = true;
+            break;
+          }
+          case 6: { // small transfer
+            auto r = rt.memcpyAsync(
+                CopyKind::HostToDevice, dev.base, token_buf.base,
+                1 + rng.uniformInt(0, 4095), s, now);
+            now = std::max(now, r.api_return);
+            break;
+          }
+          case 7: { // plaintext write (possibly under speculation)
+            auto &c = chunks[rng.uniformInt(0, chunks.size() - 1)];
+            std::uint8_t v = std::uint8_t(rng.next());
+            Tick ready = platform.hostMem().write(
+                c.region.base + rng.uniformInt(0, c.region.len - 1),
+                &v, 1);
+            now = std::max(now, ready);
+            break;
+          }
+          case 8: { // kernel
+            gpu::KernelDesc k{"k", 1e9 * double(rng.uniformInt(1, 40)),
+                              1e6};
+            now = std::max(now, rt.launchKernel(k, s, now).api_return);
+            break;
+          }
+          default: // synchronize
+            now = rt.synchronize(now);
+            EXPECT_EQ(rt.pendingSends(), 0u); // I3
+        }
+        EXPECT_GE(now, before); // I5
+    }
+    now = rt.synchronize(now);
+
+    // I1/I2: the session survived with counters in lockstep.
+    EXPECT_EQ(platform.device().integrityFailures(), 0u);
+    EXPECT_EQ(rt.h2dCounter(), platform.device().rxCounter());
+    EXPECT_EQ(rt.d2hCounter(), platform.device().txCounter());
+    EXPECT_EQ(rt.pendingSends(), 0u);
+    EXPECT_GT(content_checks, 0);
+
+    // The accounting adds up: every swap request either hit or missed.
+    const auto &ps = rt.pipeStats();
+    EXPECT_EQ(ps.hits + ps.misses, ps.swap_requests);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomWorkload,
+                         ::testing::Range<std::uint64_t>(1, 25));

@@ -1,0 +1,216 @@
+#include <gtest/gtest.h>
+
+#include "mem/page_protection.hh"
+
+using namespace pipellm;
+using namespace pipellm::mem;
+
+TEST(PageProtection, UnprotectedAccessIsFree)
+{
+    PageProtection pp;
+    EXPECT_EQ(pp.access(0x1000, 64, true), 0u);
+    EXPECT_EQ(pp.faults(), 0u);
+    EXPECT_EQ(pp.query(0x1000), Protection::None);
+}
+
+TEST(PageProtection, NoWriteAllowsReads)
+{
+    PageProtection pp;
+    bool fired = false;
+    pp.protect(0x1000, pageBytes, Protection::NoWrite,
+               [&](Addr, bool) -> Tick {
+                   fired = true;
+                   pp.unprotect(0x1000, pageBytes);
+                   return 0;
+               });
+    EXPECT_EQ(pp.access(0x1000, 64, false), 0u);
+    EXPECT_FALSE(fired);
+    EXPECT_EQ(pp.faults(), 0u);
+}
+
+TEST(PageProtection, NoWriteFaultsOnWrite)
+{
+    PageProtection pp;
+    int fired = 0;
+    pp.protect(0x1000, pageBytes, Protection::NoWrite,
+               [&](Addr addr, bool is_write) -> Tick {
+                   ++fired;
+                   EXPECT_TRUE(is_write);
+                   EXPECT_EQ(addr, 0x1000u);
+                   pp.unprotect(0x1000, pageBytes);
+                   return 77;
+               });
+    EXPECT_EQ(pp.access(0x1080, 8, true), 77u);
+    EXPECT_EQ(fired, 1);
+    EXPECT_EQ(pp.faults(), 1u);
+    // Protection lifted: subsequent writes are free.
+    EXPECT_EQ(pp.access(0x1080, 8, true), 0u);
+}
+
+TEST(PageProtection, NoAccessFaultsOnRead)
+{
+    PageProtection pp;
+    pp.protect(0x2000, 100, Protection::NoAccess,
+               [&](Addr, bool) -> Tick {
+                   pp.unprotect(0x2000, 100);
+                   return 5;
+               });
+    EXPECT_EQ(pp.access(0x2000, 4, false), 5u);
+    EXPECT_EQ(pp.faults(), 1u);
+}
+
+TEST(PageProtection, RangeExpandsToPageBoundaries)
+{
+    PageProtection pp;
+    // Protect 10 bytes in the middle of a page: whole page protected.
+    pp.protect(0x1800, 10, Protection::NoWrite,
+               [&](Addr, bool) -> Tick {
+                   pp.unprotect(0x1000, pageBytes);
+                   return 0;
+               });
+    EXPECT_EQ(pp.query(0x1000), Protection::NoWrite);
+    EXPECT_EQ(pp.query(0x1fff), Protection::NoWrite);
+    EXPECT_EQ(pp.query(0x2000), Protection::None);
+}
+
+TEST(PageProtection, MultiPageFaultInvokesHandlerPerPage)
+{
+    PageProtection pp;
+    int fired = 0;
+    pp.protect(0x1000, 3 * pageBytes, Protection::NoWrite,
+               [&](Addr addr, bool) -> Tick {
+                   ++fired;
+                   pp.unprotect(addr, pageBytes);
+                   return Tick(fired * 10);
+               });
+    // Touch all three pages in one access.
+    EXPECT_EQ(pp.access(0x1000, 3 * pageBytes, true), 30u);
+    EXPECT_EQ(fired, 3);
+}
+
+TEST(PageProtection, HandlerCoveringWholeRangeFiresOnce)
+{
+    PageProtection pp;
+    int fired = 0;
+    pp.protect(0x1000, 4 * pageBytes, Protection::NoAccess,
+               [&](Addr, bool) -> Tick {
+                   ++fired;
+                   pp.unprotect(0x1000, 4 * pageBytes);
+                   return 9;
+               });
+    EXPECT_EQ(pp.access(0x1000, 4 * pageBytes, false), 9u);
+    EXPECT_EQ(fired, 1);
+    EXPECT_EQ(pp.protectedPages(), 0u);
+}
+
+TEST(PageProtection, AnyProtectedQueries)
+{
+    PageProtection pp;
+    pp.protect(0x3000, pageBytes, Protection::NoWrite,
+               [](Addr, bool) -> Tick { return 0; });
+    EXPECT_TRUE(pp.anyProtected(0x3000, 1));
+    EXPECT_TRUE(pp.anyProtected(0x2fff, 2));
+    EXPECT_FALSE(pp.anyProtected(0x2000, pageBytes));
+    EXPECT_FALSE(pp.anyProtected(0x4000, pageBytes));
+}
+
+TEST(PageProtectionDeath, HandlerMustLiftProtection)
+{
+    PageProtection pp;
+    pp.protect(0x1000, pageBytes, Protection::NoWrite,
+               [](Addr, bool) -> Tick { return 0; });
+    EXPECT_DEATH(pp.access(0x1000, 8, true), "still protected");
+}
+
+TEST(PageProtection, IntervalSplitOnPartialUnprotect)
+{
+    // One big protected range; unprotecting the middle leaves both
+    // flanks protected (interval split).
+    PageProtection pp;
+    pp.protect(0x10000, 8 * pageBytes, Protection::NoWrite,
+               [](Addr, bool) -> Tick { return 0; });
+    pp.unprotect(0x10000 + 3 * pageBytes, 2 * pageBytes);
+    EXPECT_EQ(pp.query(0x10000), Protection::NoWrite);
+    EXPECT_EQ(pp.query(0x10000 + 3 * pageBytes), Protection::None);
+    EXPECT_EQ(pp.query(0x10000 + 4 * pageBytes), Protection::None);
+    EXPECT_EQ(pp.query(0x10000 + 5 * pageBytes), Protection::NoWrite);
+    EXPECT_EQ(pp.protectedPages(), 6u);
+}
+
+TEST(PageProtection, ProtectOverwritesOverlap)
+{
+    PageProtection pp;
+    int first = 0, second = 0;
+    pp.protect(0x10000, 4 * pageBytes, Protection::NoWrite,
+               [&](Addr, bool) -> Tick {
+                   ++first;
+                   pp.unprotect(0x10000, 4 * pageBytes);
+                   return 0;
+               });
+    // Re-protecting a sub-range replaces it with the new handler.
+    pp.protect(0x10000 + pageBytes, pageBytes, Protection::NoAccess,
+               [&](Addr, bool) -> Tick {
+                   ++second;
+                   pp.unprotect(0x10000 + pageBytes, pageBytes);
+                   return 7;
+               });
+    EXPECT_EQ(pp.access(0x10000 + pageBytes, 8, false), 7u);
+    EXPECT_EQ(first, 0);
+    EXPECT_EQ(second, 1);
+    // The flanks keep the original NoWrite protection.
+    EXPECT_EQ(pp.query(0x10000), Protection::NoWrite);
+    EXPECT_EQ(pp.query(0x10000 + 2 * pageBytes), Protection::NoWrite);
+}
+
+TEST(PageProtection, HugeRangeIsCheap)
+{
+    // A 2 GiB protected range must not materialize per-page state
+    // (regression guard for the interval-map rewrite).
+    PageProtection pp;
+    const std::uint64_t huge = 2ull * GiB;
+    pp.protect(0x100000, huge, Protection::NoWrite,
+               [&](Addr, bool) -> Tick {
+                   pp.unprotect(0x100000, huge);
+                   return 0;
+               });
+    EXPECT_EQ(pp.protectedPages(), huge / pageBytes);
+    EXPECT_TRUE(pp.anyProtected(0x100000 + GiB, 1));
+    EXPECT_EQ(pp.access(0x100000 + GiB, 8, true), 0u);
+    EXPECT_EQ(pp.protectedPages(), 0u);
+}
+
+TEST(PageProtection, AdjacentRangesStayIndependent)
+{
+    PageProtection pp;
+    int a = 0, b = 0;
+    pp.protect(0x10000, pageBytes, Protection::NoWrite,
+               [&](Addr, bool) -> Tick {
+                   ++a;
+                   pp.unprotect(0x10000, pageBytes);
+                   return 0;
+               });
+    pp.protect(0x10000 + pageBytes, pageBytes, Protection::NoWrite,
+               [&](Addr, bool) -> Tick {
+                   ++b;
+                   pp.unprotect(0x10000 + pageBytes, pageBytes);
+                   return 0;
+               });
+    pp.access(0x10000 + pageBytes, 4, true);
+    EXPECT_EQ(a, 0);
+    EXPECT_EQ(b, 1);
+    EXPECT_EQ(pp.query(0x10000), Protection::NoWrite);
+}
+
+TEST(PageProtection, UnprotectAcrossManyRanges)
+{
+    PageProtection pp;
+    for (int i = 0; i < 5; ++i) {
+        pp.protect(0x10000 + 2 * i * pageBytes, pageBytes,
+                   Protection::NoWrite,
+                   [](Addr, bool) -> Tick { return 0; });
+    }
+    EXPECT_EQ(pp.protectedPages(), 5u);
+    // One sweep clears them all, including the gaps.
+    pp.unprotect(0x10000, 10 * pageBytes);
+    EXPECT_EQ(pp.protectedPages(), 0u);
+}

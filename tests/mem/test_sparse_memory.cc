@@ -1,0 +1,167 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "mem/sparse_memory.hh"
+
+using namespace pipellm;
+using namespace pipellm::mem;
+
+TEST(SparseMemory, AllocTracksCapacity)
+{
+    SparseMemory arena("host", 1 * GiB);
+    auto r = arena.alloc(100 * MiB, "weights");
+    EXPECT_EQ(arena.bytesAllocated(), 100 * MiB);
+    EXPECT_EQ(arena.bytesFree(), 1 * GiB - 100 * MiB);
+    arena.free(r);
+    EXPECT_EQ(arena.bytesAllocated(), 0u);
+}
+
+TEST(SparseMemory, HugeRegionsCostNoBacking)
+{
+    // A 300 GiB arena with a 150 GiB region: no real pages used.
+    SparseMemory arena("host", 300 * GiB);
+    auto r = arena.alloc(150 * GiB, "opt175b");
+    EXPECT_EQ(arena.materializedPages(), 0u);
+    // Reading anywhere inside works and is deterministic.
+    auto a = arena.readSample(r.base + 100 * GiB, 64);
+    auto b = arena.readSample(r.base + 100 * GiB, 64);
+    EXPECT_EQ(a, b);
+    EXPECT_EQ(arena.materializedPages(), 0u);
+}
+
+TEST(SparseMemory, OutOfMemoryIsFatal)
+{
+    SparseMemory arena("host", 1 * MiB);
+    EXPECT_EXIT(arena.alloc(2 * MiB, "too-big"),
+                ::testing::ExitedWithCode(1), "out of memory");
+}
+
+TEST(SparseMemory, WriteReadRoundTrip)
+{
+    SparseMemory arena("host", 1 * GiB);
+    auto r = arena.alloc(1 * MiB, "buf");
+    std::vector<std::uint8_t> data{1, 2, 3, 4, 5};
+    arena.write(r.base + 10, data.data(), data.size());
+    auto out = arena.readSample(r.base + 10, 5);
+    EXPECT_EQ(out, data);
+    EXPECT_EQ(arena.materializedPages(), 1u);
+}
+
+TEST(SparseMemory, WritePreservesSurroundingSyntheticBytes)
+{
+    SparseMemory arena("host", 1 * GiB);
+    auto r = arena.alloc(1 * MiB, "buf");
+    auto before = arena.readSample(r.base, 64);
+    std::uint8_t v = 0xff;
+    arena.write(r.base + 32, &v, 1);
+    auto after = arena.readSample(r.base, 64);
+    for (int i = 0; i < 64; ++i) {
+        if (i == 32)
+            EXPECT_EQ(after[i], 0xff);
+        else
+            EXPECT_EQ(after[i], before[i]) << "byte " << i;
+    }
+}
+
+TEST(SparseMemory, CrossPageAccess)
+{
+    SparseMemory arena("host", 1 * GiB);
+    auto r = arena.alloc(1 * MiB, "buf");
+    std::vector<std::uint8_t> data(3 * pageBytes, 0xab);
+    arena.write(r.base + 100, data.data(), data.size());
+    auto out = arena.readSample(r.base + 100, data.size());
+    EXPECT_EQ(out, data);
+    EXPECT_EQ(arena.materializedPages(), 4u);
+}
+
+TEST(SparseMemory, DistinctRegionsHaveDistinctContent)
+{
+    SparseMemory arena("host", 1 * GiB);
+    auto a = arena.alloc(64 * KiB, "a");
+    auto b = arena.alloc(64 * KiB, "b");
+    auto sa = arena.readSample(a.base, 256);
+    auto sb = arena.readSample(b.base, 256);
+    EXPECT_NE(sa, sb);
+}
+
+TEST(SparseMemory, DiscardPagesRestoresSyntheticContent)
+{
+    SparseMemory arena("host", 1 * GiB);
+    auto r = arena.alloc(64 * KiB, "buf");
+    auto synthetic = arena.readSample(r.base, 32);
+    std::vector<std::uint8_t> junk(32, 0xee);
+    arena.write(r.base, junk.data(), junk.size());
+    EXPECT_EQ(arena.readSample(r.base, 32), junk);
+    arena.discardPages(r.base, pageBytes);
+    EXPECT_EQ(arena.readSample(r.base, 32), synthetic);
+}
+
+TEST(SparseMemory, RegionOfFindsOwner)
+{
+    SparseMemory arena("host", 1 * GiB);
+    auto a = arena.alloc(64 * KiB, "a");
+    auto b = arena.alloc(64 * KiB, "b");
+    EXPECT_EQ(arena.regionOf(a.base + 100).id, a.id);
+    EXPECT_EQ(arena.regionOf(b.base).id, b.id);
+    EXPECT_TRUE(arena.covered(a.base, 64 * KiB));
+    EXPECT_FALSE(arena.covered(a.base, 65 * KiB));
+}
+
+TEST(SparseMemory, SpaceAccounting)
+{
+    SparseMemory arena("host", 1 * GiB);
+    arena.alloc(10 * MiB, "p", MemSpace::CvmPrivate);
+    auto s = arena.alloc(2 * MiB, "s", MemSpace::CvmShared);
+    EXPECT_EQ(arena.bytesAllocated(MemSpace::CvmPrivate), 10 * MiB);
+    EXPECT_EQ(arena.bytesAllocated(MemSpace::CvmShared), 2 * MiB);
+    arena.free(s);
+    EXPECT_EQ(arena.bytesAllocated(MemSpace::CvmShared), 0u);
+}
+
+TEST(SparseMemory, ProtectionIntegratesWithWrite)
+{
+    SparseMemory arena("host", 1 * GiB);
+    auto r = arena.alloc(64 * KiB, "buf");
+    int faults = 0;
+    arena.protection().protect(
+        r.base, r.len, Protection::NoWrite,
+        [&](Addr, bool) -> Tick {
+            ++faults;
+            arena.protection().unprotect(r.base, r.len);
+            return 42;
+        });
+    std::uint8_t v = 1;
+    // Reads don't fault.
+    arena.readSample(r.base, 16);
+    EXPECT_EQ(faults, 0);
+    // First write faults and is ready at the handler's tick.
+    EXPECT_EQ(arena.write(r.base, &v, 1), 42u);
+    EXPECT_EQ(faults, 1);
+    // Second write is free.
+    EXPECT_EQ(arena.write(r.base, &v, 1), 0u);
+}
+
+TEST(SparseMemoryDeath, WildAccessPanics)
+{
+    SparseMemory arena("host", 1 * GiB);
+    std::uint8_t buf[4];
+    EXPECT_DEATH(arena.read(0xdead0000, buf, 4), "no allocated region");
+}
+
+TEST(SparseMemoryDeath, OverrunningRegionPanics)
+{
+    SparseMemory arena("host", 1 * GiB);
+    auto r = arena.alloc(100, "tiny");
+    std::uint8_t buf[32];
+    EXPECT_DEATH(arena.read(r.base + 90, buf, 32), "no allocated region");
+}
+
+TEST(SparseMemoryDeath, UseAfterFreePanics)
+{
+    SparseMemory arena("host", 1 * GiB);
+    auto r = arena.alloc(100, "gone");
+    arena.free(r);
+    std::uint8_t buf[4];
+    EXPECT_DEATH(arena.read(r.base, buf, 4), "no allocated region");
+}

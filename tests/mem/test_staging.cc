@@ -1,0 +1,71 @@
+#include <gtest/gtest.h>
+
+#include "mem/staging.hh"
+
+using namespace pipellm;
+using pipellm::mem::StagingPool;
+
+TEST(StagingPool, LeasesAreImmediateWhenFree)
+{
+    StagingPool pool(2, 1 * MiB);
+    auto a = pool.acquire(100);
+    EXPECT_EQ(a.available, 100u);
+    auto b = pool.acquire(100);
+    EXPECT_EQ(b.available, 100u);
+    EXPECT_NE(a.buf, b.buf);
+    EXPECT_EQ(pool.stalls(), 0u);
+}
+
+TEST(StagingPool, AcquireWaitsForRelease)
+{
+    StagingPool pool(1, 1 * MiB);
+    auto a = pool.acquire(0);
+    pool.release(a.buf, 500);
+    auto b = pool.acquire(100);
+    EXPECT_EQ(b.available, 500u);
+    EXPECT_EQ(pool.stalls(), 1u);
+}
+
+TEST(StagingPool, PicksEarliestFreeBuffer)
+{
+    StagingPool pool(2, 1 * MiB);
+    auto a = pool.acquire(0);
+    auto b = pool.acquire(0);
+    pool.release(a.buf, 1000);
+    pool.release(b.buf, 200);
+    auto c = pool.acquire(0);
+    EXPECT_EQ(c.buf, b.buf);
+    EXPECT_EQ(c.available, 200u);
+}
+
+TEST(StagingPool, ChunksCoverLength)
+{
+    StagingPool pool(4, 1 * MiB);
+    auto chunks = pool.chunk(2 * MiB + 500);
+    ASSERT_EQ(chunks.size(), 3u);
+    EXPECT_EQ(chunks[0], 1 * MiB);
+    EXPECT_EQ(chunks[1], 1 * MiB);
+    EXPECT_EQ(chunks[2], 500u);
+    EXPECT_TRUE(pool.chunk(0).empty());
+}
+
+TEST(StagingPool, TotalBytes)
+{
+    StagingPool pool(8, 2 * MiB);
+    EXPECT_EQ(pool.totalBytes(), 16 * MiB);
+}
+
+TEST(StagingPoolDeath, ExhaustionPanics)
+{
+    StagingPool pool(1, 1 * MiB);
+    pool.acquire(0);
+    EXPECT_DEATH(pool.acquire(0), "exhausted");
+}
+
+TEST(StagingPoolDeath, DoubleReleasePanics)
+{
+    StagingPool pool(1, 1 * MiB);
+    auto a = pool.acquire(0);
+    pool.release(a.buf, 10);
+    EXPECT_DEATH(pool.release(a.buf, 20), "unleased");
+}

@@ -1,0 +1,81 @@
+#include <gtest/gtest.h>
+
+#include "llm/model.hh"
+#include "pipellm/classifier.hh"
+
+using namespace pipellm;
+using namespace pipellm::core;
+
+namespace {
+
+ClassifierConfig
+opt30bConfig()
+{
+    auto m = llm::ModelConfig::opt30b();
+    ClassifierConfig cfg;
+    cfg.layer_param_bytes = m.layerParamBytes();
+    cfg.kv_unit_bytes = 2 * MiB;
+    return cfg;
+}
+
+} // namespace
+
+TEST(SwapClassifier, SmallTransfersBelowThreshold)
+{
+    SwapClassifier c(opt30bConfig());
+    // Paper §4.2: non-swap transfers are usually <8 KiB.
+    EXPECT_EQ(c.classify(32), TransferClass::Small);
+    EXPECT_EQ(c.classify(4 * KiB), TransferClass::Small);
+    EXPECT_EQ(c.classify(127 * KiB), TransferClass::Small);
+    EXPECT_FALSE(c.isSwap(8 * KiB));
+}
+
+TEST(SwapClassifier, LayerParamSizeIsModelOffload)
+{
+    auto cfg = opt30bConfig();
+    SwapClassifier c(cfg);
+    EXPECT_EQ(c.classify(cfg.layer_param_bytes),
+              TransferClass::ModelOffload);
+    // Within 2% tolerance.
+    EXPECT_EQ(c.classify(cfg.layer_param_bytes * 101 / 100),
+              TransferClass::ModelOffload);
+    EXPECT_TRUE(c.isSwap(cfg.layer_param_bytes));
+}
+
+TEST(SwapClassifier, KvUnitSizeIsKvSwap)
+{
+    SwapClassifier c(opt30bConfig());
+    EXPECT_EQ(c.classify(2 * MiB), TransferClass::KvSwap);
+}
+
+TEST(SwapClassifier, LargeUnknownIsOtherSwap)
+{
+    SwapClassifier c(opt30bConfig());
+    EXPECT_EQ(c.classify(10 * MiB), TransferClass::OtherSwap);
+    EXPECT_TRUE(c.isSwap(10 * MiB));
+}
+
+TEST(SwapClassifier, UnknownSizesStillSplitOnThreshold)
+{
+    SwapClassifier c(ClassifierConfig{});
+    EXPECT_EQ(c.classify(100), TransferClass::Small);
+    EXPECT_EQ(c.classify(1 * MiB), TransferClass::OtherSwap);
+}
+
+TEST(SwapClassifier, ToleranceBoundary)
+{
+    ClassifierConfig cfg;
+    cfg.layer_param_bytes = 100 * MiB;
+    SwapClassifier c(cfg);
+    EXPECT_EQ(c.classify(100 * MiB + MiB), TransferClass::ModelOffload);
+    EXPECT_EQ(c.classify(110 * MiB), TransferClass::OtherSwap);
+}
+
+TEST(TransferClass, Names)
+{
+    EXPECT_STREQ(toString(TransferClass::Small), "small");
+    EXPECT_STREQ(toString(TransferClass::ModelOffload),
+                 "model-offload");
+    EXPECT_STREQ(toString(TransferClass::KvSwap), "kv-swap");
+    EXPECT_STREQ(toString(TransferClass::OtherSwap), "other-swap");
+}

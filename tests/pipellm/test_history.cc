@@ -1,0 +1,84 @@
+#include <gtest/gtest.h>
+
+#include "pipellm/history.hh"
+
+using namespace pipellm;
+using namespace pipellm::core;
+
+namespace {
+
+ChunkId
+chunk(int i)
+{
+    return ChunkId{Addr(0x10000 + i * 0x1000), 4096};
+}
+
+} // namespace
+
+TEST(SwapHistory, RecordsSwapInsInOrder)
+{
+    SwapHistory h;
+    h.noteSwapIn(chunk(1));
+    h.noteSwapIn(chunk(2));
+    ASSERT_EQ(h.swapIns().size(), 2u);
+    EXPECT_EQ(h.swapIns()[0], chunk(1));
+    EXPECT_EQ(h.swapIns()[1], chunk(2));
+    EXPECT_EQ(h.totalSwapIns(), 2u);
+}
+
+TEST(SwapHistory, CapsFlattenedHistory)
+{
+    SwapHistory h(10);
+    for (int i = 0; i < 25; ++i)
+        h.noteSwapIn(chunk(i));
+    EXPECT_EQ(h.swapIns().size(), 10u);
+    EXPECT_EQ(h.swapIns().front(), chunk(15));
+    EXPECT_EQ(h.totalSwapIns(), 25u);
+}
+
+TEST(SwapHistory, OutstandingTracksSwapOutOrder)
+{
+    SwapHistory h;
+    h.noteSwapOut(chunk(1));
+    h.noteSwapOut(chunk(2));
+    h.noteSwapOut(chunk(3));
+    ASSERT_EQ(h.outstanding().size(), 3u);
+    EXPECT_EQ(h.outstanding()[0].chunk, chunk(1));
+    EXPECT_TRUE(h.isOutstanding(chunk(2)));
+}
+
+TEST(SwapHistory, SwapInRemovesFromOutstanding)
+{
+    SwapHistory h;
+    h.noteSwapOut(chunk(1));
+    h.noteSwapOut(chunk(2));
+    h.noteSwapIn(chunk(1));
+    EXPECT_FALSE(h.isOutstanding(chunk(1)));
+    ASSERT_EQ(h.outstanding().size(), 1u);
+    EXPECT_EQ(h.outstanding()[0].chunk, chunk(2));
+}
+
+TEST(SwapHistory, ReSwapOutRefreshesPosition)
+{
+    SwapHistory h;
+    h.noteSwapOut(chunk(1));
+    h.noteSwapOut(chunk(2));
+    h.noteSwapOut(chunk(1)); // again, without swap-in
+    ASSERT_EQ(h.outstanding().size(), 2u);
+    EXPECT_EQ(h.outstanding()[0].chunk, chunk(2));
+    EXPECT_EQ(h.outstanding()[1].chunk, chunk(1));
+}
+
+TEST(SwapHistory, BatchBoundariesCount)
+{
+    SwapHistory h;
+    h.noteSwapIn(chunk(1));
+    h.noteSwapIn(chunk(2));
+    EXPECT_EQ(h.openBatchSize(), 2u);
+    h.noteBatchBoundary();
+    EXPECT_EQ(h.openBatchSize(), 0u);
+    EXPECT_EQ(h.batches(), 1u);
+    // Empty batch boundaries are not counted.
+    h.noteBatchBoundary();
+    EXPECT_EQ(h.batches(), 1u);
+}

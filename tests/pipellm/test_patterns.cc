@@ -1,0 +1,265 @@
+#include <gtest/gtest.h>
+
+#include "pipellm/patterns.hh"
+
+using namespace pipellm;
+using namespace pipellm::core;
+
+namespace {
+
+ChunkId
+chunk(int i)
+{
+    return ChunkId{Addr(0x100000 + i * 0x10000), 64 * KiB};
+}
+
+/** Feed k full cycles of layers [0, n) into the history. */
+void
+feedCycles(SwapHistory &h, int layers, int cycles)
+{
+    for (int c = 0; c < cycles; ++c) {
+        for (int l = 0; l < layers; ++l)
+            h.noteSwapIn(chunk(l));
+        h.noteBatchBoundary();
+    }
+}
+
+} // namespace
+
+TEST(RepetitiveRecognizer, PredictsLayerCycle)
+{
+    // FlexGen-style: layers reload in order every iteration (Fig 5a).
+    SwapHistory h;
+    feedCycles(h, 6, 3);
+    h.noteSwapIn(chunk(0));
+    h.noteSwapIn(chunk(1));
+
+    RepetitiveRecognizer rec;
+    auto pred = rec.predict(h, 4);
+    ASSERT_EQ(pred.size(), 4u);
+    EXPECT_EQ(pred[0].chunk, chunk(2));
+    EXPECT_EQ(pred[1].chunk, chunk(3));
+    EXPECT_EQ(pred[2].chunk, chunk(4));
+    EXPECT_EQ(pred[3].chunk, chunk(5));
+}
+
+TEST(RepetitiveRecognizer, WrapsAroundTheCycle)
+{
+    SwapHistory h;
+    feedCycles(h, 4, 3);
+    // A new iteration begins: layer 0 reloads; the recognizer should
+    // continue the cycle across the iteration boundary.
+    h.noteSwapIn(chunk(0));
+    RepetitiveRecognizer rec;
+    auto pred = rec.predict(h, 3);
+    ASSERT_EQ(pred.size(), 3u);
+    EXPECT_EQ(pred[0].chunk, chunk(1));
+    EXPECT_EQ(pred[1].chunk, chunk(2));
+    EXPECT_EQ(pred[2].chunk, chunk(3));
+}
+
+TEST(RepetitiveRecognizer, PartialOffloadCycle)
+{
+    // Paper Fig. 5a: only layers 1, 3, 4 are offloaded; the cycle is
+    // [1, 3, 4].
+    SwapHistory h;
+    for (int c = 0; c < 3; ++c) {
+        h.noteSwapIn(chunk(1));
+        h.noteSwapIn(chunk(3));
+        h.noteSwapIn(chunk(4));
+    }
+    h.noteSwapIn(chunk(1));
+    RepetitiveRecognizer rec;
+    auto pred = rec.predict(h, 2);
+    ASSERT_EQ(pred.size(), 2u);
+    EXPECT_EQ(pred[0].chunk, chunk(3));
+    EXPECT_EQ(pred[1].chunk, chunk(4));
+}
+
+TEST(RepetitiveRecognizer, NoSignalOnShortHistory)
+{
+    SwapHistory h;
+    RepetitiveRecognizer rec;
+    EXPECT_TRUE(rec.predict(h, 4).empty());
+    h.noteSwapIn(chunk(1));
+    EXPECT_TRUE(rec.predict(h, 4).empty());
+}
+
+TEST(RepetitiveRecognizer, NoSignalWithoutRepetition)
+{
+    SwapHistory h;
+    for (int i = 0; i < 8; ++i)
+        h.noteSwapIn(chunk(i));
+    RepetitiveRecognizer rec;
+    EXPECT_TRUE(rec.predict(h, 2).empty());
+}
+
+TEST(FifoRecognizer, PredictsOldestFirst)
+{
+    // Layer-wise KV swapping returns chunks in swap-out order (Fig 5b).
+    SwapHistory h;
+    h.noteSwapOut(chunk(10));
+    h.noteSwapOut(chunk(11));
+    h.noteSwapOut(chunk(12));
+    FifoRecognizer rec;
+    auto pred = rec.predict(h, 2);
+    ASSERT_EQ(pred.size(), 2u);
+    EXPECT_EQ(pred[0].chunk, chunk(10));
+    EXPECT_EQ(pred[1].chunk, chunk(11));
+}
+
+TEST(LifoRecognizer, PredictsNewestFirst)
+{
+    // Request-wise (vLLM): last preempted request returns first.
+    SwapHistory h;
+    h.noteSwapOut(chunk(10));
+    h.noteSwapOut(chunk(11));
+    h.noteSwapOut(chunk(12));
+    LifoRecognizer rec;
+    auto pred = rec.predict(h, 3);
+    ASSERT_EQ(pred.size(), 3u);
+    EXPECT_EQ(pred[0].chunk, chunk(12));
+    EXPECT_EQ(pred[1].chunk, chunk(11));
+    EXPECT_EQ(pred[2].chunk, chunk(10));
+}
+
+TEST(FifoLifoRecognizers, EmptyWithoutOutstanding)
+{
+    SwapHistory h;
+    h.noteSwapIn(chunk(1));
+    EXPECT_TRUE(FifoRecognizer().predict(h, 4).empty());
+    EXPECT_TRUE(LifoRecognizer().predict(h, 4).empty());
+}
+
+TEST(Recognizers, SwapInShrinksFifoPrediction)
+{
+    SwapHistory h;
+    h.noteSwapOut(chunk(1));
+    h.noteSwapOut(chunk(2));
+    h.noteSwapIn(chunk(1));
+    FifoRecognizer rec;
+    auto pred = rec.predict(h, 4);
+    ASSERT_EQ(pred.size(), 1u);
+    EXPECT_EQ(pred[0].chunk, chunk(2));
+}
+
+TEST(LifoGroupRecognizer, GroupLifoBlockFifo)
+{
+    // Two preemption groups swapped out in separate batches: predict
+    // the newest group first, blocks in original order, with a batch
+    // boundary at the group head.
+    SwapHistory h;
+    h.noteSwapOut(chunk(1));
+    h.noteSwapOut(chunk(2));
+    h.noteBatchBoundary();
+    h.noteSwapOut(chunk(11));
+    h.noteSwapOut(chunk(12));
+    h.noteSwapOut(chunk(13));
+    h.noteBatchBoundary();
+
+    LifoGroupRecognizer rec;
+    auto pred = rec.predict(h, 8);
+    ASSERT_EQ(pred.size(), 3u); // newest group only
+    EXPECT_EQ(pred[0].chunk, chunk(11));
+    EXPECT_TRUE(pred[0].batch_start);
+    EXPECT_EQ(pred[1].chunk, chunk(12));
+    EXPECT_FALSE(pred[1].batch_start);
+    EXPECT_EQ(pred[2].chunk, chunk(13));
+}
+
+TEST(LifoGroupRecognizer, StaleGroupGetsOnlyAPrefix)
+{
+    SwapHistory h;
+    for (int i = 0; i < 64; ++i)
+        h.noteSwapOut(chunk(100 + i));
+    h.noteBatchBoundary();
+    // Age the group well past the freshness window.
+    for (int b = 0; b < 8; ++b) {
+        h.noteSwapIn(chunk(1)); // unrelated activity
+        h.noteBatchBoundary();
+    }
+    LifoGroupRecognizer rec;
+    auto pred = rec.predict(h, 64);
+    EXPECT_EQ(pred.size(), 32u); // capped prefix for stale groups
+    EXPECT_EQ(pred[0].chunk, chunk(100));
+}
+
+TEST(LifoGroupRecognizer, EmptyWithoutOutstanding)
+{
+    SwapHistory h;
+    h.noteSwapIn(chunk(1));
+    EXPECT_TRUE(LifoGroupRecognizer().predict(h, 4).empty());
+}
+
+TEST(RepetitiveRecognizer, PredictsBatchBoundaries)
+{
+    // Cycles of [0,1,2] each in its own batch: the recognizer should
+    // flag the boundary before each cycle start.
+    SwapHistory h;
+    for (int c = 0; c < 4; ++c) {
+        for (int i = 0; i < 3; ++i)
+            h.noteSwapIn(chunk(i));
+        h.noteBatchBoundary();
+    }
+    h.noteSwapIn(chunk(0));
+    h.noteSwapIn(chunk(1));
+    RepetitiveRecognizer rec;
+    auto pred = rec.predict(h, 4);
+    ASSERT_EQ(pred.size(), 4u);
+    EXPECT_EQ(pred[0].chunk, chunk(2));
+    EXPECT_FALSE(pred[0].batch_start);
+    EXPECT_EQ(pred[1].chunk, chunk(0));
+    EXPECT_TRUE(pred[1].batch_start); // new cycle = new batch
+    EXPECT_FALSE(pred[2].batch_start);
+}
+
+TEST(MarkovRecognizer, LearnsNoisyCycle)
+{
+    // A cycle with occasional substitutions: the suffix matcher's
+    // long-context match degrades, but frequency voting still finds
+    // the dominant successor.
+    SwapHistory h;
+    for (int c = 0; c < 12; ++c) {
+        h.noteSwapIn(chunk(0));
+        h.noteSwapIn(chunk(1));
+        // Every 4th cycle the tail is replaced with noise.
+        if (c % 4 == 3)
+            h.noteSwapIn(chunk(90 + c));
+        else
+            h.noteSwapIn(chunk(2));
+    }
+    h.noteSwapIn(chunk(0));
+    MarkovRecognizer rec;
+    auto pred = rec.predict(h, 2);
+    ASSERT_GE(pred.size(), 2u);
+    EXPECT_EQ(pred[0].chunk, chunk(1));
+    EXPECT_EQ(pred[1].chunk, chunk(2));
+}
+
+TEST(MarkovRecognizer, RequiresSupport)
+{
+    SwapHistory h;
+    h.noteSwapIn(chunk(1));
+    h.noteSwapIn(chunk(2)); // single observation: below min support
+    MarkovRecognizer rec(2);
+    EXPECT_TRUE(rec.predict(h, 2).empty());
+    h.noteSwapIn(chunk(1));
+    h.noteSwapIn(chunk(2));
+    h.noteSwapIn(chunk(1)); // 1->2 now has support 2
+    EXPECT_FALSE(rec.predict(h, 1).empty());
+}
+
+TEST(MarkovRecognizer, StopsOnTightLoops)
+{
+    // A-B-A-B...: the chain predictor must not emit an unbounded
+    // oscillation.
+    SwapHistory h;
+    for (int i = 0; i < 10; ++i) {
+        h.noteSwapIn(chunk(1));
+        h.noteSwapIn(chunk(2));
+    }
+    MarkovRecognizer rec;
+    auto pred = rec.predict(h, 100);
+    EXPECT_LE(pred.size(), 10u);
+    EXPECT_GE(pred.size(), 2u);
+}

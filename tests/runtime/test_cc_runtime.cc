@@ -1,0 +1,167 @@
+#include <gtest/gtest.h>
+
+#include "runtime/cc_runtime.hh"
+#include "runtime/plain_runtime.hh"
+
+using namespace pipellm;
+using namespace pipellm::runtime;
+
+namespace {
+
+struct CcFixture : ::testing::Test
+{
+    Platform platform;
+    CcRuntime rt{platform};
+    mem::Region host = platform.allocHost(512 * MiB, "host");
+    mem::Region dev = platform.device().alloc(512 * MiB, "dev");
+};
+
+} // namespace
+
+TEST_F(CcFixture, EnablesCcOnDevice)
+{
+    EXPECT_TRUE(platform.device().ccEnabled());
+    EXPECT_STREQ(rt.name(), "CC");
+}
+
+TEST_F(CcFixture, ApiLatencyGrowsWithSize)
+{
+    // Fig. 2, CC-enabled: the caller is blocked for the encryption.
+    Stream &s = rt.createStream("s");
+    auto r1 = rt.memcpyAsync(CopyKind::HostToDevice, dev.base,
+                             host.base, 1 * MiB, s, 0);
+    // 1 MiB at 5.8 GB/s ~ 181 us (+ ~15 us control plane).
+    EXPECT_NEAR(toMicroseconds(r1.api_return), 181 + 15, 15);
+
+    Tick t = rt.synchronize(r1.api_return);
+    auto r2 = rt.memcpyAsync(CopyKind::HostToDevice, dev.base,
+                             host.base, 32 * MiB, s, t);
+    // 32 MiB at 5.8 GB/s ~ 5785 us; paper measures 5252 us.
+    EXPECT_NEAR(toMicroseconds(r2.api_return - t), 5800, 600);
+}
+
+TEST_F(CcFixture, SmallTransferLatencyIsControlPlane)
+{
+    Stream &s = rt.createStream("s");
+    auto r = rt.memcpyAsync(CopyKind::HostToDevice, dev.base, host.base,
+                            32, s, 0);
+    // Fig. 2: ~14.9 us for 32 B.
+    EXPECT_NEAR(toMicroseconds(r.api_return), 14.9, 2.0);
+}
+
+TEST_F(CcFixture, ThroughputBottleneckedByEncryption)
+{
+    Stream &s = rt.createStream("s");
+    Tick now = 0;
+    const int reps = 32;
+    for (int i = 0; i < reps; ++i)
+        now = rt.memcpyAsync(CopyKind::HostToDevice, dev.base,
+                             host.base, 32 * MiB, s, now)
+                  .api_return;
+    Tick done = rt.synchronize(now);
+    double rate = achievedRate(std::uint64_t(reps) * 32 * MiB, done);
+    // Fig. 2: ~5.8 GB/s.
+    EXPECT_NEAR(rate / 1e9, 5.8, 0.4);
+}
+
+TEST_F(CcFixture, FourThreadsScaleEncryption)
+{
+    CcRuntime rt4(platform, 4);
+    EXPECT_STREQ(rt4.name(), "CC-4t");
+    Stream &s = rt4.createStream("s");
+    Tick now = 0;
+    const int reps = 16;
+    for (int i = 0; i < reps; ++i)
+        now = rt4.memcpyAsync(CopyKind::HostToDevice, dev.base,
+                              host.base, 32 * MiB, s, now)
+                  .api_return;
+    Tick done = rt4.synchronize(now);
+    double rate = achievedRate(std::uint64_t(reps) * 32 * MiB, done);
+    EXPECT_NEAR(rate / 1e9, 4 * 5.8, 2.0);
+}
+
+TEST_F(CcFixture, DataMovesEncryptedH2d)
+{
+    Stream &s = rt.createStream("s");
+    std::vector<std::uint8_t> content{4, 5, 6, 7};
+    platform.hostMem().write(host.base, content.data(), content.size());
+    rt.memcpy(CopyKind::HostToDevice, dev.base, host.base, 4, s, 0);
+    EXPECT_EQ(platform.device().memory().readSample(dev.base, 4),
+              content);
+    EXPECT_EQ(platform.device().integrityFailures(), 0u);
+}
+
+TEST_F(CcFixture, DataMovesEncryptedD2h)
+{
+    Stream &s = rt.createStream("s");
+    std::vector<std::uint8_t> content{11, 22, 33};
+    platform.device().memory().write(dev.base, content.data(),
+                                     content.size());
+    rt.memcpy(CopyKind::DeviceToHost, host.base, dev.base, 3, s, 0);
+    EXPECT_EQ(platform.hostMem().readSample(host.base, 3), content);
+}
+
+TEST_F(CcFixture, IvCountersStayInLockstepWithDevice)
+{
+    Stream &s = rt.createStream("s");
+    Tick now = 0;
+    for (int i = 0; i < 10; ++i)
+        now = rt.memcpy(CopyKind::HostToDevice, dev.base, host.base,
+                        64 * KiB, s, now);
+    for (int i = 0; i < 4; ++i)
+        now = rt.memcpy(CopyKind::DeviceToHost, host.base, dev.base,
+                        64 * KiB, s, now);
+    EXPECT_EQ(rt.h2dCounter(), 10u);
+    EXPECT_EQ(platform.device().rxCounter(), 10u);
+    EXPECT_EQ(rt.d2hCounter(), 4u);
+    EXPECT_EQ(platform.device().txCounter(), 4u);
+}
+
+TEST_F(CcFixture, D2hIsFullySynchronous)
+{
+    Stream &s = rt.createStream("s");
+    auto r = rt.memcpyAsync(CopyKind::DeviceToHost, host.base, dev.base,
+                            8 * MiB, s, 0);
+    // The call only returns after DMA + CPU decryption.
+    EXPECT_EQ(r.api_return, r.complete);
+    // 8 MiB at 5.8 GB/s decrypt alone is ~1.4 ms.
+    EXPECT_GT(toMicroseconds(r.api_return), 1400);
+}
+
+TEST_F(CcFixture, EncryptStatsTracked)
+{
+    Stream &s = rt.createStream("s");
+    rt.memcpy(CopyKind::HostToDevice, dev.base, host.base, 1 * MiB, s, 0);
+    rt.memcpy(CopyKind::DeviceToHost, host.base, dev.base, 2 * MiB, s, 0);
+    EXPECT_EQ(rt.stats().cpu_encrypt_bytes, 1 * MiB);
+    EXPECT_EQ(rt.stats().cpu_decrypt_bytes, 2 * MiB);
+}
+
+TEST(CcVsPlain, OverheadGapMatchesPaperShape)
+{
+    // An IO-heavy phase is ~10x slower under CC (Fig. 2 derived).
+    Platform p1, p2;
+    PlainRuntime plain(p1);
+    CcRuntime cc(p2);
+    auto h1 = p1.allocHost(256 * MiB, "h");
+    auto d1 = p1.device().alloc(256 * MiB, "d");
+    auto h2 = p2.allocHost(256 * MiB, "h");
+    auto d2 = p2.device().alloc(256 * MiB, "d");
+    Stream &s1 = plain.createStream("s");
+    Stream &s2 = cc.createStream("s");
+
+    Tick a = 0, b = 0;
+    for (int i = 0; i < 8; ++i) {
+        a = plain.memcpyAsync(CopyKind::HostToDevice, d1.base, h1.base,
+                              32 * MiB, s1, a)
+                .api_return;
+        b = cc.memcpyAsync(CopyKind::HostToDevice, d2.base, h2.base,
+                           32 * MiB, s2, b)
+                .api_return;
+    }
+    Tick plain_done = plain.synchronize(a);
+    Tick cc_done = cc.synchronize(b);
+    double ratio = double(cc_done) / double(plain_done);
+    EXPECT_GT(ratio, 7.0);
+    EXPECT_LT(ratio, 12.0);
+}

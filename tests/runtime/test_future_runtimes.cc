@@ -1,0 +1,191 @@
+#include <gtest/gtest.h>
+
+#include "runtime/cc_runtime.hh"
+#include "runtime/plain_runtime.hh"
+#include "runtime/reuse_runtime.hh"
+#include "runtime/teeio_runtime.hh"
+
+using namespace pipellm;
+using namespace pipellm::runtime;
+
+namespace {
+
+struct FutureFixture : ::testing::Test
+{
+    Platform platform;
+    mem::Region host = platform.allocHost(512 * MiB, "host");
+    mem::Region dev = platform.device().alloc(512 * MiB, "dev");
+
+    /** IO-heavy swap loop; returns finish tick. */
+    template <typename Rt>
+    Tick
+    swapLoop(Rt &rt, int reps, std::uint64_t bytes = 32 * MiB)
+    {
+        Stream &s = rt.createStream("s");
+        Tick now = 0;
+        for (int i = 0; i < reps; ++i)
+            now = rt.memcpyAsync(CopyKind::HostToDevice, dev.base,
+                                 host.base, bytes, s, now)
+                      .api_return;
+        return rt.synchronize(now);
+    }
+};
+
+} // namespace
+
+TEST_F(FutureFixture, TeeIoReturnsInControlPlaneTime)
+{
+    TeeIoRuntime rt(platform);
+    Stream &s = rt.createStream("s");
+    auto r = rt.memcpyAsync(CopyKind::HostToDevice, dev.base, host.base,
+                            32 * MiB, s, 0);
+    // No CPU encryption blocks the caller.
+    EXPECT_NEAR(toMicroseconds(r.api_return), 14.9, 2.0);
+}
+
+TEST_F(FutureFixture, TeeIoThroughputMatchesCopyPath)
+{
+    TeeIoRuntime rt(platform);
+    Tick done = swapLoop(rt, 32);
+    double rate = achievedRate(32ull * 32 * MiB, done);
+    // Line-rate crypto: bounded only by the 40 GB/s staged path.
+    EXPECT_GT(rate, 30e9);
+}
+
+TEST_F(FutureFixture, TeeIoMovesDataWithIvLockstep)
+{
+    TeeIoRuntime rt(platform);
+    Stream &s = rt.createStream("s");
+    std::vector<std::uint8_t> content{1, 2, 3};
+    platform.hostMem().write(host.base, content.data(), content.size());
+    rt.memcpy(CopyKind::HostToDevice, dev.base, host.base, 3, s, 0);
+    EXPECT_EQ(platform.device().memory().readSample(dev.base, 3),
+              content);
+    rt.memcpy(CopyKind::DeviceToHost, host.base + 100, dev.base, 3, s,
+              0);
+    EXPECT_EQ(platform.hostMem().readSample(host.base + 100, 3),
+              content);
+    EXPECT_EQ(rt.h2dCounter(), platform.device().rxCounter());
+    EXPECT_EQ(rt.d2hCounter(), platform.device().txCounter());
+    EXPECT_EQ(platform.device().integrityFailures(), 0u);
+}
+
+TEST_F(FutureFixture, ReuseSealsOnceThenResends)
+{
+    CiphertextReuseRuntime rt(platform);
+    Stream &s = rt.createStream("s");
+    Tick now = 0;
+    for (int i = 0; i < 5; ++i)
+        now = rt.memcpyAsync(CopyKind::HostToDevice, dev.base,
+                             host.base, 32 * MiB, s, now)
+                  .api_return;
+    rt.synchronize(now);
+    EXPECT_EQ(rt.reuseStats().seals, 1u);
+    EXPECT_EQ(rt.reuseStats().reuse_hits, 4u);
+    EXPECT_EQ(platform.device().retainedCommits(), 5u);
+    EXPECT_EQ(rt.stats().cpu_encrypt_bytes, 32 * MiB);
+}
+
+TEST_F(FutureFixture, ReuseDeliversCorrectContent)
+{
+    CiphertextReuseRuntime rt(platform);
+    Stream &s = rt.createStream("s");
+    auto expect = platform.hostMem().readSample(
+        host.base, platform.channel().sampledLen(32 * MiB));
+    rt.memcpy(CopyKind::HostToDevice, dev.base, host.base, 32 * MiB, s,
+              0);
+    rt.memcpy(CopyKind::HostToDevice, dev.base, host.base, 32 * MiB, s,
+              0); // reuse hit
+    EXPECT_EQ(platform.device().memory().readSample(dev.base,
+                                                    expect.size()),
+              expect);
+}
+
+TEST_F(FutureFixture, ReuseInvalidatesOnPlaintextWrite)
+{
+    CiphertextReuseRuntime rt(platform);
+    Stream &s = rt.createStream("s");
+    rt.memcpy(CopyKind::HostToDevice, dev.base, host.base, 32 * MiB, s,
+              0);
+    EXPECT_EQ(rt.reuseStats().seals, 1u);
+
+    // Update the weights: the retained ciphertext must not be reused.
+    std::uint8_t v = 0x99;
+    platform.hostMem().write(host.base + 5, &v, 1);
+    EXPECT_EQ(rt.reuseStats().invalidated, 1u);
+
+    rt.memcpy(CopyKind::HostToDevice, dev.base, host.base, 32 * MiB, s,
+              0);
+    EXPECT_EQ(rt.reuseStats().seals, 2u);
+    // The fresh content arrives.
+    EXPECT_EQ(platform.device().memory().readSample(dev.base + 5, 1)[0],
+              0x99);
+}
+
+TEST_F(FutureFixture, ReuseKeepsSwapOutsEncryptedAtRest)
+{
+    CiphertextReuseRuntime rt(platform);
+    Stream &s = rt.createStream("s");
+    auto gpu_content = platform.device().memory().readSample(
+        dev.base, platform.channel().sampledLen(32 * MiB));
+
+    // Swap out: the CPU never decrypts.
+    rt.memcpy(CopyKind::DeviceToHost, host.base + 64 * MiB, dev.base,
+              32 * MiB, s, 0);
+    EXPECT_EQ(rt.reuseStats().encrypted_at_rest, 1u);
+    EXPECT_EQ(rt.stats().cpu_decrypt_bytes, 0u);
+
+    // Swap back in: pure resend, content restored on the GPU.
+    rt.memcpy(CopyKind::HostToDevice, dev.base + 64 * MiB,
+              host.base + 64 * MiB, 32 * MiB, s, 0);
+    EXPECT_EQ(rt.reuseStats().reuse_hits, 1u);
+    EXPECT_EQ(platform.device().memory().readSample(
+                  dev.base + 64 * MiB, gpu_content.size()),
+              gpu_content);
+}
+
+TEST_F(FutureFixture, ReuseSmallTransfersStayLockstep)
+{
+    CiphertextReuseRuntime rt(platform);
+    Stream &s = rt.createStream("s");
+    for (int i = 0; i < 3; ++i)
+        rt.memcpy(CopyKind::HostToDevice, dev.base, host.base, 4096, s,
+                  0);
+    EXPECT_EQ(platform.device().rxCounter(), 3u);
+    EXPECT_EQ(rt.reuseStats().reuse_hits, 0u);
+}
+
+TEST_F(FutureFixture, DesignOrderingHolds)
+{
+    // On an IO-bound swap loop: plain <= tee-io <= cc, and reuse's
+    // steady state matches tee-io (both avoid CPU crypto entirely).
+    Platform p1, p2, p3, p4;
+    mem::Region h1 = p1.allocHost(256 * MiB, "h");
+    mem::Region d1 = p1.device().alloc(256 * MiB, "d");
+    auto loop = [&](RuntimeApi &rt, Platform &p) {
+        mem::Region h = p.allocHost(256 * MiB, "h");
+        mem::Region d = p.device().alloc(256 * MiB, "d");
+        (void)h1;
+        (void)d1;
+        Stream &s = rt.createStream("s");
+        Tick now = 0;
+        for (int i = 0; i < 16; ++i)
+            now = rt.memcpyAsync(CopyKind::HostToDevice, d.base, h.base,
+                                 32 * MiB, s, now)
+                      .api_return;
+        return rt.synchronize(now);
+    };
+    PlainRuntime plain(p1);
+    TeeIoRuntime teeio(p2);
+    CcRuntime cc(p3);
+    CiphertextReuseRuntime reuse(p4);
+    Tick t_plain = loop(plain, p1);
+    Tick t_teeio = loop(teeio, p2);
+    Tick t_cc = loop(cc, p3);
+    Tick t_reuse = loop(reuse, p4);
+    EXPECT_LT(t_plain, t_teeio);
+    EXPECT_LT(t_teeio, t_cc);
+    EXPECT_LT(t_reuse, t_cc);
+    // TEE-I/O and steady-state reuse are both copy-path bound.
+    EXPECT_NEAR(double(t_reuse) / double(t_teeio), 1.0, 0.5);
+}

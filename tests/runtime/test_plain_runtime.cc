@@ -1,0 +1,125 @@
+#include <gtest/gtest.h>
+
+#include "runtime/plain_runtime.hh"
+
+using namespace pipellm;
+using namespace pipellm::runtime;
+
+namespace {
+
+struct PlainFixture : ::testing::Test
+{
+    Platform platform;
+    PlainRuntime rt{platform};
+    mem::Region host = platform.allocHost(256 * MiB, "host");
+    mem::Region dev = platform.device().alloc(256 * MiB, "dev");
+};
+
+} // namespace
+
+TEST_F(PlainFixture, ApiReturnsImmediatelyRegardlessOfSize)
+{
+    Stream &s = rt.createStream("s");
+    auto small = rt.memcpyAsync(CopyKind::HostToDevice, dev.base,
+                                host.base, 32, s, 0);
+    auto large = rt.memcpyAsync(CopyKind::HostToDevice, dev.base,
+                                host.base, 32 * MiB, s, small.api_return);
+    // Fig. 2, CC-disabled: API latency ~constant (~1.4 us).
+    Tick small_latency = small.api_return;
+    Tick large_latency = large.api_return - small.api_return;
+    EXPECT_EQ(small_latency, platform.spec().api_overhead);
+    EXPECT_EQ(large_latency, platform.spec().api_overhead);
+}
+
+TEST_F(PlainFixture, ThroughputApproachesPcie)
+{
+    Stream &s = rt.createStream("s");
+    Tick now = 0;
+    const int reps = 64;
+    for (int i = 0; i < reps; ++i)
+        now = rt.memcpyAsync(CopyKind::HostToDevice, dev.base,
+                             host.base, 32 * MiB, s, now)
+                  .api_return;
+    Tick done = rt.synchronize(now);
+    double rate = achievedRate(std::uint64_t(reps) * 32 * MiB, done);
+    EXPECT_NEAR(rate / 1e9, 55.0, 2.0);
+}
+
+TEST_F(PlainFixture, DataActuallyMovesH2d)
+{
+    Stream &s = rt.createStream("s");
+    std::vector<std::uint8_t> content{9, 8, 7, 6};
+    platform.hostMem().write(host.base, content.data(), content.size());
+    rt.memcpy(CopyKind::HostToDevice, dev.base, host.base, 4, s, 0);
+    EXPECT_EQ(platform.device().memory().readSample(dev.base, 4),
+              content);
+}
+
+TEST_F(PlainFixture, DataActuallyMovesD2h)
+{
+    Stream &s = rt.createStream("s");
+    std::vector<std::uint8_t> content{1, 2, 3, 4, 5};
+    platform.device().memory().write(dev.base, content.data(),
+                                     content.size());
+    rt.memcpy(CopyKind::DeviceToHost, host.base, dev.base, 5, s, 0);
+    EXPECT_EQ(platform.hostMem().readSample(host.base, 5), content);
+}
+
+TEST_F(PlainFixture, StreamOrdersCopies)
+{
+    Stream &s = rt.createStream("s");
+    auto a = rt.memcpyAsync(CopyKind::HostToDevice, dev.base, host.base,
+                            16 * MiB, s, 0);
+    auto b = rt.memcpyAsync(CopyKind::HostToDevice, dev.base, host.base,
+                            16 * MiB, s, a.api_return);
+    EXPECT_GE(b.complete, a.complete + transferTicks(16 * MiB, 56e9));
+}
+
+TEST_F(PlainFixture, StatsAccumulate)
+{
+    Stream &s = rt.createStream("s");
+    rt.memcpy(CopyKind::HostToDevice, dev.base, host.base, 1000, s, 0);
+    rt.memcpy(CopyKind::DeviceToHost, host.base, dev.base, 500, s, 0);
+    EXPECT_EQ(rt.stats().h2d_calls, 1u);
+    EXPECT_EQ(rt.stats().h2d_bytes, 1000u);
+    EXPECT_EQ(rt.stats().d2h_calls, 1u);
+    EXPECT_EQ(rt.stats().d2h_bytes, 500u);
+    EXPECT_EQ(rt.stats().cpu_encrypt_bytes, 0u);
+}
+
+TEST_F(PlainFixture, KernelLaunchOrdersBehindStream)
+{
+    Stream &s = rt.createStream("s");
+    auto copy = rt.memcpyAsync(CopyKind::HostToDevice, dev.base,
+                               host.base, 32 * MiB, s, 0);
+    gpu::KernelDesc k{"step", 4e11, 0}; // ~1 ms
+    auto kr = rt.launchKernel(k, s, copy.api_return);
+    EXPECT_GE(kr.complete, copy.complete);
+    EXPECT_LT(kr.api_return, copy.complete);
+    EXPECT_EQ(rt.stats().kernels, 1u);
+}
+
+TEST_F(PlainFixture, D2hWaitsForStreamOrder)
+{
+    Stream &s = rt.createStream("s");
+    // A large H2D occupies the stream; a following D2H must start
+    // after it completes.
+    auto a = rt.memcpyAsync(CopyKind::HostToDevice, dev.base, host.base,
+                            64 * MiB, s, 0);
+    auto b = rt.memcpyAsync(CopyKind::DeviceToHost, host.base, dev.base,
+                            1 * MiB, s, a.api_return);
+    EXPECT_GT(b.complete, a.complete);
+}
+
+TEST_F(PlainFixture, TwoStreamsOverlapOnDistinctDirections)
+{
+    Stream &up = rt.createStream("up");
+    Stream &down = rt.createStream("down");
+    auto a = rt.memcpyAsync(CopyKind::HostToDevice, dev.base, host.base,
+                            64 * MiB, up, 0);
+    auto b = rt.memcpyAsync(CopyKind::DeviceToHost, host.base, dev.base,
+                            64 * MiB, down, a.api_return);
+    // Opposite PCIe directions are independent resources: the D2H
+    // finishes long before a serialized schedule would allow.
+    EXPECT_LT(b.complete, a.complete + transferTicks(32 * MiB, 55e9));
+}

@@ -1,0 +1,53 @@
+#include <gtest/gtest.h>
+
+#include "runtime/api.hh"
+#include "runtime/plain_runtime.hh"
+
+using namespace pipellm;
+using namespace pipellm::runtime;
+
+TEST(Stream, TailIsMonotonic)
+{
+    Stream s("s");
+    EXPECT_EQ(s.tail(), 0u);
+    s.push(100);
+    EXPECT_EQ(s.tail(), 100u);
+    s.push(50); // out-of-order completion cannot move the tail back
+    EXPECT_EQ(s.tail(), 100u);
+    s.push(200);
+    EXPECT_EQ(s.tail(), 200u);
+}
+
+TEST(Stream, WaitEventOrdersStream)
+{
+    Stream s("s");
+    s.waitEvent(500);
+    EXPECT_EQ(s.tail(), 500u);
+}
+
+TEST(RuntimeApi, CreateStreamOwnsStreams)
+{
+    Platform platform;
+    PlainRuntime rt(platform);
+    Stream &a = rt.createStream("a");
+    Stream &b = rt.createStream("b");
+    EXPECT_EQ(a.name(), "a");
+    EXPECT_EQ(b.name(), "b");
+    a.push(100000);
+    b.push(300000);
+    EXPECT_EQ(rt.synchronize(0), 300000u);
+}
+
+TEST(RuntimeApi, SynchronizeIncludesApiOverhead)
+{
+    Platform platform;
+    PlainRuntime rt(platform);
+    EXPECT_EQ(rt.synchronize(1000),
+              1000 + platform.spec().api_overhead);
+}
+
+TEST(RuntimeApi, CopyKindToString)
+{
+    EXPECT_STREQ(toString(CopyKind::HostToDevice), "H2D");
+    EXPECT_STREQ(toString(CopyKind::DeviceToHost), "D2H");
+}

@@ -1,0 +1,115 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "pipellm/pipellm_runtime.hh"
+#include "runtime/cc_runtime.hh"
+#include "runtime/transfer_trace.hh"
+
+using namespace pipellm;
+using namespace pipellm::runtime;
+
+TEST(TransferTrace, RecordsAndSummarizes)
+{
+    TransferTrace trace;
+    trace.record({0, 100, 1 * MiB, true, TransferOutcome::Hit});
+    trace.record({10, 20, 1, true, TransferOutcome::Nop});
+    trace.record({30, 300, 512 * KiB, false, TransferOutcome::Direct});
+    EXPECT_EQ(trace.records().size(), 3u);
+    EXPECT_EQ(trace.count(TransferOutcome::Hit), 1u);
+    EXPECT_EQ(trace.count(TransferOutcome::Nop), 1u);
+    EXPECT_EQ(trace.totalBytes(true), 1 * MiB + 1);
+    EXPECT_EQ(trace.totalBytes(false), 512 * KiB);
+}
+
+TEST(TransferTrace, BusViewQuantifiesNopSideChannel)
+{
+    // Paper §8.1: an observer on the bus can profile NOPs by size.
+    TransferTrace trace;
+    for (int i = 0; i < 3; ++i)
+        trace.record({0, 1, 1, true, TransferOutcome::Nop});
+    for (int i = 0; i < 7; ++i)
+        trace.record({0, 1, 2 * MiB, true, TransferOutcome::Hit});
+    auto view = trace.busView();
+    EXPECT_EQ(view.transfers, 10u);
+    EXPECT_EQ(view.nop_like, 3u);
+    EXPECT_EQ(view.swap_like, 7u);
+    EXPECT_DOUBLE_EQ(view.nop_fraction, 0.3);
+}
+
+TEST(TransferTrace, CapDropsExcess)
+{
+    TransferTrace trace(2);
+    for (int i = 0; i < 5; ++i)
+        trace.record({0, 1, 64, true, TransferOutcome::Direct});
+    EXPECT_EQ(trace.records().size(), 2u);
+}
+
+TEST(TransferTrace, CsvDump)
+{
+    TransferTrace trace;
+    trace.record({1000, 2000, 4096, true, TransferOutcome::Miss});
+    std::string path = ::testing::TempDir() + "trace.csv";
+    EXPECT_EQ(trace.writeCsv(path), 1u);
+    std::ifstream in(path);
+    std::string header, row;
+    std::getline(in, header);
+    std::getline(in, row);
+    EXPECT_NE(header.find("outcome"), std::string::npos);
+    EXPECT_NE(row.find("miss"), std::string::npos);
+    EXPECT_NE(row.find("H2D"), std::string::npos);
+    std::remove(path.c_str());
+}
+
+TEST(TransferTrace, PipeLlmOutcomesAreAttributed)
+{
+    Platform platform;
+    core::PipeLlmConfig cfg;
+    cfg.classifier.layer_param_bytes = 2 * MiB;
+    core::PipeLlmRuntime rt(platform, cfg);
+    TransferTrace trace;
+    rt.attachTrace(&trace);
+
+    std::vector<mem::Region> host;
+    for (int i = 0; i < 4; ++i)
+        host.push_back(platform.allocHost(2 * MiB, "c"));
+    auto dev = platform.device().alloc(8 * MiB, "d");
+    Stream &s = rt.createStream("s");
+    Tick now = 0;
+    for (int cycle = 0; cycle < 5; ++cycle) {
+        for (int i = 0; i < 4; ++i)
+            now = rt.memcpyAsync(CopyKind::HostToDevice,
+                                 dev.base + i * 2 * MiB, host[i].base,
+                                 2 * MiB, s, now)
+                      .api_return;
+        now = rt.synchronize(now);
+    }
+    // First cycle misses, later cycles hit; counts must agree with
+    // the runtime's own statistics.
+    EXPECT_EQ(trace.count(TransferOutcome::Hit), rt.pipeStats().hits);
+    EXPECT_EQ(trace.count(TransferOutcome::Miss),
+              rt.pipeStats().misses);
+    EXPECT_EQ(trace.count(TransferOutcome::Nop), rt.pipeStats().nops);
+    EXPECT_GT(trace.count(TransferOutcome::Hit), 10u);
+}
+
+TEST(TransferTrace, CcRuntimeTracesDirect)
+{
+    Platform platform;
+    CcRuntime rt(platform);
+    TransferTrace trace;
+    rt.attachTrace(&trace);
+    auto host = platform.allocHost(4 * MiB, "h");
+    auto dev = platform.device().alloc(4 * MiB, "d");
+    Stream &s = rt.createStream("s");
+    rt.memcpy(CopyKind::HostToDevice, dev.base, host.base, 4 * MiB, s,
+              0);
+    rt.memcpy(CopyKind::DeviceToHost, host.base, dev.base, 1 * MiB, s,
+              0);
+    EXPECT_EQ(trace.records().size(), 2u);
+    EXPECT_EQ(trace.count(TransferOutcome::Direct), 2u);
+    EXPECT_EQ(trace.totalBytes(true), 4 * MiB);
+    EXPECT_EQ(trace.totalBytes(false), 1 * MiB);
+    EXPECT_LT(trace.records()[0].submit, trace.records()[0].complete);
+}

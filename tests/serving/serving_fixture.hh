@@ -1,0 +1,49 @@
+/** @file Shared scaled-down platform for serving-engine tests. */
+
+#ifndef PIPELLM_TESTS_SERVING_SERVING_FIXTURE_HH
+#define PIPELLM_TESTS_SERVING_SERVING_FIXTURE_HH
+
+#include "gpu/spec.hh"
+#include "llm/model.hh"
+#include "pipellm/pipellm_runtime.hh"
+#include "runtime/cc_runtime.hh"
+#include "runtime/plain_runtime.hh"
+
+namespace serving_test {
+
+/** A toy transformer small enough for fast tests. */
+inline pipellm::llm::ModelConfig
+tinyModel()
+{
+    pipellm::llm::ModelConfig m;
+    m.name = "tiny";
+    m.num_layers = 8;
+    m.hidden = 1024;
+    m.heads = 16;
+    m.vocab = 32000;
+    m.max_positions = 512;
+    return m;
+}
+
+/** A shrunken GPU that forces the tiny model to offload/swap. */
+inline pipellm::gpu::SystemSpec
+tinyGpu(std::uint64_t gpu_mem)
+{
+    auto spec = pipellm::gpu::SystemSpec::h100();
+    spec.gpu_mem_bytes = gpu_mem;
+    return spec;
+}
+
+/** PipeLLM config wired for the tiny model. */
+inline pipellm::core::PipeLlmConfig
+tinyPipeConfig(const pipellm::llm::ModelConfig &m)
+{
+    pipellm::core::PipeLlmConfig cfg;
+    cfg.classifier.layer_param_bytes = m.layerParamBytes();
+    cfg.enc_lanes = 2;
+    return cfg;
+}
+
+} // namespace serving_test
+
+#endif // PIPELLM_TESTS_SERVING_SERVING_FIXTURE_HH

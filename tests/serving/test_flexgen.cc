@@ -1,0 +1,151 @@
+#include <gtest/gtest.h>
+
+#include "serving/flexgen.hh"
+#include "tests/serving/serving_fixture.hh"
+
+using namespace pipellm;
+using namespace pipellm::serving;
+using namespace serving_test;
+
+namespace {
+
+FlexGenConfig
+tinyConfig()
+{
+    FlexGenConfig cfg;
+    cfg.model = tinyModel();
+    cfg.batch = 8;
+    cfg.input_len = 16;
+    cfg.output_len = 8;
+    cfg.num_requests = 16;
+    cfg.gpu_reserved_bytes = 96 * MiB;
+    return cfg;
+}
+
+} // namespace
+
+TEST(FlexGen, OffloadsWhenModelExceedsGpu)
+{
+    runtime::Platform platform(tinyGpu(256 * MiB));
+    runtime::PlainRuntime rt(platform);
+    FlexGenEngine engine(rt, tinyConfig());
+    EXPECT_GT(engine.layerStore().offloadedLayers(), 0u);
+    EXPECT_LT(engine.layerStore().residentLayers(),
+              tinyModel().num_layers);
+}
+
+TEST(FlexGen, RunProducesThroughput)
+{
+    runtime::Platform platform(tinyGpu(256 * MiB));
+    runtime::PlainRuntime rt(platform);
+    FlexGenEngine engine(rt, tinyConfig());
+    auto result = engine.run();
+    EXPECT_EQ(result.generated_tokens, 16u * 8u);
+    EXPECT_GT(result.tokens_per_sec, 0.0);
+    EXPECT_GT(result.total_time, 0u);
+    // Every offloaded layer streamed once per layer pass.
+    std::uint64_t passes = 2 * 8; // 2 batches x (1 prefill + 7 decode)
+    EXPECT_EQ(rt.stats().h2d_calls,
+              passes * engine.layerStore().offloadedLayers() + passes);
+}
+
+TEST(FlexGen, CcIsMuchSlowerThanPlain)
+{
+    runtime::Platform p1(tinyGpu(256 * MiB));
+    runtime::Platform p2(tinyGpu(256 * MiB));
+    runtime::PlainRuntime plain(p1);
+    runtime::CcRuntime cc(p2);
+    auto r1 = FlexGenEngine(plain, tinyConfig()).run();
+    auto r2 = FlexGenEngine(cc, tinyConfig()).run();
+    // Paper Fig. 3a: 82.8-88.2% throughput drop. The exact number
+    // depends on compute overlap; require a drop of at least 70%.
+    double drop = 1.0 - r2.tokens_per_sec / r1.tokens_per_sec;
+    EXPECT_GT(drop, 0.70);
+}
+
+TEST(FlexGen, PipeLlmRecoversMostOfTheDrop)
+{
+    runtime::Platform p1(tinyGpu(256 * MiB));
+    runtime::Platform p2(tinyGpu(256 * MiB));
+    runtime::PlainRuntime plain(p1);
+    auto cfg = tinyPipeConfig(tinyModel());
+    cfg.enc_lanes = 8;
+    core::PipeLlmRuntime pipe(p2, cfg);
+    auto cfg_run = tinyConfig();
+    cfg_run.num_requests = 48; // longer run so warmup amortizes
+    auto r1 = FlexGenEngine(plain, cfg_run).run();
+    auto r2 = FlexGenEngine(pipe, cfg_run).run();
+    double drop = 1.0 - r2.tokens_per_sec / r1.tokens_per_sec;
+    // Paper Fig. 7: < 19.6% overhead. The tiny configuration is pure
+    // IO-bound with a 4-layer cycle and a short warmup-heavy run, so
+    // the bound here is looser; the calibrated benches reproduce the
+    // paper's band.
+    EXPECT_LT(drop, 0.50);
+    EXPECT_EQ(p2.device().integrityFailures(), 0u);
+    // The predictor locks onto the layer cycle.
+    const auto &ps = pipe.pipeStats();
+    EXPECT_GT(double(ps.hits) / double(ps.swap_requests), 0.8);
+}
+
+TEST(FlexGen, TooSmallGpuIsFatal)
+{
+    runtime::Platform platform(tinyGpu(128 * MiB));
+    runtime::PlainRuntime rt(platform);
+    auto cfg = tinyConfig();
+    cfg.gpu_reserved_bytes = 100 * MiB;
+    EXPECT_EXIT(FlexGenEngine(rt, cfg), ::testing::ExitedWithCode(1),
+                "does not fit");
+}
+
+TEST(FlexGen, KvOffloadAddsBidirectionalTraffic)
+{
+    runtime::Platform p1(tinyGpu(256 * MiB));
+    runtime::Platform p2(tinyGpu(256 * MiB));
+    runtime::PlainRuntime rt1(p1), rt2(p2);
+    auto cfg = tinyConfig();
+    auto base = FlexGenEngine(rt1, cfg).run();
+    cfg.kv_offload = true;
+    auto kv = FlexGenEngine(rt2, cfg).run();
+    // Every layer pass adds a KV load and a KV writeback.
+    EXPECT_GT(rt2.stats().h2d_bytes, rt1.stats().h2d_bytes);
+    EXPECT_GT(rt2.stats().d2h_bytes, 10 * rt1.stats().d2h_bytes);
+    EXPECT_LT(kv.tokens_per_sec, base.tokens_per_sec);
+    EXPECT_GT(kv.tokens_per_sec, 0.0);
+}
+
+TEST(FlexGen, KvOffloadFreesGpuForMoreResidentLayers)
+{
+    runtime::Platform p1(tinyGpu(256 * MiB));
+    runtime::Platform p2(tinyGpu(256 * MiB));
+    runtime::PlainRuntime rt1(p1), rt2(p2);
+    auto cfg = tinyConfig();
+    cfg.gpu_reserved_bytes = 0; // derive from batch/KV placement
+    cfg.batch = 48;             // big KV footprint
+    FlexGenEngine gpu_kv(rt1, cfg);
+    cfg.kv_offload = true;
+    FlexGenEngine cpu_kv(rt2, cfg);
+    // Moving KV off the GPU leaves more room for weights.
+    EXPECT_GE(cpu_kv.layerStore().residentLayers(),
+              gpu_kv.layerStore().residentLayers());
+}
+
+TEST(FlexGen, KvOffloadUnderPipeLlmStaysCorrect)
+{
+    // The KV host blocks are rewritten every pass: speculation must
+    // never ship stale ciphertext (validator) and the session must
+    // survive with lockstep IVs.
+    runtime::Platform p(tinyGpu(256 * MiB));
+    auto pcfg = tinyPipeConfig(tinyModel());
+    pcfg.enc_lanes = 8;
+    core::PipeLlmRuntime rt(p, pcfg);
+    auto cfg = tinyConfig();
+    cfg.kv_offload = true;
+    cfg.num_requests = 24;
+    auto r = FlexGenEngine(rt, cfg).run();
+    EXPECT_GT(r.tokens_per_sec, 0.0);
+    EXPECT_EQ(p.device().integrityFailures(), 0u);
+    const auto &ps = rt.pipeStats();
+    EXPECT_EQ(ps.hits + ps.misses, ps.swap_requests);
+    // A good fraction of the doubled swap stream still hits.
+    EXPECT_GT(double(ps.hits) / double(ps.swap_requests), 0.5);
+}

@@ -1,0 +1,90 @@
+#include <gtest/gtest.h>
+
+#include "serving/layer_store.hh"
+#include "tests/serving/serving_fixture.hh"
+
+using namespace pipellm;
+using namespace pipellm::serving;
+using namespace serving_test;
+
+TEST(LayerStore, PlacesResidentPrefix)
+{
+    auto model = tinyModel();
+    runtime::Platform platform(tinyGpu(256 * MiB));
+    runtime::PlainRuntime rt(platform);
+    // Budget for exactly 3 layers.
+    LayerStore store(rt, model, 3 * model.layerParamBytes() + 1000);
+    EXPECT_EQ(store.residentLayers(), 3u);
+    EXPECT_EQ(store.offloadedLayers(), 5u);
+    EXPECT_TRUE(store.resident(0));
+    EXPECT_TRUE(store.resident(2));
+    EXPECT_FALSE(store.resident(3));
+    EXPECT_NEAR(store.offloadedFraction(), 5.0 / 8.0, 1e-9);
+    EXPECT_EQ(store.slots(), 2u);
+}
+
+TEST(LayerStore, AllResidentWhenBudgetIsLarge)
+{
+    auto model = tinyModel();
+    runtime::Platform platform(tinyGpu(2 * GiB));
+    runtime::PlainRuntime rt(platform);
+    LayerStore store(rt, model, 1 * GiB);
+    EXPECT_EQ(store.offloadedLayers(), 0u);
+    EXPECT_EQ(store.slots(), 0u);
+    // Prefetch of a resident layer is free.
+    EXPECT_EQ(store.prefetch(0, 1234), 1234u);
+    EXPECT_EQ(store.readyAt(0), 0u);
+}
+
+TEST(LayerStore, PrefetchMovesWeights)
+{
+    auto model = tinyModel();
+    runtime::Platform platform(tinyGpu(512 * MiB));
+    runtime::PlainRuntime rt(platform);
+    LayerStore store(rt, model, 0); // everything offloaded
+    EXPECT_EQ(store.offloadedLayers(), model.num_layers);
+
+    Tick now = store.prefetch(3, 0);
+    EXPECT_GT(store.readyAt(3), 0u);
+    now = store.sync(now);
+    EXPECT_GE(now, store.readyAt(3));
+
+    // Functional: the slot holds the layer's host bytes.
+    auto expect = platform.hostMem().readSample(
+        store.hostAddr(3), platform.channel().sampledLen(
+                               store.layerBytes()));
+    EXPECT_EQ(platform.device().memory().readSample(store.slotAddr(3),
+                                                    expect.size()),
+              expect);
+}
+
+TEST(LayerStore, DoubleBufferHazardSerializesSlotReuse)
+{
+    auto model = tinyModel();
+    runtime::Platform platform(tinyGpu(512 * MiB));
+    runtime::PlainRuntime rt(platform);
+    LayerStore store(rt, model, 0);
+
+    Tick now = store.prefetch(0, 0);
+    now = store.prefetch(1, now);
+    Tick ready1 = store.readyAt(1);
+    // Layer 2 reuses slot 0; pretend compute on layer 0 holds it busy
+    // until a late tick.
+    Tick busy_until = ready1 + milliseconds(50);
+    store.computeDone(0, busy_until);
+    store.prefetch(2, now);
+    EXPECT_GT(store.readyAt(2), busy_until);
+}
+
+TEST(LayerStore, SlotsAlternate)
+{
+    auto model = tinyModel();
+    runtime::Platform platform(tinyGpu(512 * MiB));
+    runtime::PlainRuntime rt(platform);
+    LayerStore store(rt, model, 0);
+    Tick now = store.prefetch(0, 0);
+    now = store.prefetch(1, now);
+    EXPECT_NE(store.slotAddr(0), store.slotAddr(1));
+    store.prefetch(2, now);
+    EXPECT_EQ(store.slotAddr(2), store.slotAddr(0));
+}

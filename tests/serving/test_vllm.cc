@@ -1,0 +1,220 @@
+#include <gtest/gtest.h>
+
+#include "serving/vllm.hh"
+#include "tests/serving/serving_fixture.hh"
+#include "trace/generator.hh"
+
+using namespace pipellm;
+using namespace pipellm::serving;
+using namespace serving_test;
+
+namespace {
+
+VllmConfig
+tinyVllm()
+{
+    VllmConfig cfg;
+    cfg.model = tinyModel();
+    cfg.parallel_sampling = 2;
+    // Leave only a small KV pool so that moderate concurrency already
+    // forces preemption (the tiny model decodes in ~0.2 ms, so
+    // pressure must come from the pool, not the compute).
+    cfg.gpu_reserved_bytes = 160 * MiB;
+    return cfg;
+}
+
+trace::Trace
+tinyTrace(std::size_t n, double rate, std::uint64_t seed = 5)
+{
+    trace::DatasetProfile profile{"test", 48.0, 0.4, 32.0, 0.4};
+    profile.max_len = 96;
+    trace::TraceGenerator gen(profile, seed);
+    return gen.poisson(n, rate);
+}
+
+} // namespace
+
+TEST(Vllm, WeightsMustFit)
+{
+    runtime::Platform platform(tinyGpu(128 * MiB));
+    runtime::PlainRuntime rt(platform);
+    EXPECT_EXIT(VllmEngine(rt, tinyVllm()),
+                ::testing::ExitedWithCode(1), "resident weights");
+}
+
+TEST(Vllm, PoolSizedFromLeftoverMemory)
+{
+    runtime::Platform platform(tinyGpu(448 * MiB));
+    runtime::PlainRuntime rt(platform);
+    VllmEngine engine(rt, tinyVllm());
+    EXPECT_GT(engine.totalBlocks(), 50u);
+    EXPECT_EQ(engine.blockBytes(),
+              16u * tinyModel().kvBytesPerToken());
+}
+
+TEST(Vllm, CompletesAllRequestsAtLowRate)
+{
+    runtime::Platform platform(tinyGpu(448 * MiB));
+    runtime::PlainRuntime rt(platform);
+    VllmEngine engine(rt, tinyVllm());
+    auto result = engine.run(tinyTrace(20, 1.0));
+    EXPECT_EQ(result.completed, 20u);
+    EXPECT_GT(result.normalized_latency, 0.0);
+    // No memory pressure at this rate: no swapping.
+    EXPECT_EQ(result.preemptions, 0u);
+}
+
+TEST(Vllm, HighRateTriggersPreemptionAndSwapping)
+{
+    runtime::Platform platform(tinyGpu(448 * MiB));
+    runtime::PlainRuntime rt(platform);
+    VllmEngine engine(rt, tinyVllm());
+    auto result = engine.run(tinyTrace(120, 3000.0));
+    EXPECT_EQ(result.completed, 120u);
+    EXPECT_GT(result.preemptions, 0u);
+    EXPECT_GT(result.swap_out_bytes, 0u);
+    EXPECT_EQ(result.swap_in_bytes, result.swap_out_bytes);
+}
+
+TEST(Vllm, LatencyGrowsWithRate)
+{
+    runtime::Platform p1(tinyGpu(448 * MiB));
+    runtime::Platform p2(tinyGpu(448 * MiB));
+    runtime::PlainRuntime rt1(p1), rt2(p2);
+    auto low = VllmEngine(rt1, tinyVllm()).run(tinyTrace(60, 2.0));
+    auto high = VllmEngine(rt2, tinyVllm()).run(tinyTrace(60, 3000.0));
+    EXPECT_GT(high.normalized_latency, low.normalized_latency);
+}
+
+TEST(Vllm, CcInflatesLatencyUnderPressure)
+{
+    runtime::Platform p1(tinyGpu(448 * MiB));
+    runtime::Platform p2(tinyGpu(448 * MiB));
+    runtime::PlainRuntime plain(p1);
+    runtime::CcRuntime cc(p2);
+    auto r1 = VllmEngine(plain, tinyVllm()).run(tinyTrace(120, 3000.0));
+    auto r2 = VllmEngine(cc, tinyVllm()).run(tinyTrace(120, 3000.0));
+    // Paper Fig. 3b / Fig. 8: CC latency grows markedly once swapping
+    // kicks in.
+    EXPECT_GT(r2.normalized_latency, 1.2 * r1.normalized_latency);
+}
+
+TEST(Vllm, PipeLlmCutsTheCcPenalty)
+{
+    runtime::Platform p1(tinyGpu(448 * MiB));
+    runtime::Platform p2(tinyGpu(448 * MiB));
+    runtime::Platform p3(tinyGpu(448 * MiB));
+    runtime::PlainRuntime plain(p1);
+    runtime::CcRuntime cc(p2);
+    auto pipe_cfg = tinyPipeConfig(tinyModel());
+    pipe_cfg.classifier.kv_unit_bytes =
+        16 * tinyModel().kvBytesPerToken();
+    core::PipeLlmRuntime pipe(p3, pipe_cfg);
+
+    auto r1 = VllmEngine(plain, tinyVllm()).run(tinyTrace(120, 3000.0));
+    auto r2 = VllmEngine(cc, tinyVllm()).run(tinyTrace(120, 3000.0));
+    auto r3 = VllmEngine(pipe, tinyVllm()).run(tinyTrace(120, 3000.0));
+
+    double cc_overhead = r2.normalized_latency / r1.normalized_latency;
+    double pipe_overhead = r3.normalized_latency / r1.normalized_latency;
+    EXPECT_LT(pipe_overhead, cc_overhead);
+    EXPECT_EQ(p3.device().integrityFailures(), 0u);
+}
+
+TEST(Vllm, DeterministicAcrossRuns)
+{
+    runtime::Platform p1(tinyGpu(448 * MiB));
+    runtime::Platform p2(tinyGpu(448 * MiB));
+    runtime::PlainRuntime rt1(p1), rt2(p2);
+    auto a = VllmEngine(rt1, tinyVllm()).run(tinyTrace(60, 50.0));
+    auto b = VllmEngine(rt2, tinyVllm()).run(tinyTrace(60, 50.0));
+    EXPECT_EQ(a.total_time, b.total_time);
+    EXPECT_DOUBLE_EQ(a.normalized_latency, b.normalized_latency);
+    EXPECT_EQ(a.preemptions, b.preemptions);
+}
+
+TEST(Vllm, BlockAccountingConserved)
+{
+    // After serving everything, every block must be back in the free
+    // pool (no leaks through preemption/resume cycles).
+    runtime::Platform platform(tinyGpu(448 * MiB));
+    runtime::PlainRuntime rt(platform);
+    VllmEngine engine(rt, tinyVllm());
+    auto result = engine.run(tinyTrace(100, 3000.0));
+    EXPECT_EQ(result.completed, 100u);
+    EXPECT_GT(result.preemptions, 0u);
+    // Host swap staging must all be freed again.
+    EXPECT_EQ(platform.hostMem().bytesAllocated(),
+              16u * KiB /* token buffer */);
+}
+
+TEST(Vllm, WatermarkPreventsInstantRepreemption)
+{
+    // With hysteresis, a resumed group should usually survive at
+    // least a few iterations: preemptions stay well below the
+    // theoretical thrash maximum of one per iteration.
+    runtime::Platform platform(tinyGpu(448 * MiB));
+    runtime::PlainRuntime rt(platform);
+    VllmEngine engine(rt, tinyVllm());
+    auto result = engine.run(tinyTrace(100, 3000.0));
+    // ~100 requests x ~32 output tokens => thousands of iterations;
+    // preemptions must be an order of magnitude rarer.
+    EXPECT_LT(result.preemptions, 400u);
+}
+
+TEST(Vllm, NormalizedLatencyIsPerToken)
+{
+    runtime::Platform platform(tinyGpu(448 * MiB));
+    runtime::PlainRuntime rt(platform);
+    VllmEngine engine(rt, tinyVllm());
+    auto r = engine.run(tinyTrace(10, 0.5));
+    // At trivially low load, normalized latency approaches the
+    // per-iteration decode time (sub-second per token for the tiny
+    // model), far below the end-to-end request latency.
+    EXPECT_GT(r.normalized_latency, 0.0);
+    EXPECT_LT(r.normalized_latency, 0.01);
+}
+
+TEST(Vllm, RecomputePreemptionAvoidsSwapTraffic)
+{
+    runtime::Platform platform(tinyGpu(448 * MiB));
+    runtime::PlainRuntime rt(platform);
+    auto cfg = tinyVllm();
+    cfg.preempt_mode = PreemptMode::Recompute;
+    VllmEngine engine(rt, cfg);
+    auto r = engine.run(tinyTrace(100, 3000.0));
+    EXPECT_EQ(r.completed, 100u);
+    EXPECT_GT(r.preemptions, 0u);
+    EXPECT_EQ(r.swap_out_bytes, 0u);
+    EXPECT_EQ(r.swap_in_bytes, 0u);
+    EXPECT_GT(r.recomputed_tokens, 0u);
+}
+
+TEST(Vllm, RecomputeTradeoffFlipsUnderCc)
+{
+    // Without CC, swapping usually beats recomputation (PCIe is
+    // cheap); under CC the encryption tax can flip the ordering —
+    // exactly the design pressure PipeLLM relieves.
+    auto run = [&](PreemptMode mode, bool cc) {
+        runtime::Platform p(tinyGpu(448 * MiB));
+        std::unique_ptr<runtime::RuntimeApi> rt;
+        if (cc)
+            rt = std::make_unique<runtime::CcRuntime>(p);
+        else
+            rt = std::make_unique<runtime::PlainRuntime>(p);
+        auto cfg = tinyVllm();
+        cfg.preempt_mode = mode;
+        VllmEngine engine(*rt, cfg);
+        return engine.run(tinyTrace(100, 3000.0)).normalized_latency;
+    };
+    double swap_cc = run(PreemptMode::Swap, true);
+    double rec_cc = run(PreemptMode::Recompute, true);
+    double swap_plain = run(PreemptMode::Swap, false);
+    double rec_plain = run(PreemptMode::Recompute, false);
+    // Recompute is nearly insensitive to CC (only the control-plane
+    // and token-transfer tax remains); swap pays the encryption tax
+    // on every preempted byte.
+    EXPECT_NEAR(rec_cc / rec_plain, 1.0, 0.25);
+    EXPECT_GT(swap_cc / swap_plain, 1.2);
+    EXPECT_GT(swap_cc / swap_plain, rec_cc / rec_plain);
+}

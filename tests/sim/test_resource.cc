@@ -1,0 +1,141 @@
+#include <gtest/gtest.h>
+
+#include "common/units.hh"
+#include "sim/event_queue.hh"
+#include "sim/resource.hh"
+
+using namespace pipellm;
+using sim::BandwidthResource;
+using sim::EventQueue;
+using sim::LaneGroup;
+
+TEST(BandwidthResource, SingleRequestTiming)
+{
+    EventQueue eq;
+    // 1 GB/s, 100 ns per-op latency.
+    BandwidthResource link(eq, "link", 1e9, 100);
+    Tick done = link.submit(1000); // 1000 bytes -> 1000 ns
+    EXPECT_EQ(done, 1100u);
+    EXPECT_EQ(link.bytesServed(), 1000u);
+    EXPECT_EQ(link.requests(), 1u);
+}
+
+TEST(BandwidthResource, BackToBackRequestsSerialize)
+{
+    EventQueue eq;
+    BandwidthResource link(eq, "link", 1e9, 0);
+    Tick a = link.submit(1000);
+    Tick b = link.submit(1000);
+    EXPECT_EQ(a, 1000u);
+    EXPECT_EQ(b, 2000u);
+    EXPECT_FALSE(link.idle());
+}
+
+TEST(BandwidthResource, IdleGapResetsStart)
+{
+    EventQueue eq;
+    BandwidthResource link(eq, "link", 1e9, 0);
+    link.submit(1000); // busy until 1000
+    eq.runUntil(5000);
+    Tick done = link.submit(500);
+    EXPECT_EQ(done, 5500u);
+    EXPECT_TRUE(link.utilization() < 0.5);
+}
+
+TEST(BandwidthResource, SubmitNotBeforeHonorsFloor)
+{
+    EventQueue eq;
+    BandwidthResource link(eq, "link", 1e9, 0);
+    Tick done = link.submitNotBefore(2000, 100);
+    EXPECT_EQ(done, 2100u);
+}
+
+TEST(BandwidthResource, CallbackFiresAtCompletion)
+{
+    EventQueue eq;
+    BandwidthResource link(eq, "link", 1e9, 0);
+    Tick seen = 0;
+    link.submit(1234, [&] { seen = eq.now(); });
+    eq.run();
+    EXPECT_EQ(seen, 1234u);
+}
+
+TEST(BandwidthResource, ZeroByteRequestCostsOnlyLatency)
+{
+    EventQueue eq;
+    BandwidthResource link(eq, "link", 1e9, 250);
+    EXPECT_EQ(link.submit(0), 250u);
+}
+
+TEST(LaneGroup, DistributesAcrossLanes)
+{
+    EventQueue eq;
+    LaneGroup lanes(eq, "enc", 4, 1e9, 0);
+    // Four equal jobs land on four lanes and finish simultaneously.
+    for (int i = 0; i < 4; ++i)
+        EXPECT_EQ(lanes.submit(1000), 1000u);
+    // Fifth job queues behind the earliest lane.
+    EXPECT_EQ(lanes.submit(1000), 2000u);
+    EXPECT_EQ(lanes.bytesServed(), 5000u);
+}
+
+TEST(LaneGroup, AggregateThroughputScalesWithLanes)
+{
+    EventQueue eq;
+    LaneGroup one(eq, "enc1", 1, 1e9, 0);
+    LaneGroup four(eq, "enc4", 4, 1e9, 0);
+    Tick t1 = 0, t4 = 0;
+    for (int i = 0; i < 16; ++i) {
+        t1 = one.submit(1000000);
+        t4 = four.submit(1000000);
+    }
+    EXPECT_NEAR(double(t1) / double(t4), 4.0, 0.01);
+}
+
+TEST(LaneGroup, EarliestFreeTracksLanes)
+{
+    EventQueue eq;
+    LaneGroup lanes(eq, "enc", 2, 1e9, 0);
+    EXPECT_EQ(lanes.earliestFree(), 0u);
+    lanes.submit(1000);
+    EXPECT_EQ(lanes.earliestFree(), 0u); // second lane idle
+    lanes.submit(2000);
+    EXPECT_EQ(lanes.earliestFree(), 1000u);
+}
+
+TEST(SerialTimeline, SerializesDurations)
+{
+    EventQueue eq;
+    sim::SerialTimeline t(eq, "compute");
+    EXPECT_EQ(t.submit(0, 1000), 1000u);
+    EXPECT_EQ(t.submit(0, 500), 1500u);
+    EXPECT_EQ(t.freeAt(), 1500u);
+    EXPECT_EQ(t.requests(), 2u);
+    EXPECT_EQ(t.busyTicks(), 1500u);
+}
+
+TEST(SerialTimeline, HonorsEarliestStart)
+{
+    EventQueue eq;
+    sim::SerialTimeline t(eq, "compute");
+    EXPECT_EQ(t.submit(5000, 100), 5100u);
+    // Back-filled request still queues behind the later one.
+    EXPECT_EQ(t.submit(0, 100), 5200u);
+}
+
+TEST(SerialTimeline, UtilizationTracksGaps)
+{
+    EventQueue eq;
+    sim::SerialTimeline t(eq, "compute");
+    t.submit(0, 1000);
+    t.submit(3000, 1000); // idle gap [1000, 3000)
+    EXPECT_DOUBLE_EQ(t.utilization(), 2000.0 / 4000.0);
+}
+
+TEST(SerialTimeline, SubmitNowUsesClock)
+{
+    EventQueue eq;
+    sim::SerialTimeline t(eq, "compute");
+    eq.runUntil(750);
+    EXPECT_EQ(t.submitNow(250), 1000u);
+}

@@ -1,0 +1,88 @@
+#include <gtest/gtest.h>
+
+#include "sim/stats.hh"
+
+using pipellm::sim::Accumulator;
+using pipellm::sim::Histogram;
+using pipellm::sim::SampleSet;
+
+TEST(Accumulator, TracksMoments)
+{
+    Accumulator acc;
+    EXPECT_EQ(acc.count(), 0u);
+    EXPECT_DOUBLE_EQ(acc.mean(), 0.0);
+    acc.add(1.0);
+    acc.add(2.0);
+    acc.add(6.0);
+    EXPECT_EQ(acc.count(), 3u);
+    EXPECT_DOUBLE_EQ(acc.sum(), 9.0);
+    EXPECT_DOUBLE_EQ(acc.mean(), 3.0);
+    EXPECT_DOUBLE_EQ(acc.min(), 1.0);
+    EXPECT_DOUBLE_EQ(acc.max(), 6.0);
+    acc.reset();
+    EXPECT_EQ(acc.count(), 0u);
+}
+
+TEST(SampleSet, PercentilesInterpolate)
+{
+    SampleSet s;
+    for (int i = 1; i <= 100; ++i)
+        s.add(double(i));
+    EXPECT_DOUBLE_EQ(s.percentile(0), 1.0);
+    EXPECT_DOUBLE_EQ(s.percentile(100), 100.0);
+    EXPECT_NEAR(s.median(), 50.5, 1e-9);
+    EXPECT_NEAR(s.p99(), 99.01, 1e-9);
+    EXPECT_DOUBLE_EQ(s.mean(), 50.5);
+}
+
+TEST(SampleSet, SingleSample)
+{
+    SampleSet s;
+    s.add(42.0);
+    EXPECT_DOUBLE_EQ(s.median(), 42.0);
+    EXPECT_DOUBLE_EQ(s.percentile(0), 42.0);
+    EXPECT_DOUBLE_EQ(s.percentile(100), 42.0);
+}
+
+TEST(SampleSet, EmptyReturnsZero)
+{
+    SampleSet s;
+    EXPECT_DOUBLE_EQ(s.median(), 0.0);
+    EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+}
+
+TEST(SampleSet, AddAfterQueryResorts)
+{
+    SampleSet s;
+    s.add(10.0);
+    EXPECT_DOUBLE_EQ(s.median(), 10.0);
+    s.add(0.0);
+    s.add(20.0);
+    EXPECT_DOUBLE_EQ(s.median(), 10.0);
+    s.add(30.0);
+    s.add(40.0);
+    EXPECT_DOUBLE_EQ(s.median(), 20.0);
+}
+
+TEST(Histogram, BucketsAndOverflow)
+{
+    Histogram h(0.0, 10.0, 10);
+    for (int i = 0; i < 10; ++i)
+        h.add(double(i) + 0.5);
+    h.add(-1.0);
+    h.add(11.0);
+    EXPECT_EQ(h.total(), 12u);
+    EXPECT_EQ(h.underflow(), 1u);
+    EXPECT_EQ(h.overflow(), 1u);
+    for (unsigned i = 0; i < 10; ++i) {
+        EXPECT_EQ(h.bucketCount(i), 1u);
+        EXPECT_DOUBLE_EQ(h.bucketLo(i), double(i));
+    }
+}
+
+TEST(Histogram, UpperEdgeGoesToOverflow)
+{
+    Histogram h(0.0, 10.0, 10);
+    h.add(10.0);
+    EXPECT_EQ(h.overflow(), 1u);
+}

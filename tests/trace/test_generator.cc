@@ -1,0 +1,110 @@
+#include <gtest/gtest.h>
+
+#include "trace/generator.hh"
+
+using namespace pipellm;
+using namespace pipellm::trace;
+
+namespace {
+
+double
+meanPrompt(const Trace &t)
+{
+    double s = 0;
+    for (const auto &r : t)
+        s += r.prompt_len;
+    return s / double(t.size());
+}
+
+double
+meanOutput(const Trace &t)
+{
+    double s = 0;
+    for (const auto &r : t)
+        s += r.output_len;
+    return s / double(t.size());
+}
+
+} // namespace
+
+TEST(TraceGenerator, ShareGptMeansMatchPublishedStats)
+{
+    TraceGenerator gen(DatasetProfile::shareGpt(), 1);
+    auto t = gen.closedLoop(20000);
+    // Clipping at 2048 pulls the mean slightly below the target.
+    EXPECT_NEAR(meanPrompt(t), 161.0, 25.0);
+    EXPECT_NEAR(meanOutput(t), 338.0, 50.0);
+}
+
+TEST(TraceGenerator, AlpacaIsMuchShorterThanShareGpt)
+{
+    TraceGenerator sg(DatasetProfile::shareGpt(), 1);
+    TraceGenerator al(DatasetProfile::alpaca(), 1);
+    auto ts = sg.closedLoop(5000);
+    auto ta = al.closedLoop(5000);
+    EXPECT_NEAR(meanPrompt(ta), 19.0, 4.0);
+    EXPECT_NEAR(meanOutput(ta), 58.0, 10.0);
+    EXPECT_LT(meanPrompt(ta) * 4, meanPrompt(ts));
+}
+
+TEST(TraceGenerator, UltrachatSequencesAreLong)
+{
+    TraceGenerator gen(DatasetProfile::ultrachat(), 2);
+    auto t = gen.closedLoop(5000);
+    EXPECT_NEAR(meanPrompt(t), 1024.0, 120.0);
+    for (const auto &r : t) {
+        EXPECT_GE(r.prompt_len, 128u);
+        EXPECT_LE(r.prompt_len, 2048u);
+        EXPECT_EQ(r.output_len, 0u);
+    }
+}
+
+TEST(TraceGenerator, PoissonArrivalsMatchRate)
+{
+    TraceGenerator gen(DatasetProfile::alpaca(), 3);
+    const double rate = 4.0;
+    auto t = gen.poisson(8000, rate);
+    ASSERT_FALSE(t.empty());
+    // Arrivals are sorted and average to 1/rate spacing.
+    for (std::size_t i = 1; i < t.size(); ++i)
+        EXPECT_GE(t[i].arrival, t[i - 1].arrival);
+    double span = toSeconds(t.back().arrival);
+    EXPECT_NEAR(double(t.size()) / span, rate, 0.25);
+}
+
+TEST(TraceGenerator, DeterministicForSeed)
+{
+    TraceGenerator a(DatasetProfile::shareGpt(), 7);
+    TraceGenerator b(DatasetProfile::shareGpt(), 7);
+    auto ta = a.poisson(100, 2.0);
+    auto tb = b.poisson(100, 2.0);
+    for (std::size_t i = 0; i < ta.size(); ++i) {
+        EXPECT_EQ(ta[i].arrival, tb[i].arrival);
+        EXPECT_EQ(ta[i].prompt_len, tb[i].prompt_len);
+        EXPECT_EQ(ta[i].output_len, tb[i].output_len);
+    }
+}
+
+TEST(TraceGenerator, FixedTraceIsExact)
+{
+    auto t = TraceGenerator::fixed(10, 32, 128);
+    ASSERT_EQ(t.size(), 10u);
+    for (const auto &r : t) {
+        EXPECT_EQ(r.prompt_len, 32u);
+        EXPECT_EQ(r.output_len, 128u);
+        EXPECT_EQ(r.arrival, 0u);
+    }
+    EXPECT_EQ(t[9].id, 9u);
+}
+
+TEST(TraceGenerator, LengthsRespectClipping)
+{
+    TraceGenerator gen(DatasetProfile::shareGpt(), 11);
+    auto t = gen.closedLoop(5000);
+    for (const auto &r : t) {
+        EXPECT_GE(r.prompt_len, 4u);
+        EXPECT_LE(r.prompt_len, 2048u);
+        EXPECT_GE(r.output_len, 1u);
+        EXPECT_LE(r.output_len, 2048u);
+    }
+}
