@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_success.dir/bench_fig10_success.cc.o"
+  "CMakeFiles/bench_fig10_success.dir/bench_fig10_success.cc.o.d"
+  "bench_fig10_success"
+  "bench_fig10_success.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_success.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

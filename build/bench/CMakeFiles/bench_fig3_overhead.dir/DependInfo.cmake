@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig3_overhead.cc" "bench/CMakeFiles/bench_fig3_overhead.dir/bench_fig3_overhead.cc.o" "gcc" "bench/CMakeFiles/bench_fig3_overhead.dir/bench_fig3_overhead.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/pipellm_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/pipellm_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/pipellm_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/pipellm_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpu/CMakeFiles/pipellm_gpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/pipellm_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/llm/CMakeFiles/pipellm_llm.dir/DependInfo.cmake"
+  "/root/repo/build/src/pipellm/CMakeFiles/pipellm_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/serving/CMakeFiles/pipellm_serving.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/pipellm_trace.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_offload.dir/bench_fig7_offload.cc.o"
+  "CMakeFiles/bench_fig7_offload.dir/bench_fig7_offload.cc.o.d"
+  "bench_fig7_offload"
+  "bench_fig7_offload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_offload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

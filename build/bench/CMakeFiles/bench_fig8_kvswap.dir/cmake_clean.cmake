@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_kvswap.dir/bench_fig8_kvswap.cc.o"
+  "CMakeFiles/bench_fig8_kvswap.dir/bench_fig8_kvswap.cc.o.d"
+  "bench_fig8_kvswap"
+  "bench_fig8_kvswap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_kvswap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_threads.dir/bench_fig9_threads.cc.o"
+  "CMakeFiles/bench_fig9_threads.dir/bench_fig9_threads.cc.o.d"
+  "bench_fig9_threads"
+  "bench_fig9_threads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_threads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

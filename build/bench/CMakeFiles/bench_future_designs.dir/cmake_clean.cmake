@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_future_designs.dir/bench_future_designs.cc.o"
+  "CMakeFiles/bench_future_designs.dir/bench_future_designs.cc.o.d"
+  "bench_future_designs"
+  "bench_future_designs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_future_designs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/serve_chatbot.dir/serve_chatbot.cpp.o"
+  "CMakeFiles/serve_chatbot.dir/serve_chatbot.cpp.o.d"
+  "serve_chatbot"
+  "serve_chatbot.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/serve_chatbot.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

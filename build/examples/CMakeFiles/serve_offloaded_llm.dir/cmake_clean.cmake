@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/serve_offloaded_llm.dir/serve_offloaded_llm.cpp.o"
+  "CMakeFiles/serve_offloaded_llm.dir/serve_offloaded_llm.cpp.o.d"
+  "serve_offloaded_llm"
+  "serve_offloaded_llm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/serve_offloaded_llm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pipellm_common.dir/csv.cc.o"
+  "CMakeFiles/pipellm_common.dir/csv.cc.o.d"
+  "CMakeFiles/pipellm_common.dir/logging.cc.o"
+  "CMakeFiles/pipellm_common.dir/logging.cc.o.d"
+  "CMakeFiles/pipellm_common.dir/rng.cc.o"
+  "CMakeFiles/pipellm_common.dir/rng.cc.o.d"
+  "libpipellm_common.a"
+  "libpipellm_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pipellm_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/crypto/aes.cc" "src/crypto/CMakeFiles/pipellm_crypto.dir/aes.cc.o" "gcc" "src/crypto/CMakeFiles/pipellm_crypto.dir/aes.cc.o.d"
+  "/root/repo/src/crypto/channel.cc" "src/crypto/CMakeFiles/pipellm_crypto.dir/channel.cc.o" "gcc" "src/crypto/CMakeFiles/pipellm_crypto.dir/channel.cc.o.d"
+  "/root/repo/src/crypto/gcm.cc" "src/crypto/CMakeFiles/pipellm_crypto.dir/gcm.cc.o" "gcc" "src/crypto/CMakeFiles/pipellm_crypto.dir/gcm.cc.o.d"
+  "/root/repo/src/crypto/ghash.cc" "src/crypto/CMakeFiles/pipellm_crypto.dir/ghash.cc.o" "gcc" "src/crypto/CMakeFiles/pipellm_crypto.dir/ghash.cc.o.d"
+  "/root/repo/src/crypto/iv.cc" "src/crypto/CMakeFiles/pipellm_crypto.dir/iv.cc.o" "gcc" "src/crypto/CMakeFiles/pipellm_crypto.dir/iv.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/pipellm_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/pipellm_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

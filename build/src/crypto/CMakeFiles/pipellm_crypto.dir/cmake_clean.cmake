@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pipellm_crypto.dir/aes.cc.o"
+  "CMakeFiles/pipellm_crypto.dir/aes.cc.o.d"
+  "CMakeFiles/pipellm_crypto.dir/channel.cc.o"
+  "CMakeFiles/pipellm_crypto.dir/channel.cc.o.d"
+  "CMakeFiles/pipellm_crypto.dir/gcm.cc.o"
+  "CMakeFiles/pipellm_crypto.dir/gcm.cc.o.d"
+  "CMakeFiles/pipellm_crypto.dir/ghash.cc.o"
+  "CMakeFiles/pipellm_crypto.dir/ghash.cc.o.d"
+  "CMakeFiles/pipellm_crypto.dir/iv.cc.o"
+  "CMakeFiles/pipellm_crypto.dir/iv.cc.o.d"
+  "libpipellm_crypto.a"
+  "libpipellm_crypto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pipellm_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pipellm_gpu.dir/device.cc.o"
+  "CMakeFiles/pipellm_gpu.dir/device.cc.o.d"
+  "CMakeFiles/pipellm_gpu.dir/spec.cc.o"
+  "CMakeFiles/pipellm_gpu.dir/spec.cc.o.d"
+  "libpipellm_gpu.a"
+  "libpipellm_gpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pipellm_gpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

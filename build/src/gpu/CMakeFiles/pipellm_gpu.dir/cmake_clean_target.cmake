@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libpipellm_gpu.a"
+)

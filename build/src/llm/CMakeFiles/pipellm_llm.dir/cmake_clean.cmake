@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pipellm_llm.dir/cost_model.cc.o"
+  "CMakeFiles/pipellm_llm.dir/cost_model.cc.o.d"
+  "CMakeFiles/pipellm_llm.dir/model.cc.o"
+  "CMakeFiles/pipellm_llm.dir/model.cc.o.d"
+  "libpipellm_llm.a"
+  "libpipellm_llm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pipellm_llm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

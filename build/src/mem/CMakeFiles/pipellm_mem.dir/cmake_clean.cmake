@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pipellm_mem.dir/page_protection.cc.o"
+  "CMakeFiles/pipellm_mem.dir/page_protection.cc.o.d"
+  "CMakeFiles/pipellm_mem.dir/sparse_memory.cc.o"
+  "CMakeFiles/pipellm_mem.dir/sparse_memory.cc.o.d"
+  "CMakeFiles/pipellm_mem.dir/staging.cc.o"
+  "CMakeFiles/pipellm_mem.dir/staging.cc.o.d"
+  "libpipellm_mem.a"
+  "libpipellm_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pipellm_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pipellm/classifier.cc" "src/pipellm/CMakeFiles/pipellm_core.dir/classifier.cc.o" "gcc" "src/pipellm/CMakeFiles/pipellm_core.dir/classifier.cc.o.d"
+  "/root/repo/src/pipellm/history.cc" "src/pipellm/CMakeFiles/pipellm_core.dir/history.cc.o" "gcc" "src/pipellm/CMakeFiles/pipellm_core.dir/history.cc.o.d"
+  "/root/repo/src/pipellm/patterns.cc" "src/pipellm/CMakeFiles/pipellm_core.dir/patterns.cc.o" "gcc" "src/pipellm/CMakeFiles/pipellm_core.dir/patterns.cc.o.d"
+  "/root/repo/src/pipellm/pipeline.cc" "src/pipellm/CMakeFiles/pipellm_core.dir/pipeline.cc.o" "gcc" "src/pipellm/CMakeFiles/pipellm_core.dir/pipeline.cc.o.d"
+  "/root/repo/src/pipellm/pipellm_runtime.cc" "src/pipellm/CMakeFiles/pipellm_core.dir/pipellm_runtime.cc.o" "gcc" "src/pipellm/CMakeFiles/pipellm_core.dir/pipellm_runtime.cc.o.d"
+  "/root/repo/src/pipellm/predictor.cc" "src/pipellm/CMakeFiles/pipellm_core.dir/predictor.cc.o" "gcc" "src/pipellm/CMakeFiles/pipellm_core.dir/predictor.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/pipellm_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/pipellm_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/pipellm_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/pipellm_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpu/CMakeFiles/pipellm_gpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/pipellm_runtime.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pipellm_core.dir/classifier.cc.o"
+  "CMakeFiles/pipellm_core.dir/classifier.cc.o.d"
+  "CMakeFiles/pipellm_core.dir/history.cc.o"
+  "CMakeFiles/pipellm_core.dir/history.cc.o.d"
+  "CMakeFiles/pipellm_core.dir/patterns.cc.o"
+  "CMakeFiles/pipellm_core.dir/patterns.cc.o.d"
+  "CMakeFiles/pipellm_core.dir/pipeline.cc.o"
+  "CMakeFiles/pipellm_core.dir/pipeline.cc.o.d"
+  "CMakeFiles/pipellm_core.dir/pipellm_runtime.cc.o"
+  "CMakeFiles/pipellm_core.dir/pipellm_runtime.cc.o.d"
+  "CMakeFiles/pipellm_core.dir/predictor.cc.o"
+  "CMakeFiles/pipellm_core.dir/predictor.cc.o.d"
+  "libpipellm_core.a"
+  "libpipellm_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pipellm_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/runtime/api.cc" "src/runtime/CMakeFiles/pipellm_runtime.dir/api.cc.o" "gcc" "src/runtime/CMakeFiles/pipellm_runtime.dir/api.cc.o.d"
+  "/root/repo/src/runtime/cc_runtime.cc" "src/runtime/CMakeFiles/pipellm_runtime.dir/cc_runtime.cc.o" "gcc" "src/runtime/CMakeFiles/pipellm_runtime.dir/cc_runtime.cc.o.d"
+  "/root/repo/src/runtime/plain_runtime.cc" "src/runtime/CMakeFiles/pipellm_runtime.dir/plain_runtime.cc.o" "gcc" "src/runtime/CMakeFiles/pipellm_runtime.dir/plain_runtime.cc.o.d"
+  "/root/repo/src/runtime/platform.cc" "src/runtime/CMakeFiles/pipellm_runtime.dir/platform.cc.o" "gcc" "src/runtime/CMakeFiles/pipellm_runtime.dir/platform.cc.o.d"
+  "/root/repo/src/runtime/reuse_runtime.cc" "src/runtime/CMakeFiles/pipellm_runtime.dir/reuse_runtime.cc.o" "gcc" "src/runtime/CMakeFiles/pipellm_runtime.dir/reuse_runtime.cc.o.d"
+  "/root/repo/src/runtime/staged_path.cc" "src/runtime/CMakeFiles/pipellm_runtime.dir/staged_path.cc.o" "gcc" "src/runtime/CMakeFiles/pipellm_runtime.dir/staged_path.cc.o.d"
+  "/root/repo/src/runtime/teeio_runtime.cc" "src/runtime/CMakeFiles/pipellm_runtime.dir/teeio_runtime.cc.o" "gcc" "src/runtime/CMakeFiles/pipellm_runtime.dir/teeio_runtime.cc.o.d"
+  "/root/repo/src/runtime/transfer_trace.cc" "src/runtime/CMakeFiles/pipellm_runtime.dir/transfer_trace.cc.o" "gcc" "src/runtime/CMakeFiles/pipellm_runtime.dir/transfer_trace.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/pipellm_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/pipellm_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/pipellm_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/pipellm_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpu/CMakeFiles/pipellm_gpu.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pipellm_runtime.dir/api.cc.o"
+  "CMakeFiles/pipellm_runtime.dir/api.cc.o.d"
+  "CMakeFiles/pipellm_runtime.dir/cc_runtime.cc.o"
+  "CMakeFiles/pipellm_runtime.dir/cc_runtime.cc.o.d"
+  "CMakeFiles/pipellm_runtime.dir/plain_runtime.cc.o"
+  "CMakeFiles/pipellm_runtime.dir/plain_runtime.cc.o.d"
+  "CMakeFiles/pipellm_runtime.dir/platform.cc.o"
+  "CMakeFiles/pipellm_runtime.dir/platform.cc.o.d"
+  "CMakeFiles/pipellm_runtime.dir/reuse_runtime.cc.o"
+  "CMakeFiles/pipellm_runtime.dir/reuse_runtime.cc.o.d"
+  "CMakeFiles/pipellm_runtime.dir/staged_path.cc.o"
+  "CMakeFiles/pipellm_runtime.dir/staged_path.cc.o.d"
+  "CMakeFiles/pipellm_runtime.dir/teeio_runtime.cc.o"
+  "CMakeFiles/pipellm_runtime.dir/teeio_runtime.cc.o.d"
+  "CMakeFiles/pipellm_runtime.dir/transfer_trace.cc.o"
+  "CMakeFiles/pipellm_runtime.dir/transfer_trace.cc.o.d"
+  "libpipellm_runtime.a"
+  "libpipellm_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pipellm_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pipellm_serving.dir/flexgen.cc.o"
+  "CMakeFiles/pipellm_serving.dir/flexgen.cc.o.d"
+  "CMakeFiles/pipellm_serving.dir/layer_store.cc.o"
+  "CMakeFiles/pipellm_serving.dir/layer_store.cc.o.d"
+  "CMakeFiles/pipellm_serving.dir/peft.cc.o"
+  "CMakeFiles/pipellm_serving.dir/peft.cc.o.d"
+  "CMakeFiles/pipellm_serving.dir/vllm.cc.o"
+  "CMakeFiles/pipellm_serving.dir/vllm.cc.o.d"
+  "libpipellm_serving.a"
+  "libpipellm_serving.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pipellm_serving.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

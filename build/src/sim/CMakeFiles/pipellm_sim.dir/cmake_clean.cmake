@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pipellm_sim.dir/event_queue.cc.o"
+  "CMakeFiles/pipellm_sim.dir/event_queue.cc.o.d"
+  "CMakeFiles/pipellm_sim.dir/resource.cc.o"
+  "CMakeFiles/pipellm_sim.dir/resource.cc.o.d"
+  "CMakeFiles/pipellm_sim.dir/stats.cc.o"
+  "CMakeFiles/pipellm_sim.dir/stats.cc.o.d"
+  "libpipellm_sim.a"
+  "libpipellm_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pipellm_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

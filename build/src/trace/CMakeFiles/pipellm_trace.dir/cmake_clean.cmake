@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pipellm_trace.dir/generator.cc.o"
+  "CMakeFiles/pipellm_trace.dir/generator.cc.o.d"
+  "libpipellm_trace.a"
+  "libpipellm_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pipellm_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

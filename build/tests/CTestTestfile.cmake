@@ -1,0 +1,17 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("sim")
+subdirs("crypto")
+subdirs("mem")
+subdirs("gpu")
+subdirs("runtime")
+subdirs("llm")
+subdirs("pipellm")
+subdirs("trace")
+subdirs("serving")
+subdirs("integration")

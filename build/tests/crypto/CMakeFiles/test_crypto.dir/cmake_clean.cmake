@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_crypto.dir/test_aes.cc.o"
+  "CMakeFiles/test_crypto.dir/test_aes.cc.o.d"
+  "CMakeFiles/test_crypto.dir/test_channel.cc.o"
+  "CMakeFiles/test_crypto.dir/test_channel.cc.o.d"
+  "CMakeFiles/test_crypto.dir/test_gcm.cc.o"
+  "CMakeFiles/test_crypto.dir/test_gcm.cc.o.d"
+  "CMakeFiles/test_crypto.dir/test_gcm_stream.cc.o"
+  "CMakeFiles/test_crypto.dir/test_gcm_stream.cc.o.d"
+  "CMakeFiles/test_crypto.dir/test_ghash.cc.o"
+  "CMakeFiles/test_crypto.dir/test_ghash.cc.o.d"
+  "CMakeFiles/test_crypto.dir/test_iv.cc.o"
+  "CMakeFiles/test_crypto.dir/test_iv.cc.o.d"
+  "test_crypto"
+  "test_crypto.pdb"
+  "test_crypto[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/gpu/test_device.cc" "tests/gpu/CMakeFiles/test_gpu.dir/test_device.cc.o" "gcc" "tests/gpu/CMakeFiles/test_gpu.dir/test_device.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/pipellm/CMakeFiles/pipellm_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/serving/CMakeFiles/pipellm_serving.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/pipellm_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/llm/CMakeFiles/pipellm_llm.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpu/CMakeFiles/pipellm_gpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/pipellm_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/pipellm_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/pipellm_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/pipellm_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/pipellm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/pipellm/test_classifier.cc" "tests/pipellm/CMakeFiles/test_pipellm.dir/test_classifier.cc.o" "gcc" "tests/pipellm/CMakeFiles/test_pipellm.dir/test_classifier.cc.o.d"
+  "/root/repo/tests/pipellm/test_history.cc" "tests/pipellm/CMakeFiles/test_pipellm.dir/test_history.cc.o" "gcc" "tests/pipellm/CMakeFiles/test_pipellm.dir/test_history.cc.o.d"
+  "/root/repo/tests/pipellm/test_patterns.cc" "tests/pipellm/CMakeFiles/test_pipellm.dir/test_patterns.cc.o" "gcc" "tests/pipellm/CMakeFiles/test_pipellm.dir/test_patterns.cc.o.d"
+  "/root/repo/tests/pipellm/test_pipeline.cc" "tests/pipellm/CMakeFiles/test_pipellm.dir/test_pipeline.cc.o" "gcc" "tests/pipellm/CMakeFiles/test_pipellm.dir/test_pipeline.cc.o.d"
+  "/root/repo/tests/pipellm/test_pipellm_runtime.cc" "tests/pipellm/CMakeFiles/test_pipellm.dir/test_pipellm_runtime.cc.o" "gcc" "tests/pipellm/CMakeFiles/test_pipellm.dir/test_pipellm_runtime.cc.o.d"
+  "/root/repo/tests/pipellm/test_predictor.cc" "tests/pipellm/CMakeFiles/test_pipellm.dir/test_predictor.cc.o" "gcc" "tests/pipellm/CMakeFiles/test_pipellm.dir/test_predictor.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/pipellm/CMakeFiles/pipellm_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/serving/CMakeFiles/pipellm_serving.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/pipellm_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/llm/CMakeFiles/pipellm_llm.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpu/CMakeFiles/pipellm_gpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/pipellm_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/pipellm_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/pipellm_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/pipellm_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/pipellm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pipellm.dir/test_classifier.cc.o"
+  "CMakeFiles/test_pipellm.dir/test_classifier.cc.o.d"
+  "CMakeFiles/test_pipellm.dir/test_history.cc.o"
+  "CMakeFiles/test_pipellm.dir/test_history.cc.o.d"
+  "CMakeFiles/test_pipellm.dir/test_patterns.cc.o"
+  "CMakeFiles/test_pipellm.dir/test_patterns.cc.o.d"
+  "CMakeFiles/test_pipellm.dir/test_pipeline.cc.o"
+  "CMakeFiles/test_pipellm.dir/test_pipeline.cc.o.d"
+  "CMakeFiles/test_pipellm.dir/test_pipellm_runtime.cc.o"
+  "CMakeFiles/test_pipellm.dir/test_pipellm_runtime.cc.o.d"
+  "CMakeFiles/test_pipellm.dir/test_predictor.cc.o"
+  "CMakeFiles/test_pipellm.dir/test_predictor.cc.o.d"
+  "test_pipellm"
+  "test_pipellm.pdb"
+  "test_pipellm[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pipellm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

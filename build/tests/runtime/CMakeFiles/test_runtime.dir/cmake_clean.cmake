@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_runtime.dir/test_cc_runtime.cc.o"
+  "CMakeFiles/test_runtime.dir/test_cc_runtime.cc.o.d"
+  "CMakeFiles/test_runtime.dir/test_future_runtimes.cc.o"
+  "CMakeFiles/test_runtime.dir/test_future_runtimes.cc.o.d"
+  "CMakeFiles/test_runtime.dir/test_plain_runtime.cc.o"
+  "CMakeFiles/test_runtime.dir/test_plain_runtime.cc.o.d"
+  "CMakeFiles/test_runtime.dir/test_staged_path.cc.o"
+  "CMakeFiles/test_runtime.dir/test_staged_path.cc.o.d"
+  "CMakeFiles/test_runtime.dir/test_stream.cc.o"
+  "CMakeFiles/test_runtime.dir/test_stream.cc.o.d"
+  "CMakeFiles/test_runtime.dir/test_transfer_trace.cc.o"
+  "CMakeFiles/test_runtime.dir/test_transfer_trace.cc.o.d"
+  "test_runtime"
+  "test_runtime.pdb"
+  "test_runtime[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_serving.dir/test_flexgen.cc.o"
+  "CMakeFiles/test_serving.dir/test_flexgen.cc.o.d"
+  "CMakeFiles/test_serving.dir/test_layer_store.cc.o"
+  "CMakeFiles/test_serving.dir/test_layer_store.cc.o.d"
+  "CMakeFiles/test_serving.dir/test_peft.cc.o"
+  "CMakeFiles/test_serving.dir/test_peft.cc.o.d"
+  "CMakeFiles/test_serving.dir/test_vllm.cc.o"
+  "CMakeFiles/test_serving.dir/test_vllm.cc.o.d"
+  "test_serving"
+  "test_serving.pdb"
+  "test_serving[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_serving.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
