@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Cluster scaling: N vLLM replicas behind the router, offered load
+ * scaled with N.
+ *
+ * Each device serves OPT-30B (ShareGPT, parallel sampling 6) and the
+ * cluster-wide Poisson rate is 0.8 req/s per device — past stock CC's
+ * crypto-bound service capacity at this working set (Figure 8) but
+ * comfortably inside plain and PipeLLM capacity. Plain and PipeLLM
+ * therefore keep pace with the offered load as N grows, while CC's
+ * served throughput is capped at N times its per-device crypto-bound
+ * rate and its normalized latency sits in the saturated regime.
+ */
+
+#include <cinttypes>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.hh"
+#include "common/logging.hh"
+#include "serving/cluster.hh"
+#include "trace/generator.hh"
+
+using namespace benchutil;
+
+namespace {
+
+constexpr double ratePerDevice = 0.8;
+
+serving::ClusterResult
+runCluster(Mode mode, unsigned n_devices, std::size_t n_requests,
+           serving::RoutePolicy policy)
+{
+    runtime::Platform platform(gpu::SystemSpec::h100(), benchChannel(),
+                               n_devices);
+
+    serving::ClusterConfig cfg;
+    cfg.engine.model = llm::ModelConfig::opt30b();
+    cfg.engine.parallel_sampling = 6;
+    cfg.policy = policy;
+
+    std::uint64_t block_bytes =
+        std::uint64_t(cfg.engine.block_tokens) *
+        cfg.engine.model.kvBytesPerToken();
+    auto pipe_cfg = kvPipeConfig(block_bytes);
+
+    serving::ClusterRouter router(
+        platform,
+        [mode, &pipe_cfg](runtime::Platform &p,
+                          runtime::DeviceId device) {
+            return makeRuntime(mode, p, pipe_cfg, device);
+        },
+        cfg);
+
+    auto profile = trace::DatasetProfile::shareGpt();
+    profile.max_len = 1024;
+    trace::TraceGenerator gen(profile, 42);
+    auto result =
+        router.run(gen.poisson(n_requests, ratePerDevice * n_devices));
+
+    for (unsigned d = 0; d < n_devices; ++d)
+        PIPELLM_ASSERT(platform.gpu(d).integrityFailures() == 0,
+                       "integrity failure on device ", d);
+    return result;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    // --quick: fewer devices and requests (CI-style smoke runs).
+    bool quick = argc > 1 && std::string(argv[1]) == "--quick";
+
+    banner("Cluster scaling: N replicas, offered load ~ N");
+    auto csv = openCsv("cluster_scale.csv");
+    csv.header({"n_devices", "mode", "policy", "offered_rate",
+                "tokens_per_s", "speedup_vs_1dev", "norm_latency_s_tok",
+                "p90_norm_latency_s_tok", "completed", "preemptions",
+                "makespan_s", "replica", "replica_requests",
+                "replica_tokens_per_s", "replica_norm_latency_s_tok",
+                "replica_h2d_gb", "replica_cpu_crypto_gb"});
+
+    std::vector<unsigned> device_counts =
+        quick ? std::vector<unsigned>{1, 2}
+              : std::vector<unsigned>{1, 2, 4, 8};
+    std::size_t requests_per_device = quick ? 24 : 48;
+    auto policy = serving::RoutePolicy::RoundRobin;
+
+    for (Mode mode : {Mode::Plain, Mode::Cc, Mode::Pipe}) {
+        double base_tps = 0;
+        std::printf("\n-- %s (%s routing) --\n", toString(mode),
+                    serving::toString(policy));
+        for (unsigned n : device_counts) {
+            auto r = runCluster(mode, n, requests_per_device * n,
+                                policy);
+            if (n == 1)
+                base_tps = r.tokens_per_sec;
+            double speedup =
+                base_tps > 0 ? r.tokens_per_sec / base_tps : 0;
+            std::printf("N=%u  %8.1f tok/s  (x%.2f)  %.4f s/tok  "
+                        "p90 %.4f  completed %" PRIu64 "\n",
+                        n, r.tokens_per_sec, speedup,
+                        r.normalized_latency,
+                        r.p90_normalized_latency, r.completed);
+            for (const auto &rep : r.replicas) {
+                double rep_tps =
+                    rep.result.total_time
+                        ? double(rep.routed_tokens) /
+                              toSeconds(rep.result.total_time)
+                        : 0;
+                csv.field(n).field(toString(mode))
+                    .field(serving::toString(policy))
+                    .field(ratePerDevice * n).field(r.tokens_per_sec)
+                    .field(speedup).field(r.normalized_latency)
+                    .field(r.p90_normalized_latency)
+                    .field(r.completed).field(r.preemptions)
+                    .field(toSeconds(r.makespan)).field(rep.device)
+                    .field(rep.requests).field(rep_tps)
+                    .field(rep.result.normalized_latency)
+                    .field(double(rep.runtime_stats.h2d_bytes) / 1e9)
+                    .field(double(rep.runtime_stats.cpu_encrypt_bytes +
+                                  rep.runtime_stats.cpu_decrypt_bytes) /
+                           1e9)
+                    .endRow();
+            }
+        }
+    }
+
+    std::printf("\nexpectation: w/o CC and PipeLLM track the offered "
+                "load (near-linear 1->%u), stock CC is capped at N x "
+                "its per-device crypto-bound service rate\n",
+                device_counts.back());
+    return 0;
+}

@@ -92,25 +92,31 @@ kvPipeConfig(std::uint64_t kv_unit_bytes)
     return cfg;
 }
 
-/** Instantiate the runtime for @p mode on @p platform. */
+/** Instantiate the runtime for @p mode on @p platform's @p device. */
 inline std::unique_ptr<runtime::RuntimeApi>
 makeRuntime(Mode mode, runtime::Platform &platform,
-            const core::PipeLlmConfig &pipe_cfg)
+            const core::PipeLlmConfig &pipe_cfg,
+            runtime::DeviceId device = 0)
 {
     switch (mode) {
       case Mode::Plain:
-        return std::make_unique<runtime::PlainRuntime>(platform);
+        return std::make_unique<runtime::PlainRuntime>(platform,
+                                                       device);
       case Mode::Cc:
-        return std::make_unique<runtime::CcRuntime>(platform, 1);
+        return std::make_unique<runtime::CcRuntime>(platform, 1,
+                                                    device);
       case Mode::Cc4t:
-        return std::make_unique<runtime::CcRuntime>(platform, 4);
+        return std::make_unique<runtime::CcRuntime>(platform, 4,
+                                                    device);
       case Mode::Pipe:
         return std::make_unique<core::PipeLlmRuntime>(platform,
-                                                      pipe_cfg);
+                                                      pipe_cfg,
+                                                      device);
       case Mode::Pipe0: {
         auto cfg = pipe_cfg;
         cfg.predictor.sabotage_sequence = true;
-        return std::make_unique<core::PipeLlmRuntime>(platform, cfg);
+        return std::make_unique<core::PipeLlmRuntime>(platform, cfg,
+                                                      device);
       }
     }
     return nullptr;

@@ -10,14 +10,17 @@
 namespace pipellm {
 namespace gpu {
 
-GpuDevice::GpuDevice(sim::EventQueue &eq, const SystemSpec &spec)
+GpuDevice::GpuDevice(sim::EventQueue &eq, const SystemSpec &spec,
+                     const std::string &label)
     : eq_(eq), spec_(spec),
-      mem_("gpu-hbm", spec.gpu_mem_bytes),
-      pcie_h2d_(eq, "pcie-h2d", spec.pcie_h2d_bw, spec.pcie_latency),
-      pcie_d2h_(eq, "pcie-d2h", spec.pcie_d2h_bw, spec.pcie_latency),
-      copy_engine_crypto_(eq, "copy-engine-crypto",
+      mem_(label + "gpu-hbm", spec.gpu_mem_bytes),
+      pcie_h2d_(eq, label + "pcie-h2d", spec.pcie_h2d_bw,
+                spec.pcie_latency),
+      pcie_d2h_(eq, label + "pcie-d2h", spec.pcie_d2h_bw,
+                spec.pcie_latency),
+      copy_engine_crypto_(eq, label + "copy-engine-crypto",
                           spec.copy_engine_crypto_bw),
-      compute_(eq, "sm-compute")
+      compute_(eq, label + "sm-compute")
 {
     spec_.validate();
 }

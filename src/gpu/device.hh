@@ -42,7 +42,12 @@ struct KernelDesc
 class GpuDevice
 {
   public:
-    GpuDevice(sim::EventQueue &eq, const SystemSpec &spec);
+    /**
+     * @param label prefix for resource names, disambiguating devices
+     *        in a multi-GPU platform ("" keeps the legacy names)
+     */
+    GpuDevice(sim::EventQueue &eq, const SystemSpec &spec,
+              const std::string &label = "");
 
     // --- memory ---
     mem::SparseMemory &memory() { return mem_; }

@@ -12,25 +12,20 @@ using runtime::CopyKind;
 using runtime::Stream;
 
 PipeLlmRuntime::PipeLlmRuntime(runtime::Platform &platform,
-                               const PipeLlmConfig &config)
-    : RuntimeApi(platform), config_(config),
+                               const PipeLlmConfig &config,
+                               runtime::DeviceId device)
+    : RuntimeApi(platform, device), config_(config),
       classifier_(config.classifier), predictor_(config.predictor),
       enc_lanes_(platform.eq(), "pipellm-enc", config.enc_lanes,
                  platform.spec().cpu_crypto_bw_per_lane),
       dec_lanes_(platform.eq(), "pipellm-dec", config.dec_lanes,
                  platform.spec().cpu_crypto_bw_per_lane),
-      pipeline_(platform.hostMem(), platform.channel(), enc_lanes_,
-                predictor_, config),
-      h2d_path_(platform.eq(), platform.spec(),
-                platform.device().h2dLinkMut(), /*toward_device=*/true,
-                &platform.device().copyEngineCryptoMut()),
-      d2h_path_(platform.eq(), platform.spec(),
-                platform.device().d2hLinkMut(), /*toward_device=*/false,
-                &platform.device().copyEngineCryptoMut()),
-      nop_scratch_(platform.device().alloc(mem::pageBytes,
-                                           "pipellm-nop-scratch"))
+      pipeline_(platform.hostMem(), platform.device(device).channel(),
+                enc_lanes_, predictor_, config),
+      nop_scratch_(platform.device(device).gpu().alloc(
+          mem::pageBytes, "pipellm-nop-scratch"))
 {
-    platform.device().enableCc(&platform.channel());
+    gpu().enableCc(&channel());
 }
 
 ApiResult
@@ -61,8 +56,8 @@ PipeLlmRuntime::sendEntry(const PreencEntry &entry, Addr dst,
 
     // Validated: the ciphertext may now enter shared memory (§6).
     Tick start = std::max({now, entry.ready_at, stream.tail()});
-    Tick done = h2d_path_.transfer(start, entry.chunk.len);
-    platform_.device().commitEncrypted(entry.blob, dst);
+    Tick done = ctx().h2dPath().transfer(start, entry.chunk.len);
+    gpu().commitEncrypted(entry.blob, dst);
     stream.push(done);
     trace(now, done, entry.chunk.len, true,
           runtime::TransferOutcome::Hit);
@@ -92,12 +87,12 @@ PipeLlmRuntime::sendOnDemand(Addr dst, Addr src, std::uint64_t len,
             : enc_start + transferTicks(
                   len, platform_.spec().cpu_crypto_bw_per_lane);
     stats_.cpu_encrypt_bytes += len;
-    auto blob = platform_.channel().seal(crypto::Direction::HostToDevice,
-                                         iv, sample.data(), len);
+    auto blob = channel().seal(crypto::Direction::HostToDevice, iv,
+                               sample.data(), len);
 
     Tick start = std::max(enc_done, stream.tail());
-    Tick done = h2d_path_.transfer(start, len);
-    platform_.device().commitEncrypted(blob, dst);
+    Tick done = ctx().h2dPath().transfer(start, len);
+    gpu().commitEncrypted(blob, dst);
     stream.push(done);
     trace(now, done, len, true, runtime::TransferOutcome::Miss);
     // Caller resumes immediately when a worker took the job.
@@ -114,11 +109,11 @@ PipeLlmRuntime::sendNop(Tick now)
     // One byte is encrypted by the calling thread itself — routing it
     // through the worker lanes would make it queue behind megabytes
     // of speculative work.
-    auto blob = platform_.channel().sealNop(
+    auto blob = channel().sealNop(
         crypto::Direction::HostToDevice, iv);
     Tick enc_done = now + nanoseconds(200);
-    Tick done = h2d_path_.transfer(enc_done, 1);
-    platform_.device().commitEncrypted(blob, nop_scratch_.base);
+    Tick done = ctx().h2dPath().transfer(enc_done, 1);
+    gpu().commitEncrypted(blob, nop_scratch_.base);
     trace(now, done, 1, true, runtime::TransferOutcome::Nop);
 }
 
@@ -248,16 +243,16 @@ PipeLlmRuntime::copyD2h(Addr dst, Addr src, std::uint64_t len,
 {
     const auto &spec = platform_.spec();
     auto &host = platform_.hostMem();
-    auto &dev = platform_.device();
+    auto &dev = gpu();
 
     Tick control = now + spec.api_overhead + spec.cc_api_overhead;
     Tick start = std::max(control, stream.tail());
 
     crypto::CipherBlob blob = dev.sealD2h(src, len);
-    Tick landed = d2h_path_.transfer(start, len);
+    Tick landed = ctx().d2hPath().transfer(start, len);
 
     std::vector<std::uint8_t> sample;
-    if (!platform_.channel().open(blob, d2h_iv_.next(), sample))
+    if (!channel().open(blob, d2h_iv_.next(), sample))
         PANIC("PipeLLM: D2H tag failure (GPU IV ", blob.iv_counter, ")");
 
     bool swap = classifier_.isSwap(len);

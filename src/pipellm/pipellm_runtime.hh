@@ -59,8 +59,15 @@ struct PipeLlmStats
 class PipeLlmRuntime : public runtime::RuntimeApi
 {
   public:
+    /**
+     * @param device the cluster device this runtime drives; all
+     *        speculative state (pipeline, predictor, classifier, IV
+     *        counters) is private to this instance, so speculation on
+     *        one GPU can never consume another GPU's IVs
+     */
     PipeLlmRuntime(runtime::Platform &platform,
-                   const PipeLlmConfig &config = PipeLlmConfig{});
+                   const PipeLlmConfig &config = PipeLlmConfig{},
+                   runtime::DeviceId device = 0);
 
     const char *name() const override { return "PipeLLM"; }
 
@@ -130,8 +137,6 @@ class PipeLlmRuntime : public runtime::RuntimeApi
     sim::LaneGroup enc_lanes_;
     sim::LaneGroup dec_lanes_;
     SpeculativePipeline pipeline_;
-    runtime::StagedCopyPath h2d_path_;
-    runtime::StagedCopyPath d2h_path_;
     crypto::IvCounter h2d_iv_{crypto::Direction::HostToDevice};
     crypto::IvCounter d2h_iv_{crypto::Direction::DeviceToHost};
     std::vector<PendingSend> pending_;

@@ -20,7 +20,7 @@ RuntimeApi::launchKernel(const gpu::KernelDesc &kernel, Stream &stream,
     ++stats_.kernels;
     Tick api_return = now + platform_.spec().api_overhead;
     Tick start = std::max(api_return, stream.tail());
-    Tick done = platform_.device().launchKernel(kernel, start);
+    Tick done = gpu().launchKernel(kernel, start);
     stream.push(done);
     return ApiResult{api_return, done};
 }
@@ -54,7 +54,7 @@ RuntimeApi::sampleLen(std::uint64_t len) const
 {
     // Use the channel's sampling rule even on the plain path so both
     // modes move identical functional payloads.
-    return platform_.channel().sampledLen(len);
+    return platform_.device(device_id_).channel().sampledLen(len);
 }
 
 } // namespace runtime

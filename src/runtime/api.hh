@@ -90,11 +90,22 @@ struct RuntimeStats
     std::uint64_t cpu_decrypt_bytes = 0;
 };
 
-/** Abstract CUDA-like runtime. */
+/**
+ * Abstract CUDA-like runtime, bound to one device of the platform's
+ * cluster (cudaSetDevice, fixed at construction). All crypto state —
+ * IV counters, the CC session, staged copy paths — is that device's
+ * own, so runtimes driving different GPUs never consume each other's
+ * IVs.
+ */
 class RuntimeApi
 {
   public:
-    explicit RuntimeApi(Platform &platform) : platform_(platform) {}
+    explicit RuntimeApi(Platform &platform, DeviceId device = 0)
+        : platform_(platform), device_id_(device)
+    {
+        // Fails fast on an out-of-range id.
+        platform.device(device);
+    }
     virtual ~RuntimeApi() = default;
 
     RuntimeApi(const RuntimeApi &) = delete;
@@ -137,6 +148,12 @@ class RuntimeApi
     const RuntimeStats &stats() const { return stats_; }
     Platform &platform() { return platform_; }
 
+    /** The cluster device this runtime drives. */
+    DeviceId deviceId() const { return device_id_; }
+    DeviceContext &ctx() { return platform_.device(device_id_); }
+    gpu::GpuDevice &gpu() { return ctx().gpu(); }
+    crypto::SecureChannel &channel() { return ctx().channel(); }
+
     /** Attach an optional transfer recorder (not owned). */
     void attachTrace(TransferTrace *trace) { trace_ = trace; }
 
@@ -167,6 +184,7 @@ class RuntimeApi
     }
 
     Platform &platform_;
+    DeviceId device_id_;
     RuntimeStats stats_;
     std::vector<std::unique_ptr<Stream>> streams_;
     TransferTrace *trace_ = nullptr;

@@ -8,22 +8,17 @@
 namespace pipellm {
 namespace runtime {
 
-CcRuntime::CcRuntime(Platform &platform, unsigned threads)
-    : RuntimeApi(platform),
+CcRuntime::CcRuntime(Platform &platform, unsigned threads,
+                     DeviceId device)
+    : RuntimeApi(platform, device),
       name_(threads == 1 ? "CC" : "CC-" + std::to_string(threads) + "t"),
       threads_(threads),
       enc_lanes_(platform.eq(), "cc-enc", threads,
                  platform.spec().cpu_crypto_bw_per_lane),
       dec_lanes_(platform.eq(), "cc-dec", threads,
-                 platform.spec().cpu_crypto_bw_per_lane),
-      h2d_path_(platform.eq(), platform.spec(),
-                platform.device().h2dLinkMut(), /*toward_device=*/true,
-                &platform.device().copyEngineCryptoMut()),
-      d2h_path_(platform.eq(), platform.spec(),
-                platform.device().d2hLinkMut(), /*toward_device=*/false,
-                &platform.device().copyEngineCryptoMut())
+                 platform.spec().cpu_crypto_bw_per_lane)
 {
-    platform.device().enableCc(&platform.channel());
+    gpu().enableCc(&channel());
 }
 
 Tick
@@ -62,7 +57,7 @@ CcRuntime::copyH2d(Addr dst, Addr src, std::uint64_t len,
 {
     const auto &spec = platform_.spec();
     auto &host = platform_.hostMem();
-    auto &dev = platform_.device();
+    auto &dev = gpu();
 
     Tick control = now + spec.api_overhead + spec.cc_api_overhead;
 
@@ -75,16 +70,15 @@ CcRuntime::copyH2d(Addr dst, Addr src, std::uint64_t len,
     Tick enc_done = chargeCpuCrypto(enc_lanes_, enc_start, len);
     stats_.cpu_encrypt_bytes += len;
 
-    auto blob = platform_.channel().seal(crypto::Direction::HostToDevice,
-                                         h2d_iv_.next(), sample.data(),
-                                         len);
+    auto blob = channel().seal(crypto::Direction::HostToDevice,
+                               h2d_iv_.next(), sample.data(), len);
 
     // Only after encryption does the call return; the staged copy,
     // DMA, and copy-engine decrypt proceed asynchronously, ordered
     // behind the stream.
     Tick api_return = enc_done;
     Tick xfer_start = std::max(enc_done, stream.tail());
-    Tick done = h2d_path_.transfer(xfer_start, len);
+    Tick done = ctx().h2dPath().transfer(xfer_start, len);
     dev.commitEncrypted(blob, dst);
     stream.push(done);
     trace(now, done, len, true, TransferOutcome::Direct);
@@ -97,7 +91,7 @@ CcRuntime::copyD2h(Addr dst, Addr src, std::uint64_t len,
 {
     const auto &spec = platform_.spec();
     auto &host = platform_.hostMem();
-    auto &dev = platform_.device();
+    auto &dev = gpu();
 
     Tick control = now + spec.api_overhead + spec.cc_api_overhead;
     Tick start = std::max(control, stream.tail());
@@ -106,12 +100,12 @@ CcRuntime::copyD2h(Addr dst, Addr src, std::uint64_t len,
     // copied to private memory, then the CPU decrypts before the call
     // returns (stock NVIDIA CC behavior, §5.4).
     crypto::CipherBlob blob = dev.sealD2h(src, len);
-    Tick landed = d2h_path_.transfer(start, len);
+    Tick landed = ctx().d2hPath().transfer(start, len);
     Tick dec_done = chargeCpuCrypto(dec_lanes_, landed, len);
     stats_.cpu_decrypt_bytes += len;
 
     std::vector<std::uint8_t> sample;
-    if (!platform_.channel().open(blob, d2h_iv_.next(), sample)) {
+    if (!channel().open(blob, d2h_iv_.next(), sample)) {
         PANIC("CC runtime: D2H tag failure (GPU IV ", blob.iv_counter,
               ")");
     }

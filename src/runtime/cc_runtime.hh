@@ -19,7 +19,6 @@
 
 #include "crypto/iv.hh"
 #include "runtime/api.hh"
-#include "runtime/staged_path.hh"
 #include "sim/resource.hh"
 
 namespace pipellm {
@@ -32,8 +31,10 @@ class CcRuntime : public RuntimeApi
     /**
      * @param threads CPU threads used to encrypt/decrypt each
      *        individual transfer (1 = stock behavior; 4 = "CC-4t")
+     * @param device the cluster device this runtime drives
      */
-    explicit CcRuntime(Platform &platform, unsigned threads = 1);
+    explicit CcRuntime(Platform &platform, unsigned threads = 1,
+                       DeviceId device = 0);
 
     const char *name() const override { return name_.c_str(); }
 
@@ -64,8 +65,6 @@ class CcRuntime : public RuntimeApi
     unsigned threads_;
     sim::LaneGroup enc_lanes_;
     sim::LaneGroup dec_lanes_;
-    StagedCopyPath h2d_path_;
-    StagedCopyPath d2h_path_;
     crypto::IvCounter h2d_iv_{crypto::Direction::HostToDevice};
     crypto::IvCounter d2h_iv_{crypto::Direction::DeviceToHost};
 };

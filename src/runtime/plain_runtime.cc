@@ -8,7 +8,8 @@
 namespace pipellm {
 namespace runtime {
 
-PlainRuntime::PlainRuntime(Platform &platform) : RuntimeApi(platform)
+PlainRuntime::PlainRuntime(Platform &platform, DeviceId device)
+    : RuntimeApi(platform, device)
 {
 }
 
@@ -17,7 +18,7 @@ PlainRuntime::memcpyAsync(CopyKind kind, Addr dst, Addr src,
                           std::uint64_t len, Stream &stream, Tick now)
 {
     noteCopy(kind, len);
-    auto &dev = platform_.device();
+    auto &dev = gpu();
     auto &host = platform_.hostMem();
 
     Tick api_return = now + platform_.spec().api_overhead;

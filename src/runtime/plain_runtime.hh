@@ -17,7 +17,7 @@ namespace runtime {
 class PlainRuntime : public RuntimeApi
 {
   public:
-    explicit PlainRuntime(Platform &platform);
+    explicit PlainRuntime(Platform &platform, DeviceId device = 0);
 
     const char *name() const override { return "w/o CC"; }
 

@@ -2,14 +2,78 @@
 
 #include <utility>
 
+#include "common/logging.hh"
+
 namespace pipellm {
 namespace runtime {
 
-Platform::Platform(const gpu::SystemSpec &spec,
-                   const crypto::ChannelConfig &channel_cfg)
-    : spec_(spec), channel_(channel_cfg), device_(eq_, spec),
-      host_mem_("cvm-dram", spec.host_mem_bytes)
+namespace {
+
+/**
+ * Per-device session configuration: each GPU negotiates its own key
+ * (real multi-GPU CC derives one SPDM session per device). Device 0
+ * keeps the caller's seed so a 1-device cluster is bit-identical to
+ * the original single-device machine.
+ */
+crypto::ChannelConfig
+deviceChannelConfig(const crypto::ChannelConfig &base, DeviceId id)
 {
+    crypto::ChannelConfig cfg = base;
+    cfg.key_seed = base.key_seed + id;
+    return cfg;
+}
+
+/** Resource-name prefix; empty for device 0 (legacy names). */
+std::string
+deviceLabel(DeviceId id)
+{
+    return id == 0 ? std::string{} : "dev" + std::to_string(id) + "/";
+}
+
+} // namespace
+
+DeviceContext::DeviceContext(sim::EventQueue &eq,
+                             const gpu::SystemSpec &spec,
+                             const crypto::ChannelConfig &channel_cfg,
+                             DeviceId id)
+    : id_(id), channel_(deviceChannelConfig(channel_cfg, id)),
+      gpu_(eq, spec, deviceLabel(id)),
+      h2d_path_(eq, spec, gpu_.h2dLinkMut(), /*toward_device=*/true,
+                &gpu_.copyEngineCryptoMut()),
+      d2h_path_(eq, spec, gpu_.d2hLinkMut(), /*toward_device=*/false,
+                &gpu_.copyEngineCryptoMut())
+{
+}
+
+Platform::Platform(const gpu::SystemSpec &spec,
+                   const crypto::ChannelConfig &channel_cfg,
+                   unsigned num_devices)
+    : spec_(spec), host_mem_("cvm-dram", spec.host_mem_bytes)
+{
+    PIPELLM_ASSERT(num_devices > 0, "a platform needs >= 1 device");
+    devices_.reserve(num_devices);
+    for (unsigned i = 0; i < num_devices; ++i) {
+        devices_.push_back(std::make_unique<DeviceContext>(
+            eq_, spec_, channel_cfg, DeviceId(i)));
+    }
+}
+
+DeviceContext &
+Platform::device(DeviceId id)
+{
+    PIPELLM_ASSERT(id < devices_.size(), "device id ", id,
+                   " out of range (cluster has ", devices_.size(),
+                   " devices)");
+    return *devices_[id];
+}
+
+const DeviceContext &
+Platform::device(DeviceId id) const
+{
+    PIPELLM_ASSERT(id < devices_.size(), "device id ", id,
+                   " out of range (cluster has ", devices_.size(),
+                   " devices)");
+    return *devices_[id];
 }
 
 mem::Region

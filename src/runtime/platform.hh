@@ -1,46 +1,105 @@
 /**
  * @file
- * The simulated machine: one CVM (host memory) attached to one GPU
- * over PCIe, with an optional confidential-computing session.
+ * The simulated machine: one CVM (host memory) attached to a cluster
+ * of N GPUs over per-device PCIe links, each with its own
+ * confidential-computing session.
+ *
+ * Every device is wrapped in a DeviceContext bundling the GPU, its
+ * PCIe links (owned by the GpuDevice), an independent SecureChannel
+ * (per-device, per-direction IV counters, as on real multi-GPU CC
+ * systems where each GPU negotiates its own SPDM session key), and
+ * the staged ciphertext copy paths feeding its links. Runtimes bind
+ * to one device id; the legacy single-device accessors alias id 0.
  */
 
 #ifndef PIPELLM_RUNTIME_PLATFORM_HH
 #define PIPELLM_RUNTIME_PLATFORM_HH
 
+#include <cstdint>
 #include <memory>
+#include <vector>
 
 #include "crypto/channel.hh"
 #include "gpu/device.hh"
 #include "gpu/spec.hh"
 #include "mem/sparse_memory.hh"
+#include "runtime/staged_path.hh"
 #include "sim/event_queue.hh"
 
 namespace pipellm {
 namespace runtime {
 
-/** Owns the clock, the host arena, the device, and the CC session. */
+/** Index of a device within the platform's cluster. */
+using DeviceId = std::uint32_t;
+
+/**
+ * One GPU and everything private to it: its CC session, its PCIe
+ * links (inside the GpuDevice), and the staged copy paths that move
+ * ciphertext between CVM memory and those links.
+ */
+class DeviceContext
+{
+  public:
+    DeviceContext(sim::EventQueue &eq, const gpu::SystemSpec &spec,
+                  const crypto::ChannelConfig &channel_cfg, DeviceId id);
+
+    DeviceId id() const { return id_; }
+    gpu::GpuDevice &gpu() { return gpu_; }
+    const gpu::GpuDevice &gpu() const { return gpu_; }
+    crypto::SecureChannel &channel() { return channel_; }
+    const crypto::SecureChannel &channel() const { return channel_; }
+    StagedCopyPath &h2dPath() { return h2d_path_; }
+    StagedCopyPath &d2hPath() { return d2h_path_; }
+
+  private:
+    DeviceId id_;
+    crypto::SecureChannel channel_;
+    gpu::GpuDevice gpu_;
+    StagedCopyPath h2d_path_;
+    StagedCopyPath d2h_path_;
+};
+
+/** Owns the clock, the host arena, and the device cluster. */
 class Platform
 {
   public:
+    /**
+     * @param num_devices GPUs attached to the CVM; each gets its own
+     *        PCIe links and CC session (device 0 reproduces the
+     *        original single-device machine exactly)
+     */
     explicit Platform(const gpu::SystemSpec &spec = gpu::SystemSpec::h100(),
                       const crypto::ChannelConfig &channel_cfg =
-                          crypto::ChannelConfig{});
+                          crypto::ChannelConfig{},
+                      unsigned num_devices = 1);
 
     sim::EventQueue &eq() { return eq_; }
     const gpu::SystemSpec &spec() const { return spec_; }
-    gpu::GpuDevice &device() { return device_; }
     mem::SparseMemory &hostMem() { return host_mem_; }
-    crypto::SecureChannel &channel() { return channel_; }
 
-    /** Allocate CVM-private host memory. */
+    unsigned numDevices() const { return unsigned(devices_.size()); }
+
+    /** Device-indexed access to the cluster. */
+    DeviceContext &device(DeviceId id);
+    const DeviceContext &device(DeviceId id) const;
+
+    /** Shorthand for device(id).gpu(). */
+    gpu::GpuDevice &gpu(DeviceId id) { return device(id).gpu(); }
+
+    /** Deprecated single-device alias: device 0's GPU. */
+    gpu::GpuDevice &device() { return device(0).gpu(); }
+
+    /** Deprecated single-device alias: device 0's CC session. */
+    crypto::SecureChannel &channel() { return device(0).channel(); }
+
+    /** Allocate CVM-private host memory (shared by all devices). */
     mem::Region allocHost(std::uint64_t len, std::string name);
     void freeHost(const mem::Region &region);
 
   private:
     sim::EventQueue eq_;
     gpu::SystemSpec spec_;
-    crypto::SecureChannel channel_;
-    gpu::GpuDevice device_;
+    std::vector<std::unique_ptr<DeviceContext>> devices_;
     mem::SparseMemory host_mem_;
 };
 

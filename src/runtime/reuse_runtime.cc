@@ -8,18 +8,13 @@
 namespace pipellm {
 namespace runtime {
 
-CiphertextReuseRuntime::CiphertextReuseRuntime(Platform &platform)
-    : RuntimeApi(platform),
-      h2d_path_(platform.eq(), platform.spec(),
-                platform.device().h2dLinkMut(), /*toward_device=*/true,
-                &platform.device().copyEngineCryptoMut()),
-      d2h_path_(platform.eq(), platform.spec(),
-                platform.device().d2hLinkMut(), /*toward_device=*/false,
-                &platform.device().copyEngineCryptoMut()),
+CiphertextReuseRuntime::CiphertextReuseRuntime(Platform &platform,
+                                               DeviceId device)
+    : RuntimeApi(platform, device),
       seal_lane_(platform.eq(), "reuse-seal",
                  platform.spec().cpu_crypto_bw_per_lane)
 {
-    platform.device().enableCc(&platform.channel());
+    gpu().enableCc(&channel());
 }
 
 CiphertextReuseRuntime::~CiphertextReuseRuntime()
@@ -92,7 +87,7 @@ CiphertextReuseRuntime::copyH2d(Addr dst, Addr src, std::uint64_t len,
 {
     const auto &spec = platform_.spec();
     auto &host = platform_.hostMem();
-    auto &dev = platform_.device();
+    auto &dev = gpu();
     Tick control = now + spec.api_overhead + spec.cc_api_overhead;
 
     if (isSwap(len)) {
@@ -102,7 +97,7 @@ CiphertextReuseRuntime::copyH2d(Addr dst, Addr src, std::uint64_t len,
             // Resend the retained ciphertext: zero crypto anywhere.
             ++reuse_stats_.reuse_hits;
             Tick start = std::max(control, stream.tail());
-            Tick done = h2d_path_.transfer(start, len);
+            Tick done = ctx().h2dPath().transfer(start, len);
             dev.commitRetained(it->second.blob, dst);
             stream.push(done);
             return ApiResult{control, done};
@@ -116,11 +111,11 @@ CiphertextReuseRuntime::copyH2d(Addr dst, Addr src, std::uint64_t len,
         Tick enc_done = seal_lane_.submitNotBefore(
             std::max(control, src_ready), len);
         stats_.cpu_encrypt_bytes += len;
-        auto blob = platform_.channel().seal(
+        auto blob = channel().seal(
             crypto::Direction::DeviceToHost /* retained namespace */,
             generation_++, sample.data(), len);
         Tick start = std::max(enc_done, stream.tail());
-        Tick done = h2d_path_.transfer(start, len);
+        Tick done = ctx().h2dPath().transfer(start, len);
         dev.commitRetained(blob, dst);
         retain(key, std::move(blob));
         stream.push(done);
@@ -135,11 +130,10 @@ CiphertextReuseRuntime::copyH2d(Addr dst, Addr src, std::uint64_t len,
         std::max(control, src_ready) +
         transferTicks(len, spec.cpu_crypto_bw_per_lane);
     stats_.cpu_encrypt_bytes += len;
-    auto blob = platform_.channel().seal(crypto::Direction::HostToDevice,
-                                         h2d_iv_.next(), sample.data(),
-                                         len);
+    auto blob = channel().seal(crypto::Direction::HostToDevice,
+                               h2d_iv_.next(), sample.data(), len);
     Tick start = std::max(enc_done, stream.tail());
-    Tick done = h2d_path_.transfer(start, len);
+    Tick done = ctx().h2dPath().transfer(start, len);
     dev.commitEncrypted(blob, dst);
     stream.push(done);
     return ApiResult{enc_done, done};
@@ -151,7 +145,7 @@ CiphertextReuseRuntime::copyD2h(Addr dst, Addr src, std::uint64_t len,
 {
     const auto &spec = platform_.spec();
     auto &host = platform_.hostMem();
-    auto &dev = platform_.device();
+    auto &dev = gpu();
     Tick control = now + spec.api_overhead + spec.cc_api_overhead;
     Tick start = std::max(control, stream.tail());
 
@@ -161,19 +155,19 @@ CiphertextReuseRuntime::copyD2h(Addr dst, Addr src, std::uint64_t len,
         // and never decrypts it. Swap-in is a pure resend.
         ++reuse_stats_.encrypted_at_rest;
         auto blob = dev.sealRetainedD2h(src, len, generation_++);
-        Tick done = d2h_path_.transfer(start, len);
+        Tick done = ctx().d2hPath().transfer(start, len);
         retain(Key{dst, len}, std::move(blob));
         stream.push(done);
         return ApiResult{control, done};
     }
 
     crypto::CipherBlob blob = dev.sealD2h(src, len);
-    Tick landed = d2h_path_.transfer(start, len);
+    Tick landed = ctx().d2hPath().transfer(start, len);
     Tick dec_done =
         landed + transferTicks(len, spec.cpu_crypto_bw_per_lane);
     stats_.cpu_decrypt_bytes += len;
     std::vector<std::uint8_t> sample;
-    if (!platform_.channel().open(blob, d2h_iv_.next(), sample))
+    if (!channel().open(blob, d2h_iv_.next(), sample))
         PANIC("CT-Reuse: D2H tag failure");
     host.write(dst, sample.data(), sample.size());
     stream.push(dec_done);

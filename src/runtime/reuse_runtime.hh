@@ -34,7 +34,6 @@
 
 #include "crypto/iv.hh"
 #include "runtime/api.hh"
-#include "runtime/staged_path.hh"
 #include "sim/resource.hh"
 
 namespace pipellm {
@@ -57,7 +56,8 @@ struct ReuseStats
 class CiphertextReuseRuntime : public RuntimeApi
 {
   public:
-    explicit CiphertextReuseRuntime(Platform &platform);
+    explicit CiphertextReuseRuntime(Platform &platform,
+                                    DeviceId device = 0);
     ~CiphertextReuseRuntime() override;
 
     const char *name() const override { return "CT-Reuse"; }
@@ -102,8 +102,6 @@ class CiphertextReuseRuntime : public RuntimeApi
     ApiResult copyD2h(Addr dst, Addr src, std::uint64_t len,
                       Stream &stream, Tick now);
 
-    StagedCopyPath h2d_path_;
-    StagedCopyPath d2h_path_;
     sim::BandwidthResource seal_lane_;
     crypto::IvCounter h2d_iv_{crypto::Direction::HostToDevice};
     crypto::IvCounter d2h_iv_{crypto::Direction::DeviceToHost};

@@ -8,16 +8,10 @@
 namespace pipellm {
 namespace runtime {
 
-TeeIoRuntime::TeeIoRuntime(Platform &platform)
-    : RuntimeApi(platform),
-      h2d_path_(platform.eq(), platform.spec(),
-                platform.device().h2dLinkMut(), /*toward_device=*/true,
-                &platform.device().copyEngineCryptoMut()),
-      d2h_path_(platform.eq(), platform.spec(),
-                platform.device().d2hLinkMut(), /*toward_device=*/false,
-                &platform.device().copyEngineCryptoMut())
+TeeIoRuntime::TeeIoRuntime(Platform &platform, DeviceId device)
+    : RuntimeApi(platform, device)
 {
-    platform.device().enableCc(&platform.channel());
+    gpu().enableCc(&channel());
 }
 
 ApiResult
@@ -27,7 +21,7 @@ TeeIoRuntime::memcpyAsync(CopyKind kind, Addr dst, Addr src,
     noteCopy(kind, len);
     const auto &spec = platform_.spec();
     auto &host = platform_.hostMem();
-    auto &dev = platform_.device();
+    auto &dev = gpu();
 
     // The SoC engine encrypts inline at line rate: the call costs only
     // the control plane, and no CPU crypto time is charged anywhere.
@@ -40,20 +34,20 @@ TeeIoRuntime::memcpyAsync(CopyKind kind, Addr dst, Addr src,
         Tick src_ready = host.read(src, sample.data(), n);
         start = std::max(start, src_ready);
 
-        auto blob = platform_.channel().seal(
+        auto blob = channel().seal(
             crypto::Direction::HostToDevice, h2d_iv_.next(),
             sample.data(), len);
-        Tick done = h2d_path_.transfer(start, len);
+        Tick done = ctx().h2dPath().transfer(start, len);
         dev.commitEncrypted(blob, dst);
         stream.push(done);
         return ApiResult{control, done};
     }
 
     crypto::CipherBlob blob = dev.sealD2h(src, len);
-    Tick done = d2h_path_.transfer(start, len);
+    Tick done = ctx().d2hPath().transfer(start, len);
 
     std::vector<std::uint8_t> sample;
-    if (!platform_.channel().open(blob, d2h_iv_.next(), sample))
+    if (!channel().open(blob, d2h_iv_.next(), sample))
         PANIC("TEE-I/O: D2H tag failure (GPU IV ", blob.iv_counter, ")");
     host.write(dst, sample.data(), sample.size());
     stream.push(done);

@@ -19,7 +19,6 @@
 
 #include "crypto/iv.hh"
 #include "runtime/api.hh"
-#include "runtime/staged_path.hh"
 
 namespace pipellm {
 namespace runtime {
@@ -28,7 +27,7 @@ namespace runtime {
 class TeeIoRuntime : public RuntimeApi
 {
   public:
-    explicit TeeIoRuntime(Platform &platform);
+    explicit TeeIoRuntime(Platform &platform, DeviceId device = 0);
 
     const char *name() const override { return "TEE-I/O"; }
 
@@ -41,8 +40,6 @@ class TeeIoRuntime : public RuntimeApi
     std::uint64_t d2hCounter() const { return d2h_iv_.current(); }
 
   private:
-    StagedCopyPath h2d_path_;
-    StagedCopyPath d2h_path_;
     crypto::IvCounter h2d_iv_{crypto::Direction::HostToDevice};
     crypto::IvCounter d2h_iv_{crypto::Direction::DeviceToHost};
 };

@@ -1,0 +1,130 @@
+#include "serving/cluster.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace pipellm {
+namespace serving {
+
+const char *
+toString(RoutePolicy policy)
+{
+    switch (policy) {
+      case RoutePolicy::RoundRobin:
+        return "round-robin";
+      case RoutePolicy::LeastLoaded:
+        return "least-loaded";
+    }
+    return "?";
+}
+
+ClusterRouter::ClusterRouter(runtime::Platform &platform,
+                             const RuntimeFactory &factory,
+                             ClusterConfig config)
+    : platform_(platform), config_(std::move(config)),
+      load_(platform.numDevices(), 0)
+{
+    PIPELLM_ASSERT(factory, "cluster router needs a runtime factory");
+    runtimes_.reserve(platform.numDevices());
+    for (unsigned d = 0; d < platform.numDevices(); ++d) {
+        auto rt = factory(platform, runtime::DeviceId(d));
+        PIPELLM_ASSERT(rt, "runtime factory returned null for device ",
+                       d);
+        PIPELLM_ASSERT(rt->deviceId() == d,
+                       "factory bound device ", rt->deviceId(),
+                       " where ", d, " was requested");
+        runtimes_.push_back(std::move(rt));
+    }
+}
+
+runtime::RuntimeApi &
+ClusterRouter::runtime(runtime::DeviceId id)
+{
+    PIPELLM_ASSERT(id < runtimes_.size(), "replica ", id,
+                   " out of range (", runtimes_.size(), " replicas)");
+    return *runtimes_[id];
+}
+
+std::uint64_t
+ClusterRouter::costOf(const trace::Request &req) const
+{
+    // KV footprint and compute both scale with prompt plus every
+    // sampled output sequence, so that sum is the load unit.
+    return std::uint64_t(req.prompt_len) +
+           std::uint64_t(config_.engine.parallel_sampling) *
+               req.output_len;
+}
+
+runtime::DeviceId
+ClusterRouter::route(const trace::Request &req)
+{
+    unsigned n = numReplicas();
+    if (config_.policy == RoutePolicy::RoundRobin) {
+        unsigned d = next_;
+        next_ = (next_ + 1) % n;
+        load_[d] += costOf(req);
+        return runtime::DeviceId(d);
+    }
+    unsigned best = 0;
+    for (unsigned d = 1; d < n; ++d) {
+        if (load_[d] < load_[best])
+            best = d;
+    }
+    load_[best] += costOf(req);
+    return runtime::DeviceId(best);
+}
+
+ClusterResult
+ClusterRouter::run(const trace::Trace &requests)
+{
+    unsigned n = numReplicas();
+    std::vector<trace::Trace> slices(n);
+    for (const auto &req : requests)
+        slices[route(req)].push_back(req);
+
+    ClusterResult agg;
+    agg.replicas.resize(n);
+    double latency_weight = 0;
+    std::uint64_t routed_tokens_total = 0;
+    for (unsigned d = 0; d < n; ++d) {
+        auto &rep = agg.replicas[d];
+        rep.device = runtime::DeviceId(d);
+        rep.requests = slices[d].size();
+        rep.runtime_name = runtimes_[d]->name();
+        for (const auto &req : slices[d])
+            rep.routed_tokens +=
+                std::uint64_t(req.output_len) *
+                config_.engine.parallel_sampling;
+
+        if (!slices[d].empty()) {
+            // Replicas are timestamp-style engines over disjoint
+            // per-device resources, so running them back to back
+            // simulates them side by side.
+            VllmEngine engine(*runtimes_[d], config_.engine);
+            rep.result = engine.run(slices[d]);
+        }
+        rep.runtime_stats = runtimes_[d]->stats();
+
+        agg.completed += rep.result.completed;
+        agg.preemptions += rep.result.preemptions;
+        agg.makespan = std::max(agg.makespan, rep.result.total_time);
+        routed_tokens_total += rep.routed_tokens;
+        double w = double(rep.result.completed);
+        agg.normalized_latency += w * rep.result.normalized_latency;
+        agg.p90_normalized_latency +=
+            w * rep.result.p90_normalized_latency;
+        latency_weight += w;
+    }
+    if (latency_weight > 0) {
+        agg.normalized_latency /= latency_weight;
+        agg.p90_normalized_latency /= latency_weight;
+    }
+    if (agg.makespan > 0)
+        agg.tokens_per_sec =
+            double(routed_tokens_total) / toSeconds(agg.makespan);
+    return agg;
+}
+
+} // namespace serving
+} // namespace pipellm

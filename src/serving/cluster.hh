@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Replica-routing serving layer over a multi-device Platform.
+ *
+ * A production deployment serves one model from N identical replicas,
+ * one per GPU, behind a front-end router. This layer reproduces that
+ * shape inside the simulator: the router owns one RuntimeApi (and so
+ * one VllmEngine) per cluster device and load-balances a Poisson
+ * arrival trace across them. Each replica's crypto state — IV
+ * counters, CC session, staged copy paths — belongs to its own
+ * DeviceContext, so replicas never contend for crypto or PCIe
+ * resources and speculation on one GPU can never consume another
+ * GPU's IVs.
+ *
+ * Routing is deterministic: round-robin by arrival order, or
+ * least-loaded by an outstanding-token estimate with lowest-device-id
+ * tie-breaking. With one device, either policy degenerates to the
+ * single-Platform path bit-for-bit.
+ */
+
+#ifndef PIPELLM_SERVING_CLUSTER_HH
+#define PIPELLM_SERVING_CLUSTER_HH
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "runtime/api.hh"
+#include "serving/vllm.hh"
+#include "trace/request.hh"
+
+namespace pipellm {
+namespace serving {
+
+/** How the router picks a replica for each arriving request. */
+enum class RoutePolicy : std::uint8_t
+{
+    /** Strict rotation in arrival order. */
+    RoundRobin,
+    /**
+     * Replica with the smallest outstanding-token estimate
+     * (prompt + parallel_sampling * output tokens); ties go to the
+     * lowest device id.
+     */
+    LeastLoaded,
+};
+
+const char *toString(RoutePolicy policy);
+
+/**
+ * Builds the runtime driving one replica. Called once per device at
+ * router construction; the factory decides the RuntimeApi flavor
+ * (plain, CC, PipeLLM, ...) and must bind it to @p device.
+ */
+using RuntimeFactory = std::function<std::unique_ptr<runtime::RuntimeApi>(
+    runtime::Platform &, runtime::DeviceId)>;
+
+/** Cluster-serving configuration. */
+struct ClusterConfig
+{
+    /** Per-replica engine configuration (identical replicas). */
+    VllmConfig engine;
+    RoutePolicy policy = RoutePolicy::RoundRobin;
+};
+
+/** Per-replica slice of a cluster run. */
+struct ReplicaReport
+{
+    runtime::DeviceId device = 0;
+    std::uint64_t requests = 0;
+    /** Output tokens routed here (output_len * parallel_sampling). */
+    std::uint64_t routed_tokens = 0;
+    VllmResult result;
+    runtime::RuntimeStats runtime_stats;
+    std::string runtime_name;
+};
+
+/** Aggregate result of serving one trace across the cluster. */
+struct ClusterResult
+{
+    /** Completed-weighted mean of replica normalized latencies. */
+    double normalized_latency = 0;
+    /**
+     * Completed-weighted mean of replica p90s — an approximation of
+     * the cluster-wide p90 that avoids re-merging sample sets.
+     */
+    double p90_normalized_latency = 0;
+    std::uint64_t completed = 0;
+    std::uint64_t preemptions = 0;
+    /** Wall time of the slowest replica. */
+    Tick makespan = 0;
+    /** Routed output tokens over the makespan. */
+    double tokens_per_sec = 0;
+    std::vector<ReplicaReport> replicas;
+};
+
+/** The front-end router plus its N engine replicas. */
+class ClusterRouter
+{
+  public:
+    /** One replica per device of @p platform's cluster. */
+    ClusterRouter(runtime::Platform &platform,
+                  const RuntimeFactory &factory, ClusterConfig config);
+
+    unsigned numReplicas() const { return unsigned(runtimes_.size()); }
+    RoutePolicy policy() const { return config_.policy; }
+
+    /**
+     * Routing decision for @p req, advancing router state (rotation
+     * cursor / load estimates). Exposed so tests can drive the policy
+     * deterministically without a full serving run.
+     */
+    runtime::DeviceId route(const trace::Request &req);
+
+    /** Serve @p requests (arrival-stamped) across the replicas. */
+    ClusterResult run(const trace::Trace &requests);
+
+    /** Replica @p id's runtime, for inspection. */
+    runtime::RuntimeApi &runtime(runtime::DeviceId id);
+
+  private:
+    /** Outstanding-work estimate a request adds to its replica. */
+    std::uint64_t costOf(const trace::Request &req) const;
+
+    runtime::Platform &platform_;
+    ClusterConfig config_;
+    std::vector<std::unique_ptr<runtime::RuntimeApi>> runtimes_;
+    /** Rotation cursor (RoundRobin). */
+    unsigned next_ = 0;
+    /** Outstanding-token estimate per replica (LeastLoaded). */
+    std::vector<std::uint64_t> load_;
+};
+
+} // namespace serving
+} // namespace pipellm
+
+#endif // PIPELLM_SERVING_CLUSTER_HH

@@ -43,7 +43,7 @@ FlexGenEngine::FlexGenEngine(runtime::RuntimeApi &rt,
     layers_ = std::make_unique<LayerStore>(rt_, model, weight_budget);
 
     if (config_.kv_offload) {
-        kv_slots_ = platform.device().alloc(2 * kv_block_bytes_,
+        kv_slots_ = rt_.gpu().alloc(2 * kv_block_bytes_,
                                             "flexgen-kv-slots");
         for (unsigned l = 0; l < model.num_layers; ++l) {
             kv_host_.push_back(platform.allocHost(
@@ -52,11 +52,11 @@ FlexGenEngine::FlexGenEngine(runtime::RuntimeApi &rt,
         }
         kv_stream_ = &rt_.createStream("flexgen-kv");
     } else {
-        kv_region_ = platform.device().alloc(
+        kv_region_ = rt_.gpu().alloc(
             std::max(kv_bytes, pipellm::KiB), "flexgen-kv");
     }
     token_buf_host_ = platform.allocHost(4 * KiB, "flexgen-tokens-host");
-    token_buf_dev_ = platform.device().alloc(4 * KiB,
+    token_buf_dev_ = rt_.gpu().alloc(4 * KiB,
                                              "flexgen-tokens-dev");
 }
 

@@ -20,7 +20,7 @@ LayerStore::LayerStore(runtime::RuntimeApi &rt,
     unsigned offloaded = model_.num_layers - resident_layers_;
 
     for (unsigned l = 0; l < resident_layers_; ++l) {
-        resident_regions_.push_back(platform.device().alloc(
+        resident_regions_.push_back(rt_.gpu().alloc(
             layer_bytes_, model_.name + "/gpu-layer" +
                               std::to_string(l)));
     }
@@ -33,7 +33,7 @@ LayerStore::LayerStore(runtime::RuntimeApi &rt,
         // Double-buffered streaming slots.
         unsigned n_slots = std::min(2u, offloaded);
         for (unsigned s = 0; s < n_slots; ++s) {
-            slot_regions_.push_back(platform.device().alloc(
+            slot_regions_.push_back(rt_.gpu().alloc(
                 layer_bytes_, model_.name + "/slot" +
                                   std::to_string(s)));
         }

@@ -38,7 +38,7 @@ PeftEngine::PeftEngine(runtime::RuntimeApi &rt, const PeftConfig &config)
         grad_host_.push_back(platform.allocHost(
             gbytes, "lora-grads" + std::to_string(l)));
     }
-    grad_dev_ = platform.device().alloc(gbytes, "lora-grads-dev");
+    grad_dev_ = rt_.gpu().alloc(gbytes, "lora-grads-dev");
 }
 
 PeftEngine::~PeftEngine() = default;

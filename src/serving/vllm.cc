@@ -24,7 +24,7 @@ VllmEngine::VllmEngine(runtime::RuntimeApi &rt, const VllmConfig &config)
               " needs ", weight_bytes, " of ", gpu_total, " bytes");
     }
 
-    weights_ = platform.device().alloc(weight_bytes,
+    weights_ = rt_.gpu().alloc(weight_bytes,
                                        model.name + "/weights");
     std::uint64_t kv_budget =
         gpu_total - weight_bytes - config_.gpu_reserved_bytes;
@@ -34,13 +34,13 @@ VllmEngine::VllmEngine(runtime::RuntimeApi &rt, const VllmConfig &config)
     total_blocks_ = kv_budget / block_bytes_;
     PIPELLM_ASSERT(total_blocks_ > 8,
                    "KV pool too small: ", total_blocks_, " blocks");
-    kv_pool_ = platform.device().alloc(total_blocks_ * block_bytes_,
+    kv_pool_ = rt_.gpu().alloc(total_blocks_ * block_bytes_,
                                        "vllm-kv-pool");
     for (std::uint32_t b = 0; b < total_blocks_; ++b)
         free_block_ids_.push_back(std::uint32_t(total_blocks_) - 1 - b);
 
     token_host_ = platform.allocHost(16 * KiB, "vllm-tokens-host");
-    token_dev_ = platform.device().alloc(16 * KiB, "vllm-tokens-dev");
+    token_dev_ = rt_.gpu().alloc(16 * KiB, "vllm-tokens-dev");
 }
 
 VllmEngine::~VllmEngine() = default;

@@ -112,6 +112,25 @@ TEST(SecureChannel, DifferentKeysCannotOpen)
     EXPECT_FALSE(chb.open(blob, 0, out));
 }
 
+TEST(SecureChannel, AdjacentSeedsYieldIndependentSessions)
+{
+    // The multi-device Platform derives each device's session key as
+    // base key_seed + device id; adjacent seeds must still produce
+    // unrelated keys, so one device's traffic never opens on another.
+    ChannelConfig base;
+    ChannelConfig next = base;
+    next.key_seed = base.key_seed + 1;
+    SecureChannel dev0(base), dev1(next);
+    auto pt = pattern(512);
+    for (std::uint64_t iv : {0ull, 1ull, 9ull}) {
+        auto blob = dev0.seal(Direction::HostToDevice, iv, pt.data(),
+                              pt.size());
+        std::vector<std::uint8_t> out;
+        EXPECT_FALSE(dev1.open(blob, iv, out));
+        EXPECT_TRUE(dev0.open(blob, iv, out));
+    }
+}
+
 TEST(SecureChannel, Aes128ModeWorks)
 {
     ChannelConfig cfg;

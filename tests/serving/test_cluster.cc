@@ -1,0 +1,175 @@
+/**
+ * @file
+ * ClusterRouter: deterministic routing policies and the guarantee
+ * that a 1-device cluster is exactly the single-Platform path.
+ */
+
+#include <gtest/gtest.h>
+
+#include "runtime/cc_runtime.hh"
+#include "runtime/plain_runtime.hh"
+#include "serving/cluster.hh"
+#include "tests/serving/serving_fixture.hh"
+#include "trace/generator.hh"
+
+using namespace pipellm;
+using namespace pipellm::serving;
+using namespace serving_test;
+
+namespace {
+
+VllmConfig
+tinyEngine()
+{
+    VllmConfig cfg;
+    cfg.model = tinyModel();
+    cfg.parallel_sampling = 2;
+    cfg.gpu_reserved_bytes = 160 * MiB;
+    return cfg;
+}
+
+RuntimeFactory
+ccFactory()
+{
+    return [](runtime::Platform &p, runtime::DeviceId d) {
+        return std::make_unique<runtime::CcRuntime>(p, 1, d);
+    };
+}
+
+trace::Trace
+tinyTrace(std::size_t n, double rate, std::uint64_t seed = 5)
+{
+    trace::DatasetProfile profile{"test", 48.0, 0.4, 32.0, 0.4};
+    profile.max_len = 96;
+    trace::TraceGenerator gen(profile, seed);
+    return gen.poisson(n, rate);
+}
+
+trace::Request
+req(std::uint32_t prompt, std::uint32_t output)
+{
+    trace::Request r;
+    r.prompt_len = prompt;
+    r.output_len = output;
+    return r;
+}
+
+} // namespace
+
+TEST(ClusterRouter, RoundRobinCyclesInArrivalOrder)
+{
+    runtime::Platform platform(tinyGpu(448 * MiB),
+                               crypto::ChannelConfig{}, 3);
+    ClusterConfig cfg;
+    cfg.engine = tinyEngine();
+    cfg.policy = RoutePolicy::RoundRobin;
+    ClusterRouter router(platform, ccFactory(), cfg);
+    ASSERT_EQ(router.numReplicas(), 3u);
+
+    std::vector<runtime::DeviceId> got;
+    for (int i = 0; i < 7; ++i)
+        got.push_back(router.route(req(10, 10)));
+    EXPECT_EQ(got, (std::vector<runtime::DeviceId>{0, 1, 2, 0, 1, 2,
+                                                   0}));
+}
+
+TEST(ClusterRouter, LeastLoadedPicksSmallestEstimate)
+{
+    runtime::Platform platform(tinyGpu(448 * MiB),
+                               crypto::ChannelConfig{}, 3);
+    ClusterConfig cfg;
+    cfg.engine = tinyEngine(); // parallel_sampling = 2
+    cfg.policy = RoutePolicy::LeastLoaded;
+    ClusterRouter router(platform, ccFactory(), cfg);
+
+    // Empty loads tie: lowest device id wins.
+    EXPECT_EQ(router.route(req(100, 10)), 0u); // load 0: 120
+    EXPECT_EQ(router.route(req(10, 5)), 1u);   // load 1: 20
+    EXPECT_EQ(router.route(req(10, 5)), 2u);   // load 2: 20
+    // 1 and 2 tie at 20; the lower id takes the next request.
+    EXPECT_EQ(router.route(req(200, 10)), 1u); // load 1: 240
+    EXPECT_EQ(router.route(req(10, 5)), 2u);   // load 2: 40
+    EXPECT_EQ(router.route(req(10, 5)), 2u);   // load 2: 60
+    EXPECT_EQ(router.route(req(10, 5)), 2u);   // load 2: 80
+    EXPECT_EQ(router.route(req(10, 5)), 2u);   // load 2: 100
+    EXPECT_EQ(router.route(req(10, 5)), 2u);   // load 2: 120, ties 0
+    EXPECT_EQ(router.route(req(10, 5)), 0u);   // 0 wins the tie
+}
+
+TEST(ClusterRouter, SingleReplicaMatchesDirectPath)
+{
+    auto trace = tinyTrace(16, 2.0);
+
+    // Direct single-Platform path.
+    runtime::Platform direct(tinyGpu(448 * MiB));
+    runtime::CcRuntime direct_rt(direct, 1, 0);
+    VllmEngine direct_engine(direct_rt, tinyEngine());
+    auto want = direct_engine.run(trace);
+
+    // 1-device cluster behind the router.
+    runtime::Platform clustered(tinyGpu(448 * MiB),
+                                crypto::ChannelConfig{}, 1);
+    ClusterConfig cfg;
+    cfg.engine = tinyEngine();
+    ClusterRouter router(clustered, ccFactory(), cfg);
+    auto got = router.run(trace);
+
+    ASSERT_EQ(got.replicas.size(), 1u);
+    const auto &rep = got.replicas[0];
+    EXPECT_EQ(rep.requests, trace.size());
+    EXPECT_EQ(rep.runtime_name, "CC");
+
+    // Bit-identical serving result...
+    EXPECT_EQ(rep.result.normalized_latency, want.normalized_latency);
+    EXPECT_EQ(rep.result.p90_normalized_latency,
+              want.p90_normalized_latency);
+    EXPECT_EQ(rep.result.completed, want.completed);
+    EXPECT_EQ(rep.result.preemptions, want.preemptions);
+    EXPECT_EQ(rep.result.recomputed_tokens, want.recomputed_tokens);
+    EXPECT_EQ(rep.result.swap_out_bytes, want.swap_out_bytes);
+    EXPECT_EQ(rep.result.swap_in_bytes, want.swap_in_bytes);
+    EXPECT_EQ(rep.result.total_time, want.total_time);
+
+    // ...and bit-identical runtime traffic.
+    const auto &ws = direct_rt.stats();
+    EXPECT_EQ(rep.runtime_stats.h2d_calls, ws.h2d_calls);
+    EXPECT_EQ(rep.runtime_stats.h2d_bytes, ws.h2d_bytes);
+    EXPECT_EQ(rep.runtime_stats.d2h_calls, ws.d2h_calls);
+    EXPECT_EQ(rep.runtime_stats.d2h_bytes, ws.d2h_bytes);
+    EXPECT_EQ(rep.runtime_stats.kernels, ws.kernels);
+    EXPECT_EQ(rep.runtime_stats.cpu_encrypt_bytes,
+              ws.cpu_encrypt_bytes);
+    EXPECT_EQ(rep.runtime_stats.cpu_decrypt_bytes,
+              ws.cpu_decrypt_bytes);
+
+    EXPECT_EQ(got.normalized_latency, want.normalized_latency);
+    EXPECT_EQ(got.makespan, want.total_time);
+    EXPECT_EQ(got.completed, want.completed);
+}
+
+TEST(ClusterRouter, TwoReplicasServeTheWholeTrace)
+{
+    auto trace = tinyTrace(12, 2.0);
+    runtime::Platform platform(tinyGpu(448 * MiB),
+                               crypto::ChannelConfig{}, 2);
+    ClusterConfig cfg;
+    cfg.engine = tinyEngine();
+    cfg.policy = RoutePolicy::RoundRobin;
+    ClusterRouter router(platform, ccFactory(), cfg);
+    auto result = router.run(trace);
+
+    ASSERT_EQ(result.replicas.size(), 2u);
+    EXPECT_EQ(result.replicas[0].requests, 6u);
+    EXPECT_EQ(result.replicas[1].requests, 6u);
+    EXPECT_EQ(result.completed, 12u);
+    EXPECT_EQ(result.replicas[0].result.completed +
+                  result.replicas[1].result.completed,
+              12u);
+    EXPECT_GT(result.tokens_per_sec, 0.0);
+    EXPECT_GT(result.normalized_latency, 0.0);
+    EXPECT_EQ(platform.gpu(0).integrityFailures(), 0u);
+    EXPECT_EQ(platform.gpu(1).integrityFailures(), 0u);
+    // Both devices really served CC traffic.
+    EXPECT_GT(platform.gpu(0).rxCounter(), 0u);
+    EXPECT_GT(platform.gpu(1).rxCounter(), 0u);
+}
