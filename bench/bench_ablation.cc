@@ -127,7 +127,7 @@ nopCost()
     runtime::Platform platform(gpu::SystemSpec::h100(), benchChannel());
     runtime::CcRuntime rt(platform);
     auto host = platform.allocHost(4096, "src");
-    auto dev = platform.device().alloc(4096, "dst");
+    auto dev = platform.gpu(0).alloc(4096, "dst");
     Stream &s = rt.createStream("s");
     Tick now = 0;
     const int reps = 1000;

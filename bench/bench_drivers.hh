@@ -51,7 +51,7 @@ runFlexGen(Mode mode, const llm::ModelConfig &model,
         if (ps.swap_requests > 0)
             point.hit_rate = double(ps.hits) / double(ps.swap_requests);
     }
-    PIPELLM_ASSERT(platform.device().integrityFailures() == 0,
+    PIPELLM_ASSERT(platform.gpu(0).integrityFailures() == 0,
                    "integrity failure during bench");
     return point;
 }
@@ -96,7 +96,7 @@ runVllm(Mode mode, const llm::ModelConfig &model,
             point.hit_rate = double(ps.hits) / double(ps.swap_requests);
         point.nops = ps.nops;
     }
-    PIPELLM_ASSERT(platform.device().integrityFailures() == 0,
+    PIPELLM_ASSERT(platform.gpu(0).integrityFailures() == 0,
                    "integrity failure during bench");
     return point;
 }
@@ -127,7 +127,7 @@ runPeft(Mode mode, const llm::ModelConfig &model, unsigned batch,
     PeftPoint point;
     point.tokens_per_sec = result.tokens_per_sec;
     point.offloaded_layers = result.offloaded_layers;
-    PIPELLM_ASSERT(platform.device().integrityFailures() == 0,
+    PIPELLM_ASSERT(platform.gpu(0).integrityFailures() == 0,
                    "integrity failure during bench");
     return point;
 }

@@ -51,7 +51,7 @@ measure(Mode mode, std::uint64_t bytes)
 
     auto host = platform.allocHost(std::max(bytes, std::uint64_t(4096)),
                                    "src");
-    auto dev = platform.device().alloc(
+    auto dev = platform.gpu(0).alloc(
         std::max(bytes, std::uint64_t(4096)), "dst");
     Stream &s = rt->createStream("s");
 

@@ -110,7 +110,7 @@ flexgenComparison()
         std::printf("\n");
         csv.field(name(s)).field(r.tokens_per_sec).field(overhead)
             .endRow();
-        PIPELLM_ASSERT(platform.device().integrityFailures() == 0,
+        PIPELLM_ASSERT(platform.gpu(0).integrityFailures() == 0,
                        "integrity failure");
     }
 }
@@ -149,7 +149,7 @@ vllmComparison()
                         rate, name(s), r.normalized_latency, overhead);
             csv.field(rate).field(name(s)).field(r.normalized_latency)
                 .field(overhead).endRow();
-            PIPELLM_ASSERT(platform.device().integrityFailures() == 0,
+            PIPELLM_ASSERT(platform.gpu(0).integrityFailures() == 0,
                            "integrity failure");
         }
     }

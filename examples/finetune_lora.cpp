@@ -82,7 +82,7 @@ main(int argc, char **argv)
                         "write-hot), integrity failures %llu\n",
                         (unsigned long long)pls.invalidated_by_fault,
                         (unsigned long long)pls.reservations,
-                        (unsigned long long)platform.device()
+                        (unsigned long long)platform.gpu(0)
                             .integrityFailures());
         }
     }

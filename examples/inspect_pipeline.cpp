@@ -62,7 +62,7 @@ main()
         host.push_back(
             platform.allocHost(chunk, "chunk" + std::to_string(i)));
     auto token_buf = platform.allocHost(4 * KiB, "tokens");
-    auto dev = platform.device().alloc(2 * chunk, "slot");
+    auto dev = platform.gpu(0).alloc(2 * chunk, "slot");
     auto &s = rt.createStream("s");
 
     // 1. Teach the cycle (with one small transfer per cycle, so the
@@ -118,7 +118,7 @@ main()
     std::printf("\nGPU integrity failures: %llu (always zero — a "
                 "wrong IV or stale ciphertext would terminate the "
                 "session)\n",
-                (unsigned long long)platform.device()
+                (unsigned long long)platform.gpu(0)
                     .integrityFailures());
 
     // What a bus observer sees (the paper's §8.1 side channel): NOPs

@@ -36,7 +36,7 @@ runWorkload(runtime::RuntimeApi &rt)
     for (int i = 0; i < 6; ++i)
         host_chunks.push_back(
             platform.allocHost(chunk, "layer" + std::to_string(i)));
-    auto slot = platform.device().alloc(2 * chunk, "slots");
+    auto slot = platform.gpu(0).alloc(2 * chunk, "slots");
 
     auto &copy = rt.createStream("copy");
     auto &compute = rt.createStream("compute");
@@ -101,7 +101,7 @@ main()
                         (unsigned long long)ps.hits,
                         (unsigned long long)ps.swap_requests,
                         (unsigned long long)ps.nops,
-                        (unsigned long long)platform.device()
+                        (unsigned long long)platform.gpu(0)
                             .integrityFailures());
         }
     }

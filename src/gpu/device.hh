@@ -157,6 +157,18 @@ class GpuDevice
     /** H2D link for runtimes that schedule DMA chunks directly. */
     sim::BandwidthResource &h2dLinkMut() { return pcie_h2d_; }
     sim::BandwidthResource &d2hLinkMut() { return pcie_d2h_; }
+
+    /**
+     * Chain both PCIe links through a shared host-bridge stage so this
+     * device's traffic contends with its siblings' for the aggregate
+     * host bandwidth. Pass nullptr to detach. The bridge is not owned
+     * (the Platform holds it) and must outlive the device.
+     */
+    void attachHostBridge(sim::BandwidthResource *bridge)
+    {
+        pcie_h2d_.setDownstream(bridge);
+        pcie_d2h_.setDownstream(bridge);
+    }
     /** Copy-engine crypto stage for staged-path pipelining. */
     sim::BandwidthResource &copyEngineCryptoMut() {
         return copy_engine_crypto_;

@@ -1,0 +1,41 @@
+#include "pipellm/async_decryptor.hh"
+
+#include <utility>
+
+namespace pipellm {
+namespace core {
+
+AsyncDecryptor::AsyncDecryptor(mem::SparseMemory &host,
+                               crypto::CryptoLanes lanes)
+    : host_(host), lanes_(std::move(lanes))
+{
+}
+
+Tick
+AsyncDecryptor::decryptAsync(Addr dst, std::uint64_t len, Tick landed)
+{
+    Tick plain_ready = lanes_.submitNotBefore(landed, len);
+    ++async_decrypts_;
+
+    auto *faults = &faults_;
+    auto *prot = &host_.protection();
+    prot->protect(dst, len, mem::Protection::NoAccess,
+                  [faults, prot, dst, len, plain_ready](Addr,
+                                                        bool) -> Tick {
+                      // Usage before decryption: decrypt synchronously
+                      // and let the access proceed.
+                      ++*faults;
+                      prot->unprotect(dst, len);
+                      return plain_ready;
+                  });
+    return plain_ready;
+}
+
+Tick
+AsyncDecryptor::decryptSync(Tick landed, std::uint64_t len)
+{
+    return lanes_.submitNotBefore(landed, len);
+}
+
+} // namespace core
+} // namespace pipellm

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Asynchronous D2H decryption (paper §5.4).
+ *
+ * Stock CC decrypts a D2H transfer on the critical path. PipeLLM
+ * returns as soon as the ciphertext lands: the plaintext destination
+ * becomes an access-revoked placeholder, a decrypt lane produces the
+ * plaintext in the background, and a premature touch faults into a
+ * synchronous wait for the lane. The AsyncDecryptor owns the decrypt
+ * lanes (acquired from the platform's CryptoEngine, so background
+ * decryption contends with every other crypto client when the host
+ * pool is shared) and the placeholder protection protocol.
+ */
+
+#ifndef PIPELLM_PIPELLM_ASYNC_DECRYPTOR_HH
+#define PIPELLM_PIPELLM_ASYNC_DECRYPTOR_HH
+
+#include <cstdint>
+
+#include "crypto/engine.hh"
+#include "mem/sparse_memory.hh"
+
+namespace pipellm {
+namespace core {
+
+/** Off-critical-path D2H decryption with placeholder protection. */
+class AsyncDecryptor
+{
+  public:
+    /**
+     * @param host the CVM arena holding the placeholder destinations
+     * @param lanes decrypt lanes, typically acquired from the
+     *        platform's CryptoEngine
+     */
+    AsyncDecryptor(mem::SparseMemory &host, crypto::CryptoLanes lanes);
+
+    /**
+     * Background-decrypt @p len bytes whose ciphertext lands at
+     * @p landed; revokes access to [dst, dst+len) until the lane
+     * finishes. A touch before then faults into a synchronous wait.
+     * The caller must have written the (functionally already
+     * decrypted) plaintext to @p dst before calling.
+     * @return tick at which the plaintext is ready
+     */
+    Tick decryptAsync(Addr dst, std::uint64_t len, Tick landed);
+
+    /** Critical-path decrypt (small transfers, ablations). */
+    Tick decryptSync(Tick landed, std::uint64_t len);
+
+    /** Transfers decrypted off the critical path. */
+    std::uint64_t asyncDecrypts() const { return async_decrypts_; }
+
+    /** Usage-before-decryption faults resolved synchronously. */
+    std::uint64_t faults() const { return faults_; }
+
+    crypto::CryptoLanes &lanes() { return lanes_; }
+
+  private:
+    mem::SparseMemory &host_;
+    crypto::CryptoLanes lanes_;
+    std::uint64_t async_decrypts_ = 0;
+    std::uint64_t faults_ = 0;
+};
+
+} // namespace core
+} // namespace pipellm
+
+#endif // PIPELLM_PIPELLM_ASYNC_DECRYPTOR_HH

@@ -12,7 +12,7 @@ namespace core {
 
 SpeculativePipeline::SpeculativePipeline(
     mem::SparseMemory &host, const crypto::SecureChannel &channel,
-    sim::LaneGroup &enc_lanes, Predictor &predictor,
+    crypto::CryptoLanes &enc_lanes, Predictor &predictor,
     const PipeLlmConfig &config)
     : host_(host), channel_(channel), enc_lanes_(enc_lanes),
       predictor_(predictor), config_(config)

@@ -26,12 +26,12 @@
 #include <unordered_map>
 
 #include "crypto/channel.hh"
+#include "crypto/engine.hh"
 #include "crypto/iv.hh"
 #include "mem/sparse_memory.hh"
 #include "pipellm/chunk.hh"
 #include "pipellm/config.hh"
 #include "pipellm/predictor.hh"
-#include "sim/resource.hh"
 
 namespace pipellm {
 namespace core {
@@ -82,7 +82,8 @@ class SpeculativePipeline
      */
     SpeculativePipeline(mem::SparseMemory &host,
                         const crypto::SecureChannel &channel,
-                        sim::LaneGroup &enc_lanes, Predictor &predictor,
+                        crypto::CryptoLanes &enc_lanes,
+                        Predictor &predictor,
                         const PipeLlmConfig &config);
 
     ~SpeculativePipeline();
@@ -193,7 +194,7 @@ class SpeculativePipeline
 
     mem::SparseMemory &host_;
     const crypto::SecureChannel &channel_;
-    sim::LaneGroup &enc_lanes_;
+    crypto::CryptoLanes &enc_lanes_;
     Predictor &predictor_;
     PipeLlmConfig config_;
 

@@ -16,10 +16,11 @@ PipeLlmRuntime::PipeLlmRuntime(runtime::Platform &platform,
                                runtime::DeviceId device)
     : RuntimeApi(platform, device), config_(config),
       classifier_(config.classifier), predictor_(config.predictor),
-      enc_lanes_(platform.eq(), "pipellm-enc", config.enc_lanes,
-                 platform.spec().cpu_crypto_bw_per_lane),
-      dec_lanes_(platform.eq(), "pipellm-dec", config.dec_lanes,
-                 platform.spec().cpu_crypto_bw_per_lane),
+      enc_lanes_(platform.cryptoEngine().acquire("pipellm-enc",
+                                                 config.enc_lanes)),
+      decryptor_(platform.hostMem(),
+                 platform.cryptoEngine().acquire("pipellm-dec",
+                                                 config.dec_lanes)),
       pipeline_(platform.hostMem(), platform.device(device).channel(),
                 enc_lanes_, predictor_, config),
       nop_scratch_(platform.device(device).gpu().alloc(
@@ -265,24 +266,9 @@ PipeLlmRuntime::copyD2h(Addr dst, Addr src, std::uint64_t len,
         // §5.4: the copy returns before decryption. The plaintext
         // becomes available when the decrypt lane gets to it; until
         // then the destination is an access-revoked placeholder.
-        Tick plain_ready = dec_lanes_.submitNotBefore(landed, len);
-        stats_.cpu_decrypt_bytes += len;
-        ++pipe_stats_.async_decrypts;
-
         host.write(dst, sample.data(), sample.size());
-        auto *stats = &pipe_stats_;
-        auto *prot = &host.protection();
-        Addr base = dst;
-        std::uint64_t n = len;
-        prot->protect(dst, len, mem::Protection::NoAccess,
-                      [stats, prot, base, n, plain_ready](Addr,
-                                                          bool) -> Tick {
-                          // Usage before decryption: decrypt
-                          // synchronously and let the access proceed.
-                          ++stats->decrypt_faults;
-                          prot->unprotect(base, n);
-                          return plain_ready;
-                      });
+        decryptor_.decryptAsync(dst, len, landed);
+        stats_.cpu_decrypt_bytes += len;
 
         stream.push(landed);
         trace(now, landed, len, false,
@@ -291,7 +277,7 @@ PipeLlmRuntime::copyD2h(Addr dst, Addr src, std::uint64_t len,
     }
 
     // Small transfers (and the ablation) decrypt on the critical path.
-    Tick dec_done = dec_lanes_.submitNotBefore(landed, len);
+    Tick dec_done = decryptor_.decryptSync(landed, len);
     stats_.cpu_decrypt_bytes += len;
     host.write(dst, sample.data(), sample.size());
     stream.push(dec_done);

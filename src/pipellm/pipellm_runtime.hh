@@ -18,14 +18,15 @@
 #include <cstdint>
 #include <vector>
 
+#include "crypto/engine.hh"
 #include "crypto/iv.hh"
+#include "pipellm/async_decryptor.hh"
 #include "pipellm/classifier.hh"
 #include "pipellm/config.hh"
 #include "pipellm/pipeline.hh"
 #include "pipellm/predictor.hh"
 #include "runtime/api.hh"
 #include "runtime/staged_path.hh"
-#include "sim/resource.hh"
 
 namespace pipellm {
 namespace core {
@@ -79,7 +80,15 @@ class PipeLlmRuntime : public runtime::RuntimeApi
     /** Flushes deferred sends (NOP padding) then waits for streams. */
     Tick synchronize(Tick now) override;
 
-    const PipeLlmStats &pipeStats() const { return pipe_stats_; }
+    const PipeLlmStats &pipeStats() const
+    {
+        // The async-decrypt counters live in the extracted decryptor
+        // (its fault hook fires long after the copy call); mirror them
+        // here so callers keep one stats struct.
+        pipe_stats_.async_decrypts = decryptor_.asyncDecrypts();
+        pipe_stats_.decrypt_faults = decryptor_.faults();
+        return pipe_stats_;
+    }
     const PipelineStats &pipelineStats() const {
         return pipeline_.stats();
     }
@@ -134,14 +143,14 @@ class PipeLlmRuntime : public runtime::RuntimeApi
     PipeLlmConfig config_;
     SwapClassifier classifier_;
     Predictor predictor_;
-    sim::LaneGroup enc_lanes_;
-    sim::LaneGroup dec_lanes_;
+    crypto::CryptoLanes enc_lanes_;
+    AsyncDecryptor decryptor_;
     SpeculativePipeline pipeline_;
     crypto::IvCounter h2d_iv_{crypto::Direction::HostToDevice};
     crypto::IvCounter d2h_iv_{crypto::Direction::DeviceToHost};
     std::vector<PendingSend> pending_;
     mem::Region nop_scratch_;
-    PipeLlmStats pipe_stats_;
+    mutable PipeLlmStats pipe_stats_;
 };
 
 } // namespace core

@@ -13,22 +13,20 @@ CcRuntime::CcRuntime(Platform &platform, unsigned threads,
     : RuntimeApi(platform, device),
       name_(threads == 1 ? "CC" : "CC-" + std::to_string(threads) + "t"),
       threads_(threads),
-      enc_lanes_(platform.eq(), "cc-enc", threads,
-                 platform.spec().cpu_crypto_bw_per_lane),
-      dec_lanes_(platform.eq(), "cc-dec", threads,
-                 platform.spec().cpu_crypto_bw_per_lane)
+      enc_lanes_(platform.cryptoEngine().acquire("cc-enc", threads)),
+      dec_lanes_(platform.cryptoEngine().acquire("cc-dec", threads))
 {
     gpu().enableCc(&channel());
 }
 
 Tick
-CcRuntime::chargeCpuCrypto(sim::LaneGroup &lanes, Tick start,
+CcRuntime::chargeCpuCrypto(crypto::CryptoLanes &lanes, Tick start,
                            std::uint64_t len)
 {
     // Trivial multi-threading: slice the buffer evenly across the
     // available threads; the transfer is done when the slowest slice
     // is done. With one thread this is plain serial encryption.
-    unsigned k = lanes.lanes();
+    unsigned k = lanes.width();
     std::uint64_t slice = len / k;
     std::uint64_t rem = len % k;
     Tick done = start;

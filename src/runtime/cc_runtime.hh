@@ -17,9 +17,9 @@
 #ifndef PIPELLM_RUNTIME_CC_RUNTIME_HH
 #define PIPELLM_RUNTIME_CC_RUNTIME_HH
 
+#include "crypto/engine.hh"
 #include "crypto/iv.hh"
 #include "runtime/api.hh"
-#include "sim/resource.hh"
 
 namespace pipellm {
 namespace runtime {
@@ -53,7 +53,7 @@ class CcRuntime : public RuntimeApi
      * Charge @p len bytes of CPU crypto split across the lanes.
      * @return completion tick of the slowest slice
      */
-    Tick chargeCpuCrypto(sim::LaneGroup &lanes, Tick start,
+    Tick chargeCpuCrypto(crypto::CryptoLanes &lanes, Tick start,
                          std::uint64_t len);
 
     ApiResult copyH2d(Addr dst, Addr src, std::uint64_t len,
@@ -63,8 +63,8 @@ class CcRuntime : public RuntimeApi
 
     std::string name_;
     unsigned threads_;
-    sim::LaneGroup enc_lanes_;
-    sim::LaneGroup dec_lanes_;
+    crypto::CryptoLanes enc_lanes_;
+    crypto::CryptoLanes dec_lanes_;
     crypto::IvCounter h2d_iv_{crypto::Direction::HostToDevice};
     crypto::IvCounter d2h_iv_{crypto::Direction::DeviceToHost};
 };

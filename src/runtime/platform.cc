@@ -47,14 +47,23 @@ DeviceContext::DeviceContext(sim::EventQueue &eq,
 
 Platform::Platform(const gpu::SystemSpec &spec,
                    const crypto::ChannelConfig &channel_cfg,
-                   unsigned num_devices)
-    : spec_(spec), host_mem_("cvm-dram", spec.host_mem_bytes)
+                   unsigned num_devices, const HostResources &host)
+    : spec_(spec), host_res_(host),
+      crypto_engine_(eq_, spec.cpu_crypto_bw_per_lane,
+                     host.shared_crypto_lanes),
+      host_mem_("cvm-dram", spec.host_mem_bytes)
 {
     PIPELLM_ASSERT(num_devices > 0, "a platform needs >= 1 device");
+    if (host_res_.bridge_bw > 0) {
+        host_bridge_ = std::make_unique<sim::BandwidthResource>(
+            eq_, "host-bridge", host_res_.bridge_bw,
+            host_res_.bridge_latency);
+    }
     devices_.reserve(num_devices);
     for (unsigned i = 0; i < num_devices; ++i) {
         devices_.push_back(std::make_unique<DeviceContext>(
             eq_, spec_, channel_cfg, DeviceId(i)));
+        devices_.back()->gpu().attachHostBridge(host_bridge_.get());
     }
 }
 

@@ -10,6 +10,13 @@
  * systems where each GPU negotiates its own SPDM session key), and
  * the staged ciphertext copy paths feeding its links. Runtimes bind
  * to one device id; the legacy single-device accessors alias id 0.
+ *
+ * Host-side capacity is modeled by HostResources: optionally all
+ * per-device PCIe links drain through one shared host bridge, and
+ * the CPU crypto lanes every runtime draws from (CryptoEngine) can
+ * be one machine-wide pool instead of dedicated per-client groups.
+ * The defaults keep both private, preserving the historical
+ * independent-replica timing bit for bit.
  */
 
 #ifndef PIPELLM_RUNTIME_PLATFORM_HH
@@ -20,17 +27,43 @@
 #include <vector>
 
 #include "crypto/channel.hh"
+#include "crypto/engine.hh"
 #include "gpu/device.hh"
 #include "gpu/spec.hh"
 #include "mem/sparse_memory.hh"
 #include "runtime/staged_path.hh"
 #include "sim/event_queue.hh"
+#include "sim/resource.hh"
 
 namespace pipellm {
 namespace runtime {
 
 /** Index of a device within the platform's cluster. */
 using DeviceId = std::uint32_t;
+
+/**
+ * Host-side resources shared by every device on the machine. The
+ * defaults select the legacy private-resource model: no bridge cap
+ * (each PCIe link is independent) and a dedicated crypto pool per
+ * runtime. Setting either knob turns the host into a contended stage,
+ * which is where multi-GPU CC serving actually serializes.
+ */
+struct HostResources
+{
+    /**
+     * Aggregate host-bridge bandwidth all per-device PCIe links drain
+     * through (bytes/s). 0 = uncapped (no shared bridge).
+     */
+    double bridge_bw = 0;
+    /** Per-request latency of the bridge stage. */
+    Tick bridge_latency = 0;
+    /**
+     * Size of the machine-wide CPU crypto lane pool shared by every
+     * runtime. 0 = dedicated mode (each runtime owns private lanes,
+     * the pre-refactor behavior).
+     */
+    unsigned shared_crypto_lanes = 0;
+};
 
 /**
  * One GPU and everything private to it: its CC session, its PCIe
@@ -67,11 +100,14 @@ class Platform
      * @param num_devices GPUs attached to the CVM; each gets its own
      *        PCIe links and CC session (device 0 reproduces the
      *        original single-device machine exactly)
+     * @param host shared host-side resources; the defaults keep every
+     *        device's resources private
      */
     explicit Platform(const gpu::SystemSpec &spec = gpu::SystemSpec::h100(),
                       const crypto::ChannelConfig &channel_cfg =
                           crypto::ChannelConfig{},
-                      unsigned num_devices = 1);
+                      unsigned num_devices = 1,
+                      const HostResources &host = HostResources{});
 
     sim::EventQueue &eq() { return eq_; }
     const gpu::SystemSpec &spec() const { return spec_; }
@@ -87,10 +123,29 @@ class Platform
     gpu::GpuDevice &gpu(DeviceId id) { return device(id).gpu(); }
 
     /** Deprecated single-device alias: device 0's GPU. */
-    gpu::GpuDevice &device() { return device(0).gpu(); }
+    [[deprecated("use device(0).gpu() / gpu(0)")]] gpu::GpuDevice &
+    device()
+    {
+        return device(0).gpu();
+    }
 
     /** Deprecated single-device alias: device 0's CC session. */
-    crypto::SecureChannel &channel() { return device(0).channel(); }
+    [[deprecated("use device(0).channel()")]] crypto::SecureChannel &
+    channel()
+    {
+        return device(0).channel();
+    }
+
+    /** The machine-wide CPU crypto lane supply. */
+    crypto::CryptoEngine &cryptoEngine() { return crypto_engine_; }
+
+    /** The host-resource knobs this platform was built with. */
+    const HostResources &hostResources() const { return host_res_; }
+
+    /** Shared host bridge; null when bridge_bw is unset. */
+    const sim::BandwidthResource *hostBridge() const {
+        return host_bridge_.get();
+    }
 
     /** Allocate CVM-private host memory (shared by all devices). */
     mem::Region allocHost(std::uint64_t len, std::string name);
@@ -99,6 +154,9 @@ class Platform
   private:
     sim::EventQueue eq_;
     gpu::SystemSpec spec_;
+    HostResources host_res_;
+    crypto::CryptoEngine crypto_engine_;
+    std::unique_ptr<sim::BandwidthResource> host_bridge_;
     std::vector<std::unique_ptr<DeviceContext>> devices_;
     mem::SparseMemory host_mem_;
 };

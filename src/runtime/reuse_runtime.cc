@@ -11,8 +11,7 @@ namespace runtime {
 CiphertextReuseRuntime::CiphertextReuseRuntime(Platform &platform,
                                                DeviceId device)
     : RuntimeApi(platform, device),
-      seal_lane_(platform.eq(), "reuse-seal",
-                 platform.spec().cpu_crypto_bw_per_lane)
+      seal_lane_(platform.cryptoEngine().acquire("reuse-seal", 1))
 {
     gpu().enableCc(&channel());
 }

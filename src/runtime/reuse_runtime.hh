@@ -32,9 +32,9 @@
 #include <cstdint>
 #include <unordered_map>
 
+#include "crypto/engine.hh"
 #include "crypto/iv.hh"
 #include "runtime/api.hh"
-#include "sim/resource.hh"
 
 namespace pipellm {
 namespace runtime {
@@ -102,7 +102,7 @@ class CiphertextReuseRuntime : public RuntimeApi
     ApiResult copyD2h(Addr dst, Addr src, std::uint64_t len,
                       Stream &stream, Tick now);
 
-    sim::BandwidthResource seal_lane_;
+    crypto::CryptoLanes seal_lane_;
     crypto::IvCounter h2d_iv_{crypto::Direction::HostToDevice};
     crypto::IvCounter d2h_iv_{crypto::Direction::DeviceToHost};
     /** Content-generation counter for retained D2H seals. */

@@ -79,31 +79,70 @@ ClusterResult
 ClusterRouter::run(const trace::Trace &requests)
 {
     unsigned n = numReplicas();
-    std::vector<trace::Trace> slices(n);
-    for (const auto &req : requests)
-        slices[route(req)].push_back(req);
+
+    // Fresh routing state per run: stale totals from a previous trace
+    // (or from completed requests) must not skew least-loaded.
+    next_ = 0;
+    std::fill(load_.begin(), load_.end(), 0);
 
     ClusterResult agg;
     agg.replicas.resize(n);
+    std::vector<std::unique_ptr<VllmEngine>> engines;
+    engines.reserve(n);
+    for (unsigned d = 0; d < n; ++d) {
+        agg.replicas[d].device = runtime::DeviceId(d);
+        agg.replicas[d].runtime_name = runtimes_[d]->name();
+        engines.push_back(std::make_unique<VllmEngine>(
+            *runtimes_[d], config_.engine));
+        engines[d]->beginRun();
+    }
+
+    // Event-interleaved co-simulation: all replicas advance together
+    // on a conservative min-clock frontier. A request is routed when
+    // the frontier reaches its arrival, so the least-loaded decision
+    // reads each replica's *live* outstanding load at that moment; a
+    // replica only steps while no earlier arrival is pending, so
+    // shared host resources (crypto pool, bridge) see the replicas'
+    // traffic interleaved rather than replica-by-replica.
+    std::size_t next_arrival = 0;
+    auto deliver = [&](const trace::Request &req) {
+        runtime::DeviceId d = route(req);
+        auto &rep = agg.replicas[d];
+        ++rep.requests;
+        rep.routed_tokens += std::uint64_t(req.output_len) *
+                             config_.engine.parallel_sampling;
+        engines[d]->advanceTo(req.arrival);
+        engines[d]->submit(req);
+    };
+    while (true) {
+        int busiest = -1;
+        for (unsigned d = 0; d < n; ++d) {
+            if (engines[d]->hasWork() &&
+                (busiest < 0 ||
+                 engines[d]->clock() < engines[busiest]->clock()))
+                busiest = int(d);
+        }
+        if (busiest < 0) {
+            if (next_arrival >= requests.size())
+                break;
+            deliver(requests[next_arrival++]);
+            continue;
+        }
+        if (next_arrival < requests.size() &&
+            requests[next_arrival].arrival <=
+                engines[busiest]->clock()) {
+            deliver(requests[next_arrival++]);
+            continue;
+        }
+        engines[busiest]->stepOnce();
+        load_[busiest] = engines[busiest]->outstandingCost();
+    }
+
     double latency_weight = 0;
     std::uint64_t routed_tokens_total = 0;
     for (unsigned d = 0; d < n; ++d) {
         auto &rep = agg.replicas[d];
-        rep.device = runtime::DeviceId(d);
-        rep.requests = slices[d].size();
-        rep.runtime_name = runtimes_[d]->name();
-        for (const auto &req : slices[d])
-            rep.routed_tokens +=
-                std::uint64_t(req.output_len) *
-                config_.engine.parallel_sampling;
-
-        if (!slices[d].empty()) {
-            // Replicas are timestamp-style engines over disjoint
-            // per-device resources, so running them back to back
-            // simulates them side by side.
-            VllmEngine engine(*runtimes_[d], config_.engine);
-            rep.result = engine.run(slices[d]);
-        }
+        rep.result = engines[d]->finish();
         rep.runtime_stats = runtimes_[d]->stats();
 
         agg.completed += rep.result.completed;

@@ -8,14 +8,23 @@
  * one VllmEngine) per cluster device and load-balances a Poisson
  * arrival trace across them. Each replica's crypto state — IV
  * counters, CC session, staged copy paths — belongs to its own
- * DeviceContext, so replicas never contend for crypto or PCIe
- * resources and speculation on one GPU can never consume another
- * GPU's IVs.
+ * DeviceContext, so speculation on one GPU can never consume another
+ * GPU's IVs; crypto and transfer *capacity* may be private or shared
+ * machine-wide depending on the Platform's HostResources.
+ *
+ * The run loop is event-interleaved co-simulation: replicas step
+ * concurrently on the shared clock behind a conservative min-clock
+ * frontier, requests are delivered when the frontier reaches their
+ * arrival, and routing decisions read live replica load at that
+ * moment. Replicas on a contended host therefore hit the shared
+ * crypto pool and host bridge in global time order; with private
+ * resources the interleaving is order-independent and bit-identical
+ * to simulating each replica back to back.
  *
  * Routing is deterministic: round-robin by arrival order, or
- * least-loaded by an outstanding-token estimate with lowest-device-id
- * tie-breaking. With one device, either policy degenerates to the
- * single-Platform path bit-for-bit.
+ * least-loaded by each replica's live outstanding-token count with
+ * lowest-device-id tie-breaking. With one device, either policy
+ * degenerates to the single-Platform path bit-for-bit.
  */
 
 #ifndef PIPELLM_SERVING_CLUSTER_HH

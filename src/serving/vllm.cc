@@ -43,7 +43,20 @@ VllmEngine::VllmEngine(runtime::RuntimeApi &rt, const VllmConfig &config)
     token_dev_ = rt_.gpu().alloc(16 * KiB, "vllm-tokens-dev");
 }
 
-VllmEngine::~VllmEngine() = default;
+VllmEngine::~VllmEngine()
+{
+    // Return the pools so a later engine can serve the same device
+    // (repeated cluster runs construct a fresh engine per run).
+    auto &platform = rt_.platform();
+    for (auto &g : groups_) {
+        if (g.host_swap.len > 0)
+            platform.freeHost(g.host_swap);
+    }
+    rt_.gpu().free(token_dev_);
+    platform.freeHost(token_host_);
+    rt_.gpu().free(kv_pool_);
+    rt_.gpu().free(weights_);
+}
 
 std::uint64_t
 VllmEngine::blocksFor(const Group &g, std::uint32_t generated) const
@@ -216,136 +229,172 @@ VllmEngine::computeStep(Tick now, const std::vector<std::size_t> &prefill,
     return rt_.synchronize(now);
 }
 
-VllmResult
-VllmEngine::run(const trace::Trace &requests)
+void
+VllmEngine::beginRun()
 {
     groups_.clear();
-    groups_.reserve(requests.size());
-    for (const auto &r : requests) {
-        Group g;
-        g.id = r.id;
-        g.arrival = r.arrival;
-        g.prompt_len = r.prompt_len;
-        g.output_len = std::max<std::uint32_t>(r.output_len, 1);
-        groups_.push_back(g);
-    }
+    waiting_.clear();
+    running_.clear();
+    swapped_.clear();
+    completed_ = 0;
+    now_ = 0;
+    result_ = VllmResult{};
+    norm_latency_.reset();
+}
 
-    std::vector<std::size_t> waiting;  // FIFO of group indices
-    std::vector<std::size_t> running;
-    std::vector<std::size_t> swapped;  // LIFO stack
-    std::size_t next_arrival = 0;
-    std::uint64_t completed = 0;
-    Tick now = 0;
+void
+VllmEngine::submit(const trace::Request &req)
+{
+    Group g;
+    g.id = req.id;
+    g.arrival = req.arrival;
+    g.prompt_len = req.prompt_len;
+    g.output_len = std::max<std::uint32_t>(req.output_len, 1);
+    groups_.push_back(g);
+    waiting_.push_back(groups_.size() - 1);
+}
 
-    while (completed < groups_.size()) {
-        // Pull in arrivals.
-        while (next_arrival < groups_.size() &&
-               groups_[next_arrival].arrival <= now) {
-            waiting.push_back(next_arrival);
-            ++next_arrival;
-        }
-        if (running.empty() && swapped.empty() && waiting.empty()) {
-            PIPELLM_ASSERT(next_arrival < groups_.size(),
-                           "scheduler idle with work remaining");
-            now = groups_[next_arrival].arrival;
+std::uint64_t
+VllmEngine::outstandingCost() const
+{
+    std::uint64_t sum = 0;
+    for (const auto &g : groups_) {
+        if (g.generated >= g.output_len)
             continue;
-        }
+        sum += g.prompt_len +
+               std::uint64_t(config_.parallel_sampling) *
+                   (g.output_len - g.generated);
+    }
+    return sum;
+}
 
-        // Resume preempted groups first, most recent first (LIFO).
-        while (!swapped.empty()) {
-            Group &g = groups_[swapped.back()];
-            if (!swapIn(g, now))
-                break;
-            running.push_back(swapped.back());
-            swapped.pop_back();
-        }
+void
+VllmEngine::stepOnce()
+{
+    PIPELLM_ASSERT(hasWork(), "stepOnce on an idle engine");
+    Tick now = now_;
 
-        // Admit new requests while memory allows.
-        std::vector<std::size_t> prefill;
-        while (!waiting.empty() &&
-               running.size() < config_.max_running_groups &&
-               swapped.empty()) {
-            Group &g = groups_[waiting.front()];
-            if (!admit(g, now))
-                break;
-            prefill.push_back(waiting.front());
-            running.push_back(waiting.front());
-            waiting.erase(waiting.begin());
-        }
-
-        if (running.empty()) {
-            // Neither a resume nor an admission fit: some group alone
-            // exceeds the pool, which even real vLLM cannot serve.
-            FATAL("vLLM cannot make progress: a single group needs "
-                  "more KV blocks than the pool holds (",
-                  total_blocks_, " blocks); shorten the trace or use "
-                  "a smaller parallel_sampling");
-        }
-
-        // Ensure every running group can append one token; preempt
-        // the lowest-priority (latest arrival) groups until it fits.
-        auto growth = [&]() {
-            std::uint64_t need = 0;
-            for (auto gi : running) {
-                Group &g = groups_[gi];
-                need += blocksFor(g, g.generated + 1) -
-                        g.block_ids.size();
-            }
-            return need;
-        };
-        while (growth() > free_block_ids_.size()) {
-            PIPELLM_ASSERT(running.size() > 1,
-                           "KV pool cannot hold a single group; "
-                           "shorten the trace or grow the pool");
-            // Latest arrival = lowest priority.
-            auto victim = std::max_element(
-                running.begin(), running.end(),
-                [&](std::size_t a, std::size_t b) {
-                    return groups_[a].arrival < groups_[b].arrival;
-                });
-            std::size_t gi = *victim;
-            running.erase(victim);
-            swapOut(groups_[gi], now);
-            swapped.push_back(gi);
-        }
-
-        // Allocate the growth blocks.
-        std::uint64_t decode_seqs = 0;
-        std::uint64_t ctx_sum = 0;
-        for (auto gi : running) {
-            Group &g = groups_[gi];
-            std::uint64_t want = blocksFor(g, g.generated + 1);
-            while (g.block_ids.size() < want) {
-                g.block_ids.push_back(free_block_ids_.back());
-                free_block_ids_.pop_back();
-            }
-            decode_seqs += config_.parallel_sampling;
-            ctx_sum += contextOf(g) * config_.parallel_sampling;
-        }
-
-        now = computeStep(now, prefill, decode_seqs, ctx_sum);
-
-        // One token generated per sequence; retire finished groups.
-        for (auto it = running.begin(); it != running.end();) {
-            Group &g = groups_[*it];
-            ++g.generated;
-            if (g.generated >= g.output_len) {
-                freeBlocks(g);
-                norm_latency_.add(toSeconds(now - g.arrival) /
-                                  double(g.generated));
-                ++completed;
-                it = running.erase(it);
-            } else {
-                ++it;
-            }
-        }
+    // Resume preempted groups first, most recent first (LIFO).
+    while (!swapped_.empty()) {
+        Group &g = groups_[swapped_.back()];
+        if (!swapIn(g, now))
+            break;
+        running_.push_back(swapped_.back());
+        swapped_.pop_back();
     }
 
-    result_.completed = completed;
-    result_.total_time = now;
+    // Admit new requests while memory allows.
+    std::vector<std::size_t> prefill;
+    while (!waiting_.empty() &&
+           running_.size() < config_.max_running_groups &&
+           swapped_.empty()) {
+        Group &g = groups_[waiting_.front()];
+        if (!admit(g, now))
+            break;
+        prefill.push_back(waiting_.front());
+        running_.push_back(waiting_.front());
+        waiting_.erase(waiting_.begin());
+    }
+
+    if (running_.empty()) {
+        // Neither a resume nor an admission fit: some group alone
+        // exceeds the pool, which even real vLLM cannot serve.
+        FATAL("vLLM cannot make progress: a single group needs "
+              "more KV blocks than the pool holds (",
+              total_blocks_, " blocks); shorten the trace or use "
+              "a smaller parallel_sampling");
+    }
+
+    // Ensure every running group can append one token; preempt
+    // the lowest-priority (latest arrival) groups until it fits.
+    auto growth = [&]() {
+        std::uint64_t need = 0;
+        for (auto gi : running_) {
+            Group &g = groups_[gi];
+            need += blocksFor(g, g.generated + 1) - g.block_ids.size();
+        }
+        return need;
+    };
+    while (growth() > free_block_ids_.size()) {
+        PIPELLM_ASSERT(running_.size() > 1,
+                       "KV pool cannot hold a single group; "
+                       "shorten the trace or grow the pool");
+        // Latest arrival = lowest priority.
+        auto victim = std::max_element(
+            running_.begin(), running_.end(),
+            [&](std::size_t a, std::size_t b) {
+                return groups_[a].arrival < groups_[b].arrival;
+            });
+        std::size_t gi = *victim;
+        running_.erase(victim);
+        swapOut(groups_[gi], now);
+        swapped_.push_back(gi);
+    }
+
+    // Allocate the growth blocks.
+    std::uint64_t decode_seqs = 0;
+    std::uint64_t ctx_sum = 0;
+    for (auto gi : running_) {
+        Group &g = groups_[gi];
+        std::uint64_t want = blocksFor(g, g.generated + 1);
+        while (g.block_ids.size() < want) {
+            g.block_ids.push_back(free_block_ids_.back());
+            free_block_ids_.pop_back();
+        }
+        decode_seqs += config_.parallel_sampling;
+        ctx_sum += contextOf(g) * config_.parallel_sampling;
+    }
+
+    now = computeStep(now, prefill, decode_seqs, ctx_sum);
+
+    // One token generated per sequence; retire finished groups.
+    for (auto it = running_.begin(); it != running_.end();) {
+        Group &g = groups_[*it];
+        ++g.generated;
+        if (g.generated >= g.output_len) {
+            freeBlocks(g);
+            norm_latency_.add(toSeconds(now - g.arrival) /
+                              double(g.generated));
+            ++completed_;
+            it = running_.erase(it);
+        } else {
+            ++it;
+        }
+    }
+    now_ = now;
+}
+
+VllmResult
+VllmEngine::finish()
+{
+    result_.completed = completed_;
+    result_.total_time = now_;
     result_.normalized_latency = norm_latency_.mean();
     result_.p90_normalized_latency = norm_latency_.percentile(90);
     return result_;
+}
+
+VllmResult
+VllmEngine::run(const trace::Trace &requests)
+{
+    beginRun();
+    std::size_t next_arrival = 0;
+    while (completed_ < requests.size()) {
+        // Pull in arrivals.
+        while (next_arrival < requests.size() &&
+               requests[next_arrival].arrival <= now_) {
+            submit(requests[next_arrival]);
+            ++next_arrival;
+        }
+        if (!hasWork()) {
+            PIPELLM_ASSERT(next_arrival < requests.size(),
+                           "scheduler idle with work remaining");
+            now_ = requests[next_arrival].arrival;
+            continue;
+        }
+        stepOnce();
+    }
+    return finish();
 }
 
 } // namespace serving

@@ -15,6 +15,7 @@
 #ifndef PIPELLM_SERVING_VLLM_HH
 #define PIPELLM_SERVING_VLLM_HH
 
+#include <algorithm>
 #include <cstdint>
 #include <deque>
 #include <vector>
@@ -80,6 +81,51 @@ class VllmEngine
     /** Serve @p requests (arrival-stamped); returns the metrics. */
     VllmResult run(const trace::Trace &requests);
 
+    // --- stepwise interface (cluster co-simulation) ---
+    // run() is exactly: beginRun(); submit arrivals as the clock
+    // reaches them; stepOnce() while hasWork(); finish(). A router
+    // drives several engines through these primitives on one shared
+    // timeline, interleaving their scheduler iterations by clock.
+
+    /** Reset all serving state for a fresh run. */
+    void beginRun();
+
+    /** Hand an arrived request to the scheduler (arrival order). */
+    void submit(const trace::Request &req);
+
+    /** True while any submitted group is unfinished. */
+    bool hasWork() const
+    {
+        return !waiting_.empty() || !running_.empty() ||
+               !swapped_.empty();
+    }
+
+    /**
+     * One scheduler iteration: resume preempted groups, admit from
+     * the waiting queue, preempt under pressure, run one compute
+     * step, retire finished groups. Requires hasWork().
+     */
+    void stepOnce();
+
+    /** Jump the engine clock forward while idle (never backward). */
+    void advanceTo(Tick t) { now_ = std::max(now_, t); }
+
+    /** The engine's current clock. */
+    Tick clock() const { return now_; }
+
+    /** Requests completed so far. */
+    std::uint64_t completedCount() const { return completed_; }
+
+    /**
+     * Live outstanding-work estimate: prompt plus remaining sampled
+     * output tokens over every unfinished group. The router's
+     * least-loaded policy reads this at arrival time.
+     */
+    std::uint64_t outstandingCost() const;
+
+    /** Finalize and return the metrics for the groups served. */
+    VllmResult finish();
+
     /** KV pool capacity in blocks (for tests). */
     std::uint64_t totalBlocks() const { return total_blocks_; }
 
@@ -125,6 +171,11 @@ class VllmEngine
     std::vector<std::uint32_t> free_block_ids_;
 
     std::vector<Group> groups_; // all groups, indexed by position
+    std::vector<std::size_t> waiting_; // FIFO of group indices
+    std::vector<std::size_t> running_;
+    std::vector<std::size_t> swapped_; // LIFO stack
+    std::uint64_t completed_ = 0;
+    Tick now_ = 0;
     VllmResult result_;
     sim::SampleSet norm_latency_;
 };

@@ -33,6 +33,13 @@ BandwidthResource::submitNotBefore(Tick earliest, std::uint64_t bytes)
     bytes_served_ += bytes;
     ++requests_;
     busy_ticks_ += service;
+    if (downstream_) {
+        // Cut-through into the shared stage: the downstream begins
+        // draining the moment this stage starts, so an uncontended
+        // request finishes at whichever stage is slower, while
+        // concurrent upstreams queue against each other here.
+        done = std::max(done, downstream_->submitNotBefore(start, bytes));
+    }
     return done;
 }
 
@@ -86,6 +93,27 @@ Tick
 LaneGroup::submitNotBefore(Tick earliest, std::uint64_t bytes)
 {
     return pickLane().submitNotBefore(earliest, bytes);
+}
+
+Tick
+LaneGroup::submitNotBeforeBestFit(Tick earliest, std::uint64_t bytes)
+{
+    Tick floor = std::max(earliest, eq_.now());
+    BandwidthResource *best = nullptr;
+    for (auto &lane : lanes_) {
+        if (lane.freeAt() > floor)
+            continue;
+        // Latest-free among the lanes that can start on time: the
+        // tightest fit wastes the least idle capacity.
+        if (!best || lane.freeAt() > best->freeAt())
+            best = &lane;
+    }
+    if (!best) {
+        // Every lane is busy past the floor: queue on the one that
+        // frees up first.
+        best = &pickLane();
+    }
+    return best->submitNotBefore(floor, bytes);
 }
 
 Tick

@@ -8,6 +8,14 @@
  * link, a copy engine, one CPU encryption thread. A LaneGroup models k
  * identical lanes with earliest-free dispatch, e.g. a pool of
  * encryption threads.
+ *
+ * Resources chain: a BandwidthResource may drain into a shared
+ * downstream stage (setDownstream), modeling hierarchical bandwidth —
+ * e.g. per-device PCIe links that all funnel through one host bridge.
+ * Every byte submitted to the upstream stage is also charged to the
+ * downstream stage cut-through style (the downstream begins draining
+ * when the upstream starts), so the downstream only binds when the
+ * *aggregate* demand across upstreams exceeds its rate.
  */
 
 #ifndef PIPELLM_SIM_RESOURCE_HH
@@ -61,6 +69,17 @@ class BandwidthResource
     Tick perOpLatency() const { return latency_; }
     void setPerOpLatency(Tick t) { latency_ = t; }
 
+    /**
+     * Chain this resource into a shared downstream stage: every
+     * request served here is also charged to @p shared, and the
+     * request completes only when both stages are done. Pass nullptr
+     * to unchain. The downstream resource is not owned and must
+     * outlive this one; chains may nest (the downstream can itself
+     * drain into another stage).
+     */
+    void setDownstream(BandwidthResource *shared) { downstream_ = shared; }
+    BandwidthResource *downstream() const { return downstream_; }
+
     const std::string &name() const { return name_; }
 
     /** Total bytes served. */
@@ -84,6 +103,7 @@ class BandwidthResource
     std::uint64_t bytes_served_ = 0;
     std::uint64_t requests_ = 0;
     Tick busy_ticks_ = 0;
+    BandwidthResource *downstream_ = nullptr;
 };
 
 /**
@@ -102,6 +122,18 @@ class LaneGroup
 
     /** Dispatch with a start-time floor. */
     Tick submitNotBefore(Tick earliest, std::uint64_t bytes);
+
+    /**
+     * Dispatch with a start-time floor, preferring the *latest-free*
+     * lane that can still start at @p earliest (falling back to the
+     * earliest-free lane when all are busy past the floor). Clients
+     * that share one pool should use this: earliest-free dispatch
+     * makes a serial chain of requests rotate across idle lanes and
+     * mark every lane busy until the chain's tail (lanes never
+     * backfill), which a best-fit pick avoids by keeping the chain on
+     * a single lane.
+     */
+    Tick submitNotBeforeBestFit(Tick earliest, std::uint64_t bytes);
 
     /** Dispatch and fire @p fn at completion. */
     Tick submit(std::uint64_t bytes, EventFn fn);

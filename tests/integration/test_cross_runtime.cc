@@ -75,7 +75,7 @@ TEST(CrossRuntime, IdenticalFunctionalOutcome)
         auto rt = make(s, p);
         auto a = p.allocHost(2 * MiB, "a");
         auto b = p.allocHost(2 * MiB, "b");
-        auto d = p.device().alloc(2 * MiB, "d");
+        auto d = p.gpu(0).alloc(2 * MiB, "d");
         std::vector<std::uint8_t> wa(64, 0xaa), wb(64, 0xbb);
         p.hostMem().write(a.base, wa.data(), wa.size());
         p.hostMem().write(b.base, wb.data(), wb.size());
@@ -89,12 +89,12 @@ TEST(CrossRuntime, IdenticalFunctionalOutcome)
                       .api_return;
             now = rt->synchronize(now);
         }
-        auto content = p.device().memory().readSample(d.base, 64);
+        auto content = p.gpu(0).memory().readSample(d.base, 64);
         EXPECT_EQ(content, wb) << "runtime " << rt->name();
         if (final_content.empty())
             final_content = content;
         EXPECT_EQ(content, final_content) << rt->name();
-        EXPECT_EQ(p.device().integrityFailures(), 0u) << rt->name();
+        EXPECT_EQ(p.gpu(0).integrityFailures(), 0u) << rt->name();
     }
 }
 
@@ -161,7 +161,7 @@ TEST(CrossRuntime, VllmAllModesServeEveryRequest)
         auto r = engine.run(gen.poisson(80, 3000.0));
         EXPECT_EQ(r.completed, 80u) << rt->name();
         EXPECT_GT(r.preemptions, 0u) << rt->name();
-        EXPECT_EQ(p.device().integrityFailures(), 0u) << rt->name();
+        EXPECT_EQ(p.gpu(0).integrityFailures(), 0u) << rt->name();
     }
 }
 
@@ -219,7 +219,7 @@ TEST(CrossRuntime, LayerWiseFifoKvSwapping)
     std::vector<mem::Region> dev_kv;
     for (int l = 0; l < layers; ++l) {
         host_kv.push_back(p.allocHost(1 * MiB, "kv-host"));
-        dev_kv.push_back(p.device().alloc(1 * MiB, "kv-dev"));
+        dev_kv.push_back(p.gpu(0).alloc(1 * MiB, "kv-dev"));
     }
     Stream &s = rt.createStream("s");
     gpu::KernelDesc k{"layer", 2e10, 1e8};
@@ -247,7 +247,7 @@ TEST(CrossRuntime, LayerWiseFifoKvSwapping)
     const auto &ps = rt.pipeStats();
     EXPECT_EQ(ps.swap_requests, 8u * layers);
     EXPECT_GT(ps.hits, 5u * layers);
-    EXPECT_EQ(p.device().integrityFailures(), 0u);
+    EXPECT_EQ(p.gpu(0).integrityFailures(), 0u);
     // Either the FIFO or the group recognizer may win; both predict
     // this stream correctly.
     std::string pattern = rt.predictor().activePattern();

@@ -68,11 +68,11 @@ TEST_P(RandomWorkload, InvariantsHoldUnderChaos)
         HostChunk c;
         c.region = platform.allocHost(len, "chunk" + std::to_string(i));
         c.dev_slot =
-            platform.device().alloc(len, "dev" + std::to_string(i)).base;
+            platform.gpu(0).alloc(len, "dev" + std::to_string(i)).base;
         chunks.push_back(c);
     }
     auto token_buf = platform.allocHost(8 * KiB, "tokens");
-    auto dev = platform.device().alloc(64 * MiB, "dev");
+    auto dev = platform.gpu(0).alloc(64 * MiB, "dev");
     Stream &s = rt.createStream("s");
 
     Tick now = 0;
@@ -90,7 +90,7 @@ TEST_P(RandomWorkload, InvariantsHoldUnderChaos)
             if (check) {
                 expect = platform.hostMem().readSample(
                     c.region.base,
-                    platform.channel().sampledLen(c.region.len));
+                    platform.device(0).channel().sampledLen(c.region.len));
             }
             auto r = rt.memcpyAsync(CopyKind::HostToDevice,
                                     c.dev_slot, c.region.base,
@@ -99,7 +99,7 @@ TEST_P(RandomWorkload, InvariantsHoldUnderChaos)
             c.swapped_out = false;
             if (check) {
                 now = rt.synchronize(now);
-                EXPECT_EQ(platform.device().memory().readSample(
+                EXPECT_EQ(platform.gpu(0).memory().readSample(
                               c.dev_slot, expect.size()),
                           expect); // I4
                 ++content_checks;
@@ -147,9 +147,9 @@ TEST_P(RandomWorkload, InvariantsHoldUnderChaos)
     now = rt.synchronize(now);
 
     // I1/I2: the session survived with counters in lockstep.
-    EXPECT_EQ(platform.device().integrityFailures(), 0u);
-    EXPECT_EQ(rt.h2dCounter(), platform.device().rxCounter());
-    EXPECT_EQ(rt.d2hCounter(), platform.device().txCounter());
+    EXPECT_EQ(platform.gpu(0).integrityFailures(), 0u);
+    EXPECT_EQ(rt.h2dCounter(), platform.gpu(0).rxCounter());
+    EXPECT_EQ(rt.d2hCounter(), platform.gpu(0).txCounter());
     EXPECT_EQ(rt.pendingSends(), 0u);
     EXPECT_GT(content_checks, 0);
 

@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include "crypto/engine.hh"
 #include "pipellm/pipeline.hh"
 #include "sim/event_queue.hh"
 
@@ -13,7 +14,7 @@ struct PipelineFixture : ::testing::Test
     sim::EventQueue eq;
     mem::SparseMemory host{"host", 4 * GiB};
     crypto::SecureChannel channel;
-    sim::LaneGroup lanes{eq, "enc", 2, 5.8e9};
+    crypto::CryptoLanes lanes{eq, "enc", 2, 5.8e9};
     Predictor predictor;
     PipeLlmConfig config;
 
@@ -206,7 +207,7 @@ TEST_F(PipelineFixture, EncryptionTimeChargedOnLanes)
     ASSERT_TRUE(e);
     // 256 KiB at 5.8 GB/s ~= 45 us.
     EXPECT_NEAR(toMicroseconds(e->ready_at), 45.2, 3.0);
-    EXPECT_EQ(lanes.bytesServed(), 4u * 256 * KiB);
+    EXPECT_EQ(lanes.group().bytesServed(), 4u * 256 * KiB);
 }
 
 TEST_F(PipelineFixture, ByteBudgetLimitsDepth)

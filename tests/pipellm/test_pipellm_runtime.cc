@@ -41,7 +41,7 @@ struct OffloadFixture : ::testing::Test
             for (int i = 0; i < layers; ++i)
                 host_layers.push_back(platform.allocHost(
                     layer_bytes, "layer" + std::to_string(i)));
-            dev_buf = platform.device().alloc(layer_bytes * 2, "slot");
+            dev_buf = platform.gpu(0).alloc(layer_bytes * 2, "slot");
         }
     }
 
@@ -83,7 +83,7 @@ TEST_F(OffloadFixture, PredictorLearnsAndHits)
     EXPECT_GT(ps.hits, 4u * layers);
     EXPECT_LT(ps.misses, 2u * layers);
     EXPECT_STREQ(rt.predictor().activePattern(), "repetitive");
-    EXPECT_EQ(platform.device().integrityFailures(), 0u);
+    EXPECT_EQ(platform.gpu(0).integrityFailures(), 0u);
 }
 
 TEST_F(OffloadFixture, ApiNeverBlocksOnEncryption)
@@ -113,7 +113,7 @@ TEST_F(OffloadFixture, FasterThanCcBaseline)
     for (int i = 0; i < layers; ++i)
         cc_layers.push_back(
             p_cc.allocHost(layer_bytes, "layer" + std::to_string(i)));
-    auto cc_dev = p_cc.device().alloc(layer_bytes * 2, "slot");
+    auto cc_dev = p_cc.gpu(0).alloc(layer_bytes * 2, "slot");
 
     Stream &s1 = rt.createStream("s");
     Stream &s2 = cc.createStream("s");
@@ -167,7 +167,7 @@ TEST_F(OffloadFixture, SmallTransfersDoNotCascade)
     // Re-speculation keeps nearly all of these hits despite the
     // interleaved small transfers.
     EXPECT_GE(hits_after - hits_before, unsigned(layers) - 2);
-    EXPECT_EQ(platform.device().integrityFailures(), 0u);
+    EXPECT_EQ(platform.gpu(0).integrityFailures(), 0u);
 }
 
 TEST_F(OffloadFixture, DataIntegrityEndToEnd)
@@ -179,11 +179,11 @@ TEST_F(OffloadFixture, DataIntegrityEndToEnd)
     // The device copy of layer 3 matches host plaintext.
     auto expect = platform.hostMem().readSample(
         host_layers[3].base,
-        platform.channel().sampledLen(layer_bytes));
+        platform.device(0).channel().sampledLen(layer_bytes));
     Tick now = rt.memcpy(CopyKind::HostToDevice, dev_buf.base,
                          host_layers[3].base, layer_bytes, s, 0);
     rt.synchronize(now);
-    EXPECT_EQ(platform.device().memory().readSample(dev_buf.base,
+    EXPECT_EQ(platform.gpu(0).memory().readSample(dev_buf.base,
                                                     expect.size()),
               expect);
 }
@@ -194,8 +194,8 @@ TEST_F(OffloadFixture, IvLockstepMaintained)
     setup(rt);
     Stream &s = rt.createStream("s");
     runCycles(rt, s, 5);
-    EXPECT_EQ(rt.h2dCounter(), platform.device().rxCounter());
-    EXPECT_EQ(rt.d2hCounter(), platform.device().txCounter());
+    EXPECT_EQ(rt.h2dCounter(), platform.gpu(0).rxCounter());
+    EXPECT_EQ(rt.d2hCounter(), platform.gpu(0).txCounter());
     EXPECT_EQ(rt.pendingSends(), 0u);
 }
 
@@ -232,7 +232,7 @@ struct KvSwapFixture : ::testing::Test
         for (int i = 0; i < groups; ++i) {
             host_kv[i] = platform.allocHost(
                 kv_bytes, "kv-swap" + std::to_string(i));
-            dev_kv[i] = platform.device().alloc(
+            dev_kv[i] = platform.gpu(0).alloc(
                 kv_bytes, "kv-gpu" + std::to_string(i));
         }
     }
@@ -275,7 +275,7 @@ TEST_F(KvSwapFixture, LearnsLifoAndHits)
     EXPECT_EQ(ps.swap_requests, 8u * groups);
     EXPECT_GT(ps.hits, 5u * groups);
     EXPECT_STREQ(rt.predictor().activePattern(), "lifo");
-    EXPECT_EQ(platform.device().integrityFailures(), 0u);
+    EXPECT_EQ(platform.gpu(0).integrityFailures(), 0u);
 }
 
 TEST_F(KvSwapFixture, AsyncDecryptReturnsBeforePlaintextReady)
@@ -319,13 +319,13 @@ TEST_F(KvSwapFixture, RoundTripPreservesKvContent)
     PipeLlmRuntime rt(platform, config);
     setup();
     Stream &s = rt.createStream("s");
-    auto before = platform.device().memory().readSample(
-        dev_kv[2].base, platform.channel().sampledLen(kv_bytes));
+    auto before = platform.gpu(0).memory().readSample(
+        dev_kv[2].base, platform.device(0).channel().sampledLen(kv_bytes));
     Tick now = 0;
     for (int r = 0; r < 3; ++r)
         now = round(rt, s, now);
-    auto after = platform.device().memory().readSample(
-        dev_kv[2].base, platform.channel().sampledLen(kv_bytes));
+    auto after = platform.gpu(0).memory().readSample(
+        dev_kv[2].base, platform.device(0).channel().sampledLen(kv_bytes));
     EXPECT_EQ(after, before);
 }
 
@@ -340,8 +340,8 @@ TEST_F(KvSwapFixture, SabotagedPredictionsStillCorrect)
     Tick now = 0;
     for (int r = 0; r < 8; ++r)
         now = round(rt, s, now);
-    EXPECT_EQ(platform.device().integrityFailures(), 0u);
-    EXPECT_EQ(rt.h2dCounter(), platform.device().rxCounter());
+    EXPECT_EQ(platform.gpu(0).integrityFailures(), 0u);
+    EXPECT_EQ(rt.h2dCounter(), platform.gpu(0).rxCounter());
     // Re-ordering + NOPs kept most pre-encryptions usable.
     EXPECT_GT(rt.pipeStats().hits + rt.pipeStats().misses,
               7u * groups);
@@ -374,7 +374,7 @@ TEST_F(KvSwapFixture, ReorderingHandlesInBatchPermutation)
     // LIFO-requested rounds above exercised deferral as well.
     EXPECT_GE(rt.pipeStats().hits, hits_before + unsigned(groups) - 1);
     EXPECT_GT(rt.pipeStats().reordered, 0u);
-    EXPECT_EQ(platform.device().integrityFailures(), 0u);
+    EXPECT_EQ(platform.gpu(0).integrityFailures(), 0u);
     EXPECT_EQ(rt.pendingSends(), 0u);
 }
 
@@ -411,7 +411,7 @@ TEST_P(ConfigGrid, CyclicWorkloadInvariantsHold)
     for (int i = 0; i < 6; ++i)
         host.push_back(platform.allocHost(2 * MiB, "c"));
     auto token = platform.allocHost(4 * KiB, "tok");
-    auto dev = platform.device().alloc(16 * MiB, "d");
+    auto dev = platform.gpu(0).alloc(16 * MiB, "d");
     Stream &s = rt.createStream("s");
 
     Tick now = 0;
@@ -434,8 +434,8 @@ TEST_P(ConfigGrid, CyclicWorkloadInvariantsHold)
     EXPECT_GT(ps.hits, 35u) << "depth=" << depth
                             << " leeway=" << leeway
                             << " lanes=" << lanes;
-    EXPECT_EQ(platform.device().integrityFailures(), 0u);
-    EXPECT_EQ(rt.h2dCounter(), platform.device().rxCounter());
+    EXPECT_EQ(platform.gpu(0).integrityFailures(), 0u);
+    EXPECT_EQ(rt.h2dCounter(), platform.gpu(0).rxCounter());
     EXPECT_EQ(rt.pendingSends(), 0u);
 }
 

@@ -13,14 +13,14 @@ struct CcFixture : ::testing::Test
     Platform platform;
     CcRuntime rt{platform};
     mem::Region host = platform.allocHost(512 * MiB, "host");
-    mem::Region dev = platform.device().alloc(512 * MiB, "dev");
+    mem::Region dev = platform.gpu(0).alloc(512 * MiB, "dev");
 };
 
 } // namespace
 
 TEST_F(CcFixture, EnablesCcOnDevice)
 {
-    EXPECT_TRUE(platform.device().ccEnabled());
+    EXPECT_TRUE(platform.gpu(0).ccEnabled());
     EXPECT_STREQ(rt.name(), "CC");
 }
 
@@ -86,16 +86,16 @@ TEST_F(CcFixture, DataMovesEncryptedH2d)
     std::vector<std::uint8_t> content{4, 5, 6, 7};
     platform.hostMem().write(host.base, content.data(), content.size());
     rt.memcpy(CopyKind::HostToDevice, dev.base, host.base, 4, s, 0);
-    EXPECT_EQ(platform.device().memory().readSample(dev.base, 4),
+    EXPECT_EQ(platform.gpu(0).memory().readSample(dev.base, 4),
               content);
-    EXPECT_EQ(platform.device().integrityFailures(), 0u);
+    EXPECT_EQ(platform.gpu(0).integrityFailures(), 0u);
 }
 
 TEST_F(CcFixture, DataMovesEncryptedD2h)
 {
     Stream &s = rt.createStream("s");
     std::vector<std::uint8_t> content{11, 22, 33};
-    platform.device().memory().write(dev.base, content.data(),
+    platform.gpu(0).memory().write(dev.base, content.data(),
                                      content.size());
     rt.memcpy(CopyKind::DeviceToHost, host.base, dev.base, 3, s, 0);
     EXPECT_EQ(platform.hostMem().readSample(host.base, 3), content);
@@ -112,9 +112,9 @@ TEST_F(CcFixture, IvCountersStayInLockstepWithDevice)
         now = rt.memcpy(CopyKind::DeviceToHost, host.base, dev.base,
                         64 * KiB, s, now);
     EXPECT_EQ(rt.h2dCounter(), 10u);
-    EXPECT_EQ(platform.device().rxCounter(), 10u);
+    EXPECT_EQ(platform.gpu(0).rxCounter(), 10u);
     EXPECT_EQ(rt.d2hCounter(), 4u);
-    EXPECT_EQ(platform.device().txCounter(), 4u);
+    EXPECT_EQ(platform.gpu(0).txCounter(), 4u);
 }
 
 TEST_F(CcFixture, D2hIsFullySynchronous)
@@ -144,9 +144,9 @@ TEST(CcVsPlain, OverheadGapMatchesPaperShape)
     PlainRuntime plain(p1);
     CcRuntime cc(p2);
     auto h1 = p1.allocHost(256 * MiB, "h");
-    auto d1 = p1.device().alloc(256 * MiB, "d");
+    auto d1 = p1.gpu(0).alloc(256 * MiB, "d");
     auto h2 = p2.allocHost(256 * MiB, "h");
-    auto d2 = p2.device().alloc(256 * MiB, "d");
+    auto d2 = p2.gpu(0).alloc(256 * MiB, "d");
     Stream &s1 = plain.createStream("s");
     Stream &s2 = cc.createStream("s");
 

@@ -14,7 +14,7 @@ struct FutureFixture : ::testing::Test
 {
     Platform platform;
     mem::Region host = platform.allocHost(512 * MiB, "host");
-    mem::Region dev = platform.device().alloc(512 * MiB, "dev");
+    mem::Region dev = platform.gpu(0).alloc(512 * MiB, "dev");
 
     /** IO-heavy swap loop; returns finish tick. */
     template <typename Rt>
@@ -59,15 +59,15 @@ TEST_F(FutureFixture, TeeIoMovesDataWithIvLockstep)
     std::vector<std::uint8_t> content{1, 2, 3};
     platform.hostMem().write(host.base, content.data(), content.size());
     rt.memcpy(CopyKind::HostToDevice, dev.base, host.base, 3, s, 0);
-    EXPECT_EQ(platform.device().memory().readSample(dev.base, 3),
+    EXPECT_EQ(platform.gpu(0).memory().readSample(dev.base, 3),
               content);
     rt.memcpy(CopyKind::DeviceToHost, host.base + 100, dev.base, 3, s,
               0);
     EXPECT_EQ(platform.hostMem().readSample(host.base + 100, 3),
               content);
-    EXPECT_EQ(rt.h2dCounter(), platform.device().rxCounter());
-    EXPECT_EQ(rt.d2hCounter(), platform.device().txCounter());
-    EXPECT_EQ(platform.device().integrityFailures(), 0u);
+    EXPECT_EQ(rt.h2dCounter(), platform.gpu(0).rxCounter());
+    EXPECT_EQ(rt.d2hCounter(), platform.gpu(0).txCounter());
+    EXPECT_EQ(platform.gpu(0).integrityFailures(), 0u);
 }
 
 TEST_F(FutureFixture, ReuseSealsOnceThenResends)
@@ -82,7 +82,7 @@ TEST_F(FutureFixture, ReuseSealsOnceThenResends)
     rt.synchronize(now);
     EXPECT_EQ(rt.reuseStats().seals, 1u);
     EXPECT_EQ(rt.reuseStats().reuse_hits, 4u);
-    EXPECT_EQ(platform.device().retainedCommits(), 5u);
+    EXPECT_EQ(platform.gpu(0).retainedCommits(), 5u);
     EXPECT_EQ(rt.stats().cpu_encrypt_bytes, 32 * MiB);
 }
 
@@ -91,12 +91,12 @@ TEST_F(FutureFixture, ReuseDeliversCorrectContent)
     CiphertextReuseRuntime rt(platform);
     Stream &s = rt.createStream("s");
     auto expect = platform.hostMem().readSample(
-        host.base, platform.channel().sampledLen(32 * MiB));
+        host.base, platform.device(0).channel().sampledLen(32 * MiB));
     rt.memcpy(CopyKind::HostToDevice, dev.base, host.base, 32 * MiB, s,
               0);
     rt.memcpy(CopyKind::HostToDevice, dev.base, host.base, 32 * MiB, s,
               0); // reuse hit
-    EXPECT_EQ(platform.device().memory().readSample(dev.base,
+    EXPECT_EQ(platform.gpu(0).memory().readSample(dev.base,
                                                     expect.size()),
               expect);
 }
@@ -118,7 +118,7 @@ TEST_F(FutureFixture, ReuseInvalidatesOnPlaintextWrite)
               0);
     EXPECT_EQ(rt.reuseStats().seals, 2u);
     // The fresh content arrives.
-    EXPECT_EQ(platform.device().memory().readSample(dev.base + 5, 1)[0],
+    EXPECT_EQ(platform.gpu(0).memory().readSample(dev.base + 5, 1)[0],
               0x99);
 }
 
@@ -126,8 +126,8 @@ TEST_F(FutureFixture, ReuseKeepsSwapOutsEncryptedAtRest)
 {
     CiphertextReuseRuntime rt(platform);
     Stream &s = rt.createStream("s");
-    auto gpu_content = platform.device().memory().readSample(
-        dev.base, platform.channel().sampledLen(32 * MiB));
+    auto gpu_content = platform.gpu(0).memory().readSample(
+        dev.base, platform.device(0).channel().sampledLen(32 * MiB));
 
     // Swap out: the CPU never decrypts.
     rt.memcpy(CopyKind::DeviceToHost, host.base + 64 * MiB, dev.base,
@@ -139,7 +139,7 @@ TEST_F(FutureFixture, ReuseKeepsSwapOutsEncryptedAtRest)
     rt.memcpy(CopyKind::HostToDevice, dev.base + 64 * MiB,
               host.base + 64 * MiB, 32 * MiB, s, 0);
     EXPECT_EQ(rt.reuseStats().reuse_hits, 1u);
-    EXPECT_EQ(platform.device().memory().readSample(
+    EXPECT_EQ(platform.gpu(0).memory().readSample(
                   dev.base + 64 * MiB, gpu_content.size()),
               gpu_content);
 }
@@ -151,7 +151,7 @@ TEST_F(FutureFixture, ReuseSmallTransfersStayLockstep)
     for (int i = 0; i < 3; ++i)
         rt.memcpy(CopyKind::HostToDevice, dev.base, host.base, 4096, s,
                   0);
-    EXPECT_EQ(platform.device().rxCounter(), 3u);
+    EXPECT_EQ(platform.gpu(0).rxCounter(), 3u);
     EXPECT_EQ(rt.reuseStats().reuse_hits, 0u);
 }
 
@@ -161,10 +161,10 @@ TEST_F(FutureFixture, DesignOrderingHolds)
     // steady state matches tee-io (both avoid CPU crypto entirely).
     Platform p1, p2, p3, p4;
     mem::Region h1 = p1.allocHost(256 * MiB, "h");
-    mem::Region d1 = p1.device().alloc(256 * MiB, "d");
+    mem::Region d1 = p1.gpu(0).alloc(256 * MiB, "d");
     auto loop = [&](RuntimeApi &rt, Platform &p) {
         mem::Region h = p.allocHost(256 * MiB, "h");
-        mem::Region d = p.device().alloc(256 * MiB, "d");
+        mem::Region d = p.gpu(0).alloc(256 * MiB, "d");
         (void)h1;
         (void)d1;
         Stream &s = rt.createStream("s");

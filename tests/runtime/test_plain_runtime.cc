@@ -12,7 +12,7 @@ struct PlainFixture : ::testing::Test
     Platform platform;
     PlainRuntime rt{platform};
     mem::Region host = platform.allocHost(256 * MiB, "host");
-    mem::Region dev = platform.device().alloc(256 * MiB, "dev");
+    mem::Region dev = platform.gpu(0).alloc(256 * MiB, "dev");
 };
 
 } // namespace
@@ -51,7 +51,7 @@ TEST_F(PlainFixture, DataActuallyMovesH2d)
     std::vector<std::uint8_t> content{9, 8, 7, 6};
     platform.hostMem().write(host.base, content.data(), content.size());
     rt.memcpy(CopyKind::HostToDevice, dev.base, host.base, 4, s, 0);
-    EXPECT_EQ(platform.device().memory().readSample(dev.base, 4),
+    EXPECT_EQ(platform.gpu(0).memory().readSample(dev.base, 4),
               content);
 }
 
@@ -59,7 +59,7 @@ TEST_F(PlainFixture, DataActuallyMovesD2h)
 {
     Stream &s = rt.createStream("s");
     std::vector<std::uint8_t> content{1, 2, 3, 4, 5};
-    platform.device().memory().write(dev.base, content.data(),
+    platform.gpu(0).memory().write(dev.base, content.data(),
                                      content.size());
     rt.memcpy(CopyKind::DeviceToHost, host.base, dev.base, 5, s, 0);
     EXPECT_EQ(platform.hostMem().readSample(host.base, 5), content);

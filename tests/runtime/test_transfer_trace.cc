@@ -74,7 +74,7 @@ TEST(TransferTrace, PipeLlmOutcomesAreAttributed)
     std::vector<mem::Region> host;
     for (int i = 0; i < 4; ++i)
         host.push_back(platform.allocHost(2 * MiB, "c"));
-    auto dev = platform.device().alloc(8 * MiB, "d");
+    auto dev = platform.gpu(0).alloc(8 * MiB, "d");
     Stream &s = rt.createStream("s");
     Tick now = 0;
     for (int cycle = 0; cycle < 5; ++cycle) {
@@ -101,7 +101,7 @@ TEST(TransferTrace, CcRuntimeTracesDirect)
     TransferTrace trace;
     rt.attachTrace(&trace);
     auto host = platform.allocHost(4 * MiB, "h");
-    auto dev = platform.device().alloc(4 * MiB, "d");
+    auto dev = platform.gpu(0).alloc(4 * MiB, "d");
     Stream &s = rt.createStream("s");
     rt.memcpy(CopyKind::HostToDevice, dev.base, host.base, 4 * MiB, s,
               0);

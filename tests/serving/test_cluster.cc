@@ -54,6 +54,31 @@ req(std::uint32_t prompt, std::uint32_t output)
     return r;
 }
 
+/**
+ * A burst that overflows the KV pool: long outputs with wide sampling
+ * force preemptions, so both replicas push hundreds of MB of swap
+ * traffic through the CPU crypto lanes and the PCIe links — enough
+ * offered load to expose shared-host contention.
+ */
+VllmConfig
+swapHeavyEngine()
+{
+    VllmConfig cfg;
+    cfg.model = tinyModel();
+    cfg.parallel_sampling = 4;
+    cfg.gpu_reserved_bytes = 160 * MiB;
+    return cfg;
+}
+
+trace::Trace
+swapHeavyTrace()
+{
+    trace::DatasetProfile profile{"swap-heavy", 48.0, 0.4, 160.0, 0.4};
+    profile.max_len = 192;
+    trace::TraceGenerator gen(profile, 5);
+    return gen.poisson(16, 200.0);
+}
+
 } // namespace
 
 TEST(ClusterRouter, RoundRobinCyclesInArrivalOrder)
@@ -145,6 +170,127 @@ TEST(ClusterRouter, SingleReplicaMatchesDirectPath)
     EXPECT_EQ(got.normalized_latency, want.normalized_latency);
     EXPECT_EQ(got.makespan, want.total_time);
     EXPECT_EQ(got.completed, want.completed);
+}
+
+TEST(ClusterRouter, RepeatedRunsStartFromCleanLoadAccounting)
+{
+    // A second run() over the same router must route as if the first
+    // never happened: stale load totals (or a mid-rotation cursor)
+    // would skew routing toward replicas the previous trace spared.
+    auto trace = tinyTrace(12, 2.0);
+    runtime::Platform platform(tinyGpu(448 * MiB),
+                               crypto::ChannelConfig{}, 2);
+    ClusterConfig cfg;
+    cfg.engine = tinyEngine();
+    cfg.policy = RoutePolicy::RoundRobin;
+    ClusterRouter router(platform, ccFactory(), cfg);
+
+    // Skew the rotation cursor and load totals via standalone routing.
+    router.route(req(4000, 100));
+
+    auto first = router.run(trace);
+    auto second = router.run(trace);
+    EXPECT_EQ(first.replicas[0].requests, second.replicas[0].requests);
+    EXPECT_EQ(first.replicas[1].requests, second.replicas[1].requests);
+    EXPECT_EQ(first.replicas[0].requests, 6u);
+    EXPECT_EQ(first.completed, 12u);
+    EXPECT_EQ(second.completed, 12u);
+}
+
+TEST(ClusterRouter, LeastLoadedReadsLiveLoadDuringRun)
+{
+    // Interleaved co-simulation: a replica that has *finished* its
+    // requests by the time a new one arrives must look idle to the
+    // router. The trace has a burst at t=0 followed by stragglers far
+    // later; with live load every straggler goes to device 0 (ties at
+    // zero outstanding go to the lowest id), whereas cumulative-total
+    // accounting would bounce them between devices.
+    runtime::Platform platform(tinyGpu(448 * MiB),
+                               crypto::ChannelConfig{}, 2);
+    ClusterConfig cfg;
+    cfg.engine = tinyEngine();
+    cfg.policy = RoutePolicy::LeastLoaded;
+    ClusterRouter router(platform, ccFactory(), cfg);
+
+    trace::Trace trace;
+    for (int i = 0; i < 4; ++i) {
+        auto r = req(40, 24);
+        r.id = i;
+        r.arrival = 0;
+        trace.push_back(r);
+    }
+    for (int i = 0; i < 3; ++i) {
+        auto r = req(40, 24);
+        r.id = 4 + i;
+        // Far beyond the burst's completion.
+        r.arrival = seconds(400 + 100 * i);
+        trace.push_back(r);
+    }
+    auto result = router.run(trace);
+    EXPECT_EQ(result.completed, 7u);
+    // Burst split 2/2, all three stragglers landed on device 0.
+    EXPECT_EQ(result.replicas[0].requests, 5u);
+    EXPECT_EQ(result.replicas[1].requests, 2u);
+}
+
+TEST(ClusterRouter, SharedCryptoPoolMakesReplicasContend)
+{
+    // Acceptance: two CC replicas draw bounce-buffer encryption from
+    // the same machine-wide lane pool. Squeezing both onto one shared
+    // lane must cost strictly more wall clock than giving each replica
+    // its private lane — and leave the same completed work behind.
+    auto trace = swapHeavyTrace();
+
+    runtime::Platform private_p(tinyGpu(448 * MiB),
+                                crypto::ChannelConfig{}, 2);
+    runtime::HostResources host;
+    host.shared_crypto_lanes = 1;
+    runtime::Platform shared_p(tinyGpu(448 * MiB),
+                               crypto::ChannelConfig{}, 2, host);
+    ASSERT_TRUE(shared_p.cryptoEngine().shared());
+
+    ClusterConfig cfg;
+    cfg.engine = swapHeavyEngine();
+    cfg.policy = RoutePolicy::RoundRobin;
+    auto base = ClusterRouter(private_p, ccFactory(), cfg).run(trace);
+    auto slow = ClusterRouter(shared_p, ccFactory(), cfg).run(trace);
+
+    // The burst really did preempt and swap on both variants.
+    EXPECT_GT(base.replicas[0].result.preemptions, 0u);
+    EXPECT_GT(base.replicas[1].result.preemptions, 0u);
+    EXPECT_EQ(base.completed, 16u);
+    EXPECT_EQ(slow.completed, 16u);
+    EXPECT_GT(slow.makespan, base.makespan);
+    EXPECT_GT(slow.normalized_latency, base.normalized_latency);
+    // All the traffic really funneled through the one shared pool.
+    EXPECT_GT(shared_p.cryptoEngine().pool()->bytesServed(), 0u);
+}
+
+TEST(ClusterRouter, HostBridgeCapThrottlesReplicaTransfers)
+{
+    // The same two-replica burst under a bridge far below the summed
+    // PCIe rate: per-device links stay private, but their aggregate is
+    // bridge-bound, so the cluster finishes strictly later.
+    auto trace = swapHeavyTrace();
+
+    runtime::Platform free_p(tinyGpu(448 * MiB),
+                             crypto::ChannelConfig{}, 2);
+    runtime::HostResources host;
+    host.bridge_bw = 5e9; // well under one link's 55 GB/s
+    runtime::Platform capped_p(tinyGpu(448 * MiB),
+                               crypto::ChannelConfig{}, 2, host);
+    ASSERT_NE(capped_p.hostBridge(), nullptr);
+
+    ClusterConfig cfg;
+    cfg.engine = swapHeavyEngine();
+    cfg.policy = RoutePolicy::RoundRobin;
+    auto base = ClusterRouter(free_p, ccFactory(), cfg).run(trace);
+    auto slow = ClusterRouter(capped_p, ccFactory(), cfg).run(trace);
+
+    EXPECT_EQ(base.completed, 16u);
+    EXPECT_EQ(slow.completed, 16u);
+    EXPECT_GT(slow.makespan, base.makespan);
+    EXPECT_GT(capped_p.hostBridge()->bytesServed(), 0u);
 }
 
 TEST(ClusterRouter, TwoReplicasServeTheWholeTrace)

@@ -81,7 +81,7 @@ TEST(FlexGen, PipeLlmRecoversMostOfTheDrop)
     // the bound here is looser; the calibrated benches reproduce the
     // paper's band.
     EXPECT_LT(drop, 0.50);
-    EXPECT_EQ(p2.device().integrityFailures(), 0u);
+    EXPECT_EQ(p2.gpu(0).integrityFailures(), 0u);
     // The predictor locks onto the layer cycle.
     const auto &ps = pipe.pipeStats();
     EXPECT_GT(double(ps.hits) / double(ps.swap_requests), 0.8);
@@ -143,7 +143,7 @@ TEST(FlexGen, KvOffloadUnderPipeLlmStaysCorrect)
     cfg.num_requests = 24;
     auto r = FlexGenEngine(rt, cfg).run();
     EXPECT_GT(r.tokens_per_sec, 0.0);
-    EXPECT_EQ(p.device().integrityFailures(), 0u);
+    EXPECT_EQ(p.gpu(0).integrityFailures(), 0u);
     const auto &ps = rt.pipeStats();
     EXPECT_EQ(ps.hits + ps.misses, ps.swap_requests);
     // A good fraction of the doubled swap stream still hits.

@@ -51,9 +51,9 @@ TEST(LayerStore, PrefetchMovesWeights)
 
     // Functional: the slot holds the layer's host bytes.
     auto expect = platform.hostMem().readSample(
-        store.hostAddr(3), platform.channel().sampledLen(
+        store.hostAddr(3), platform.device(0).channel().sampledLen(
                                store.layerBytes()));
-    EXPECT_EQ(platform.device().memory().readSample(store.slotAddr(3),
+    EXPECT_EQ(platform.gpu(0).memory().readSample(store.slotAddr(3),
                                                     expect.size()),
               expect);
 }

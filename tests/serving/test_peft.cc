@@ -105,5 +105,5 @@ TEST(Peft, PipeLlmRecoversThroughputAndSurvivesAdapterWrites)
     // The optimizer's in-place adapter updates must never leak stale
     // ciphertext: validator faults or misses, but zero integrity
     // failures.
-    EXPECT_EQ(p3.device().integrityFailures(), 0u);
+    EXPECT_EQ(p3.gpu(0).integrityFailures(), 0u);
 }

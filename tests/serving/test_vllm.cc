@@ -118,7 +118,7 @@ TEST(Vllm, PipeLlmCutsTheCcPenalty)
     double cc_overhead = r2.normalized_latency / r1.normalized_latency;
     double pipe_overhead = r3.normalized_latency / r1.normalized_latency;
     EXPECT_LT(pipe_overhead, cc_overhead);
-    EXPECT_EQ(p3.device().integrityFailures(), 0u);
+    EXPECT_EQ(p3.gpu(0).integrityFailures(), 0u);
 }
 
 TEST(Vllm, DeterministicAcrossRuns)

@@ -75,6 +75,61 @@ TEST(EventQueue, RunUntilAdvancesClockWhenIdle)
     EXPECT_EQ(eq.now(), 1000u);
 }
 
+TEST(EventQueue, RunUntilFiresEventExactlyAtDeadline)
+{
+    // The deadline is inclusive: an event at exactly the deadline tick
+    // belongs to this quantum, not the next.
+    EventQueue eq;
+    int fired = 0;
+    eq.schedule(20, [&] { ++fired; });
+    eq.runUntil(20);
+    EXPECT_EQ(fired, 1);
+    EXPECT_EQ(eq.now(), 20u);
+    EXPECT_EQ(eq.pending(), 0u);
+}
+
+TEST(EventQueue, RunUntilDrainsReentrantSchedulingAtNow)
+{
+    // A deadline event that schedules more work at now() must see
+    // that work dispatched within the same runUntil call — the
+    // deadline check re-evaluates after every step.
+    EventQueue eq;
+    std::vector<int> order;
+    eq.schedule(20, [&] {
+        order.push_back(1);
+        eq.schedule(eq.now(), [&] {
+            order.push_back(2);
+            eq.schedule(eq.now(), [&] { order.push_back(3); });
+        });
+    });
+    eq.runUntil(20);
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(eq.now(), 20u);
+    EXPECT_EQ(eq.pending(), 0u);
+}
+
+TEST(EventQueue, RunUntilLeavesEventsOneTickPastDeadline)
+{
+    EventQueue eq;
+    int fired = 0;
+    eq.schedule(21, [&] { ++fired; });
+    eq.runUntil(20);
+    EXPECT_EQ(fired, 0);
+    EXPECT_EQ(eq.now(), 20u);
+    EXPECT_EQ(eq.pending(), 1u);
+}
+
+TEST(EventQueue, RunUntilInThePastIsANoOp)
+{
+    EventQueue eq;
+    eq.runUntil(100);
+    int fired = 0;
+    eq.schedule(200, [&] { ++fired; });
+    eq.runUntil(50); // earlier than now(): nothing fires, no rewind
+    EXPECT_EQ(eq.now(), 100u);
+    EXPECT_EQ(fired, 0);
+}
+
 TEST(EventQueue, ScheduleInUsesCurrentTime)
 {
     EventQueue eq;
