@@ -29,6 +29,9 @@ SecureChannel::SecureChannel(const ChannelConfig &config)
                    "bad key size");
     auto key = deriveKey(config_.key_seed, config_.key_bytes);
     gcm_ = std::make_unique<AesGcm>(key.data(), key.size());
+    PIPELLM_AUDIT_HOOK(audit_id_ = audit::Auditor::instance().newId();
+                       audit::Auditor::instance().noteSessionEpoch(
+                           audit_id_));
 }
 
 std::uint64_t
@@ -59,6 +62,9 @@ SecureChannel::seal(Direction dir, std::uint64_t iv_counter,
 
     gcm_->seal(makeIv(dir, iv_counter), aad, sizeof(aad), sample, n,
                blob.sample_ct.data(), blob.tag);
+    PIPELLM_AUDIT_HOOK(blob.audit_serial =
+                           audit::Auditor::instance().noteSeal(
+                               audit_id_, int(dir), iv_counter));
     return blob;
 }
 
@@ -71,9 +77,13 @@ SecureChannel::open(const CipherBlob &blob, std::uint64_t expected_counter,
         aad[i] = std::uint8_t(blob.full_len >> (56 - 8 * i));
 
     sample_pt.resize(blob.sample_ct.size());
-    return gcm_->open(makeIv(blob.dir, expected_counter), aad,
-                      sizeof(aad), blob.sample_ct.data(),
-                      blob.sample_ct.size(), blob.tag, sample_pt.data());
+    bool ok = gcm_->open(makeIv(blob.dir, expected_counter), aad,
+                         sizeof(aad), blob.sample_ct.data(),
+                         blob.sample_ct.size(), blob.tag,
+                         sample_pt.data());
+    PIPELLM_AUDIT_HOOK(if (ok) audit::Auditor::instance().noteVerified(
+                           blob.audit_serial));
+    return ok;
 }
 
 CipherBlob

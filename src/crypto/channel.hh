@@ -19,6 +19,7 @@
 #include <memory>
 #include <vector>
 
+#include "audit/audit.hh"
 #include "crypto/gcm.hh"
 #include "crypto/iv.hh"
 
@@ -36,6 +37,8 @@ struct CipherBlob
     /** Real ciphertext over the sampled prefix. */
     std::vector<std::uint8_t> sample_ct;
     GcmTag tag{};
+    /** Audit tag-ledger serial (0 in non-audit builds). */
+    std::uint64_t audit_serial = 0;
 };
 
 /** Session configuration shared by both endpoints. */
@@ -87,9 +90,13 @@ class SecureChannel
 
     const AesGcm &cipher() const { return *gcm_; }
 
+    /** Process-unique audit identity (0 in non-audit builds). */
+    std::uint64_t auditId() const { return audit_id_; }
+
   private:
     ChannelConfig config_;
     std::unique_ptr<AesGcm> gcm_;
+    std::uint64_t audit_id_ = 0;
 };
 
 } // namespace crypto

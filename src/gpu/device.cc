@@ -43,6 +43,10 @@ GpuDevice::enableCc(const crypto::SecureChannel *channel)
     channel_ = channel;
     rx_iv_ = crypto::IvCounter(crypto::Direction::HostToDevice);
     tx_iv_ = crypto::IvCounter(crypto::Direction::DeviceToHost);
+    // Session setup re-synchronizes both counters, modeling a fresh
+    // key exchange: the audit registry starts a new exposure epoch.
+    PIPELLM_AUDIT_HOOK(audit::Auditor::instance().noteSessionEpoch(
+        channel_->auditId()));
 }
 
 Tick
@@ -83,6 +87,12 @@ GpuDevice::commitEncrypted(const crypto::CipherBlob &blob, Addr dst)
               ", device expected ", expected,
               "); the CC session would be terminated");
     }
+    // The ciphertext crossed the (simulated) bus: register the
+    // exposure after verification so tag-failure paths keep their
+    // original diagnostics.
+    PIPELLM_AUDIT_HOOK(audit::Auditor::instance().noteExposure(
+        channel_->auditId(), int(crypto::Direction::HostToDevice),
+        expected));
     if (!sample.empty())
         mem_.write(dst, sample.data(), sample.size());
 }
@@ -94,8 +104,15 @@ GpuDevice::sealD2h(Addr src, std::uint64_t full_len)
     std::uint64_t n = channel_->sampledLen(full_len);
     std::vector<std::uint8_t> sample(n);
     mem_.read(src, sample.data(), n);
-    return channel_->seal(crypto::Direction::DeviceToHost,
-                          tx_iv_.next(), sample.data(), full_len);
+    std::uint64_t counter = tx_iv_.next();
+    crypto::CipherBlob blob = channel_->seal(
+        crypto::Direction::DeviceToHost, counter, sample.data(),
+        full_len);
+    // D2H production is exposure: the blob is sealed to be sent.
+    PIPELLM_AUDIT_HOOK(audit::Auditor::instance().noteExposure(
+        channel_->auditId(), int(crypto::Direction::DeviceToHost),
+        counter));
+    return blob;
 }
 
 void
@@ -108,6 +125,9 @@ GpuDevice::commitRetained(const crypto::CipherBlob &blob, Addr dst)
         PANIC("GPU copy engine: tag failure on retained ciphertext "
               "(IV counter ", blob.iv_counter, ")");
     }
+    PIPELLM_AUDIT_HOOK(audit::Auditor::instance().noteRetainedExposure(
+        channel_->auditId(), int(blob.dir), blob.iv_counter,
+        audit::digest(blob.tag.data(), blob.tag.size())));
     ++retained_commits_;
     if (!sample.empty())
         mem_.write(dst, sample.data(), sample.size());
@@ -121,8 +141,13 @@ GpuDevice::sealRetainedD2h(Addr src, std::uint64_t full_len,
     std::uint64_t n = channel_->sampledLen(full_len);
     std::vector<std::uint8_t> sample(n);
     mem_.read(src, sample.data(), n);
-    return channel_->seal(crypto::Direction::DeviceToHost, iv_counter,
-                          sample.data(), full_len);
+    crypto::CipherBlob blob = channel_->seal(
+        crypto::Direction::DeviceToHost, iv_counter, sample.data(),
+        full_len);
+    PIPELLM_AUDIT_HOOK(audit::Auditor::instance().noteRetainedExposure(
+        channel_->auditId(), int(crypto::Direction::DeviceToHost),
+        iv_counter, audit::digest(blob.tag.data(), blob.tag.size())));
+    return blob;
 }
 
 Tick

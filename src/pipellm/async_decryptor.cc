@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "audit/audit.hh"
+
 namespace pipellm {
 namespace core {
 
@@ -15,6 +17,8 @@ Tick
 AsyncDecryptor::decryptAsync(Addr dst, std::uint64_t len, Tick landed)
 {
     Tick plain_ready = lanes_.submitNotBefore(landed, len);
+    PIPELLM_AUDIT_HOOK(audit::Auditor::instance().noteDecrypt(
+        landed, plain_ready));
     ++async_decrypts_;
 
     auto *faults = &faults_;
@@ -34,7 +38,10 @@ AsyncDecryptor::decryptAsync(Addr dst, std::uint64_t len, Tick landed)
 Tick
 AsyncDecryptor::decryptSync(Tick landed, std::uint64_t len)
 {
-    return lanes_.submitNotBefore(landed, len);
+    Tick plain_ready = lanes_.submitNotBefore(landed, len);
+    PIPELLM_AUDIT_HOOK(audit::Auditor::instance().noteDecrypt(
+        landed, plain_ready));
+    return plain_ready;
 }
 
 } // namespace core

@@ -70,10 +70,17 @@ SpeculativePipeline::unprotectSlot(SlotList::iterator it)
 }
 
 void
-SpeculativePipeline::eraseSlot(SlotList::iterator it)
+SpeculativePipeline::eraseSlot(SlotList::iterator it, bool discard)
 {
     unprotectSlot(it);
     bytes_held_ -= it->entry.chunk.len;
+    // Every drop routes through here; record it so the tag ledger
+    // drains (a consumed entry lives on in the caller and is settled
+    // when its blob is sent or goes stale).
+    if (discard) {
+        PIPELLM_AUDIT_HOOK(audit::Auditor::instance().noteDiscarded(
+            it->entry.blob.audit_serial));
+    }
     entries_.erase(it);
 }
 
@@ -349,7 +356,7 @@ SpeculativePipeline::consume(std::uint64_t iv)
             ++stats_.consumed;
             // A successful use clears the chunk's write-hot record.
             fault_history_.erase(it->entry.chunk);
-            eraseSlot(it);
+            eraseSlot(it, /*discard=*/false);
             return;
         }
     }

@@ -186,7 +186,13 @@ class SpeculativePipeline
 
     void protectSlot(SlotList::iterator it);
     void unprotectSlot(SlotList::iterator it);
-    void eraseSlot(SlotList::iterator it);
+
+    /**
+     * Remove a slot. @p discard distinguishes a genuine drop (the
+     * pre-encrypted blob dies unexposed) from a consume, where the
+     * caller takes over the entry and sends its blob later.
+     */
+    void eraseSlot(SlotList::iterator it, bool discard = true);
     void dropInvalid();
 
     /** Encrypt @p chunk under the next speculative IV. */

@@ -149,6 +149,8 @@ PipeLlmRuntime::flushPending(Tick now)
             // pre-encryption is dead, but the copy is still owed —
             // re-encrypt on demand at the current counter.
             ++pipe_stats_.stale_drops;
+            PIPELLM_AUDIT_HOOK(audit::Auditor::instance().noteDiscarded(
+                p.entry.blob.audit_serial));
             sendOnDemand(p.dst, p.entry.chunk.addr, p.entry.chunk.len,
                          *p.stream, now);
             continue;
@@ -227,6 +229,8 @@ PipeLlmRuntime::copyH2d(Addr dst, Addr src, std::uint64_t len,
         // Irrecoverable: the pre-encrypted IV is already in the past.
         ++pipe_stats_.stale_drops;
         pipeline_.consume(entry->iv);
+        PIPELLM_AUDIT_HOOK(audit::Auditor::instance().noteDiscarded(
+            entry->blob.audit_serial));
     }
     ++pipe_stats_.misses;
     pipe_stats_.on_demand_bytes += len;

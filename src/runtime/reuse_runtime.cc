@@ -22,6 +22,10 @@ CiphertextReuseRuntime::~CiphertextReuseRuntime()
     for (auto &[key, retained] : retained_) {
         if (retained.protected_pages)
             prot.unprotect(key.addr, key.len);
+        // Encrypted-at-rest blobs that were never swapped back in are
+        // settled here so the tag ledger drains.
+        PIPELLM_AUDIT_HOOK(audit::Auditor::instance().noteDiscarded(
+            retained.blob.audit_serial));
     }
 }
 
@@ -39,6 +43,8 @@ CiphertextReuseRuntime::dropRetained(const Key &key)
         return;
     if (it->second.protected_pages)
         platform_.hostMem().protection().unprotect(key.addr, key.len);
+    PIPELLM_AUDIT_HOOK(audit::Auditor::instance().noteDiscarded(
+        it->second.blob.audit_serial));
     retained_.erase(it);
 }
 
@@ -60,6 +66,9 @@ CiphertextReuseRuntime::retain(const Key &key, crypto::CipherBlob blob)
             auto it = self->retained_.find(key);
             if (it != self->retained_.end()) {
                 it->second.protected_pages = false;
+                PIPELLM_AUDIT_HOOK(
+                    audit::Auditor::instance().noteDiscarded(
+                        it->second.blob.audit_serial));
                 self->retained_.erase(it);
                 ++self->reuse_stats_.invalidated;
             }

@@ -105,8 +105,12 @@ class CiphertextReuseRuntime : public RuntimeApi
     crypto::CryptoLanes seal_lane_;
     crypto::IvCounter h2d_iv_{crypto::Direction::HostToDevice};
     crypto::IvCounter d2h_iv_{crypto::Direction::DeviceToHost};
-    /** Content-generation counter for retained D2H seals. */
-    std::uint64_t generation_ = 1u << 20; // disjoint from lockstep IVs
+    /**
+     * Content-generation counter for retained D2H seals. Starts far
+     * above anything the lockstep counters can reach in a simulated
+     * run (2^48 transfers), so the two IV namespaces never collide.
+     */
+    std::uint64_t generation_ = 1ull << 48;
 
     std::unordered_map<Key, Retained, KeyHash> retained_;
     ReuseStats reuse_stats_;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "audit/audit.hh"
 #include "common/logging.hh"
 
 namespace pipellm {
@@ -104,6 +105,9 @@ ClusterRouter::run(const trace::Trace &requests)
     // replica only steps while no earlier arrival is pending, so
     // shared host resources (crypto pool, bridge) see the replicas'
     // traffic interleaved rather than replica-by-replica.
+#if PIPELLM_AUDIT_ENABLED
+    const std::uint64_t run_id = audit::Auditor::instance().newId();
+#endif
     std::size_t next_arrival = 0;
     auto deliver = [&](const trace::Request &req) {
         runtime::DeviceId d = route(req);
@@ -113,6 +117,8 @@ ClusterRouter::run(const trace::Trace &requests)
                              config_.engine.parallel_sampling;
         engines[d]->advanceTo(req.arrival);
         engines[d]->submit(req);
+        PIPELLM_AUDIT_HOOK(audit::Auditor::instance().noteDelivery(
+            run_id, req.arrival, engines[d]->clock()));
     };
     while (true) {
         int busiest = -1;
@@ -122,6 +128,21 @@ ClusterRouter::run(const trace::Trace &requests)
                  engines[d]->clock() < engines[busiest]->clock()))
                 busiest = int(d);
         }
+#if PIPELLM_AUDIT_ENABLED
+        // The conservative frontier is the earlier of the min busy
+        // clock and the next pending arrival; unlike the busy-min
+        // alone (which legitimately drops when an idle replica takes
+        // a delivery), it is monotone.
+        Tick frontier = maxTick;
+        if (busiest >= 0)
+            frontier = engines[busiest]->clock();
+        if (next_arrival < requests.size()) {
+            frontier =
+                std::min(frontier, requests[next_arrival].arrival);
+        }
+        if (frontier != maxTick)
+            audit::Auditor::instance().noteFrontier(run_id, frontier);
+#endif
         if (busiest < 0) {
             if (next_arrival >= requests.size())
                 break;
@@ -134,6 +155,8 @@ ClusterRouter::run(const trace::Trace &requests)
             deliver(requests[next_arrival++]);
             continue;
         }
+        PIPELLM_AUDIT_HOOK(audit::Auditor::instance().noteReplicaStep(
+            run_id, engines[busiest]->clock(), frontier));
         engines[busiest]->stepOnce();
         load_[busiest] = engines[busiest]->outstandingCost();
     }
@@ -162,6 +185,20 @@ ClusterRouter::run(const trace::Trace &requests)
     if (agg.makespan > 0)
         agg.tokens_per_sec =
             double(routed_tokens_total) / toSeconds(agg.makespan);
+#if PIPELLM_AUDIT_ENABLED
+    {
+        std::uint64_t residual = 0;
+        for (auto l : load_)
+            residual += l;
+        audit::Auditor::instance().noteRunEnd(run_id, residual);
+        // Every byte the per-device links forwarded into the shared
+        // host bridge must be accounted there, and vice versa.
+        if (const auto *bridge = platform_.hostBridge()) {
+            audit::Auditor::instance().checkConservation(
+                bridge->auditId());
+        }
+    }
+#endif
     return agg;
 }
 

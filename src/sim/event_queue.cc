@@ -29,6 +29,8 @@ EventQueue::step()
     // Copy out before pop: the callback may schedule new events.
     Event ev = events_.top();
     events_.pop();
+    PIPELLM_AUDIT_HOOK(audit::Auditor::instance().noteClockAdvance(
+        audit_id_, now_, ev.when));
     now_ = ev.when;
     ++dispatched_;
     ev.fn();
@@ -47,8 +49,11 @@ EventQueue::runUntil(Tick deadline)
 {
     while (!events_.empty() && events_.top().when <= deadline)
         step();
-    if (now_ < deadline)
+    if (now_ < deadline) {
+        PIPELLM_AUDIT_HOOK(audit::Auditor::instance().noteClockAdvance(
+            audit_id_, now_, deadline));
         now_ = deadline;
+    }
 }
 
 } // namespace sim

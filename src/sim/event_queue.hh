@@ -17,6 +17,7 @@
 #include <queue>
 #include <vector>
 
+#include "audit/audit.hh"
 #include "common/units.hh"
 
 namespace pipellm {
@@ -34,10 +35,17 @@ using EventFn = std::function<void()>;
 class EventQueue
 {
   public:
-    EventQueue() = default;
+    EventQueue()
+    {
+        PIPELLM_AUDIT_HOOK(
+            audit_id_ = audit::Auditor::instance().newId());
+    }
 
     EventQueue(const EventQueue &) = delete;
     EventQueue &operator=(const EventQueue &) = delete;
+
+    /** Process-unique audit identity (0 in non-audit builds). */
+    std::uint64_t auditId() const { return audit_id_; }
 
     /** Current simulated time. */
     Tick now() const { return now_; }
@@ -92,6 +100,7 @@ class EventQueue
     Tick now_ = 0;
     std::uint64_t next_seq_ = 0;
     std::uint64_t dispatched_ = 0;
+    std::uint64_t audit_id_ = 0;
 };
 
 } // namespace sim

@@ -15,6 +15,7 @@ BandwidthResource::BandwidthResource(EventQueue &eq, std::string name,
       latency_(per_op_latency)
 {
     PIPELLM_ASSERT(rate_ > 0, "resource rate must be positive: ", name_);
+    PIPELLM_AUDIT_HOOK(audit_id_ = audit::Auditor::instance().newId());
 }
 
 Tick
@@ -33,12 +34,19 @@ BandwidthResource::submitNotBefore(Tick earliest, std::uint64_t bytes)
     bytes_served_ += bytes;
     ++requests_;
     busy_ticks_ += service;
+    PIPELLM_AUDIT_HOOK(audit::Auditor::instance().noteService(
+        audit_id_, name_, eq_.now(), start, done, bytes));
     if (downstream_) {
         // Cut-through into the shared stage: the downstream begins
         // draining the moment this stage starts, so an uncontended
         // request finishes at whichever stage is slower, while
         // concurrent upstreams queue against each other here.
-        done = std::max(done, downstream_->submitNotBefore(start, bytes));
+        Tick chain_done =
+            std::max(done, downstream_->submitNotBefore(start, bytes));
+        PIPELLM_AUDIT_HOOK(audit::Auditor::instance().noteChainForward(
+            downstream_->auditId(), downstream_->name(), bytes, done,
+            chain_done));
+        done = chain_done;
     }
     return done;
 }
@@ -145,6 +153,7 @@ LaneGroup::bytesServed() const
 SerialTimeline::SerialTimeline(EventQueue &eq, std::string name)
     : eq_(eq), name_(std::move(name))
 {
+    PIPELLM_AUDIT_HOOK(audit_id_ = audit::Auditor::instance().newId());
 }
 
 Tick
@@ -154,6 +163,8 @@ SerialTimeline::submit(Tick earliest, Tick duration)
     free_at_ = start + duration;
     busy_ticks_ += duration;
     ++requests_;
+    PIPELLM_AUDIT_HOOK(audit::Auditor::instance().noteService(
+        audit_id_, name_, eq_.now(), start, free_at_, 0));
     return free_at_;
 }
 

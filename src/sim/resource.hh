@@ -82,6 +82,9 @@ class BandwidthResource
 
     const std::string &name() const { return name_; }
 
+    /** Process-unique audit identity (0 in non-audit builds). */
+    std::uint64_t auditId() const { return audit_id_; }
+
     /** Total bytes served. */
     std::uint64_t bytesServed() const { return bytes_served_; }
 
@@ -104,6 +107,7 @@ class BandwidthResource
     std::uint64_t requests_ = 0;
     Tick busy_ticks_ = 0;
     BandwidthResource *downstream_ = nullptr;
+    std::uint64_t audit_id_ = 0;
 };
 
 /**
@@ -181,12 +185,16 @@ class SerialTimeline
 
     const std::string &name() const { return name_; }
 
+    /** Process-unique audit identity (0 in non-audit builds). */
+    std::uint64_t auditId() const { return audit_id_; }
+
   private:
     EventQueue &eq_;
     std::string name_;
     Tick free_at_ = 0;
     Tick busy_ticks_ = 0;
     std::uint64_t requests_ = 0;
+    std::uint64_t audit_id_ = 0;
 };
 
 } // namespace sim

@@ -1,0 +1,119 @@
+#!/usr/bin/env python3
+"""Fail CI on new uses of banned APIs.
+
+Checked rules:
+
+  1. The deprecated no-argument ``Platform::device()`` /
+     ``Platform::channel()`` aliases (kept only so the single-device
+     call sites compiled through the multi-device migration). New code
+     must name the device: ``platform.device(d)``.
+  2. Naked ``rand()`` / ``srand()`` / ``std::time`` — the simulator is
+     deterministic by construction; all randomness goes through
+     ``common/rng.hh`` with an explicit seed.
+  3. printf-family I/O inside ``src/`` — diagnostics go through the
+     gem5-style macros in ``common/logging.hh`` so they carry severity
+     and can be fatal under test. Benches and examples are exempt
+     (they are user-facing CLIs), as is the logging backend itself.
+
+Usage: tools/lint/check_banned_apis.py [repo-root]
+Exits nonzero and prints file:line for every finding.
+"""
+
+import os
+import re
+import subprocess
+import sys
+
+RULES = [
+    {
+        "name": "deprecated Platform::device()/channel() alias",
+        "regex": re.compile(r"\bplatform_?\.\s*(?:device|channel)\(\)"),
+        "roots": ("src", "tests", "bench", "examples"),
+        "allow": {
+            # The compatibility test exercises the aliases on purpose.
+            "tests/runtime/test_multi_device.cc",
+        },
+    },
+    {
+        "name": "non-deterministic rand()/srand()/std::time",
+        "regex": re.compile(
+            r"\b(?:s?rand)\s*\(|std::time\b|\btime\s*\(\s*(?:NULL|nullptr)\s*\)"
+        ),
+        "roots": ("src", "tests", "bench", "examples"),
+        "allow": set(),
+    },
+    {
+        "name": "printf-family I/O outside common/logging",
+        "regex": re.compile(
+            r"\b(?:printf|fprintf|sprintf|snprintf|vsnprintf|puts|putchar)\s*\("
+        ),
+        "roots": ("src",),
+        "allow": {
+            "src/common/logging.cc",
+            "src/common/logging.hh",
+        },
+    },
+]
+
+SOURCE_EXTENSIONS = (".cc", ".hh", ".cpp", ".hpp", ".h", ".c")
+
+
+def tracked_files(root):
+    try:
+        out = subprocess.run(
+            ["git", "ls-files", "--cached", "--others",
+             "--exclude-standard"],
+            cwd=root,
+            capture_output=True,
+            text=True,
+            check=True,
+        ).stdout
+        return out.splitlines()
+    except (subprocess.CalledProcessError, OSError):
+        files = []
+        for dirpath, _, names in os.walk(root):
+            for name in names:
+                full = os.path.join(dirpath, name)
+                files.append(os.path.relpath(full, root))
+        return files
+
+
+def main():
+    root = sys.argv[1] if len(sys.argv) > 1 else "."
+    findings = []
+    for rel in tracked_files(root):
+        if not rel.endswith(SOURCE_EXTENSIONS):
+            continue
+        rel_posix = rel.replace(os.sep, "/")
+        active = [
+            rule
+            for rule in RULES
+            if rel_posix.startswith(tuple(r + "/" for r in rule["roots"]))
+            and rel_posix not in rule["allow"]
+        ]
+        if not active:
+            continue
+        path = os.path.join(root, rel)
+        try:
+            with open(path, encoding="utf-8", errors="replace") as f:
+                lines = f.readlines()
+        except OSError:
+            continue
+        for lineno, line in enumerate(lines, 1):
+            for rule in active:
+                if rule["regex"].search(line):
+                    findings.append(
+                        f"{rel_posix}:{lineno}: {rule['name']}: "
+                        f"{line.strip()}"
+                    )
+    if findings:
+        print("banned-API check failed:")
+        for finding in findings:
+            print("  " + finding)
+        return 1
+    print("banned-API check passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
