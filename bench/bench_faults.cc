@@ -1,0 +1,187 @@
+/**
+ * @file
+ * Fault sweep: cluster serving under a deterministic fault plan whose
+ * intensity scales from 0 (disarmed — the exact fault-free baseline)
+ * upward, CC vs PipeLLM, 1-4 replicas.
+ *
+ * Each step of the sweep multiplies one base plan: PCIe tag
+ * corruption, copy-engine stalls, crypto-lane faults, and whole
+ * replica crashes all intensify together. The interesting outputs
+ * are goodput (tokens of *completed* requests per second — requeued
+ * or dropped work does not count) and the recovery price visible in
+ * FaultReport: fresh-IV retries, watchdog backoff, degraded-mode
+ * intervals, and failover requeues. Expectation: latency degrades
+ * smoothly with the fault scale while goodput stays near the
+ * fault-free line until replicas start dying, and PipeLLM's margin
+ * over CC narrows as degraded mode converts speculative traffic back
+ * into on-demand encryption.
+ */
+
+#include <cinttypes>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.hh"
+#include "common/logging.hh"
+#include "fault/fault.hh"
+#include "serving/cluster.hh"
+#include "trace/generator.hh"
+
+using namespace benchutil;
+
+namespace {
+
+constexpr double ratePerDevice = 0.8;
+
+/**
+ * The scale-1 fault environment. Per-crossing probabilities are low
+ * enough that even scale 4 stays far from the bounded-retry limit;
+ * the crash rate is calibrated against the ~30 s sim makespan so
+ * that scale 1 kills the occasional replica and scale 4 kills most.
+ */
+fault::FaultPlan
+basePlan(double scale)
+{
+    fault::FaultPlan plan;
+    plan.seed = 1009;
+    plan.tag_corruption_rate = 0.02 * scale;
+    plan.copy_stall_rate = 0.01 * scale;
+    plan.lane_fault_rate = 0.01 * scale;
+    plan.replica_crash_rate = 0.02 * scale;
+    return plan;
+}
+
+serving::ClusterResult
+runCluster(Mode mode, unsigned n_devices, std::size_t n_requests,
+           double fault_scale)
+{
+    runtime::Platform platform(gpu::SystemSpec::h100(), benchChannel(),
+                               n_devices);
+    if (fault_scale > 0)
+        platform.armFaults(basePlan(fault_scale));
+
+    serving::ClusterConfig cfg;
+    cfg.engine.model = llm::ModelConfig::opt30b();
+    cfg.engine.parallel_sampling = 6;
+
+    std::uint64_t block_bytes =
+        std::uint64_t(cfg.engine.block_tokens) *
+        cfg.engine.model.kvBytesPerToken();
+    auto pipe_cfg = kvPipeConfig(block_bytes);
+
+    serving::ClusterRouter router(
+        platform,
+        [mode, &pipe_cfg](runtime::Platform &p,
+                          runtime::DeviceId device) {
+            return makeRuntime(mode, p, pipe_cfg, device);
+        },
+        cfg);
+
+    auto profile = trace::DatasetProfile::shareGpt();
+    profile.max_len = 1024;
+    trace::TraceGenerator gen(profile, 42);
+    auto result =
+        router.run(gen.poisson(n_requests, ratePerDevice * n_devices));
+
+    if (fault_scale == 0) {
+        // Disarmed rows are the byte-identical fault-free baseline;
+        // armed rows legitimately see injected integrity failures.
+        for (unsigned d = 0; d < n_devices; ++d)
+            PIPELLM_ASSERT(platform.gpu(d).integrityFailures() == 0,
+                           "integrity failure on device ", d);
+    }
+    return result;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    // --quick: fewer replicas/scales/requests (CI-style smoke runs).
+    bool quick = argc > 1 && std::string(argv[1]) == "--quick";
+
+    banner("Fault sweep: latency/goodput vs fault scale, with "
+           "recovery accounting");
+    auto csv = openCsv("faults.csv");
+    csv.header({"n_devices", "mode", "fault_scale", "tag_rate",
+                "stall_rate", "lane_rate", "crash_rate_per_s",
+                "tokens_per_s", "goodput_tok_per_s",
+                "norm_latency_s_tok", "p90_norm_latency_s_tok",
+                "completed", "dropped", "makespan_s", "tag_faults",
+                "tag_retries", "copy_stalls", "lane_faults",
+                "crashes", "requeued", "lost_tokens",
+                "degraded_entries", "degraded_sends",
+                "retry_latency_s", "replica", "replica_crashed",
+                "replica_crash_s", "replica_requests",
+                "replica_requeued", "replica_absorbed",
+                "replica_dropped", "replica_lost_tokens"});
+
+    std::vector<unsigned> device_counts =
+        quick ? std::vector<unsigned>{1, 2}
+              : std::vector<unsigned>{1, 2, 4};
+    std::vector<double> scales =
+        quick ? std::vector<double>{0, 2}
+              : std::vector<double>{0, 0.5, 1, 2, 4};
+    std::size_t requests_per_device = quick ? 16 : 24;
+
+    for (Mode mode : {Mode::Cc, Mode::Pipe}) {
+        for (unsigned n : device_counts) {
+            std::printf("\n-- %s, N=%u --\n", toString(mode), n);
+            for (double scale : scales) {
+                auto r = runCluster(mode, n, requests_per_device * n,
+                                    scale);
+                const auto plan = basePlan(scale);
+                const auto &f = r.faults;
+                std::printf(
+                    "scale %.1f  %8.1f tok/s goodput %8.1f  "
+                    "%.4f s/tok  retries %" PRIu64 "  crashes %"
+                    PRIu64 "  requeued %" PRIu64 "  dropped %" PRIu64
+                    "\n",
+                    scale, r.tokens_per_sec, r.goodput_tokens_per_sec,
+                    r.normalized_latency, f.tag_retries,
+                    f.replica_crashes, f.requeued_requests,
+                    r.dropped);
+                for (const auto &rep : r.replicas) {
+                    csv.field(n).field(toString(mode)).field(scale)
+                        .field(scale > 0 ? plan.tag_corruption_rate
+                                         : 0.0)
+                        .field(scale > 0 ? plan.copy_stall_rate : 0.0)
+                        .field(scale > 0 ? plan.lane_fault_rate : 0.0)
+                        .field(scale > 0 ? plan.replica_crash_rate
+                                         : 0.0)
+                        .field(r.tokens_per_sec)
+                        .field(r.goodput_tokens_per_sec)
+                        .field(r.normalized_latency)
+                        .field(r.p90_normalized_latency)
+                        .field(r.completed).field(r.dropped)
+                        .field(toSeconds(r.makespan))
+                        .field(f.tag_faults).field(f.tag_retries)
+                        .field(f.copy_stalls).field(f.lane_faults)
+                        .field(f.replica_crashes)
+                        .field(f.requeued_requests)
+                        .field(f.lost_tokens).field(f.degraded_entries)
+                        .field(f.degraded_sends)
+                        .field(toSeconds(f.retry_latency))
+                        .field(rep.device).field(rep.crashed ? 1 : 0)
+                        .field(rep.crashed ? toSeconds(rep.crash_time)
+                                           : 0.0)
+                        .field(rep.requests).field(rep.requeued)
+                        .field(rep.absorbed).field(rep.dropped)
+                        .field(rep.lost_tokens)
+                        .endRow();
+                }
+            }
+        }
+    }
+
+    std::printf("\nexpectation: scale 0 reproduces the fault-free "
+                "baseline exactly; latency degrades smoothly with the "
+                "fault scale while goodput tracks the baseline until "
+                "crashes dominate; single-replica clusters drop every "
+                "orphaned request where multi-replica clusters "
+                "requeue them onto survivors; PipeLLM's advantage "
+                "over CC narrows at high scales as degraded mode "
+                "falls back to on-demand encryption\n");
+    return 0;
+}

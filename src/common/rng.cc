@@ -105,6 +105,23 @@ Rng::bernoulli(double p)
     return uniformReal() < p;
 }
 
+Tick
+Rng::exponentialTicks(double events_per_sec)
+{
+    double ns = exponential(events_per_sec) * 1e9;
+    if (ns >= double(maxTick))
+        return maxTick;
+    return Tick(ns);
+}
+
+Tick
+Rng::jitterTicks(Tick span)
+{
+    if (span == 0)
+        return 0;
+    return uniformInt(0, span);
+}
+
 std::uint8_t
 Rng::syntheticByte(std::uint64_t region_id, std::uint64_t offset)
 {

@@ -13,6 +13,8 @@
 
 #include <cstdint>
 
+#include "common/units.hh"
+
 namespace pipellm {
 
 /** Seedable xoshiro256** generator with distribution helpers. */
@@ -41,6 +43,16 @@ class Rng
 
     /** Bernoulli draw with probability p of true. */
     bool bernoulli(double p);
+
+    /**
+     * Exponential inter-arrival time in simulated ticks for a rate
+     * given in events per simulated second (fault and crash arrivals
+     * draw from this). Saturates at maxTick for vanishing rates.
+     */
+    Tick exponentialTicks(double events_per_sec);
+
+    /** Uniform jitter in [0, span] ticks; 0 when span is 0. */
+    Tick jitterTicks(Tick span);
 
     /**
      * Deterministic byte for synthetic memory content: a hash of the

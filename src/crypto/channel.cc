@@ -4,6 +4,7 @@
 
 #include "common/logging.hh"
 #include "common/rng.hh"
+#include "fault/fault.hh"
 
 namespace pipellm {
 namespace crypto {
@@ -83,7 +84,33 @@ SecureChannel::open(const CipherBlob &blob, std::uint64_t expected_counter,
                          sample_pt.data());
     PIPELLM_AUDIT_HOOK(if (ok) audit::Auditor::instance().noteVerified(
                            blob.audit_serial));
+    if (!ok)
+        ++tag_mismatches_;
     return ok;
+}
+
+void
+SecureChannel::setFaultInjector(fault::FaultInjector *injector)
+{
+    injector_ = injector;
+}
+
+void
+SecureChannel::corrupt(CipherBlob &blob)
+{
+    PIPELLM_ASSERT(!blob.sample_ct.empty(),
+                   "cannot corrupt an empty ciphertext");
+    blob.sample_ct[0] ^= 0x01;
+    blob.injected_fault = true;
+}
+
+bool
+SecureChannel::maybeCorrupt(CipherBlob &blob) const
+{
+    if (injector_ == nullptr || !injector_->corruptTag())
+        return false;
+    corrupt(blob);
+    return true;
 }
 
 CipherBlob

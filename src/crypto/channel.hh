@@ -24,6 +24,11 @@
 #include "crypto/iv.hh"
 
 namespace pipellm {
+
+namespace fault {
+class FaultInjector;
+} // namespace fault
+
 namespace crypto {
 
 /** Ciphertext of one transfer as it crosses the (simulated) PCIe bus. */
@@ -39,6 +44,13 @@ struct CipherBlob
     GcmTag tag{};
     /** Audit tag-ledger serial (0 in non-audit builds). */
     std::uint64_t audit_serial = 0;
+    /**
+     * Simulation metadata, never on the wire: set when the fault
+     * injector corrupted this blob, so receivers can tell an injected
+     * bit error (recoverable by retry) from a genuine protocol bug
+     * (fatal).
+     */
+    bool injected_fault = false;
 };
 
 /** Session configuration shared by both endpoints. */
@@ -93,10 +105,33 @@ class SecureChannel
     /** Process-unique audit identity (0 in non-audit builds). */
     std::uint64_t auditId() const { return audit_id_; }
 
+    /** Wire the machine-wide fault injector (nullptr to detach). */
+    void setFaultInjector(fault::FaultInjector *injector);
+
+    /**
+     * Corruption hook: flip one ciphertext bit in @p blob (a
+     * simulated in-flight PCIe bit error) and mark it injected so
+     * GCM verification rejects it recoverably.
+     */
+    static void corrupt(CipherBlob &blob);
+
+    /**
+     * Injector-driven corruption, called by transfer paths at the
+     * point the blob crosses the bus.
+     * @return true when the blob was corrupted
+     */
+    bool maybeCorrupt(CipherBlob &blob) const;
+
+    /** Tag verification failures observed by open() so far. */
+    std::uint64_t tagMismatches() const { return tag_mismatches_; }
+
   private:
     ChannelConfig config_;
     std::unique_ptr<AesGcm> gcm_;
     std::uint64_t audit_id_ = 0;
+    fault::FaultInjector *injector_ = nullptr;
+    /** open() is const for readers; the mismatch count is bookkeeping. */
+    mutable std::uint64_t tag_mismatches_ = 0;
 };
 
 } // namespace crypto

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.hh"
+#include "fault/fault.hh"
 
 namespace pipellm {
 namespace crypto {
@@ -31,6 +32,21 @@ Tick
 CryptoLanes::submitNotBefore(Tick earliest, std::uint64_t bytes)
 {
     bytes_submitted_ += bytes;
+    Tick done = dispatch(earliest, bytes);
+    // An injected lane death loses the finished attempt; the job is
+    // redone on a re-initialized lane, back to back.
+    if (injector_ != nullptr && injector_->failLane()) {
+        ++lane_faults_;
+        Tick redo = dispatch(done, bytes);
+        lane_fault_ticks_ += redo - done;
+        done = redo;
+    }
+    return done;
+}
+
+Tick
+CryptoLanes::dispatch(Tick earliest, std::uint64_t bytes)
+{
     if (owned_)
         return group_->submitNotBefore(earliest, bytes);
 
@@ -45,6 +61,12 @@ CryptoLanes::submitNotBefore(Tick earliest, std::uint64_t bytes)
     Tick done = group_->submitNotBeforeBestFit(floor, bytes);
     *slot = done;
     return done;
+}
+
+void
+CryptoLanes::setFaultInjector(fault::FaultInjector *injector)
+{
+    injector_ = injector;
 }
 
 Tick
@@ -70,9 +92,17 @@ CryptoLanes
 CryptoEngine::acquire(const std::string &name, unsigned width)
 {
     PIPELLM_ASSERT(width > 0, "crypto client needs width >= 1: ", name);
-    if (pool_)
-        return CryptoLanes(*pool_, width);
-    return CryptoLanes(eq_, name, width, bw_per_lane_);
+    CryptoLanes lanes = pool_ ? CryptoLanes(*pool_, width)
+                              : CryptoLanes(eq_, name, width,
+                                            bw_per_lane_);
+    lanes.setFaultInjector(injector_);
+    return lanes;
+}
+
+void
+CryptoEngine::setFaultInjector(fault::FaultInjector *injector)
+{
+    injector_ = injector;
 }
 
 } // namespace crypto

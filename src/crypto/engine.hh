@@ -28,6 +28,11 @@
 #include "sim/resource.hh"
 
 namespace pipellm {
+
+namespace fault {
+class FaultInjector;
+} // namespace fault
+
 namespace crypto {
 
 /**
@@ -74,9 +79,24 @@ class CryptoLanes
     /** The lane group requests land on (pool or private). */
     const sim::LaneGroup &group() const { return *group_; }
 
+    /** Wire the machine-wide fault injector (nullptr to detach). */
+    void setFaultInjector(fault::FaultInjector *injector);
+
+    /** Jobs redone after an injected lane death. */
+    std::uint64_t laneFaults() const { return lane_faults_; }
+
+    /** Simulated time the redone jobs added. */
+    Tick laneFaultTicks() const { return lane_fault_ticks_; }
+
   private:
+    /** One submission, without the fault-retry wrapper. */
+    Tick dispatch(Tick earliest, std::uint64_t bytes);
+
     std::unique_ptr<sim::LaneGroup> owned_; // dedicated mode only
     sim::LaneGroup *group_;                 // owned_ or the shared pool
+    fault::FaultInjector *injector_ = nullptr;
+    std::uint64_t lane_faults_ = 0;
+    Tick lane_fault_ticks_ = 0;
     /**
      * Per-thread occupancy in shared mode: slot i holds the tick at
      * which this client's i-th thread is free again. Dedicated mode
@@ -117,10 +137,17 @@ class CryptoEngine
 
     double bwPerLane() const { return bw_per_lane_; }
 
+    /**
+     * Wire the machine-wide fault injector; handles acquired from now
+     * on can suffer injected lane deaths.
+     */
+    void setFaultInjector(fault::FaultInjector *injector);
+
   private:
     sim::EventQueue &eq_;
     double bw_per_lane_;
     std::unique_ptr<sim::LaneGroup> pool_;
+    fault::FaultInjector *injector_ = nullptr;
 };
 
 } // namespace crypto

@@ -1,0 +1,44 @@
+#include "fault/degraded.hh"
+
+#include <algorithm>
+
+namespace pipellm {
+namespace fault {
+
+bool
+DegradedModeController::noteFault(Tick now)
+{
+    // Streams hand in slightly out-of-order cursors; clamp so the
+    // window arithmetic stays monotone.
+    if (!recent_.empty())
+        now = std::max(now, recent_.back());
+    recent_.push_back(now);
+    Tick floor = now > config_.window ? now - config_.window : 0;
+    while (!recent_.empty() && recent_.front() < floor)
+        recent_.pop_front();
+
+    // While degraded, every further fault pushes the quiet horizon
+    // out; speculation only resumes after a full quiet cooldown.
+    quiet_after_ = now + config_.cooldown;
+    if (!active_ && recent_.size() >= config_.fault_threshold) {
+        active_ = true;
+        entered_at_ = now;
+        ++entries_;
+        return true;
+    }
+    return false;
+}
+
+bool
+DegradedModeController::active(Tick now)
+{
+    if (active_ && now >= quiet_after_) {
+        active_ = false;
+        degraded_ticks_ += quiet_after_ - entered_at_;
+        recent_.clear();
+    }
+    return active_;
+}
+
+} // namespace fault
+} // namespace pipellm

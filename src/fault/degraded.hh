@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Speculation degraded mode for fault storms.
+ *
+ * A burst of transfer faults (tag corruption, copy stalls) makes
+ * speculative pre-encryption a liability: every retry consumes a
+ * fresh IV, which invalidates pipeline entries and forces
+ * re-encryption of data that may be corrupted again. The controller
+ * watches the runtime's own fault observations and, past a threshold
+ * within a sliding window, suspends speculation — the runtime falls
+ * back to on-demand CC-style encryption — until the storm has been
+ * quiet for a cooldown, then re-enters speculation.
+ */
+
+#ifndef PIPELLM_FAULT_DEGRADED_HH
+#define PIPELLM_FAULT_DEGRADED_HH
+
+#include <deque>
+
+#include "common/units.hh"
+
+namespace pipellm {
+namespace fault {
+
+/** When to trip into degraded mode and when to leave it. */
+struct DegradedConfig
+{
+    /** Faults within the window that trip degraded mode. */
+    unsigned fault_threshold = 3;
+
+    /** Sliding window over which faults are counted. */
+    Tick window = milliseconds(50);
+
+    /** Quiet time after the last fault before speculation resumes. */
+    Tick cooldown = milliseconds(200);
+};
+
+/** Sliding-window fault-storm detector with cooldown re-entry. */
+class DegradedModeController
+{
+  public:
+    explicit DegradedModeController(const DegradedConfig &config = {})
+        : config_(config)
+    {
+    }
+
+    /**
+     * Record a recovered fault observed at @p now.
+     * @return true when this fault trips the controller into
+     *         degraded mode (the transition edge, not the state)
+     */
+    bool noteFault(Tick now);
+
+    /**
+     * Whether speculation is suspended at @p now; leaving degraded
+     * mode (cooldown expired) is detected here.
+     */
+    bool active(Tick now);
+
+    /** Times degraded mode was entered. */
+    std::uint64_t entries() const { return entries_; }
+
+    /** Total simulated time spent degraded (closed intervals only). */
+    Tick degradedTicks() const { return degraded_ticks_; }
+
+  private:
+    DegradedConfig config_;
+    std::deque<Tick> recent_;
+    bool active_ = false;
+    Tick entered_at_ = 0;
+    Tick quiet_after_ = 0;
+    std::uint64_t entries_ = 0;
+    Tick degraded_ticks_ = 0;
+};
+
+} // namespace fault
+} // namespace pipellm
+
+#endif // PIPELLM_FAULT_DEGRADED_HH

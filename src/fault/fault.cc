@@ -1,0 +1,145 @@
+#include "fault/fault.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace pipellm {
+namespace fault {
+
+std::string
+toString(Kind kind)
+{
+    switch (kind) {
+      case Kind::TagCorruption:
+        return "TagCorruption";
+      case Kind::CopyStall:
+        return "CopyStall";
+      case Kind::CryptoLaneFault:
+        return "CryptoLaneFault";
+      case Kind::ReplicaCrash:
+        return "ReplicaCrash";
+    }
+    return "UnknownFault";
+}
+
+bool
+FaultPlan::armed() const
+{
+    return tag_corruption_rate > 0 || copy_stall_rate > 0 ||
+           lane_fault_rate > 0 || replica_crash_rate > 0;
+}
+
+void
+FaultReport::merge(const FaultReport &other)
+{
+    tag_faults += other.tag_faults;
+    tag_retries += other.tag_retries;
+    copy_stalls += other.copy_stalls;
+    copy_retries += other.copy_retries;
+    lane_faults += other.lane_faults;
+    replica_crashes += other.replica_crashes;
+    requeued_requests += other.requeued_requests;
+    dropped_requests += other.dropped_requests;
+    lost_tokens += other.lost_tokens;
+    degraded_entries += other.degraded_entries;
+    degraded_sends += other.degraded_sends;
+    degraded_ticks += other.degraded_ticks;
+    retry_latency += other.retry_latency;
+}
+
+std::uint64_t
+FaultReport::injectedTotal() const
+{
+    return tag_faults + copy_stalls + lane_faults + replica_crashes;
+}
+
+std::uint64_t
+FaultReport::recoveredTotal() const
+{
+    return tag_retries + copy_retries + lane_faults + requeued_requests;
+}
+
+void
+FaultInjector::arm(const FaultPlan &plan)
+{
+    PIPELLM_ASSERT(plan.max_transfer_retries > 0,
+                   "a zero retry budget cannot recover anything");
+    plan_ = plan;
+    rng_ = Rng(plan.seed);
+    armed_ = plan.armed();
+    injected_.fill(0);
+}
+
+void
+FaultInjector::disarm()
+{
+    armed_ = false;
+}
+
+bool
+FaultInjector::draw(Kind kind, double rate)
+{
+    // The disarmed check comes first so an unarmed injector consumes
+    // no Rng state and costs one predictable branch.
+    if (!armed_ || rate <= 0)
+        return false;
+    if (!rng_.bernoulli(rate))
+        return false;
+    ++injected_[std::size_t(kind)];
+    return true;
+}
+
+bool
+FaultInjector::corruptTag()
+{
+    return draw(Kind::TagCorruption, plan_.tag_corruption_rate);
+}
+
+bool
+FaultInjector::stallCopy()
+{
+    return draw(Kind::CopyStall, plan_.copy_stall_rate);
+}
+
+bool
+FaultInjector::failLane()
+{
+    return draw(Kind::CryptoLaneFault, plan_.lane_fault_rate);
+}
+
+Tick
+FaultInjector::drawCrashTime()
+{
+    if (!armed_ || plan_.replica_crash_rate <= 0)
+        return maxTick;
+    return rng_.exponentialTicks(plan_.replica_crash_rate);
+}
+
+Tick
+FaultInjector::backoff(unsigned attempt)
+{
+    PIPELLM_ASSERT(attempt >= 1, "backoff attempts are 1-based");
+    Tick wait = plan_.copy_backoff_base;
+    for (unsigned i = 1; i < attempt && wait < plan_.copy_backoff_cap;
+         ++i) {
+        wait *= 2;
+    }
+    wait = std::min(wait, plan_.copy_backoff_cap);
+    return wait + rng_.jitterTicks(wait / 2);
+}
+
+void
+FaultInjector::noteInjected(Kind kind)
+{
+    ++injected_[std::size_t(kind)];
+}
+
+std::uint64_t
+FaultInjector::injected(Kind kind) const
+{
+    return injected_[std::size_t(kind)];
+}
+
+} // namespace fault
+} // namespace pipellm

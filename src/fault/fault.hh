@@ -1,0 +1,216 @@
+/**
+ * @file
+ * Deterministic fault injection (FaultPlan -> FaultInjector).
+ *
+ * The paper's §8 security argument (tag verification, IV discipline,
+ * mispredicted-ciphertext disposal) only matters if the system
+ * survives the failures it detects. This layer injects those failures
+ * on purpose — seeded, reproducible, and zero-cost when disarmed — so
+ * the recovery paths can be exercised and measured:
+ *
+ *  - TagCorruption: a PCIe bit error flips ciphertext in flight; GCM
+ *    tag verification rejects the blob and the sender re-encrypts at
+ *    a fresh IV (never a replay).
+ *  - CopyStall: a DMA copy engine hangs; a watchdog timeout plus
+ *    capped exponential backoff retries the chunk through the staged
+ *    path.
+ *  - CryptoLaneFault: a host crypto lane dies mid-job; the job is
+ *    redone on a re-initialized lane, wasting the partial work.
+ *  - ReplicaCrash: a whole replica disappears mid-cluster-run; the
+ *    router marks it dead at the co-simulation frontier and requeues
+ *    its undelivered requests onto survivors.
+ *
+ * A single FaultInjector lives on the Platform (disarmed by default)
+ * and is wired by pointer into every injection site. Disarmed, each
+ * site pays one branch: no Rng draws, no timing change, so committed
+ * bench CSVs stay byte-identical — the same bar as the audit layer.
+ */
+
+#ifndef PIPELLM_FAULT_FAULT_HH
+#define PIPELLM_FAULT_FAULT_HH
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "common/rng.hh"
+#include "common/units.hh"
+
+namespace pipellm {
+namespace fault {
+
+/** What can break. One enumerator per injection site family. */
+enum class Kind
+{
+    TagCorruption,   ///< GCM tag mismatch from in-flight bit corruption
+    CopyStall,       ///< transient DMA copy-engine hang
+    CryptoLaneFault, ///< host crypto lane dies mid-job
+    ReplicaCrash,    ///< whole replica lost mid-run
+};
+
+/** Number of Kind enumerators (for counter arrays). */
+constexpr std::size_t numFaultKinds = 4;
+
+/** Human-readable name of a fault kind (CSV columns, diagnostics). */
+std::string toString(Kind kind);
+
+/**
+ * A seeded description of what to inject and how recovery is tuned.
+ * Rates are per-opportunity Bernoulli probabilities except
+ * replica_crash_rate, which is an exponential arrival rate in crashes
+ * per simulated second per replica.
+ */
+struct FaultPlan
+{
+    /** Seed for the injector's private Rng. */
+    std::uint64_t seed = 1;
+
+    /** P(ciphertext corrupted) per bus crossing. */
+    double tag_corruption_rate = 0;
+
+    /** P(copy engine stalls) per staged chunk attempt. */
+    double copy_stall_rate = 0;
+
+    /** P(crypto lane dies) per lane job. */
+    double lane_fault_rate = 0;
+
+    /** Crash arrival rate per replica (events per simulated second). */
+    double replica_crash_rate = 0;
+
+    /** Watchdog timeout charged per detected copy stall. */
+    Tick copy_stall_timeout = microseconds(50);
+
+    /** First-retry backoff; doubles per attempt up to the cap. */
+    Tick copy_backoff_base = microseconds(10);
+
+    /** Backoff ceiling (exponential growth is capped here). */
+    Tick copy_backoff_cap = milliseconds(1);
+
+    /** Injector stops stalling a chunk after this many attempts. */
+    unsigned max_copy_attempts = 6;
+
+    /** Tag-mismatch retries before a transfer is declared dead. */
+    unsigned max_transfer_retries = 8;
+
+    /** True when any fault rate is nonzero. */
+    bool armed() const;
+};
+
+/**
+ * Per-site fault and recovery counters. Injection sites and runtimes
+ * each keep one; reports merge upward (staged paths into runtimes,
+ * runtimes into the cluster result).
+ */
+struct FaultReport
+{
+    /** Injected tag corruptions that were detected (GCM reject). */
+    std::uint64_t tag_faults = 0;
+
+    /** Fresh-IV re-encryptions performed to recover them. */
+    std::uint64_t tag_retries = 0;
+
+    /** Injected copy-engine stalls (watchdog timeouts). */
+    std::uint64_t copy_stalls = 0;
+
+    /** Backed-off chunk retries issued for those stalls. */
+    std::uint64_t copy_retries = 0;
+
+    /** Crypto-lane jobs redone after an injected lane death. */
+    std::uint64_t lane_faults = 0;
+
+    /** Replica crashes fired by the router. */
+    std::uint64_t replica_crashes = 0;
+
+    /** Undelivered requests requeued onto surviving replicas. */
+    std::uint64_t requeued_requests = 0;
+
+    /** Requests dropped because no replica survived. */
+    std::uint64_t dropped_requests = 0;
+
+    /** Generated-and-lost tokens from crashed replicas' in-flight work. */
+    std::uint64_t lost_tokens = 0;
+
+    /** Times a runtime entered speculation-off degraded mode. */
+    std::uint64_t degraded_entries = 0;
+
+    /** Transfers served on-demand while degraded. */
+    std::uint64_t degraded_sends = 0;
+
+    /** Simulated time spent in degraded mode. */
+    Tick degraded_ticks = 0;
+
+    /** Simulated time added by recovery (retries + backoff). */
+    Tick retry_latency = 0;
+
+    /** Fold another site's counters into this report. */
+    void merge(const FaultReport &other);
+
+    /** Total faults injected across every kind. */
+    std::uint64_t injectedTotal() const;
+
+    /** Total recovery actions taken across every kind. */
+    std::uint64_t recoveredTotal() const;
+};
+
+/**
+ * The machine-wide injection oracle. Components hold a pointer and
+ * ask it whether their next operation fails; every decision comes
+ * from one private seeded Rng, so a (plan, workload) pair replays
+ * bit-identically. Disarmed (the default), every query returns
+ * "no fault" from a single branch without touching the Rng.
+ */
+class FaultInjector
+{
+  public:
+    FaultInjector() = default;
+
+    /** Install @p plan and reseed the decision stream. */
+    void arm(const FaultPlan &plan);
+
+    /** Return to the zero-cost disarmed state. */
+    void disarm();
+
+    bool armed() const { return armed_; }
+
+    const FaultPlan &plan() const { return plan_; }
+
+    /** Should this bus crossing corrupt the ciphertext? */
+    bool corruptTag();
+
+    /** Should this staged chunk attempt stall the copy engine? */
+    bool stallCopy();
+
+    /** Should this crypto-lane job die mid-flight? */
+    bool failLane();
+
+    /**
+     * Crash arrival time for one replica, drawn from the plan's
+     * exponential rate; maxTick when crashes are not armed.
+     */
+    Tick drawCrashTime();
+
+    /**
+     * Jittered capped-exponential backoff before retry @p attempt
+     * (1-based): base * 2^(attempt-1), capped, plus uniform jitter.
+     */
+    Tick backoff(unsigned attempt);
+
+    /** Record an injection decided outside the injector (crashes). */
+    void noteInjected(Kind kind);
+
+    /** Faults of @p kind injected since the last arm(). */
+    std::uint64_t injected(Kind kind) const;
+
+  private:
+    bool draw(Kind kind, double rate);
+
+    FaultPlan plan_;
+    Rng rng_;
+    bool armed_ = false;
+    std::array<std::uint64_t, numFaultKinds> injected_{};
+};
+
+} // namespace fault
+} // namespace pipellm
+
+#endif // PIPELLM_FAULT_FAULT_HH

@@ -74,6 +74,14 @@ GpuDevice::dmaD2hPlain(Addr src, std::uint8_t *out,
 void
 GpuDevice::commitEncrypted(const crypto::CipherBlob &blob, Addr dst)
 {
+    bool ok = tryCommitEncrypted(blob, dst);
+    PIPELLM_ASSERT(ok, "injected tag fault reached a path with no "
+                       "recovery; route it through tryCommitEncrypted");
+}
+
+bool
+GpuDevice::tryCommitEncrypted(const crypto::CipherBlob &blob, Addr dst)
+{
     PIPELLM_ASSERT(channel_, "CC transfer on a non-CC device");
     PIPELLM_ASSERT(blob.dir == crypto::Direction::HostToDevice,
                    "blob direction mismatch");
@@ -82,10 +90,16 @@ GpuDevice::commitEncrypted(const crypto::CipherBlob &blob, Addr dst)
     std::vector<std::uint8_t> sample;
     if (!channel_->open(blob, expected, sample)) {
         ++integrity_failures_;
-        PANIC("GPU copy engine: AES-GCM tag failure on H2D transfer "
-              "(sender IV counter ", blob.iv_counter,
-              ", device expected ", expected,
-              "); the CC session would be terminated");
+        if (!blob.injected_fault) {
+            PANIC("GPU copy engine: AES-GCM tag failure on H2D transfer "
+                  "(sender IV counter ", blob.iv_counter,
+                  ", device expected ", expected,
+                  "); the CC session would be terminated");
+        }
+        // Injected PCIe corruption: discard the blob. The RX IV was
+        // consumed, matching the host counter's advance at seal time,
+        // so a fresh-IV retry stays in lockstep.
+        return false;
     }
     // The ciphertext crossed the (simulated) bus: register the
     // exposure after verification so tag-failure paths keep their
@@ -95,6 +109,7 @@ GpuDevice::commitEncrypted(const crypto::CipherBlob &blob, Addr dst)
         expected));
     if (!sample.empty())
         mem_.write(dst, sample.data(), sample.size());
+    return true;
 }
 
 crypto::CipherBlob

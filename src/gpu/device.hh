@@ -130,6 +130,19 @@ class GpuDevice
      */
     void commitEncrypted(const crypto::CipherBlob &blob, Addr dst);
 
+    /**
+     * Like commitEncrypted(), but an *injected* tag failure (a
+     * simulated PCIe bit error, CipherBlob::injected_fault) is
+     * recoverable: the copy engine discards the blob and reports
+     * false, the RX IV having been consumed on both sides, so the
+     * host retries by re-sealing at its next counter. A genuine tag
+     * failure still panics with the original diagnostics — fault
+     * injection must never mask a real speculation bug.
+     * @return true when the blob verified and landed
+     */
+    [[nodiscard]] bool tryCommitEncrypted(const crypto::CipherBlob &blob,
+                                          Addr dst);
+
     /** Functional-only half of an encrypted D2H: read + seal. */
     crypto::CipherBlob sealD2h(Addr src, std::uint64_t full_len);
 
@@ -196,7 +209,10 @@ class GpuDevice
     const sim::BandwidthResource &h2dLink() const { return pcie_h2d_; }
     const sim::BandwidthResource &d2hLink() const { return pcie_d2h_; }
 
-    /** Tag verification failures observed (should stay 0). */
+    /**
+     * Tag verification failures observed. Zero on fault-free runs;
+     * with injected corruption armed, counts the discarded blobs.
+     */
     std::uint64_t integrityFailures() const { return integrity_failures_; }
 
   private:

@@ -54,6 +54,7 @@ class AsyncDecryptor
     std::uint64_t faults() const { return faults_; }
 
     crypto::CryptoLanes &lanes() { return lanes_; }
+    const crypto::CryptoLanes &lanes() const { return lanes_; }
 
   private:
     mem::SparseMemory &host_;

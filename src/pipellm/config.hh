@@ -9,6 +9,7 @@
 #include <cstdint>
 
 #include "common/units.hh"
+#include "fault/degraded.hh"
 #include "pipellm/classifier.hh"
 #include "pipellm/predictor.hh"
 
@@ -54,6 +55,14 @@ struct PipeLlmConfig
 
     ClassifierConfig classifier;
     PredictorConfig predictor;
+
+    /**
+     * Fault-storm response: when injected transfer faults cluster,
+     * speculation is suspended (on-demand CC fallback) until the
+     * channel has been quiet for a cooldown. Irrelevant unless a
+     * fault plan is armed on the platform.
+     */
+    fault::DegradedConfig degraded;
 };
 
 } // namespace core

@@ -24,7 +24,8 @@ PipeLlmRuntime::PipeLlmRuntime(runtime::Platform &platform,
       pipeline_(platform.hostMem(), platform.device(device).channel(),
                 enc_lanes_, predictor_, config),
       nop_scratch_(platform.device(device).gpu().alloc(
-          mem::pageBytes, "pipellm-nop-scratch"))
+          mem::pageBytes, "pipellm-nop-scratch")),
+      degraded_(config.degraded)
 {
     gpu().enableCc(&channel());
 }
@@ -40,9 +41,11 @@ PipeLlmRuntime::memcpyAsync(CopyKind kind, Addr dst, Addr src,
     else
         result = copyD2h(dst, src, len, stream, now);
 
-    // Prediction stage runs opportunistically after every call.
-    pipeline_.refill(std::max(now, result.api_return),
-                     h2d_iv_.current());
+    // Prediction stage runs opportunistically after every call —
+    // unless a fault storm has speculation suspended.
+    Tick idle = std::max(now, result.api_return);
+    if (!degraded_.active(idle))
+        pipeline_.refill(idle, h2d_iv_.current());
     return result;
 }
 
@@ -58,7 +61,8 @@ PipeLlmRuntime::sendEntry(const PreencEntry &entry, Addr dst,
     // Validated: the ciphertext may now enter shared memory (§6).
     Tick start = std::max({now, entry.ready_at, stream.tail()});
     Tick done = ctx().h2dPath().transfer(start, entry.chunk.len);
-    gpu().commitEncrypted(entry.blob, dst);
+    done = deliverH2d(entry.blob, dst, entry.chunk.addr,
+                      entry.chunk.len, false, done);
     stream.push(done);
     trace(now, done, entry.chunk.len, true,
           runtime::TransferOutcome::Hit);
@@ -93,7 +97,7 @@ PipeLlmRuntime::sendOnDemand(Addr dst, Addr src, std::uint64_t len,
 
     Tick start = std::max(enc_done, stream.tail());
     Tick done = ctx().h2dPath().transfer(start, len);
-    gpu().commitEncrypted(blob, dst);
+    done = deliverH2d(blob, dst, src, len, false, done);
     stream.push(done);
     trace(now, done, len, true, runtime::TransferOutcome::Miss);
     // Caller resumes immediately when a worker took the job.
@@ -114,8 +118,80 @@ PipeLlmRuntime::sendNop(Tick now)
         crypto::Direction::HostToDevice, iv);
     Tick enc_done = now + nanoseconds(200);
     Tick done = ctx().h2dPath().transfer(enc_done, 1);
-    gpu().commitEncrypted(blob, nop_scratch_.base);
+    done = deliverH2d(blob, nop_scratch_.base, 0, 1, true, done);
     trace(now, done, 1, true, runtime::TransferOutcome::Nop);
+}
+
+void
+PipeLlmRuntime::noteTagRetry(unsigned &attempt, Tick now)
+{
+    ++fault_report_.tag_faults;
+    ++attempt;
+    const auto &plan = platform_.faultInjector().plan();
+    if (attempt > plan.max_transfer_retries) {
+        PANIC("PipeLLM: transfer still failing after ",
+              plan.max_transfer_retries,
+              " fresh-IV retries; giving up");
+    }
+    ++fault_report_.tag_retries;
+    if (degraded_.noteFault(now)) {
+        // Fault storm: every retry burns a fresh IV, which keeps
+        // invalidating the speculative plan anyway. Drop the plan
+        // wholesale and serve on demand until the storm passes.
+        pipeline_.relinquish();
+    }
+}
+
+Tick
+PipeLlmRuntime::deliverH2d(const crypto::CipherBlob &sent, Addr dst,
+                           Addr src, std::uint64_t len, bool nop,
+                           Tick done)
+{
+    if (!platform_.faultInjector().armed()) {
+        // Fault-free fast path: byte-identical to the unfaulted
+        // runtime (no RNG draws, no timing deltas).
+        gpu().commitEncrypted(sent, dst);
+        return done;
+    }
+
+    crypto::CipherBlob blob = sent;
+    channel().maybeCorrupt(blob);
+    unsigned attempt = 0;
+    while (!gpu().tryCommitEncrypted(blob, dst)) {
+        noteTagRetry(attempt, done);
+        PIPELLM_AUDIT_HOOK(audit::Auditor::instance().noteDiscarded(
+            blob.audit_serial));
+        // Both IV counters advanced past the corrupted value, so the
+        // retry re-encrypts at the next (fresh) counter — never a
+        // replay. That counter may have been promised to speculative
+        // entries; the pipeline re-plans around it.
+        std::uint64_t iv = h2d_iv_.next();
+        pipeline_.invalidateIv(iv, done);
+        Tick enc_done;
+        if (nop) {
+            blob = channel().sealNop(crypto::Direction::HostToDevice,
+                                     iv);
+            enc_done = done + nanoseconds(200);
+        } else {
+            std::uint64_t n = sampleLen(len);
+            std::vector<std::uint8_t> sample(n);
+            platform_.hostMem().read(src, sample.data(), n);
+            // Recovery happens on the calling thread (stock CC
+            // style); queueing behind speculative lane work would
+            // stretch the outage.
+            enc_done = done + transferTicks(
+                len, platform_.spec().cpu_crypto_bw_per_lane);
+            stats_.cpu_encrypt_bytes += len;
+            blob = channel().seal(crypto::Direction::HostToDevice, iv,
+                                  sample.data(), len);
+        }
+        Tick redo = ctx().h2dPath().transfer(enc_done, len);
+        fault_report_.retry_latency += redo - done;
+        trace(done, redo, len, true, runtime::TransferOutcome::Retry);
+        done = redo;
+        channel().maybeCorrupt(blob);
+    }
+    return done;
 }
 
 void
@@ -143,23 +219,24 @@ PipeLlmRuntime::flushPending(Tick now)
                   return a.entry.iv < b.entry.iv;
               });
     for (auto &p : pending_) {
+        // NOP padding (§5.3): advance the counter over IVs that were
+        // assigned to mispredicted chunks.
+        while (h2d_iv_.current() < p.entry.iv) {
+            ++pipe_stats_.nops_flush;
+            sendNop(now);
+        }
         if (p.entry.iv < h2d_iv_.current()) {
-            // Interleaved transfers overtook this deferred send's IV
-            // while it waited (leeway exhausted mid-batch): the
-            // pre-encryption is dead, but the copy is still owed —
-            // re-encrypt on demand at the current counter.
+            // The counter overtook this deferred send's IV — either
+            // interleaved transfers exhausted the leeway while it
+            // waited, or a padding NOP's tag-fault retry burned past
+            // it. The pre-encryption is dead, but the copy is still
+            // owed — re-encrypt on demand at the current counter.
             ++pipe_stats_.stale_drops;
             PIPELLM_AUDIT_HOOK(audit::Auditor::instance().noteDiscarded(
                 p.entry.blob.audit_serial));
             sendOnDemand(p.dst, p.entry.chunk.addr, p.entry.chunk.len,
                          *p.stream, now);
             continue;
-        }
-        // NOP padding (§5.3): advance the counter over IVs that were
-        // assigned to mispredicted chunks.
-        while (h2d_iv_.current() < p.entry.iv) {
-            ++pipe_stats_.nops_flush;
-            sendNop(now);
         }
         sendEntry(p.entry, p.dst, *p.stream, now);
     }
@@ -188,6 +265,19 @@ PipeLlmRuntime::copyH2d(Addr dst, Addr src, std::uint64_t len,
     pipeline_.noteSwapRequest();
     predictor_.noteSwapIn(chunk);
 
+    if (degraded_.active(control)) {
+        // Degraded mode: speculation is suspended after a fault
+        // storm; serve the swap exactly like stock CC until the
+        // cooldown expires. The predictor keeps learning so the
+        // pipeline restarts warm.
+        ++fault_report_.degraded_sends;
+        ++pipe_stats_.misses;
+        pipe_stats_.on_demand_bytes += len;
+        Tick enc_done = sendOnDemand(dst, src, len, stream, control);
+        drainPending(enc_done);
+        return ApiResult{enc_done, stream.tail()};
+    }
+
     auto entry = pipeline_.find(chunk);
     if (entry && entry->iv >= h2d_iv_.current()) {
         ++pipe_stats_.hits;
@@ -211,7 +301,21 @@ PipeLlmRuntime::copyH2d(Addr dst, Addr src, std::uint64_t len,
                 ++pipe_stats_.nops_eager;
                 sendNop(control);
             }
-            complete = sendEntry(*entry, dst, stream, control);
+            if (entry->iv == h2d_iv_.current()) {
+                complete = sendEntry(*entry, dst, stream, control);
+            } else {
+                // A padding NOP's tag-fault retry burned past the
+                // entry's IV: the pre-encryption is dead after all.
+                --pipe_stats_.hits;
+                ++pipe_stats_.misses;
+                ++pipe_stats_.stale_drops;
+                pipe_stats_.on_demand_bytes += len;
+                PIPELLM_AUDIT_HOOK(
+                    audit::Auditor::instance().noteDiscarded(
+                        entry->blob.audit_serial));
+                complete = sendOnDemand(dst, src, len, stream,
+                                        control);
+            }
             drainPending(control);
         } else {
             // Swap re-ordering (§5.3): a lower-IV sibling in this
@@ -255,10 +359,28 @@ PipeLlmRuntime::copyD2h(Addr dst, Addr src, std::uint64_t len,
 
     crypto::CipherBlob blob = dev.sealD2h(src, len);
     Tick landed = ctx().d2hPath().transfer(start, len);
+    channel().maybeCorrupt(blob);
 
     std::vector<std::uint8_t> sample;
-    if (!channel().open(blob, d2h_iv_.next(), sample))
-        PANIC("PipeLLM: D2H tag failure (GPU IV ", blob.iv_counter, ")");
+    unsigned attempt = 0;
+    while (!channel().open(blob, d2h_iv_.next(), sample)) {
+        if (!blob.injected_fault) {
+            PANIC("PipeLLM: D2H tag failure (GPU IV ",
+                  blob.iv_counter, ")");
+        }
+        noteTagRetry(attempt, landed);
+        // Both sides consumed the failed counter; the device re-seals
+        // at its next TX IV and the ciphertext re-crosses the bus.
+        PIPELLM_AUDIT_HOOK(audit::Auditor::instance().noteDiscarded(
+            blob.audit_serial));
+        blob = dev.sealD2h(src, len);
+        Tick redo = ctx().d2hPath().transfer(landed, len);
+        channel().maybeCorrupt(blob);
+        fault_report_.retry_latency += redo - landed;
+        trace(landed, redo, len, false,
+              runtime::TransferOutcome::Retry);
+        landed = redo;
+    }
 
     bool swap = classifier_.isSwap(len);
     if (swap) {
@@ -295,8 +417,23 @@ PipeLlmRuntime::synchronize(Tick now)
     predictor_.noteBatchBoundary();
     pipeline_.noteBatch();
     Tick t = RuntimeApi::synchronize(now);
-    pipeline_.refill(t, h2d_iv_.current());
+    if (!degraded_.active(t))
+        pipeline_.refill(t, h2d_iv_.current());
     return t;
+}
+
+fault::FaultReport
+PipeLlmRuntime::faultReport() const
+{
+    fault::FaultReport report = RuntimeApi::faultReport();
+    report.lane_faults +=
+        enc_lanes_.laneFaults() + decryptor_.lanes().laneFaults();
+    report.retry_latency +=
+        enc_lanes_.laneFaultTicks() +
+        decryptor_.lanes().laneFaultTicks();
+    report.degraded_entries += degraded_.entries();
+    report.degraded_ticks += degraded_.degradedTicks();
+    return report;
 }
 
 } // namespace core

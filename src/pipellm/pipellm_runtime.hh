@@ -20,6 +20,7 @@
 
 #include "crypto/engine.hh"
 #include "crypto/iv.hh"
+#include "fault/degraded.hh"
 #include "pipellm/async_decryptor.hh"
 #include "pipellm/classifier.hh"
 #include "pipellm/config.hh"
@@ -105,6 +106,11 @@ class PipeLlmRuntime : public runtime::RuntimeApi
     /** Deferred (re-ordered) sends currently waiting. */
     std::size_t pendingSends() const { return pending_.size(); }
 
+    /** Fault-storm controller (exposed for tests). */
+    fault::DegradedModeController &degraded() { return degraded_; }
+
+    fault::FaultReport faultReport() const override;
+
   private:
     struct PendingSend
     {
@@ -134,6 +140,25 @@ class PipeLlmRuntime : public runtime::RuntimeApi
     /** 1-byte dummy transfer advancing both IV counters (§5.3). */
     void sendNop(Tick now);
 
+    /**
+     * Commit @p sent to the device, recovering from injected tag
+     * faults by re-encrypting at a fresh IV (which invalidates any
+     * speculative entry planned on that counter) and re-crossing the
+     * staged path. With no fault plan armed this is exactly
+     * commitEncrypted.
+     * @param nop true when the blob is a 1-byte NOP (no host source)
+     * @return completion tick including any retries
+     */
+    Tick deliverH2d(const crypto::CipherBlob &sent, Addr dst, Addr src,
+                    std::uint64_t len, bool nop, Tick done);
+
+    /**
+     * Account one injected-tag-fault retry at @p now; trips the
+     * degraded-mode controller (relinquishing the speculative plan)
+     * on a fault storm, and panics past the plan's retry budget.
+     */
+    void noteTagRetry(unsigned &attempt, Tick now);
+
     /** Send every deferred entry whose IV equals the counter. */
     void drainPending(Tick now);
 
@@ -150,6 +175,7 @@ class PipeLlmRuntime : public runtime::RuntimeApi
     crypto::IvCounter d2h_iv_{crypto::Direction::DeviceToHost};
     std::vector<PendingSend> pending_;
     mem::Region nop_scratch_;
+    fault::DegradedModeController degraded_;
     mutable PipeLlmStats pipe_stats_;
 };
 

@@ -57,5 +57,15 @@ RuntimeApi::sampleLen(std::uint64_t len) const
     return platform_.device(device_id_).channel().sampledLen(len);
 }
 
+fault::FaultReport
+RuntimeApi::faultReport() const
+{
+    fault::FaultReport report = fault_report_;
+    DeviceContext &ctx = platform_.device(device_id_);
+    report.merge(ctx.h2dPath().faultReport());
+    report.merge(ctx.d2hPath().faultReport());
+    return report;
+}
+
 } // namespace runtime
 } // namespace pipellm

@@ -157,6 +157,13 @@ class RuntimeApi
     /** Attach an optional transfer recorder (not owned). */
     void attachTrace(TransferTrace *trace) { trace_ = trace; }
 
+    /**
+     * Faults this runtime observed and recovered from, merged with
+     * the counters of its device's staged copy paths and CC session.
+     * All zeros when no fault plan is armed.
+     */
+    virtual fault::FaultReport faultReport() const;
+
   protected:
     /** Sampled prefix length for functional data movement. */
     std::uint64_t sampleLen(std::uint64_t len) const;
@@ -188,6 +195,8 @@ class RuntimeApi
     RuntimeStats stats_;
     std::vector<std::unique_ptr<Stream>> streams_;
     TransferTrace *trace_ = nullptr;
+    /** Recovery counters accumulated by this runtime's own paths. */
+    fault::FaultReport fault_report_;
 };
 
 const char *toString(CopyKind kind);

@@ -39,6 +39,31 @@ CcRuntime::chargeCpuCrypto(crypto::CryptoLanes &lanes, Tick start,
     return done;
 }
 
+void
+CcRuntime::noteTagRetry(unsigned &attempt)
+{
+    ++fault_report_.tag_faults;
+    ++attempt;
+    const auto &plan = platform_.faultInjector().plan();
+    if (attempt > plan.max_transfer_retries) {
+        PANIC("CC runtime: transfer still failing after ",
+              plan.max_transfer_retries,
+              " fresh-IV retries; giving up");
+    }
+    ++fault_report_.tag_retries;
+}
+
+fault::FaultReport
+CcRuntime::faultReport() const
+{
+    fault::FaultReport report = RuntimeApi::faultReport();
+    report.lane_faults +=
+        enc_lanes_.laneFaults() + dec_lanes_.laneFaults();
+    report.retry_latency +=
+        enc_lanes_.laneFaultTicks() + dec_lanes_.laneFaultTicks();
+    return report;
+}
+
 ApiResult
 CcRuntime::memcpyAsync(CopyKind kind, Addr dst, Addr src,
                        std::uint64_t len, Stream &stream, Tick now)
@@ -77,7 +102,27 @@ CcRuntime::copyH2d(Addr dst, Addr src, std::uint64_t len,
     Tick api_return = enc_done;
     Tick xfer_start = std::max(enc_done, stream.tail());
     Tick done = ctx().h2dPath().transfer(xfer_start, len);
-    dev.commitEncrypted(blob, dst);
+    channel().maybeCorrupt(blob);
+    unsigned attempt = 0;
+    while (!dev.tryCommitEncrypted(blob, dst)) {
+        noteTagRetry(attempt);
+        // The corrupted ciphertext is discarded; both IV counters
+        // already advanced past the failed value, so the retry
+        // re-encrypts at the next (fresh) counter and re-crosses the
+        // whole staged path. The caller is unblocked — recovery rides
+        // the stream.
+        PIPELLM_AUDIT_HOOK(audit::Auditor::instance().noteDiscarded(
+            blob.audit_serial));
+        Tick redo_enc = chargeCpuCrypto(enc_lanes_, done, len);
+        stats_.cpu_encrypt_bytes += len;
+        blob = channel().seal(crypto::Direction::HostToDevice,
+                              h2d_iv_.next(), sample.data(), len);
+        Tick redo_done = ctx().h2dPath().transfer(redo_enc, len);
+        fault_report_.retry_latency += redo_done - done;
+        trace(done, redo_done, len, true, TransferOutcome::Retry);
+        done = redo_done;
+        channel().maybeCorrupt(blob);
+    }
     stream.push(done);
     trace(now, done, len, true, TransferOutcome::Direct);
     return ApiResult{api_return, done};
@@ -99,13 +144,30 @@ CcRuntime::copyD2h(Addr dst, Addr src, std::uint64_t len,
     // returns (stock NVIDIA CC behavior, §5.4).
     crypto::CipherBlob blob = dev.sealD2h(src, len);
     Tick landed = ctx().d2hPath().transfer(start, len);
+    channel().maybeCorrupt(blob);
     Tick dec_done = chargeCpuCrypto(dec_lanes_, landed, len);
     stats_.cpu_decrypt_bytes += len;
 
     std::vector<std::uint8_t> sample;
-    if (!channel().open(blob, d2h_iv_.next(), sample)) {
-        PANIC("CC runtime: D2H tag failure (GPU IV ", blob.iv_counter,
-              ")");
+    unsigned attempt = 0;
+    while (!channel().open(blob, d2h_iv_.next(), sample)) {
+        if (!blob.injected_fault) {
+            PANIC("CC runtime: D2H tag failure (GPU IV ",
+                  blob.iv_counter, ")");
+        }
+        noteTagRetry(attempt);
+        // Both sides consumed the failed counter; the device re-seals
+        // at its next TX IV and the ciphertext re-crosses the bus.
+        PIPELLM_AUDIT_HOOK(audit::Auditor::instance().noteDiscarded(
+            blob.audit_serial));
+        blob = dev.sealD2h(src, len);
+        Tick redo_landed = ctx().d2hPath().transfer(dec_done, len);
+        channel().maybeCorrupt(blob);
+        Tick redo_dec = chargeCpuCrypto(dec_lanes_, redo_landed, len);
+        stats_.cpu_decrypt_bytes += len;
+        fault_report_.retry_latency += redo_dec - dec_done;
+        trace(dec_done, redo_dec, len, false, TransferOutcome::Retry);
+        dec_done = redo_dec;
     }
     host.write(dst, sample.data(), sample.size());
 

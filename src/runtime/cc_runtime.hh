@@ -48,6 +48,8 @@ class CcRuntime : public RuntimeApi
     std::uint64_t h2dCounter() const { return h2d_iv_.current(); }
     std::uint64_t d2hCounter() const { return d2h_iv_.current(); }
 
+    fault::FaultReport faultReport() const override;
+
   private:
     /**
      * Charge @p len bytes of CPU crypto split across the lanes.
@@ -55,6 +57,12 @@ class CcRuntime : public RuntimeApi
      */
     Tick chargeCpuCrypto(crypto::CryptoLanes &lanes, Tick start,
                          std::uint64_t len);
+
+    /**
+     * Account one injected-tag-fault retry; panics when @p attempt
+     * exceeds the plan's transfer retry budget.
+     */
+    void noteTagRetry(unsigned &attempt);
 
     ApiResult copyH2d(Addr dst, Addr src, std::uint64_t len,
                       Stream &stream, Tick now);

@@ -45,6 +45,14 @@ DeviceContext::DeviceContext(sim::EventQueue &eq,
 {
 }
 
+void
+DeviceContext::attachFaultInjector(fault::FaultInjector *injector)
+{
+    channel_.setFaultInjector(injector);
+    h2d_path_.setFaultInjector(injector);
+    d2h_path_.setFaultInjector(injector);
+}
+
 Platform::Platform(const gpu::SystemSpec &spec,
                    const crypto::ChannelConfig &channel_cfg,
                    unsigned num_devices, const HostResources &host)
@@ -59,11 +67,13 @@ Platform::Platform(const gpu::SystemSpec &spec,
             eq_, "host-bridge", host_res_.bridge_bw,
             host_res_.bridge_latency);
     }
+    crypto_engine_.setFaultInjector(&fault_injector_);
     devices_.reserve(num_devices);
     for (unsigned i = 0; i < num_devices; ++i) {
         devices_.push_back(std::make_unique<DeviceContext>(
             eq_, spec_, channel_cfg, DeviceId(i)));
         devices_.back()->gpu().attachHostBridge(host_bridge_.get());
+        devices_.back()->attachFaultInjector(&fault_injector_);
     }
 }
 

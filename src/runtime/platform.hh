@@ -28,6 +28,7 @@
 
 #include "crypto/channel.hh"
 #include "crypto/engine.hh"
+#include "fault/fault.hh"
 #include "gpu/device.hh"
 #include "gpu/spec.hh"
 #include "mem/sparse_memory.hh"
@@ -84,6 +85,9 @@ class DeviceContext
     StagedCopyPath &h2dPath() { return h2d_path_; }
     StagedCopyPath &d2hPath() { return d2h_path_; }
 
+    /** Wire the machine-wide injector into every injection site. */
+    void attachFaultInjector(fault::FaultInjector *injector);
+
   private:
     DeviceId id_;
     crypto::SecureChannel channel_;
@@ -139,6 +143,21 @@ class Platform
     /** The machine-wide CPU crypto lane supply. */
     crypto::CryptoEngine &cryptoEngine() { return crypto_engine_; }
 
+    /**
+     * The machine-wide fault injector, wired into every channel,
+     * staged path, and crypto-lane handle at construction. Disarmed
+     * by default (zero cost); arm it with armFaults().
+     */
+    fault::FaultInjector &faultInjector() { return fault_injector_; }
+    const fault::FaultInjector &faultInjector() const {
+        return fault_injector_;
+    }
+
+    /** Arm deterministic fault injection machine-wide. */
+    void armFaults(const fault::FaultPlan &plan) {
+        fault_injector_.arm(plan);
+    }
+
     /** The host-resource knobs this platform was built with. */
     const HostResources &hostResources() const { return host_res_; }
 
@@ -155,6 +174,7 @@ class Platform
     sim::EventQueue eq_;
     gpu::SystemSpec spec_;
     HostResources host_res_;
+    fault::FaultInjector fault_injector_;
     crypto::CryptoEngine crypto_engine_;
     std::unique_ptr<sim::BandwidthResource> host_bridge_;
     std::vector<std::unique_ptr<DeviceContext>> devices_;

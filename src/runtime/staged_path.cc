@@ -29,7 +29,7 @@ StagedCopyPath::transfer(Tick earliest, std::uint64_t len)
         if (toward_device_) {
             // private -> shared memcpy, DMA out of the buffer, then
             // the copy engine decrypts the chunk into HBM.
-            Tick copied = copy_.submitNotBefore(start, chunk);
+            Tick copied = stallDelay(copy_.submitNotBefore(start, chunk));
             Tick landed = link_.submitNotBefore(copied, chunk);
             pool_.release(lease.buf, landed);
             finish = device_crypto_
@@ -43,12 +43,40 @@ StagedCopyPath::transfer(Tick earliest, std::uint64_t len)
                                                                 chunk)
                               : start;
             Tick landed = link_.submitNotBefore(sealed, chunk);
-            finish = copy_.submitNotBefore(landed, chunk);
+            finish = stallDelay(copy_.submitNotBefore(landed, chunk));
             pool_.release(lease.buf, finish);
         }
         done = std::max(done, finish);
     }
     return done;
+}
+
+Tick
+StagedCopyPath::stallDelay(Tick ready)
+{
+    if (injector_ == nullptr || !injector_->armed())
+        return ready;
+    // Each stall hangs the engine until the watchdog timeout fires,
+    // waits out a jittered capped-exponential backoff, and redoes the
+    // chunk. The injector's attempt cap bounds the loop.
+    const fault::FaultPlan &plan = injector_->plan();
+    unsigned attempt = 0;
+    while (attempt < plan.max_copy_attempts && injector_->stallCopy()) {
+        ++attempt;
+        Tick penalty =
+            plan.copy_stall_timeout + injector_->backoff(attempt);
+        ready += penalty;
+        ++faults_.copy_stalls;
+        faults_.retry_latency += penalty;
+    }
+    faults_.copy_retries += attempt;
+    return ready;
+}
+
+void
+StagedCopyPath::setFaultInjector(fault::FaultInjector *injector)
+{
+    injector_ = injector;
 }
 
 } // namespace runtime

@@ -12,6 +12,7 @@
 #ifndef PIPELLM_RUNTIME_STAGED_PATH_HH
 #define PIPELLM_RUNTIME_STAGED_PATH_HH
 
+#include "fault/fault.hh"
 #include "gpu/spec.hh"
 #include "mem/staging.hh"
 #include "sim/event_queue.hh"
@@ -45,12 +46,29 @@ class StagedCopyPath
     const mem::StagingPool &pool() const { return pool_; }
     const sim::BandwidthResource &copyEngine() const { return copy_; }
 
+    /** Wire the machine-wide fault injector (nullptr to detach). */
+    void setFaultInjector(fault::FaultInjector *injector);
+
+    /** Stall/retry counters accumulated by this path. */
+    const fault::FaultReport &faultReport() const { return faults_; }
+
   private:
+    /**
+     * Injected copy-engine stalls for one chunk: each stall costs the
+     * watchdog timeout plus a jittered capped-exponential backoff,
+     * then the chunk is retried; the injector stops stalling past the
+     * plan's attempt cap, so the transfer always completes.
+     * @return tick at which the chunk's copy may proceed
+     */
+    Tick stallDelay(Tick ready);
+
     sim::BandwidthResource copy_;
     sim::BandwidthResource &link_;
     sim::BandwidthResource *device_crypto_;
     mem::StagingPool pool_;
     bool toward_device_;
+    fault::FaultInjector *injector_ = nullptr;
+    fault::FaultReport faults_;
 };
 
 } // namespace runtime

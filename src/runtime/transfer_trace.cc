@@ -20,6 +20,8 @@ toString(TransferOutcome outcome)
         return "deferred";
       case TransferOutcome::Nop:
         return "nop";
+      case TransferOutcome::Retry:
+        return "retry";
     }
     return "?";
 }

@@ -28,6 +28,7 @@ enum class TransferOutcome : std::uint8_t
     Miss,     ///< encrypted on demand
     Deferred, ///< re-ordered behind a lower-IV sibling
     Nop,      ///< 1-byte IV-advancing dummy
+    Retry,    ///< re-encrypted at a fresh IV after a tag fault
 };
 
 const char *toString(TransferOutcome outcome);

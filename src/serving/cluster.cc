@@ -24,7 +24,8 @@ ClusterRouter::ClusterRouter(runtime::Platform &platform,
                              const RuntimeFactory &factory,
                              ClusterConfig config)
     : platform_(platform), config_(std::move(config)),
-      load_(platform.numDevices(), 0)
+      load_(platform.numDevices(), 0),
+      alive_(platform.numDevices(), true)
 {
     PIPELLM_ASSERT(factory, "cluster router needs a runtime factory");
     runtimes_.reserve(platform.numDevices());
@@ -47,6 +48,15 @@ ClusterRouter::runtime(runtime::DeviceId id)
     return *runtimes_[id];
 }
 
+unsigned
+ClusterRouter::aliveCount() const
+{
+    unsigned n = 0;
+    for (bool a : alive_)
+        n += a;
+    return n;
+}
+
 std::uint64_t
 ClusterRouter::costOf(const trace::Request &req) const
 {
@@ -61,19 +71,26 @@ runtime::DeviceId
 ClusterRouter::route(const trace::Request &req)
 {
     unsigned n = numReplicas();
+    PIPELLM_ASSERT(aliveCount() > 0, "routing with no replica alive");
     if (config_.policy == RoutePolicy::RoundRobin) {
+        // Rotation skips dead replicas; with every replica healthy
+        // this is the plain cursor walk, decision for decision.
         unsigned d = next_;
-        next_ = (next_ + 1) % n;
+        while (!alive_[d])
+            d = (d + 1) % n;
+        next_ = (d + 1) % n;
         load_[d] += costOf(req);
         return runtime::DeviceId(d);
     }
-    unsigned best = 0;
-    for (unsigned d = 1; d < n; ++d) {
-        if (load_[d] < load_[best])
-            best = d;
+    int best = -1;
+    for (unsigned d = 0; d < n; ++d) {
+        if (!alive_[d])
+            continue;
+        if (best < 0 || load_[d] < load_[unsigned(best)])
+            best = int(d);
     }
-    load_[best] += costOf(req);
-    return runtime::DeviceId(best);
+    load_[unsigned(best)] += costOf(req);
+    return runtime::DeviceId(unsigned(best));
 }
 
 ClusterResult
@@ -85,6 +102,7 @@ ClusterRouter::run(const trace::Trace &requests)
     // (or from completed requests) must not skew least-loaded.
     next_ = 0;
     std::fill(load_.begin(), load_.end(), 0);
+    std::fill(alive_.begin(), alive_.end(), true);
 
     ClusterResult agg;
     agg.replicas.resize(n);
@@ -108,11 +126,80 @@ ClusterRouter::run(const trace::Trace &requests)
 #if PIPELLM_AUDIT_ENABLED
     const std::uint64_t run_id = audit::Auditor::instance().newId();
 #endif
+    // The arrival queue is mutable: a crashed replica's orphans are
+    // re-inserted (sorted, never before the cursor) as fresh arrivals
+    // at the detect tick.
+    struct PendingReq
+    {
+        trace::Request req;
+        bool requeued = false;
+    };
+    std::vector<PendingReq> pending;
+    pending.reserve(requests.size());
+    for (const auto &r : requests)
+        pending.push_back(PendingReq{r, false});
     std::size_t next_arrival = 0;
-    auto deliver = [&](const trace::Request &req) {
+
+    // One crash arrival per replica, drawn up front in device order,
+    // so the schedule is a pure function of the plan's seed. All
+    // maxTick (never) unless crashes are armed.
+    auto &injector = platform_.faultInjector();
+    std::vector<Tick> crash_at(n, maxTick);
+    for (unsigned d = 0; d < n; ++d)
+        crash_at[d] = injector.drawCrashTime();
+
+    auto crash = [&](unsigned d, Tick detect) {
+        alive_[d] = false;
+        load_[d] = 0;
+        injector.noteInjected(fault::Kind::ReplicaCrash);
+        auto &rep = agg.replicas[d];
+        rep.crashed = true;
+        rep.crash_time = detect;
+        std::uint64_t lost = 0;
+        auto orphans = engines[d]->drainUnfinished(lost);
+        rep.lost_tokens += lost;
+        bool survivors = aliveCount() > 0;
+        for (const auto &orphan : orphans) {
+            if (!survivors) {
+                ++rep.dropped;
+                continue;
+            }
+            // Failover is causal: the orphan re-arrives at the detect
+            // tick (its own arrival if that is later), restarting from
+            // the prompt on whichever replica routing picks then.
+            trace::Request again = orphan;
+            again.arrival = std::max(again.arrival, detect);
+            auto pos = std::upper_bound(
+                pending.begin() + std::ptrdiff_t(next_arrival),
+                pending.end(), again.arrival,
+                [](Tick t, const PendingReq &p) {
+                    return t < p.req.arrival;
+                });
+            pending.insert(pos, PendingReq{again, true});
+            ++rep.requeued;
+        }
+    };
+
+    // Deliberately by value: a crash inside may grow `pending`,
+    // invalidating any reference into it.
+    auto deliver = [&](PendingReq p) {
+        const trace::Request &req = p.req;
+        // An idle replica's clock never advances, so its crash is
+        // detected here — when the router would next hand it work.
+        for (unsigned d = 0; d < n; ++d) {
+            if (alive_[d] && !engines[d]->hasWork() &&
+                crash_at[d] <= req.arrival)
+                crash(d, req.arrival);
+        }
+        if (aliveCount() == 0) {
+            ++agg.dropped;
+            return;
+        }
         runtime::DeviceId d = route(req);
         auto &rep = agg.replicas[d];
         ++rep.requests;
+        if (p.requeued)
+            ++rep.absorbed;
         rep.routed_tokens += std::uint64_t(req.output_len) *
                              config_.engine.parallel_sampling;
         engines[d]->advanceTo(req.arrival);
@@ -121,6 +208,14 @@ ClusterRouter::run(const trace::Trace &requests)
             run_id, req.arrival, engines[d]->clock()));
     };
     while (true) {
+        // A busy replica whose clock passed its crash time dies
+        // before it can step again; its orphans join the arrival
+        // queue at the detect tick.
+        for (unsigned d = 0; d < n; ++d) {
+            if (alive_[d] && engines[d]->hasWork() &&
+                engines[d]->clock() >= crash_at[d])
+                crash(d, engines[d]->clock());
+        }
         int busiest = -1;
         for (unsigned d = 0; d < n; ++d) {
             if (engines[d]->hasWork() &&
@@ -136,23 +231,23 @@ ClusterRouter::run(const trace::Trace &requests)
         Tick frontier = maxTick;
         if (busiest >= 0)
             frontier = engines[busiest]->clock();
-        if (next_arrival < requests.size()) {
+        if (next_arrival < pending.size()) {
             frontier =
-                std::min(frontier, requests[next_arrival].arrival);
+                std::min(frontier, pending[next_arrival].req.arrival);
         }
         if (frontier != maxTick)
             audit::Auditor::instance().noteFrontier(run_id, frontier);
 #endif
         if (busiest < 0) {
-            if (next_arrival >= requests.size())
+            if (next_arrival >= pending.size())
                 break;
-            deliver(requests[next_arrival++]);
+            deliver(pending[next_arrival++]);
             continue;
         }
-        if (next_arrival < requests.size() &&
-            requests[next_arrival].arrival <=
+        if (next_arrival < pending.size() &&
+            pending[next_arrival].req.arrival <=
                 engines[busiest]->clock()) {
-            deliver(requests[next_arrival++]);
+            deliver(pending[next_arrival++]);
             continue;
         }
         PIPELLM_AUDIT_HOOK(audit::Auditor::instance().noteReplicaStep(
@@ -163,28 +258,42 @@ ClusterRouter::run(const trace::Trace &requests)
 
     double latency_weight = 0;
     std::uint64_t routed_tokens_total = 0;
+    std::uint64_t completed_tokens_total = 0;
     for (unsigned d = 0; d < n; ++d) {
         auto &rep = agg.replicas[d];
         rep.result = engines[d]->finish();
         rep.runtime_stats = runtimes_[d]->stats();
+        rep.faults = runtimes_[d]->faultReport();
+        agg.faults.merge(rep.faults);
 
         agg.completed += rep.result.completed;
         agg.preemptions += rep.result.preemptions;
         agg.makespan = std::max(agg.makespan, rep.result.total_time);
         routed_tokens_total += rep.routed_tokens;
+        completed_tokens_total += rep.result.completed_tokens;
+        agg.dropped += rep.dropped;
         double w = double(rep.result.completed);
         agg.normalized_latency += w * rep.result.normalized_latency;
         agg.p90_normalized_latency +=
             w * rep.result.p90_normalized_latency;
         latency_weight += w;
+
+        // Crash accounting lives on the router, not the runtimes.
+        agg.faults.replica_crashes += rep.crashed ? 1 : 0;
+        agg.faults.requeued_requests += rep.requeued;
+        agg.faults.lost_tokens += rep.lost_tokens;
     }
+    agg.faults.dropped_requests = agg.dropped;
     if (latency_weight > 0) {
         agg.normalized_latency /= latency_weight;
         agg.p90_normalized_latency /= latency_weight;
     }
-    if (agg.makespan > 0)
+    if (agg.makespan > 0) {
         agg.tokens_per_sec =
             double(routed_tokens_total) / toSeconds(agg.makespan);
+        agg.goodput_tokens_per_sec =
+            double(completed_tokens_total) / toSeconds(agg.makespan);
+    }
 #if PIPELLM_AUDIT_ENABLED
     {
         std::uint64_t residual = 0;

@@ -36,6 +36,7 @@
 #include <string>
 #include <vector>
 
+#include "fault/fault.hh"
 #include "runtime/api.hh"
 #include "serving/vllm.hh"
 #include "trace/request.hh"
@@ -84,6 +85,21 @@ struct ReplicaReport
     VllmResult result;
     runtime::RuntimeStats runtime_stats;
     std::string runtime_name;
+
+    /** True when the injected crash schedule killed this replica. */
+    bool crashed = false;
+    /** Tick at which the router detected the crash. */
+    Tick crash_time = 0;
+    /** Unfinished requests moved off this replica when it died. */
+    std::uint64_t requeued = 0;
+    /** Unfinished requests lost because no replica survived. */
+    std::uint64_t dropped = 0;
+    /** Orphaned requests this (surviving) replica absorbed. */
+    std::uint64_t absorbed = 0;
+    /** Generated tokens lost with this replica's in-flight work. */
+    std::uint64_t lost_tokens = 0;
+    /** Faults this replica's runtime recovered from. */
+    fault::FaultReport faults;
 };
 
 /** Aggregate result of serving one trace across the cluster. */
@@ -102,6 +118,15 @@ struct ClusterResult
     Tick makespan = 0;
     /** Routed output tokens over the makespan. */
     double tokens_per_sec = 0;
+    /** Tokens of *completed* requests over the makespan: the goodput
+     *  a fault sweep watches (lost work routed but never delivered
+     *  does not count). Equals tokens_per_sec on fault-free runs
+     *  where every routed request completes. */
+    double goodput_tokens_per_sec = 0;
+    /** Requests dropped because every replica had crashed. */
+    std::uint64_t dropped = 0;
+    /** Cluster-wide fault/recovery counters (replicas merged). */
+    fault::FaultReport faults;
     std::vector<ReplicaReport> replicas;
 };
 
@@ -129,6 +154,9 @@ class ClusterRouter
     /** Replica @p id's runtime, for inspection. */
     runtime::RuntimeApi &runtime(runtime::DeviceId id);
 
+    /** Replicas not yet killed by the crash schedule. */
+    unsigned aliveCount() const;
+
   private:
     /** Outstanding-work estimate a request adds to its replica. */
     std::uint64_t costOf(const trace::Request &req) const;
@@ -140,6 +168,8 @@ class ClusterRouter
     unsigned next_ = 0;
     /** Outstanding-token estimate per replica (LeastLoaded). */
     std::vector<std::uint64_t> load_;
+    /** Health per replica; routing never targets a dead one. */
+    std::vector<bool> alive_;
 };
 
 } // namespace serving

@@ -355,6 +355,8 @@ VllmEngine::stepOnce()
             freeBlocks(g);
             norm_latency_.add(toSeconds(now - g.arrival) /
                               double(g.generated));
+            result_.completed_tokens +=
+                std::uint64_t(g.generated) * config_.parallel_sampling;
             ++completed_;
             it = running_.erase(it);
         } else {
@@ -362,6 +364,35 @@ VllmEngine::stepOnce()
         }
     }
     now_ = now;
+}
+
+std::vector<trace::Request>
+VllmEngine::drainUnfinished(std::uint64_t &lost_tokens)
+{
+    auto &platform = rt_.platform();
+    std::vector<trace::Request> orphans;
+    auto drainList = [&](std::vector<std::size_t> &list) {
+        for (auto gi : list) {
+            Group &g = groups_[gi];
+            lost_tokens +=
+                std::uint64_t(g.generated) * config_.parallel_sampling;
+            freeBlocks(g);
+            if (g.host_swap.len > 0) {
+                platform.freeHost(g.host_swap);
+                g.host_swap = mem::Region{};
+            }
+            // The requeued request restarts from the prompt; partial
+            // generation died with the replica.
+            orphans.push_back(trace::Request{g.id, g.arrival,
+                                             g.prompt_len,
+                                             g.output_len});
+        }
+        list.clear();
+    };
+    drainList(running_);
+    drainList(swapped_);
+    drainList(waiting_);
+    return orphans;
 }
 
 VllmResult

@@ -63,6 +63,8 @@ struct VllmResult
     double normalized_latency = 0;
     double p90_normalized_latency = 0;
     std::uint64_t completed = 0;
+    /** Tokens delivered by completed groups (goodput numerator). */
+    std::uint64_t completed_tokens = 0;
     std::uint64_t preemptions = 0;
     /** Tokens re-prefilled due to recompute preemptions. */
     std::uint64_t recomputed_tokens = 0;
@@ -125,6 +127,17 @@ class VllmEngine
 
     /** Finalize and return the metrics for the groups served. */
     VllmResult finish();
+
+    /**
+     * Replica-crash teardown: remove every unfinished group, freeing
+     * its KV blocks and swap buffers, and return the original
+     * requests so a router can requeue them on a surviving replica.
+     * Progress on those groups is gone — the generated-and-lost
+     * token count is accumulated into @p lost_tokens. After this call
+     * hasWork() is false; completed groups keep their metrics.
+     */
+    std::vector<trace::Request> drainUnfinished(
+        std::uint64_t &lost_tokens);
 
     /** KV pool capacity in blocks (for tests). */
     std::uint64_t totalBlocks() const { return total_blocks_; }

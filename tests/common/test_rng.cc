@@ -6,6 +6,10 @@
 #include "common/rng.hh"
 
 using pipellm::Rng;
+using pipellm::Tick;
+using pipellm::maxTick;
+using pipellm::microseconds;
+using pipellm::toSeconds;
 
 TEST(Rng, DeterministicForSameSeed)
 {
@@ -104,4 +108,46 @@ TEST(Rng, SyntheticByteDeterministic)
     for (std::uint64_t off = 0; off < 256; ++off)
         same += Rng::syntheticByte(1, off) == Rng::syntheticByte(2, off);
     EXPECT_LT(same, 32);
+}
+
+TEST(Rng, ExponentialTicksMatchesTheRate)
+{
+    Rng rng(19);
+    const double rate = 50.0; // mean gap 20 ms
+    const int n = 50000;
+    double sum = 0;
+    for (int i = 0; i < n; ++i)
+        sum += toSeconds(rng.exponentialTicks(rate));
+    EXPECT_NEAR(sum / n, 1.0 / rate, 0.002);
+}
+
+TEST(Rng, ExponentialTicksSaturatesForVanishingRates)
+{
+    // A draw of centuries cannot fit in a Tick: it clamps instead of
+    // wrapping, so "effectively never" stays ordered after any real
+    // event time.
+    Rng rng(23);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(rng.exponentialTicks(1e-15), maxTick);
+}
+
+TEST(Rng, JitterTicksStaysWithinTheSpan)
+{
+    Rng rng(29);
+    bool hit_upper_half = false;
+    for (int i = 0; i < 1000; ++i) {
+        Tick j = rng.jitterTicks(microseconds(10));
+        EXPECT_LE(j, microseconds(10));
+        hit_upper_half |= j > microseconds(5);
+    }
+    EXPECT_TRUE(hit_upper_half);
+}
+
+TEST(Rng, ZeroSpanJitterConsumesNoRandomness)
+{
+    Rng a(31), b(31);
+    EXPECT_EQ(a.jitterTicks(0), 0u);
+    // The zero-span early-out must not advance the stream: callers
+    // mixing jittered and unjittered paths stay replayable.
+    EXPECT_EQ(a.next(), b.next());
 }

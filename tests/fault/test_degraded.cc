@@ -1,0 +1,105 @@
+/**
+ * @file
+ * DegradedModeController unit tests: sliding-window trip, cooldown
+ * exit, re-entry, and degraded-time accounting.
+ */
+
+#include <gtest/gtest.h>
+
+#include "fault/degraded.hh"
+
+using namespace pipellm;
+using namespace pipellm::fault;
+
+namespace {
+
+DegradedConfig
+fastConfig()
+{
+    DegradedConfig cfg;
+    cfg.fault_threshold = 3;
+    cfg.window = microseconds(100);
+    cfg.cooldown = microseconds(300);
+    return cfg;
+}
+
+} // namespace
+
+TEST(DegradedMode, TripsAtThresholdWithinWindow)
+{
+    DegradedModeController ctl(fastConfig());
+    EXPECT_FALSE(ctl.noteFault(microseconds(10)));
+    EXPECT_FALSE(ctl.noteFault(microseconds(20)));
+    EXPECT_FALSE(ctl.active(microseconds(25)));
+    EXPECT_TRUE(ctl.noteFault(microseconds(30)));
+    EXPECT_TRUE(ctl.active(microseconds(31)));
+    EXPECT_EQ(ctl.entries(), 1u);
+}
+
+TEST(DegradedMode, SparseFaultsSlideOutOfTheWindow)
+{
+    DegradedModeController ctl(fastConfig());
+    // 3 faults, but 200 us apart against a 100 us window: never 3
+    // in-window at once.
+    EXPECT_FALSE(ctl.noteFault(microseconds(0)));
+    EXPECT_FALSE(ctl.noteFault(microseconds(200)));
+    EXPECT_FALSE(ctl.noteFault(microseconds(400)));
+    EXPECT_FALSE(ctl.active(microseconds(401)));
+    EXPECT_EQ(ctl.entries(), 0u);
+}
+
+TEST(DegradedMode, CooldownExitsAndAccountsDegradedTime)
+{
+    DegradedConfig cfg = fastConfig();
+    cfg.fault_threshold = 2;
+    DegradedModeController ctl(cfg);
+    EXPECT_FALSE(ctl.noteFault(microseconds(10)));
+    EXPECT_TRUE(ctl.noteFault(microseconds(20)));
+    // Quiet period starts at the last fault: exit at 20 + 300 us.
+    EXPECT_TRUE(ctl.active(microseconds(100)));
+    EXPECT_TRUE(ctl.active(microseconds(319)));
+    EXPECT_FALSE(ctl.active(microseconds(320)));
+    EXPECT_EQ(ctl.degradedTicks(), microseconds(300));
+}
+
+TEST(DegradedMode, FaultsWhileActiveExtendTheCooldown)
+{
+    DegradedConfig cfg = fastConfig();
+    cfg.fault_threshold = 2;
+    DegradedModeController ctl(cfg);
+    ctl.noteFault(microseconds(10));
+    EXPECT_TRUE(ctl.noteFault(microseconds(20)));
+    // Another fault mid-storm pushes the exit to 500 + 300 us.
+    EXPECT_FALSE(ctl.noteFault(microseconds(500)));
+    EXPECT_TRUE(ctl.active(microseconds(700)));
+    EXPECT_TRUE(ctl.active(microseconds(799)));
+    EXPECT_FALSE(ctl.active(microseconds(800)));
+    EXPECT_EQ(ctl.entries(), 1u);
+    EXPECT_EQ(ctl.degradedTicks(), microseconds(780));
+}
+
+TEST(DegradedMode, ReentersOnASecondStorm)
+{
+    DegradedConfig cfg = fastConfig();
+    cfg.fault_threshold = 2;
+    DegradedModeController ctl(cfg);
+    ctl.noteFault(microseconds(10));
+    EXPECT_TRUE(ctl.noteFault(microseconds(20)));
+    EXPECT_FALSE(ctl.active(milliseconds(5)));
+
+    // The exit cleared the window: one fault is not enough again.
+    EXPECT_FALSE(ctl.noteFault(milliseconds(6)));
+    EXPECT_FALSE(ctl.active(milliseconds(6)));
+    EXPECT_TRUE(ctl.noteFault(milliseconds(6) + microseconds(50)));
+    EXPECT_TRUE(ctl.active(milliseconds(6) + microseconds(60)));
+    EXPECT_EQ(ctl.entries(), 2u);
+}
+
+TEST(DegradedMode, QuietControllerNeverActivates)
+{
+    DegradedModeController ctl(fastConfig());
+    EXPECT_FALSE(ctl.active(0));
+    EXPECT_FALSE(ctl.active(seconds(1)));
+    EXPECT_EQ(ctl.entries(), 0u);
+    EXPECT_EQ(ctl.degradedTicks(), 0u);
+}

@@ -1,0 +1,163 @@
+/**
+ * @file
+ * FaultInjector unit tests: seeded determinism, zero-cost disarmed
+ * behavior, per-kind stream independence, and backoff shape.
+ */
+
+#include <gtest/gtest.h>
+
+#include "fault/fault.hh"
+
+using namespace pipellm;
+using namespace pipellm::fault;
+
+TEST(FaultInjector, DisarmedAnswersNoFaultForever)
+{
+    FaultInjector inj;
+    EXPECT_FALSE(inj.armed());
+    for (int i = 0; i < 1000; ++i) {
+        EXPECT_FALSE(inj.corruptTag());
+        EXPECT_FALSE(inj.stallCopy());
+        EXPECT_FALSE(inj.failLane());
+    }
+    EXPECT_EQ(inj.drawCrashTime(), maxTick);
+    EXPECT_EQ(inj.injected(Kind::TagCorruption), 0u);
+}
+
+TEST(FaultInjector, SamePlanReplaysBitIdentically)
+{
+    FaultPlan plan;
+    plan.seed = 7;
+    plan.tag_corruption_rate = 0.3;
+    plan.copy_stall_rate = 0.2;
+    plan.lane_fault_rate = 0.1;
+    FaultInjector a, b;
+    a.arm(plan);
+    b.arm(plan);
+    for (int i = 0; i < 5000; ++i) {
+        ASSERT_EQ(a.corruptTag(), b.corruptTag());
+        ASSERT_EQ(a.stallCopy(), b.stallCopy());
+        ASSERT_EQ(a.failLane(), b.failLane());
+    }
+    EXPECT_EQ(a.injected(Kind::TagCorruption),
+              b.injected(Kind::TagCorruption));
+    EXPECT_GT(a.injected(Kind::TagCorruption), 0u);
+    EXPECT_GT(a.injected(Kind::CopyStall), 0u);
+    EXPECT_GT(a.injected(Kind::CryptoLaneFault), 0u);
+}
+
+TEST(FaultInjector, ZeroRateQueriesConsumeNoRandomness)
+{
+    // A site whose rate is zero must not perturb the decision stream
+    // of armed sites: plans stay comparable across fault kinds.
+    FaultPlan plan;
+    plan.seed = 11;
+    plan.tag_corruption_rate = 0.5;
+    FaultInjector pure, noisy;
+    pure.arm(plan);
+    noisy.arm(plan);
+    for (int i = 0; i < 2000; ++i) {
+        EXPECT_FALSE(noisy.stallCopy());
+        EXPECT_FALSE(noisy.failLane());
+        ASSERT_EQ(pure.corruptTag(), noisy.corruptTag());
+    }
+}
+
+TEST(FaultInjector, RearmReseedsAndClearsCounters)
+{
+    FaultPlan plan;
+    plan.seed = 13;
+    plan.tag_corruption_rate = 0.4;
+    FaultInjector inj;
+    inj.arm(plan);
+    std::vector<bool> first;
+    for (int i = 0; i < 500; ++i)
+        first.push_back(inj.corruptTag());
+    EXPECT_GT(inj.injected(Kind::TagCorruption), 0u);
+
+    inj.arm(plan);
+    EXPECT_EQ(inj.injected(Kind::TagCorruption), 0u);
+    for (int i = 0; i < 500; ++i)
+        ASSERT_EQ(inj.corruptTag(), first[std::size_t(i)]);
+}
+
+TEST(FaultInjector, DisarmRestoresZeroCostPath)
+{
+    FaultPlan plan;
+    plan.seed = 17;
+    plan.tag_corruption_rate = 1.0;
+    FaultInjector inj;
+    inj.arm(plan);
+    EXPECT_TRUE(inj.corruptTag());
+    inj.disarm();
+    EXPECT_FALSE(inj.armed());
+    for (int i = 0; i < 100; ++i)
+        EXPECT_FALSE(inj.corruptTag());
+}
+
+TEST(FaultInjector, BackoffDoublesUpToCapWithBoundedJitter)
+{
+    FaultPlan plan;
+    plan.seed = 3;
+    plan.copy_stall_rate = 0.1;
+    plan.copy_backoff_base = microseconds(10);
+    plan.copy_backoff_cap = microseconds(60);
+    FaultInjector inj;
+    inj.arm(plan);
+    // Attempt k waits base * 2^(k-1) capped, plus jitter <= wait/2.
+    for (int rep = 0; rep < 32; ++rep) {
+        Tick w1 = inj.backoff(1);
+        EXPECT_GE(w1, microseconds(10));
+        EXPECT_LE(w1, microseconds(15));
+        Tick w3 = inj.backoff(3);
+        EXPECT_GE(w3, microseconds(40));
+        EXPECT_LE(w3, microseconds(60));
+        Tick w9 = inj.backoff(9);
+        EXPECT_GE(w9, microseconds(60));
+        EXPECT_LE(w9, microseconds(90));
+    }
+}
+
+TEST(FaultInjector, CrashTimesFollowTheExponentialRate)
+{
+    FaultPlan plan;
+    plan.seed = 19;
+    plan.replica_crash_rate = 100.0; // mean inter-arrival 10 ms
+    FaultInjector inj;
+    inj.arm(plan);
+    double sum = 0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i)
+        sum += toSeconds(inj.drawCrashTime());
+    EXPECT_NEAR(sum / n, 0.01, 0.001);
+}
+
+TEST(FaultInjector, CrashDrawsDisabledWhenRateIsZero)
+{
+    FaultPlan plan;
+    plan.seed = 23;
+    plan.tag_corruption_rate = 0.5; // armed, but no crash rate
+    FaultInjector inj;
+    inj.arm(plan);
+    EXPECT_TRUE(inj.armed());
+    EXPECT_EQ(inj.drawCrashTime(), maxTick);
+}
+
+TEST(FaultInjector, ReportMergeAndTotalsAddUp)
+{
+    FaultReport a, b;
+    a.tag_faults = 2;
+    a.tag_retries = 2;
+    a.copy_stalls = 3;
+    a.copy_retries = 3;
+    a.retry_latency = microseconds(5);
+    b.lane_faults = 4;
+    b.replica_crashes = 1;
+    b.requeued_requests = 6;
+    b.degraded_ticks = microseconds(7);
+    a.merge(b);
+    EXPECT_EQ(a.injectedTotal(), 2u + 3u + 4u + 1u);
+    EXPECT_EQ(a.recoveredTotal(), 2u + 3u + 4u + 6u);
+    EXPECT_EQ(a.retry_latency, microseconds(5));
+    EXPECT_EQ(a.degraded_ticks, microseconds(7));
+}

@@ -14,6 +14,11 @@ Checked rules:
      gem5-style macros in ``common/logging.hh`` so they carry severity
      and can be fatal under test. Benches and examples are exempt
      (they are user-facing CLIs), as is the logging backend itself.
+  4. Fault-model coverage: every ``fault::Fault::Kind`` enumerator must
+     have both an injection test and a recovery test in ``tests/fault/``
+     (a test name containing ``<Kind>Injection`` and one containing
+     ``<Kind>Recovery``). Adding a fault kind without wiring its
+     end-to-end tests fails the lint.
 
 Usage: tools/lint/check_banned_apis.py [repo-root]
 Exits nonzero and prints file:line for every finding.
@@ -78,10 +83,74 @@ def tracked_files(root):
         return files
 
 
+FAULT_ENUM_FILE = "src/fault/fault.hh"
+FAULT_TEST_DIR = "tests/fault"
+
+
+def fault_kinds(root):
+    """Parse the ``enum class Kind`` enumerators out of fault.hh."""
+    path = os.path.join(root, FAULT_ENUM_FILE)
+    try:
+        with open(path, encoding="utf-8") as f:
+            text = f.read()
+    except OSError:
+        return []
+    match = re.search(r"enum\s+class\s+Kind\b[^{]*\{(.*?)\}", text,
+                      re.DOTALL)
+    if not match:
+        return []
+    body = re.sub(r"/\*.*?\*/", "", match.group(1), flags=re.DOTALL)
+    body = re.sub(r"//[^\n]*", "", body)
+    kinds = []
+    for part in body.split(","):
+        name = part.split("=")[0].strip()
+        if re.fullmatch(r"[A-Za-z_]\w*", name or ""):
+            kinds.append(name)
+    return kinds
+
+
+def fault_test_names(root, files):
+    """All TEST/TEST_F/TEST_P test names under tests/fault/."""
+    names = []
+    test_re = re.compile(r"TEST(?:_F|_P)?\(\s*\w+\s*,\s*(\w+)\s*\)")
+    for rel in files:
+        rel_posix = rel.replace(os.sep, "/")
+        if not rel_posix.startswith(FAULT_TEST_DIR + "/"):
+            continue
+        if not rel_posix.endswith(SOURCE_EXTENSIONS):
+            continue
+        try:
+            with open(os.path.join(root, rel), encoding="utf-8") as f:
+                names.extend(test_re.findall(f.read()))
+        except OSError:
+            continue
+    return names
+
+
+def check_fault_coverage(root, files):
+    kinds = fault_kinds(root)
+    if not kinds:
+        return [f"{FAULT_ENUM_FILE}: could not parse fault::Fault::Kind "
+                "enumerators"]
+    names = fault_test_names(root, files)
+    findings = []
+    for kind in kinds:
+        for suffix in ("Injection", "Recovery"):
+            want = kind + suffix
+            if not any(want in name for name in names):
+                findings.append(
+                    f"{FAULT_ENUM_FILE}: Fault::Kind::{kind} has no "
+                    f"{suffix.lower()} test: add a test named "
+                    f"*{want}* under {FAULT_TEST_DIR}/"
+                )
+    return findings
+
+
 def main():
     root = sys.argv[1] if len(sys.argv) > 1 else "."
-    findings = []
-    for rel in tracked_files(root):
+    files = tracked_files(root)
+    findings = check_fault_coverage(root, files)
+    for rel in files:
         if not rel.endswith(SOURCE_EXTENSIONS):
             continue
         rel_posix = rel.replace(os.sep, "/")
