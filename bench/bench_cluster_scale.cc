@@ -159,7 +159,11 @@ main(int argc, char **argv)
                         .field(ratePerDevice * n)
                         .field(r.tokens_per_sec)
                         .field(speedup).field(r.normalized_latency)
-                        .field(r.p90_normalized_latency)
+                        // Historical column: the completed-weighted
+                        // mean of replica p90s, kept so the committed
+                        // CSV stays byte-identical (the true merged
+                        // p90 lives in p90_normalized_latency).
+                        .field(r.replica_weighted_p90)
                         .field(r.completed).field(r.preemptions)
                         .field(toSeconds(r.makespan)).field(rep.device)
                         .field(rep.requests).field(rep_tps)

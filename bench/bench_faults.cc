@@ -17,6 +17,7 @@
  * into on-demand encryption.
  */
 
+#include <algorithm>
 #include <cinttypes>
 #include <string>
 #include <vector>
@@ -25,6 +26,7 @@
 #include "common/logging.hh"
 #include "fault/fault.hh"
 #include "serving/cluster.hh"
+#include "tools/chaos/chaos.hh"
 #include "trace/generator.hh"
 
 using namespace benchutil;
@@ -48,6 +50,10 @@ basePlan(double scale)
     plan.copy_stall_rate = 0.01 * scale;
     plan.lane_fault_rate = 0.01 * scale;
     plan.replica_crash_rate = 0.02 * scale;
+    // Crashed replicas re-key and rejoin after a seeded repair delay
+    // (mean 1/rate); the sweep's restart columns measure the rejoin
+    // price and the goodput dip around each crash.
+    plan.replica_restart_rate = 0.1 * scale;
     return plan;
 }
 
@@ -104,6 +110,12 @@ main(int argc, char **argv)
     banner("Fault sweep: latency/goodput vs fault scale, with "
            "recovery accounting");
     auto csv = openCsv("faults.csv");
+    // The column prefix up to replica_lost_tokens is frozen: scale-0
+    // rows must stay byte-identical to the committed file, so
+    // p90_norm_latency_s_tok still carries the historical completed-
+    // weighted mean of replica p90s (ClusterResult::
+    // replica_weighted_p90) and every new column — the true merged
+    // p90 and the restart/goodput-dip metrics — is appended after it.
     csv.header({"n_devices", "mode", "fault_scale", "tag_rate",
                 "stall_rate", "lane_rate", "crash_rate_per_s",
                 "tokens_per_s", "goodput_tok_per_s",
@@ -115,7 +127,13 @@ main(int argc, char **argv)
                 "retry_latency_s", "replica", "replica_crashed",
                 "replica_crash_s", "replica_requests",
                 "replica_requeued", "replica_absorbed",
-                "replica_dropped", "replica_lost_tokens"});
+                "replica_dropped", "replica_lost_tokens",
+                "true_p90_norm_latency_s_tok", "restart_rate_per_s",
+                "restarts", "rejoin_time_total_s",
+                "goodput_dip_depth", "goodput_dip_s",
+                "replica_crash_count", "replica_restarts",
+                "replica_rejoined", "replica_rejoin_s",
+                "replica_time_to_rejoin_s"});
 
     std::vector<unsigned> device_counts =
         quick ? std::vector<unsigned>{1, 2}
@@ -136,12 +154,27 @@ main(int argc, char **argv)
                 std::printf(
                     "scale %.1f  %8.1f tok/s goodput %8.1f  "
                     "%.4f s/tok  retries %" PRIu64 "  crashes %"
-                    PRIu64 "  requeued %" PRIu64 "  dropped %" PRIu64
-                    "\n",
+                    PRIu64 "  restarts %" PRIu64 "  requeued %"
+                    PRIu64 "  dropped %" PRIu64 "\n",
                     scale, r.tokens_per_sec, r.goodput_tokens_per_sec,
                     r.normalized_latency, f.tag_retries,
-                    f.replica_crashes, f.requeued_requests,
-                    r.dropped);
+                    f.replica_crashes, f.replica_restarts,
+                    f.requeued_requests, r.dropped);
+                // Goodput dip around the first crash: depth and time
+                // below half the pre-crash goodput (zeros when no
+                // replica crashed, e.g. every scale-0 row).
+                chaos::DipMetrics dip;
+                Tick first_crash = maxTick;
+                for (const auto &rep : r.replicas) {
+                    if (rep.crash_count > 0)
+                        first_crash =
+                            std::min(first_crash, rep.crash_time);
+                }
+                if (first_crash != maxTick) {
+                    auto timeline = chaos::goodputTimeline(
+                        r.completions, seconds(2));
+                    dip = chaos::dipAfter(timeline, first_crash, 0.5);
+                }
                 for (const auto &rep : r.replicas) {
                     csv.field(n).field(toString(mode)).field(scale)
                         .field(scale > 0 ? plan.tag_corruption_rate
@@ -153,7 +186,7 @@ main(int argc, char **argv)
                         .field(r.tokens_per_sec)
                         .field(r.goodput_tokens_per_sec)
                         .field(r.normalized_latency)
-                        .field(r.p90_normalized_latency)
+                        .field(r.replica_weighted_p90)
                         .field(r.completed).field(r.dropped)
                         .field(toSeconds(r.makespan))
                         .field(f.tag_faults).field(f.tag_retries)
@@ -169,6 +202,19 @@ main(int argc, char **argv)
                         .field(rep.requests).field(rep.requeued)
                         .field(rep.absorbed).field(rep.dropped)
                         .field(rep.lost_tokens)
+                        .field(r.p90_normalized_latency)
+                        .field(scale > 0 ? plan.replica_restart_rate
+                                         : 0.0)
+                        .field(f.replica_restarts)
+                        .field(toSeconds(f.restart_rejoin_ticks))
+                        .field(dip.dip_depth)
+                        .field(toSeconds(dip.dip_duration))
+                        .field(rep.crash_count).field(rep.restarts)
+                        .field(rep.rejoined ? 1 : 0)
+                        .field(rep.rejoined
+                                   ? toSeconds(rep.rejoin_time)
+                                   : 0.0)
+                        .field(toSeconds(rep.time_to_rejoin))
                         .endRow();
                 }
             }

@@ -105,12 +105,30 @@ SecureChannel::corrupt(CipherBlob &blob)
 }
 
 bool
-SecureChannel::maybeCorrupt(CipherBlob &blob) const
+SecureChannel::maybeCorrupt(CipherBlob &blob, Tick now) const
 {
-    if (injector_ == nullptr || !injector_->corruptTag())
+    if (injector_ == nullptr || !injector_->corruptTag(now))
         return false;
     corrupt(blob);
     return true;
+}
+
+void
+SecureChannel::rekey()
+{
+    // A fresh epoch perturbs the derivation seed so the new key never
+    // repeats an old one (per-device seeds differ by 1; the odd
+    // 64-bit stride cannot walk one seed onto another within any
+    // realistic epoch count).
+    ++epoch_;
+    auto key = deriveKey(config_.key_seed +
+                             epoch_ * 0x9E3779B97F4A7C15ULL,
+                         config_.key_bytes);
+    gcm_ = std::make_unique<AesGcm>(key.data(), key.size());
+    // Same audit identity, new exposure epoch: counters reused after
+    // the re-key are legal, counters reused within it still trip.
+    PIPELLM_AUDIT_HOOK(audit::Auditor::instance().noteSessionEpoch(
+        audit_id_));
 }
 
 CipherBlob

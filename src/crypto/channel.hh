@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "audit/audit.hh"
+#include "common/units.hh"
 #include "crypto/gcm.hh"
 #include "crypto/iv.hh"
 
@@ -105,6 +106,21 @@ class SecureChannel
     /** Process-unique audit identity (0 in non-audit builds). */
     std::uint64_t auditId() const { return audit_id_; }
 
+    /**
+     * Re-establish the session after an endpoint restart: derive a
+     * fresh key (never a previous one) and open a new IV epoch in the
+     * audit registry. Both endpoints must re-synchronize their
+     * counters to zero afterwards — the CPU side by resetting its
+     * IvCounter pair, the GPU side via GpuDevice::enableCc(). Blobs
+     * sealed under the old key fail verification by construction, so
+     * a pre-crash ciphertext can never be replayed into the new
+     * session even at a colliding (direction, counter).
+     */
+    void rekey();
+
+    /** Completed rekey() calls; 0 for the construction-time session. */
+    std::uint64_t epoch() const { return epoch_; }
+
     /** Wire the machine-wide fault injector (nullptr to detach). */
     void setFaultInjector(fault::FaultInjector *injector);
 
@@ -117,10 +133,11 @@ class SecureChannel
 
     /**
      * Injector-driven corruption, called by transfer paths at the
-     * point the blob crosses the bus.
+     * point the blob crosses the bus; @p now is when it crosses
+     * (storm-window modulation).
      * @return true when the blob was corrupted
      */
-    bool maybeCorrupt(CipherBlob &blob) const;
+    bool maybeCorrupt(CipherBlob &blob, Tick now) const;
 
     /** Tag verification failures observed by open() so far. */
     std::uint64_t tagMismatches() const { return tag_mismatches_; }
@@ -129,6 +146,7 @@ class SecureChannel
     ChannelConfig config_;
     std::unique_ptr<AesGcm> gcm_;
     std::uint64_t audit_id_ = 0;
+    std::uint64_t epoch_ = 0;
     fault::FaultInjector *injector_ = nullptr;
     /** open() is const for readers; the mismatch count is bookkeeping. */
     mutable std::uint64_t tag_mismatches_ = 0;

@@ -35,7 +35,7 @@ CryptoLanes::submitNotBefore(Tick earliest, std::uint64_t bytes)
     Tick done = dispatch(earliest, bytes);
     // An injected lane death loses the finished attempt; the job is
     // redone on a re-initialized lane, back to back.
-    if (injector_ != nullptr && injector_->failLane()) {
+    if (injector_ != nullptr && injector_->failLane(done)) {
         ++lane_faults_;
         Tick redo = dispatch(done, bytes);
         lane_fault_ticks_ += redo - done;

@@ -29,6 +29,18 @@ DegradedModeController::noteFault(Tick now)
     return false;
 }
 
+void
+DegradedModeController::reset(Tick now)
+{
+    if (active_) {
+        Tick left = std::min(now, quiet_after_);
+        degraded_ticks_ += std::max(left, entered_at_) - entered_at_;
+    }
+    active_ = false;
+    quiet_after_ = 0;
+    recent_.clear();
+}
+
 bool
 DegradedModeController::active(Tick now)
 {

@@ -57,6 +57,14 @@ class DegradedModeController
      */
     bool active(Tick now);
 
+    /**
+     * Forget the fault history across a replica restart at @p now:
+     * the faults that tripped the controller belonged to the dead
+     * session. An open degraded interval is closed (its ticks still
+     * count); cumulative entry/tick totals survive for reporting.
+     */
+    void reset(Tick now);
+
     /** Times degraded mode was entered. */
     std::uint64_t entries() const { return entries_; }
 

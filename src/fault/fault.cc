@@ -19,6 +19,8 @@ toString(Kind kind)
         return "CryptoLaneFault";
       case Kind::ReplicaCrash:
         return "ReplicaCrash";
+      case Kind::ReplicaRestart:
+        return "ReplicaRestart";
     }
     return "UnknownFault";
 }
@@ -27,7 +29,8 @@ bool
 FaultPlan::armed() const
 {
     return tag_corruption_rate > 0 || copy_stall_rate > 0 ||
-           lane_fault_rate > 0 || replica_crash_rate > 0;
+           lane_fault_rate > 0 || replica_crash_rate > 0 ||
+           replica_restart_rate > 0;
 }
 
 void
@@ -39,6 +42,8 @@ FaultReport::merge(const FaultReport &other)
     copy_retries += other.copy_retries;
     lane_faults += other.lane_faults;
     replica_crashes += other.replica_crashes;
+    replica_restarts += other.replica_restarts;
+    restart_rejoin_ticks += other.restart_rejoin_ticks;
     requeued_requests += other.requeued_requests;
     dropped_requests += other.dropped_requests;
     lost_tokens += other.lost_tokens;
@@ -57,7 +62,8 @@ FaultReport::injectedTotal() const
 std::uint64_t
 FaultReport::recoveredTotal() const
 {
-    return tag_retries + copy_retries + lane_faults + requeued_requests;
+    return tag_retries + copy_retries + lane_faults +
+           requeued_requests + replica_restarts;
 }
 
 void
@@ -77,35 +83,47 @@ FaultInjector::disarm()
     armed_ = false;
 }
 
+double
+FaultInjector::rateAt(double rate, Tick now) const
+{
+    // Multiplier 1 must reproduce the storm-free draw sequence
+    // bit-for-bit, so the window test is skipped entirely then.
+    if (plan_.storm_multiplier == 1)
+        return rate;
+    if (now < plan_.storm_start || now >= plan_.storm_end)
+        return rate;
+    return std::min(1.0, rate * plan_.storm_multiplier);
+}
+
 bool
-FaultInjector::draw(Kind kind, double rate)
+FaultInjector::draw(Kind kind, double rate, Tick now)
 {
     // The disarmed check comes first so an unarmed injector consumes
     // no Rng state and costs one predictable branch.
     if (!armed_ || rate <= 0)
         return false;
-    if (!rng_.bernoulli(rate))
+    if (!rng_.bernoulli(rateAt(rate, now)))
         return false;
     ++injected_[std::size_t(kind)];
     return true;
 }
 
 bool
-FaultInjector::corruptTag()
+FaultInjector::corruptTag(Tick now)
 {
-    return draw(Kind::TagCorruption, plan_.tag_corruption_rate);
+    return draw(Kind::TagCorruption, plan_.tag_corruption_rate, now);
 }
 
 bool
-FaultInjector::stallCopy()
+FaultInjector::stallCopy(Tick now)
 {
-    return draw(Kind::CopyStall, plan_.copy_stall_rate);
+    return draw(Kind::CopyStall, plan_.copy_stall_rate, now);
 }
 
 bool
-FaultInjector::failLane()
+FaultInjector::failLane(Tick now)
 {
-    return draw(Kind::CryptoLaneFault, plan_.lane_fault_rate);
+    return draw(Kind::CryptoLaneFault, plan_.lane_fault_rate, now);
 }
 
 Tick
@@ -114,6 +132,14 @@ FaultInjector::drawCrashTime()
     if (!armed_ || plan_.replica_crash_rate <= 0)
         return maxTick;
     return rng_.exponentialTicks(plan_.replica_crash_rate);
+}
+
+Tick
+FaultInjector::drawRestartDelay()
+{
+    if (!armed_ || plan_.replica_restart_rate <= 0)
+        return maxTick;
+    return rng_.exponentialTicks(plan_.replica_restart_rate);
 }
 
 Tick

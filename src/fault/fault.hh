@@ -19,6 +19,19 @@
  *  - ReplicaCrash: a whole replica disappears mid-cluster-run; the
  *    router marks it dead at the co-simulation frontier and requeues
  *    its undelivered requests onto survivors.
+ *  - ReplicaRestart: a crashed replica comes back after a seeded
+ *    delay. The rejoin is the expensive part: the SPDM session is
+ *    re-established (fresh key, new IV epoch), the weights re-cross
+ *    the staged path, speculative state is rebuilt from nothing, and
+ *    the router re-admits the replica only after a warm-up probe
+ *    round-trips the fresh session.
+ *
+ * Rates can additionally be modulated by a "fault storm" window: a
+ * [storm_start, storm_end) interval during which every Bernoulli
+ * rate is multiplied by storm_multiplier. Injection sites pass the
+ * simulated time of the operation so the oracle can tell whether it
+ * falls inside the storm. With the default multiplier of 1 (or an
+ * empty window) the draw sequence is unchanged.
  *
  * A single FaultInjector lives on the Platform (disarmed by default)
  * and is wired by pointer into every injection site. Disarmed, each
@@ -46,10 +59,11 @@ enum class Kind
     CopyStall,       ///< transient DMA copy-engine hang
     CryptoLaneFault, ///< host crypto lane dies mid-job
     ReplicaCrash,    ///< whole replica lost mid-run
+    ReplicaRestart,  ///< crashed replica re-keys and rejoins
 };
 
 /** Number of Kind enumerators (for counter arrays). */
-constexpr std::size_t numFaultKinds = 4;
+constexpr std::size_t numFaultKinds = 5;
 
 /** Human-readable name of a fault kind (CSV columns, diagnostics). */
 std::string toString(Kind kind);
@@ -76,6 +90,41 @@ struct FaultPlan
 
     /** Crash arrival rate per replica (events per simulated second). */
     double replica_crash_rate = 0;
+
+    /**
+     * Restart arrival rate after a crash (events per simulated
+     * second): the mean repair delay is 1/rate. 0 keeps crashed
+     * replicas dead forever (the pre-restart behavior).
+     */
+    double replica_restart_rate = 0;
+
+    /**
+     * Simulated cost of the SPDM re-attestation + key exchange a
+     * rejoining replica performs before any data moves (the paper's
+     * §2.2 session establishment, charged as a lump).
+     */
+    Tick spdm_rekey_ticks = milliseconds(10);
+
+    /**
+     * Bytes round-tripped (H2D then D2H) through the fresh session
+     * before the router re-admits the replica. A failed probe would
+     * be a session-setup bug; the audit layer checks the IVs it
+     * spends belong to the new epoch.
+     */
+    std::uint64_t warmup_probe_bytes = 256 * KiB;
+
+    /** Fault-storm window start (inclusive); empty when == end. */
+    Tick storm_start = 0;
+
+    /** Fault-storm window end (exclusive). */
+    Tick storm_end = 0;
+
+    /**
+     * Multiplier applied to the Bernoulli rates for operations whose
+     * timestamp falls inside [storm_start, storm_end). 1 disables
+     * storm modulation even when the window is nonempty.
+     */
+    double storm_multiplier = 1;
 
     /** Watchdog timeout charged per detected copy stall. */
     Tick copy_stall_timeout = microseconds(50);
@@ -120,6 +169,15 @@ struct FaultReport
 
     /** Replica crashes fired by the router. */
     std::uint64_t replica_crashes = 0;
+
+    /** Crashed replicas that re-keyed and rejoined the router. */
+    std::uint64_t replica_restarts = 0;
+
+    /**
+     * Summed crash-to-rejoin time across restarts (repair delay +
+     * re-key + weight reload + warm-up probe).
+     */
+    Tick restart_rejoin_ticks = 0;
 
     /** Undelivered requests requeued onto surviving replicas. */
     std::uint64_t requeued_requests = 0;
@@ -174,20 +232,30 @@ class FaultInjector
 
     const FaultPlan &plan() const { return plan_; }
 
-    /** Should this bus crossing corrupt the ciphertext? */
-    bool corruptTag();
+    /**
+     * Should the bus crossing at @p now corrupt the ciphertext?
+     * @p now only matters inside a storm window.
+     */
+    bool corruptTag(Tick now);
 
-    /** Should this staged chunk attempt stall the copy engine? */
-    bool stallCopy();
+    /** Should the staged chunk attempt at @p now stall the engine? */
+    bool stallCopy(Tick now);
 
-    /** Should this crypto-lane job die mid-flight? */
-    bool failLane();
+    /** Should the crypto-lane job at @p now die mid-flight? */
+    bool failLane(Tick now);
 
     /**
      * Crash arrival time for one replica, drawn from the plan's
      * exponential rate; maxTick when crashes are not armed.
      */
     Tick drawCrashTime();
+
+    /**
+     * Repair delay between a crash and the start of the rejoin
+     * sequence, drawn from the plan's restart rate; maxTick when
+     * restarts are not armed (the replica stays dead).
+     */
+    Tick drawRestartDelay();
 
     /**
      * Jittered capped-exponential backoff before retry @p attempt
@@ -202,7 +270,11 @@ class FaultInjector
     std::uint64_t injected(Kind kind) const;
 
   private:
-    bool draw(Kind kind, double rate);
+    bool draw(Kind kind, double rate, Tick now);
+
+    /** @p rate scaled by the storm multiplier when @p now is inside
+     * the storm window. */
+    double rateAt(double rate, Tick now) const;
 
     FaultPlan plan_;
     Rng rng_;

@@ -155,7 +155,7 @@ PipeLlmRuntime::deliverH2d(const crypto::CipherBlob &sent, Addr dst,
     }
 
     crypto::CipherBlob blob = sent;
-    channel().maybeCorrupt(blob);
+    channel().maybeCorrupt(blob, done);
     unsigned attempt = 0;
     while (!gpu().tryCommitEncrypted(blob, dst)) {
         noteTagRetry(attempt, done);
@@ -189,7 +189,7 @@ PipeLlmRuntime::deliverH2d(const crypto::CipherBlob &sent, Addr dst,
         fault_report_.retry_latency += redo - done;
         trace(done, redo, len, true, runtime::TransferOutcome::Retry);
         done = redo;
-        channel().maybeCorrupt(blob);
+        channel().maybeCorrupt(blob, done);
     }
     return done;
 }
@@ -359,7 +359,7 @@ PipeLlmRuntime::copyD2h(Addr dst, Addr src, std::uint64_t len,
 
     crypto::CipherBlob blob = dev.sealD2h(src, len);
     Tick landed = ctx().d2hPath().transfer(start, len);
-    channel().maybeCorrupt(blob);
+    channel().maybeCorrupt(blob, landed);
 
     std::vector<std::uint8_t> sample;
     unsigned attempt = 0;
@@ -375,7 +375,7 @@ PipeLlmRuntime::copyD2h(Addr dst, Addr src, std::uint64_t len,
             blob.audit_serial));
         blob = dev.sealD2h(src, len);
         Tick redo = ctx().d2hPath().transfer(landed, len);
-        channel().maybeCorrupt(blob);
+        channel().maybeCorrupt(blob, redo);
         fault_report_.retry_latency += redo - landed;
         trace(landed, redo, len, false,
               runtime::TransferOutcome::Retry);
@@ -434,6 +434,25 @@ PipeLlmRuntime::faultReport() const
     report.degraded_entries += degraded_.entries();
     report.degraded_ticks += degraded_.degradedTicks();
     return report;
+}
+
+Tick
+PipeLlmRuntime::restart(Tick now)
+{
+    Tick live = RuntimeApi::restart(now);
+    h2d_iv_ = crypto::IvCounter(crypto::Direction::HostToDevice);
+    d2h_iv_ = crypto::IvCounter(crypto::Direction::DeviceToHost);
+    // Deferred sends and pipelined pre-encryptions were sealed under
+    // the dead session's key; none can verify again, so all are
+    // settled as discarded and the plan restarts from nothing.
+    for (const auto &send : pending_) {
+        PIPELLM_AUDIT_HOOK(audit::Auditor::instance().noteDiscarded(
+            send.entry.blob.audit_serial));
+    }
+    pending_.clear();
+    pipeline_.relinquish();
+    degraded_.reset(live);
+    return live;
 }
 
 } // namespace core

@@ -111,6 +111,16 @@ class PipeLlmRuntime : public runtime::RuntimeApi
 
     fault::FaultReport faultReport() const override;
 
+    /**
+     * Base re-key plus a teardown of every piece of speculative
+     * state bound to the dead session: CPU IV counters reset, the
+     * pre-encryption pipeline relinquished (its ciphertexts are
+     * unverifiable under the new key), deferred sends discarded, and
+     * the degraded-mode fault history cleared. The predictor's
+     * learned access patterns live in the CVM and survive.
+     */
+    Tick restart(Tick now) override;
+
   private:
     struct PendingSend
     {

@@ -57,6 +57,40 @@ RuntimeApi::sampleLen(std::uint64_t len) const
     return platform_.device(device_id_).channel().sampledLen(len);
 }
 
+Tick
+RuntimeApi::restart(Tick now)
+{
+    // The handshake (GET_VERSION .. KEY_EXCHANGE, paper §2.2) happens
+    // before any data can move; the fresh key and epoch make every
+    // pre-crash ciphertext unverifiable in the new session.
+    Tick live = now + platform_.faultInjector().plan().spdm_rekey_ticks;
+    channel().rekey();
+    if (gpu().ccEnabled()) {
+        // Session setup zeroes the GPU's rx/tx counters; CPU-side
+        // counters are reset by the overrides that own them.
+        gpu().enableCc(&channel());
+    }
+    return live;
+}
+
+Tick
+RuntimeApi::warmupProbe(Tick now)
+{
+    std::uint64_t len =
+        platform_.faultInjector().plan().warmup_probe_bytes;
+    if (len == 0)
+        return now;
+    if (probe_stream_ == nullptr) {
+        probe_stream_ = &createStream("warmup-probe");
+        probe_host_ = platform_.hostMem().alloc(len, "probe-host");
+        probe_dev_ = gpu().alloc(len, "probe-dev");
+    }
+    Tick up = memcpy(CopyKind::HostToDevice, probe_dev_.base,
+                     probe_host_.base, len, *probe_stream_, now);
+    return memcpy(CopyKind::DeviceToHost, probe_host_.base,
+                  probe_dev_.base, len, *probe_stream_, up);
+}
+
 fault::FaultReport
 RuntimeApi::faultReport() const
 {

@@ -164,6 +164,27 @@ class RuntimeApi
      */
     virtual fault::FaultReport faultReport() const;
 
+    /**
+     * Re-establish this runtime's device session after a replica
+     * restart beginning at @p now: the SPDM re-attestation + key
+     * exchange is charged as a lump (FaultPlan::spdm_rekey_ticks),
+     * the channel re-keys into a fresh IV epoch, and — when CC was
+     * enabled — the GPU's counters re-synchronize to zero. Overrides
+     * extend this to reset CPU-side IV counters and any speculative
+     * or degraded-mode state; every override must call the base.
+     * @return the tick at which the new session is live
+     */
+    virtual Tick restart(Tick now);
+
+    /**
+     * Warm-up probe: round-trip FaultPlan::warmup_probe_bytes H2D
+     * then D2H on a dedicated stream, exercising the fresh session
+     * end to end before the router re-admits the replica. Scratch
+     * regions are allocated lazily and reused across restarts.
+     * @return the probe completion tick
+     */
+    Tick warmupProbe(Tick now);
+
   protected:
     /** Sampled prefix length for functional data movement. */
     std::uint64_t sampleLen(std::uint64_t len) const;
@@ -197,6 +218,12 @@ class RuntimeApi
     TransferTrace *trace_ = nullptr;
     /** Recovery counters accumulated by this runtime's own paths. */
     fault::FaultReport fault_report_;
+
+  private:
+    /** Lazily allocated warm-up probe scratch (see warmupProbe). */
+    Stream *probe_stream_ = nullptr;
+    mem::Region probe_host_;
+    mem::Region probe_dev_;
 };
 
 const char *toString(CopyKind kind);

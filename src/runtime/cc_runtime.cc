@@ -102,7 +102,7 @@ CcRuntime::copyH2d(Addr dst, Addr src, std::uint64_t len,
     Tick api_return = enc_done;
     Tick xfer_start = std::max(enc_done, stream.tail());
     Tick done = ctx().h2dPath().transfer(xfer_start, len);
-    channel().maybeCorrupt(blob);
+    channel().maybeCorrupt(blob, done);
     unsigned attempt = 0;
     while (!dev.tryCommitEncrypted(blob, dst)) {
         noteTagRetry(attempt);
@@ -121,11 +121,20 @@ CcRuntime::copyH2d(Addr dst, Addr src, std::uint64_t len,
         fault_report_.retry_latency += redo_done - done;
         trace(done, redo_done, len, true, TransferOutcome::Retry);
         done = redo_done;
-        channel().maybeCorrupt(blob);
+        channel().maybeCorrupt(blob, done);
     }
     stream.push(done);
     trace(now, done, len, true, TransferOutcome::Direct);
     return ApiResult{api_return, done};
+}
+
+Tick
+CcRuntime::restart(Tick now)
+{
+    Tick live = RuntimeApi::restart(now);
+    h2d_iv_ = crypto::IvCounter(crypto::Direction::HostToDevice);
+    d2h_iv_ = crypto::IvCounter(crypto::Direction::DeviceToHost);
+    return live;
 }
 
 ApiResult
@@ -144,7 +153,7 @@ CcRuntime::copyD2h(Addr dst, Addr src, std::uint64_t len,
     // returns (stock NVIDIA CC behavior, §5.4).
     crypto::CipherBlob blob = dev.sealD2h(src, len);
     Tick landed = ctx().d2hPath().transfer(start, len);
-    channel().maybeCorrupt(blob);
+    channel().maybeCorrupt(blob, landed);
     Tick dec_done = chargeCpuCrypto(dec_lanes_, landed, len);
     stats_.cpu_decrypt_bytes += len;
 
@@ -162,7 +171,7 @@ CcRuntime::copyD2h(Addr dst, Addr src, std::uint64_t len,
             blob.audit_serial));
         blob = dev.sealD2h(src, len);
         Tick redo_landed = ctx().d2hPath().transfer(dec_done, len);
-        channel().maybeCorrupt(blob);
+        channel().maybeCorrupt(blob, redo_landed);
         Tick redo_dec = chargeCpuCrypto(dec_lanes_, redo_landed, len);
         stats_.cpu_decrypt_bytes += len;
         fault_report_.retry_latency += redo_dec - dec_done;

@@ -50,6 +50,9 @@ class CcRuntime : public RuntimeApi
 
     fault::FaultReport faultReport() const override;
 
+    /** Base re-key plus a reset of the CPU-side IV counter pair. */
+    Tick restart(Tick now) override;
+
   private:
     /**
      * Charge @p len bytes of CPU crypto split across the lanes.

@@ -182,5 +182,22 @@ CiphertextReuseRuntime::copyD2h(Addr dst, Addr src, std::uint64_t len,
     return ApiResult{dec_done, dec_done};
 }
 
+Tick
+CiphertextReuseRuntime::restart(Tick now)
+{
+    Tick live = RuntimeApi::restart(now);
+    h2d_iv_ = crypto::IvCounter(crypto::Direction::HostToDevice);
+    d2h_iv_ = crypto::IvCounter(crypto::Direction::DeviceToHost);
+    auto &prot = platform_.hostMem().protection();
+    for (auto &[key, retained] : retained_) {
+        if (retained.protected_pages)
+            prot.unprotect(key.addr, key.len);
+        PIPELLM_AUDIT_HOOK(audit::Auditor::instance().noteDiscarded(
+            retained.blob.audit_serial));
+    }
+    retained_.clear();
+    return live;
+}
+
 } // namespace runtime
 } // namespace pipellm

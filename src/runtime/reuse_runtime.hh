@@ -68,6 +68,12 @@ class CiphertextReuseRuntime : public RuntimeApi
 
     const ReuseStats &reuseStats() const { return reuse_stats_; }
 
+    /**
+     * Base re-key plus IV counter reset; every retained ciphertext
+     * was sealed under the dead session and is discarded.
+     */
+    Tick restart(Tick now) override;
+
   private:
     struct Key
     {

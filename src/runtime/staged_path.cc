@@ -61,7 +61,8 @@ StagedCopyPath::stallDelay(Tick ready)
     // chunk. The injector's attempt cap bounds the loop.
     const fault::FaultPlan &plan = injector_->plan();
     unsigned attempt = 0;
-    while (attempt < plan.max_copy_attempts && injector_->stallCopy()) {
+    while (attempt < plan.max_copy_attempts &&
+           injector_->stallCopy(ready)) {
         ++attempt;
         Tick penalty =
             plan.copy_stall_timeout + injector_->backoff(attempt);

@@ -54,5 +54,14 @@ TeeIoRuntime::memcpyAsync(CopyKind kind, Addr dst, Addr src,
     return ApiResult{control, done};
 }
 
+Tick
+TeeIoRuntime::restart(Tick now)
+{
+    Tick live = RuntimeApi::restart(now);
+    h2d_iv_ = crypto::IvCounter(crypto::Direction::HostToDevice);
+    d2h_iv_ = crypto::IvCounter(crypto::Direction::DeviceToHost);
+    return live;
+}
+
 } // namespace runtime
 } // namespace pipellm

@@ -39,6 +39,9 @@ class TeeIoRuntime : public RuntimeApi
     std::uint64_t h2dCounter() const { return h2d_iv_.current(); }
     std::uint64_t d2hCounter() const { return d2h_iv_.current(); }
 
+    /** Base re-key plus a reset of the CPU-side IV counter pair. */
+    Tick restart(Tick now) override;
+
   private:
     crypto::IvCounter h2d_iv_{crypto::Direction::HostToDevice};
     crypto::IvCounter d2h_iv_{crypto::Direction::DeviceToHost};

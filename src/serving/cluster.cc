@@ -67,30 +67,60 @@ ClusterRouter::costOf(const trace::Request &req) const
                req.output_len;
 }
 
-runtime::DeviceId
+bool
+ClusterRouter::isCandidate(unsigned d, std::uint64_t cost) const
+{
+    if (!alive_[d])
+        return false;
+    std::uint64_t cap = config_.admission.max_outstanding_cost;
+    // An idle replica always qualifies: the cap is backpressure, not
+    // a request-size limit, and no other replica can do better.
+    if (cap == 0 || load_[d] == 0)
+        return true;
+    return load_[d] + cost <= cap;
+}
+
+std::optional<runtime::DeviceId>
 ClusterRouter::route(const trace::Request &req)
 {
     unsigned n = numReplicas();
-    PIPELLM_ASSERT(aliveCount() > 0, "routing with no replica alive");
+    std::uint64_t cost = costOf(req);
     if (config_.policy == RoutePolicy::RoundRobin) {
-        // Rotation skips dead replicas; with every replica healthy
-        // this is the plain cursor walk, decision for decision.
+        // Rotation skips dead/capped replicas; with every replica
+        // healthy this is the plain cursor walk, decision for
+        // decision. A full lap without a candidate leaves the cursor
+        // untouched for the retry.
         unsigned d = next_;
-        while (!alive_[d])
+        for (unsigned tried = 0; tried < n; ++tried) {
+            if (isCandidate(d, cost)) {
+                next_ = (d + 1) % n;
+                load_[d] += cost;
+                return runtime::DeviceId(d);
+            }
             d = (d + 1) % n;
-        next_ = (d + 1) % n;
-        load_[d] += costOf(req);
-        return runtime::DeviceId(d);
+        }
+        return std::nullopt;
     }
     int best = -1;
     for (unsigned d = 0; d < n; ++d) {
-        if (!alive_[d])
+        if (!isCandidate(d, cost))
             continue;
         if (best < 0 || load_[d] < load_[unsigned(best)])
             best = int(d);
     }
-    load_[unsigned(best)] += costOf(req);
+    if (best < 0)
+        return std::nullopt;
+    load_[unsigned(best)] += cost;
     return runtime::DeviceId(unsigned(best));
+}
+
+void
+ClusterRouter::markReplicaDead(runtime::DeviceId id)
+{
+    PIPELLM_ASSERT(id < alive_.size(), "replica ", id,
+                   " out of range (", alive_.size(), " replicas)");
+    alive_[id] = false;
+    load_[id] = 0;
 }
 
 ClusterResult
@@ -147,6 +177,21 @@ ClusterRouter::run(const trace::Trace &requests)
     std::vector<Tick> crash_at(n, maxTick);
     for (unsigned d = 0; d < n; ++d)
         crash_at[d] = injector.drawCrashTime();
+    // Rejoin-complete tick per replica; maxTick = no restart pending.
+    std::vector<Tick> rejoin_at(n, maxTick);
+
+    // Sorted reinsertion into the arrival queue, never before the
+    // cursor: crash orphans, backpressure holds and all-dead rejoin
+    // waits all come back through here.
+    auto enqueue = [&](PendingReq again) {
+        auto pos = std::upper_bound(
+            pending.begin() + std::ptrdiff_t(next_arrival),
+            pending.end(), again.req.arrival,
+            [](Tick t, const PendingReq &p) {
+                return t < p.req.arrival;
+            });
+        pending.insert(pos, std::move(again));
+    };
 
     auto crash = [&](unsigned d, Tick detect) {
         alive_[d] = false;
@@ -155,27 +200,45 @@ ClusterRouter::run(const trace::Trace &requests)
         auto &rep = agg.replicas[d];
         rep.crashed = true;
         rep.crash_time = detect;
+        ++rep.crash_count;
         std::uint64_t lost = 0;
         auto orphans = engines[d]->drainUnfinished(lost);
         rep.lost_tokens += lost;
+        // The whole restart timeline is computed eagerly at the
+        // crash: seeded repair delay, SPDM re-key (fresh key, new IV
+        // epoch), staged weight re-upload and warm-up probe all
+        // charge real simulated time on this replica's runtime at
+        // future ticks (resource submission clamps each interval to
+        // the resource's own free time, so early submission is
+        // legal). The replica itself is revived lazily, when the
+        // router next sees an arrival at or past the rejoin tick.
+        Tick delay = injector.drawRestartDelay();
+        if (delay != maxTick) {
+            injector.noteInjected(fault::Kind::ReplicaRestart);
+            Tick live = runtimes_[d]->restart(detect + delay);
+            live = engines[d]->reloadWeights(live);
+            live = runtimes_[d]->warmupProbe(live);
+            rejoin_at[d] = live;
+            ++rep.restarts;
+            rep.time_to_rejoin += live - detect;
+        }
         bool survivors = aliveCount() > 0;
+        bool any_rejoin = false;
+        for (Tick r : rejoin_at)
+            any_rejoin |= r != maxTick;
         for (const auto &orphan : orphans) {
-            if (!survivors) {
+            if (!survivors && !any_rejoin) {
                 ++rep.dropped;
                 continue;
             }
             // Failover is causal: the orphan re-arrives at the detect
             // tick (its own arrival if that is later), restarting from
-            // the prompt on whichever replica routing picks then.
+            // the prompt on whichever replica routing picks then. With
+            // every replica down but a restart pending, delivery
+            // defers it to the rejoin instead of dropping it.
             trace::Request again = orphan;
             again.arrival = std::max(again.arrival, detect);
-            auto pos = std::upper_bound(
-                pending.begin() + std::ptrdiff_t(next_arrival),
-                pending.end(), again.arrival,
-                [](Tick t, const PendingReq &p) {
-                    return t < p.req.arrival;
-                });
-            pending.insert(pos, PendingReq{again, true});
+            enqueue(PendingReq{again, true});
             ++rep.requeued;
         }
     };
@@ -184,6 +247,26 @@ ClusterRouter::run(const trace::Trace &requests)
     // invalidating any reference into it.
     auto deliver = [&](PendingReq p) {
         const trace::Request &req = p.req;
+        // Revive replicas whose rejoin sequence completed before this
+        // arrival: session re-keyed, weights resident, probe
+        // round-tripped — they re-enter routing empty and draw a
+        // fresh crash arrival for their second life.
+        for (unsigned d = 0; d < n; ++d) {
+            if (alive_[d] || rejoin_at[d] == maxTick ||
+                rejoin_at[d] > req.arrival)
+                continue;
+            alive_[d] = true;
+            load_[d] = engines[d]->outstandingCost();
+            auto &rep = agg.replicas[d];
+            rep.rejoined = true;
+            rep.rejoin_time = rejoin_at[d];
+            Tick revived = rejoin_at[d];
+            rejoin_at[d] = maxTick;
+            Tick next = injector.drawCrashTime();
+            crash_at[d] = (next == maxTick || revived > maxTick - next)
+                              ? maxTick
+                              : revived + next;
+        }
         // An idle replica's clock never advances, so its crash is
         // detected here — when the router would next hand it work.
         for (unsigned d = 0; d < n; ++d) {
@@ -192,10 +275,69 @@ ClusterRouter::run(const trace::Trace &requests)
                 crash(d, req.arrival);
         }
         if (aliveCount() == 0) {
+            // With a restart in flight the request waits for the
+            // rejoin instead of dying with the cluster.
+            Tick soonest = maxTick;
+            for (Tick r : rejoin_at)
+                soonest = std::min(soonest, r);
+            if (soonest != maxTick) {
+                ++agg.deferred_to_rejoin;
+                PendingReq again = std::move(p);
+                again.req.arrival =
+                    std::max(again.req.arrival, soonest);
+                enqueue(std::move(again));
+                return;
+            }
             ++agg.dropped;
             return;
         }
-        runtime::DeviceId d = route(req);
+        const AdmissionConfig &adm = config_.admission;
+        std::uint64_t cost = costOf(req);
+        if (adm.shed_enabled && adm.service_cost_per_sec > 0 &&
+            req.deadline != 0) {
+            // Optimistic bound: the least-loaded replica drains its
+            // backlog plus this request at the full estimated service
+            // rate and nothing else ever arrives. If even that misses
+            // the deadline, the request is provably unmeetable — shed
+            // it now instead of burning replica time on a guaranteed
+            // SLO violation.
+            std::uint64_t best_load = ~std::uint64_t(0);
+            for (unsigned d = 0; d < n; ++d) {
+                if (alive_[d])
+                    best_load = std::min(best_load, load_[d]);
+            }
+            Tick finish =
+                req.arrival + seconds(double(best_load + cost) /
+                                      adm.service_cost_per_sec);
+            if (finish > req.deadline) {
+                ++agg.shed_requests;
+                agg.shed_tokens += std::uint64_t(req.output_len) *
+                                   config_.engine.parallel_sampling;
+                return;
+            }
+        }
+        auto routed = route(req);
+        if (!routed) {
+            // Backpressure: every alive replica is at the admission
+            // cap. Hold the request at the front-end until the
+            // earliest busy replica has stepped (its clock strictly
+            // advances, so this terminates); it re-enters the arrival
+            // queue just past that clock.
+            ++agg.backpressure_deferrals;
+            Tick retry = maxTick;
+            for (unsigned d = 0; d < n; ++d) {
+                if (engines[d]->hasWork())
+                    retry = std::min(retry, engines[d]->clock());
+            }
+            PIPELLM_ASSERT(retry != maxTick,
+                           "every replica capped yet none working");
+            PendingReq again = std::move(p);
+            again.req.arrival =
+                std::max(again.req.arrival, retry + Tick(1));
+            enqueue(std::move(again));
+            return;
+        }
+        runtime::DeviceId d = *routed;
         auto &rep = agg.replicas[d];
         ++rep.requests;
         if (p.requeued)
@@ -259,6 +401,7 @@ ClusterRouter::run(const trace::Trace &requests)
     double latency_weight = 0;
     std::uint64_t routed_tokens_total = 0;
     std::uint64_t completed_tokens_total = 0;
+    sim::SampleSet merged_latency;
     for (unsigned d = 0; d < n; ++d) {
         auto &rep = agg.replicas[d];
         rep.result = engines[d]->finish();
@@ -272,27 +415,51 @@ ClusterRouter::run(const trace::Trace &requests)
         routed_tokens_total += rep.routed_tokens;
         completed_tokens_total += rep.result.completed_tokens;
         agg.dropped += rep.dropped;
+        agg.slo_missed += rep.result.slo_missed;
+        agg.slo_missed_tokens += rep.result.slo_missed_tokens;
         double w = double(rep.result.completed);
         agg.normalized_latency += w * rep.result.normalized_latency;
-        agg.p90_normalized_latency +=
+        // Legacy completed-weighted mean of per-replica p90s: not a
+        // percentile, kept only so committed CSV columns built from
+        // it stay byte-identical.
+        agg.replica_weighted_p90 +=
             w * rep.result.p90_normalized_latency;
         latency_weight += w;
+        for (double s : rep.result.latency_samples.samples())
+            merged_latency.add(s);
+        agg.completions.insert(agg.completions.end(),
+                               rep.result.completions.begin(),
+                               rep.result.completions.end());
 
-        // Crash accounting lives on the router, not the runtimes.
-        agg.faults.replica_crashes += rep.crashed ? 1 : 0;
+        // Crash/restart accounting lives on the router, not the
+        // runtimes.
+        agg.faults.replica_crashes += rep.crash_count;
+        agg.faults.replica_restarts += rep.restarts;
+        agg.faults.restart_rejoin_ticks += rep.time_to_rejoin;
         agg.faults.requeued_requests += rep.requeued;
         agg.faults.lost_tokens += rep.lost_tokens;
     }
     agg.faults.dropped_requests = agg.dropped;
     if (latency_weight > 0) {
         agg.normalized_latency /= latency_weight;
-        agg.p90_normalized_latency /= latency_weight;
+        agg.replica_weighted_p90 /= latency_weight;
     }
+    // The true cluster-wide p90 comes from the merged per-request
+    // samples; with one replica it equals the legacy field exactly.
+    if (merged_latency.count() > 0)
+        agg.p90_normalized_latency = merged_latency.percentile(90);
+    std::sort(agg.completions.begin(), agg.completions.end(),
+              [](const CompletionEvent &a, const CompletionEvent &b) {
+                  return a.at < b.at;
+              });
     if (agg.makespan > 0) {
         agg.tokens_per_sec =
             double(routed_tokens_total) / toSeconds(agg.makespan);
         agg.goodput_tokens_per_sec =
             double(completed_tokens_total) / toSeconds(agg.makespan);
+        agg.slo_goodput_tokens_per_sec =
+            double(completed_tokens_total - agg.slo_missed_tokens) /
+            toSeconds(agg.makespan);
     }
 #if PIPELLM_AUDIT_ENABLED
     {

@@ -25,6 +25,16 @@
  * least-loaded by each replica's live outstanding-token count with
  * lowest-device-id tie-breaking. With one device, either policy
  * degenerates to the single-Platform path bit-for-bit.
+ *
+ * Two robustness layers sit on top. A crashed replica can restart
+ * (FaultPlan::replica_restart_rate): after a seeded repair delay it
+ * re-keys its SPDM session into a fresh IV epoch, re-uploads the
+ * weights through the staged path, round-trips a warm-up probe, and
+ * only then rejoins routing. And the front-end can protect itself
+ * from overload (AdmissionConfig): requests whose deadline is
+ * provably unmeetable are shed before routing, and a per-replica
+ * outstanding-cost cap holds excess arrivals at the front-end. Both
+ * are off by default and change nothing when disabled.
  */
 
 #ifndef PIPELLM_SERVING_CLUSTER_HH
@@ -33,6 +43,7 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -67,12 +78,49 @@ const char *toString(RoutePolicy policy);
 using RuntimeFactory = std::function<std::unique_ptr<runtime::RuntimeApi>(
     runtime::Platform &, runtime::DeviceId)>;
 
+/**
+ * Overload protection at the front-end. Disabled (the default), the
+ * router behaves exactly as before — no extra branches change any
+ * routing decision, so committed bench output is byte-identical.
+ */
+struct AdmissionConfig
+{
+    /**
+     * Shed a request whose deadline is provably unmeetable: even if
+     * the least-loaded replica served nothing but its current
+     * backlog plus this request at the full estimated service rate,
+     * it would still finish late. The bound is optimistic (future
+     * arrivals are ignored), so shedding never kills a request that
+     * had any chance under the estimate.
+     */
+    bool shed_enabled = false;
+
+    /**
+     * Estimated per-replica service rate in cost units
+     * (prompt + parallel_sampling * output tokens) per simulated
+     * second; converts outstanding cost into projected finish time.
+     * 0 disables the deadline test even when shedding is on.
+     */
+    double service_cost_per_sec = 0;
+
+    /**
+     * Queue-depth backpressure: a replica whose outstanding cost
+     * would exceed this is not a routing candidate, and a request no
+     * candidate can take is held at the front-end until a step frees
+     * capacity. 0 = uncapped. An idle replica always qualifies, so a
+     * single huge request cannot deadlock the cap.
+     */
+    std::uint64_t max_outstanding_cost = 0;
+};
+
 /** Cluster-serving configuration. */
 struct ClusterConfig
 {
     /** Per-replica engine configuration (identical replicas). */
     VllmConfig engine;
     RoutePolicy policy = RoutePolicy::RoundRobin;
+    /** Front-end overload protection (inert by default). */
+    AdmissionConfig admission;
 };
 
 /** Per-replica slice of a cluster run. */
@@ -100,18 +148,40 @@ struct ReplicaReport
     std::uint64_t lost_tokens = 0;
     /** Faults this replica's runtime recovered from. */
     fault::FaultReport faults;
+
+    /** Crashes of this replica (can exceed 1 once restarts rejoin). */
+    std::uint64_t crash_count = 0;
+    /** Restart sequences scheduled (re-key + reload + probe). */
+    std::uint64_t restarts = 0;
+    /** True when a restart re-admitted this replica to routing. */
+    bool rejoined = false;
+    /** Tick of the last completed rejoin. */
+    Tick rejoin_time = 0;
+    /** Summed crash-detect -> rejoin-complete time. */
+    Tick time_to_rejoin = 0;
 };
 
 /** Aggregate result of serving one trace across the cluster. */
 struct ClusterResult
 {
-    /** Completed-weighted mean of replica normalized latencies. */
+    /**
+     * Completed-weighted mean of replica normalized latencies —
+     * algebraically identical to the mean over the merged samples.
+     */
     double normalized_latency = 0;
     /**
-     * Completed-weighted mean of replica p90s — an approximation of
-     * the cluster-wide p90 that avoids re-merging sample sets.
+     * True cluster-wide p90 normalized latency, computed over the
+     * merged per-request samples of every replica.
      */
     double p90_normalized_latency = 0;
+    /**
+     * Completed-weighted mean of the replica p90s — the
+     * approximation this field's name used to denote. It is not a
+     * percentile of anything; it is kept (documented) because
+     * committed bench CSVs' p90 columns were generated from it and
+     * must stay byte-identical.
+     */
+    double replica_weighted_p90 = 0;
     std::uint64_t completed = 0;
     std::uint64_t preemptions = 0;
     /** Wall time of the slowest replica. */
@@ -125,8 +195,26 @@ struct ClusterResult
     double goodput_tokens_per_sec = 0;
     /** Requests dropped because every replica had crashed. */
     std::uint64_t dropped = 0;
+
+    /** Requests shed by admission control (never routed). */
+    std::uint64_t shed_requests = 0;
+    /** Routed-token equivalent of the shed requests. */
+    std::uint64_t shed_tokens = 0;
+    /** Completed requests that finished past their deadline. */
+    std::uint64_t slo_missed = 0;
+    /** Generated tokens of those late completions. */
+    std::uint64_t slo_missed_tokens = 0;
+    /** Goodput counting only in-SLO completions. */
+    double slo_goodput_tokens_per_sec = 0;
+    /** Times a request was held because every candidate was capped. */
+    std::uint64_t backpressure_deferrals = 0;
+    /** Requests held for a rejoining replica when all were dead. */
+    std::uint64_t deferred_to_rejoin = 0;
+
     /** Cluster-wide fault/recovery counters (replicas merged). */
     fault::FaultReport faults;
+    /** All replicas' completion events merged, sorted by time. */
+    std::vector<CompletionEvent> completions;
     std::vector<ReplicaReport> replicas;
 };
 
@@ -145,8 +233,17 @@ class ClusterRouter
      * Routing decision for @p req, advancing router state (rotation
      * cursor / load estimates). Exposed so tests can drive the policy
      * deterministically without a full serving run.
+     * @return the chosen replica, or nullopt when no candidate
+     *         exists: every replica is dead, or every alive one is
+     *         past the admission cost cap (backpressure)
      */
-    runtime::DeviceId route(const trace::Request &req);
+    std::optional<runtime::DeviceId> route(const trace::Request &req);
+
+    /**
+     * Force a replica out of the routing set, as an external health
+     * check would (tests and harnesses; run() resets liveness).
+     */
+    void markReplicaDead(runtime::DeviceId id);
 
     /** Serve @p requests (arrival-stamped) across the replicas. */
     ClusterResult run(const trace::Trace &requests);
@@ -160,6 +257,9 @@ class ClusterRouter
   private:
     /** Outstanding-work estimate a request adds to its replica. */
     std::uint64_t costOf(const trace::Request &req) const;
+
+    /** Routing-candidate test: alive and under the admission cap. */
+    bool isCandidate(unsigned d, std::uint64_t cost) const;
 
     runtime::Platform &platform_;
     ClusterConfig config_;

@@ -248,6 +248,7 @@ VllmEngine::submit(const trace::Request &req)
     Group g;
     g.id = req.id;
     g.arrival = req.arrival;
+    g.deadline = req.deadline;
     g.prompt_len = req.prompt_len;
     g.output_len = std::max<std::uint32_t>(req.output_len, 1);
     groups_.push_back(g);
@@ -257,14 +258,21 @@ VllmEngine::submit(const trace::Request &req)
 std::uint64_t
 VllmEngine::outstandingCost() const
 {
+    // Only groups still on a scheduler queue owe work: a finished
+    // group is off the lists, and a drained orphan's remaining cost
+    // belongs to whichever replica absorbs it, not to this one.
     std::uint64_t sum = 0;
-    for (const auto &g : groups_) {
-        if (g.generated >= g.output_len)
-            continue;
-        sum += g.prompt_len +
-               std::uint64_t(config_.parallel_sampling) *
-                   (g.output_len - g.generated);
-    }
+    auto add = [&](const std::vector<std::size_t> &ids) {
+        for (std::size_t i : ids) {
+            const Group &g = groups_[i];
+            sum += g.prompt_len +
+                   std::uint64_t(config_.parallel_sampling) *
+                       (g.output_len - g.generated);
+        }
+    };
+    add(waiting_);
+    add(running_);
+    add(swapped_);
     return sum;
 }
 
@@ -355,8 +363,14 @@ VllmEngine::stepOnce()
             freeBlocks(g);
             norm_latency_.add(toSeconds(now - g.arrival) /
                               double(g.generated));
-            result_.completed_tokens +=
+            std::uint64_t tokens =
                 std::uint64_t(g.generated) * config_.parallel_sampling;
+            result_.completed_tokens += tokens;
+            result_.completions.push_back(CompletionEvent{now, tokens});
+            if (g.deadline != 0 && now > g.deadline) {
+                ++result_.slo_missed;
+                result_.slo_missed_tokens += tokens;
+            }
             ++completed_;
             it = running_.erase(it);
         } else {
@@ -382,10 +396,12 @@ VllmEngine::drainUnfinished(std::uint64_t &lost_tokens)
                 g.host_swap = mem::Region{};
             }
             // The requeued request restarts from the prompt; partial
-            // generation died with the replica.
+            // generation died with the replica. Its deadline rides
+            // along — failover does not buy a request more SLO.
             orphans.push_back(trace::Request{g.id, g.arrival,
                                              g.prompt_len,
-                                             g.output_len});
+                                             g.output_len,
+                                             g.deadline});
         }
         list.clear();
     };
@@ -395,6 +411,30 @@ VllmEngine::drainUnfinished(std::uint64_t &lost_tokens)
     return orphans;
 }
 
+Tick
+VllmEngine::reloadWeights(Tick now)
+{
+    auto &platform = rt_.platform();
+    // 256 MiB staging chunks: big enough that per-call overhead
+    // vanishes against the transfer itself, small enough to bound
+    // host staging footprint.
+    std::uint64_t chunk =
+        std::min<std::uint64_t>(weights_.len, 256 * MiB);
+    mem::Region staging =
+        platform.allocHost(chunk, "vllm-weight-reload");
+    Tick t = now;
+    for (std::uint64_t off = 0; off < weights_.len; off += chunk) {
+        std::uint64_t n = std::min(chunk, weights_.len - off);
+        t = rt_.memcpyAsync(CopyKind::HostToDevice,
+                            weights_.base + off, staging.base, n,
+                            swap_stream_, t)
+                .api_return;
+    }
+    t = rt_.synchronize(t);
+    platform.freeHost(staging);
+    return t;
+}
+
 VllmResult
 VllmEngine::finish()
 {
@@ -402,6 +442,7 @@ VllmEngine::finish()
     result_.total_time = now_;
     result_.normalized_latency = norm_latency_.mean();
     result_.p90_normalized_latency = norm_latency_.percentile(90);
+    result_.latency_samples = norm_latency_;
     return result_;
 }
 

@@ -56,6 +56,14 @@ struct VllmConfig
     std::uint64_t gpu_reserved_bytes = 2 * GiB;
 };
 
+/** One completed request, for goodput-over-time timelines. */
+struct CompletionEvent
+{
+    Tick at = 0;
+    /** Generated tokens delivered (output * parallel sampling). */
+    std::uint64_t tokens = 0;
+};
+
 /** Result of serving one trace. */
 struct VllmResult
 {
@@ -71,6 +79,21 @@ struct VllmResult
     std::uint64_t swap_out_bytes = 0;
     std::uint64_t swap_in_bytes = 0;
     Tick total_time = 0;
+    /** Completions past their request deadline (deadline != 0 only). */
+    std::uint64_t slo_missed = 0;
+    /** Generated tokens belonging to those late completions. */
+    std::uint64_t slo_missed_tokens = 0;
+    /**
+     * Per-request completion events in retirement order. Chaos/soak
+     * analysis builds goodput-over-time from these.
+     */
+    std::vector<CompletionEvent> completions;
+    /**
+     * Every per-request normalized-latency sample. Cluster results
+     * merge these for a true cluster-wide percentile instead of
+     * aggregating per-replica p90s.
+     */
+    sim::SampleSet latency_samples;
 };
 
 /** The engine. */
@@ -139,8 +162,27 @@ class VllmEngine
     std::vector<trace::Request> drainUnfinished(
         std::uint64_t &lost_tokens);
 
+    /**
+     * Restart-path weight re-upload: the rejoining GPU's HBM is
+     * empty, so the full weight footprint re-crosses the staged path
+     * in large chunks starting at @p now, charging real transfer and
+     * crypto time on this engine's runtime. Returns the completion
+     * tick. The engine clock is deliberately left alone: a replica
+     * that never serves again must not inflate the makespan, and one
+     * that does gets its clock via advanceTo() at the next delivery
+     * (whose arrival is never before the rejoin tick).
+     */
+    Tick reloadWeights(Tick now);
+
     /** KV pool capacity in blocks (for tests). */
     std::uint64_t totalBlocks() const { return total_blocks_; }
+
+    /** Blocks currently in the free pool (== totalBlocks() iff no
+     *  group holds KV — the invariant drainUnfinished() restores). */
+    std::uint64_t freeBlockCount() const
+    {
+        return free_block_ids_.size();
+    }
 
     /** Bytes of one swap unit (one KV block across all layers). */
     std::uint64_t blockBytes() const { return block_bytes_; }
@@ -150,6 +192,7 @@ class VllmEngine
     {
         std::uint64_t id = 0;
         Tick arrival = 0;
+        Tick deadline = 0;
         std::uint32_t prompt_len = 0;
         std::uint32_t output_len = 0;
         std::uint32_t generated = 0;

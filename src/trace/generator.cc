@@ -87,6 +87,35 @@ TraceGenerator::poisson(std::size_t n, double requests_per_sec)
 }
 
 Trace
+TraceGenerator::poissonPhases(const std::vector<PoissonPhase> &phases)
+{
+    Trace out;
+    double t = 0.0;
+    std::uint64_t id = 0;
+    for (const auto &phase : phases) {
+        PIPELLM_ASSERT(phase.requests_per_sec > 0,
+                       "need a positive phase rate");
+        for (std::size_t i = 0; i < phase.n; ++i) {
+            t += rng_.exponential(phase.requests_per_sec);
+            Request r = sample(id++);
+            r.arrival = seconds(t);
+            out.push_back(r);
+        }
+    }
+    return out;
+}
+
+void
+TraceGenerator::stampDeadlines(Trace &requests, Tick slo_floor,
+                               Tick slo_per_token)
+{
+    for (auto &r : requests) {
+        r.deadline = r.arrival + slo_floor +
+                     Tick(r.output_len) * slo_per_token;
+    }
+}
+
+Trace
 TraceGenerator::closedLoop(std::size_t n)
 {
     Trace out;

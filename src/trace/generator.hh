@@ -20,6 +20,7 @@
 #define PIPELLM_TRACE_GENERATOR_HH
 
 #include <cstdint>
+#include <vector>
 
 #include "common/rng.hh"
 #include "trace/request.hh"
@@ -56,6 +57,18 @@ class TraceGenerator
      */
     Trace poisson(std::size_t n, double requests_per_sec);
 
+    /**
+     * Piecewise-Poisson trace: each phase contributes @p n requests
+     * at its own rate, back to back on one timeline (overload bursts,
+     * soak scenarios). Ids stay globally sequential.
+     */
+    struct PoissonPhase
+    {
+        std::size_t n = 0;
+        double requests_per_sec = 1;
+    };
+    Trace poissonPhases(const std::vector<PoissonPhase> &phases);
+
     /** Closed-loop trace (arrival 0), e.g. FlexGen throughput runs. */
     Trace closedLoop(std::size_t n);
 
@@ -67,6 +80,15 @@ class TraceGenerator
                        std::uint32_t output_len);
 
     const DatasetProfile &profile() const { return profile_; }
+
+    /**
+     * Stamp every request's deadline as
+     *   arrival + slo_floor + output_len * slo_per_token.
+     * The per-token term models a token-throughput SLO; the floor
+     * absorbs queueing and prefill. Existing deadlines are replaced.
+     */
+    static void stampDeadlines(Trace &requests, Tick slo_floor,
+                               Tick slo_per_token);
 
   private:
     Request sample(std::uint64_t id);

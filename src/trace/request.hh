@@ -24,6 +24,12 @@ struct Request
     std::uint32_t prompt_len = 0;
     /** Output tokens to generate (per sampled sequence). */
     std::uint32_t output_len = 0;
+    /**
+     * Completion deadline (absolute tick); 0 means no SLO. Engines
+     * count a completion past its deadline as an SLO miss; routers
+     * may shed a request whose deadline is provably unmeetable.
+     */
+    Tick deadline = 0;
 };
 
 using Trace = std::vector<Request>;

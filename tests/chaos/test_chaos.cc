@@ -1,0 +1,175 @@
+/**
+ * @file
+ * Chaos-harness unit tests: goodput bucketing, dip measurement edge
+ * cases, and a smoke soak whose accounting must close exactly.
+ */
+
+#include <gtest/gtest.h>
+
+#include "audit/audit.hh"
+#include "tools/chaos/chaos.hh"
+
+using namespace pipellm;
+using namespace pipellm::chaos;
+
+namespace {
+
+struct ChaosRig : ::testing::Test
+{
+    void
+    SetUp() override
+    {
+#if PIPELLM_AUDIT_ENABLED
+        audit::Auditor::instance().reset();
+        audit::Auditor::instance().setTrapOnViolation(false);
+#endif
+    }
+
+    void
+    TearDown() override
+    {
+#if PIPELLM_AUDIT_ENABLED
+        EXPECT_TRUE(audit::Auditor::instance().violations().empty())
+            << audit::Auditor::instance().report();
+        audit::Auditor::instance().reset();
+#endif
+    }
+};
+
+serving::CompletionEvent
+ev(Tick at, std::uint64_t tokens)
+{
+    return serving::CompletionEvent{at, tokens};
+}
+
+/** A flat timeline at @p tps except the given dip windows. */
+std::vector<GoodputWindow>
+flatTimeline(std::size_t n, double tps, Tick window)
+{
+    std::vector<GoodputWindow> t;
+    for (std::size_t i = 0; i < n; ++i) {
+        GoodputWindow w;
+        w.start = Tick(i) * window;
+        w.end = Tick(i + 1) * window;
+        w.tokens_per_sec = tps;
+        t.push_back(w);
+    }
+    return t;
+}
+
+} // namespace
+
+TEST(GoodputTimeline, BucketsTokensIntoFixedWindows)
+{
+    std::vector<serving::CompletionEvent> comps = {
+        ev(milliseconds(100), 10), ev(milliseconds(900), 20),
+        ev(seconds(1), 30),        ev(seconds(2) + 1, 40),
+    };
+    auto t = goodputTimeline(comps, seconds(1));
+    ASSERT_EQ(t.size(), 3u);
+    EXPECT_EQ(t[0].start, 0u);
+    EXPECT_EQ(t[0].end, seconds(1));
+    // [0, 1s): the two sub-second completions.
+    EXPECT_DOUBLE_EQ(t[0].tokens_per_sec, 30.0);
+    // [1s, 2s): the completion exactly at the boundary.
+    EXPECT_DOUBLE_EQ(t[1].tokens_per_sec, 30.0);
+    EXPECT_DOUBLE_EQ(t[2].tokens_per_sec, 40.0);
+
+    // Every token lands in exactly one window.
+    double total = 0;
+    for (const auto &w : t)
+        total += w.tokens_per_sec * toSeconds(seconds(1));
+    EXPECT_DOUBLE_EQ(total, 100.0);
+}
+
+TEST(GoodputTimeline, EmptyCompletionsYieldEmptyTimeline)
+{
+    EXPECT_TRUE(goodputTimeline({}, seconds(1)).empty());
+}
+
+TEST(DipAfter, NoBaselineMeansNothingToFallFrom)
+{
+    auto t = flatTimeline(5, 100.0, seconds(1));
+    // Disturbance before the first full window closes.
+    auto m = dipAfter(t, milliseconds(100), 0.5);
+    EXPECT_TRUE(m.recovered);
+    EXPECT_DOUBLE_EQ(m.dip_depth, 0.0);
+    EXPECT_EQ(m.dip_duration, 0u);
+}
+
+TEST(DipAfter, FlatTimelineHasNoDip)
+{
+    auto t = flatTimeline(6, 100.0, seconds(1));
+    auto m = dipAfter(t, seconds(3), 0.5);
+    EXPECT_DOUBLE_EQ(m.baseline_tps, 100.0);
+    EXPECT_DOUBLE_EQ(m.min_tps, 100.0);
+    EXPECT_DOUBLE_EQ(m.dip_depth, 0.0);
+    EXPECT_EQ(m.dip_duration, 0u);
+    EXPECT_TRUE(m.recovered);
+}
+
+TEST(DipAfter, MeasuresDepthDurationAndRecoveryPoint)
+{
+    auto t = flatTimeline(8, 100.0, seconds(1));
+    // Two windows dip to 10 tok/s after the disturbance at 3 s.
+    t[4].tokens_per_sec = 10.0;
+    t[5].tokens_per_sec = 10.0;
+    auto m = dipAfter(t, seconds(3), 0.5);
+    EXPECT_DOUBLE_EQ(m.baseline_tps, 100.0);
+    EXPECT_DOUBLE_EQ(m.min_tps, 10.0);
+    EXPECT_DOUBLE_EQ(m.dip_depth, 0.9);
+    EXPECT_EQ(m.dip_duration, seconds(2));
+    EXPECT_TRUE(m.recovered);
+    EXPECT_EQ(m.recovery_at, seconds(6));
+}
+
+TEST(DipAfter, UnrecoveredWhenTheRunEndsBelowTheBar)
+{
+    auto t = flatTimeline(6, 100.0, seconds(1));
+    t[4].tokens_per_sec = 5.0;
+    t[5].tokens_per_sec = 5.0; // still down when the run ends
+    auto m = dipAfter(t, seconds(3), 0.5);
+    EXPECT_FALSE(m.recovered);
+    EXPECT_EQ(m.dip_duration, seconds(2));
+    EXPECT_DOUBLE_EQ(m.dip_depth, 0.95);
+}
+
+TEST_F(ChaosRig, SmokeSoakAccountingCloses)
+{
+    // A shrunken default plan: same machinery (phased arrivals,
+    // deadlines, shedding, crashes + restarts, storm) on a trace small
+    // enough for a unit test.
+    auto plan = defaultSoakPlan(true);
+    plan.phases = {SoakPhase{6, 1.6}, SoakPhase{6, 6.4},
+                   SoakPhase{6, 1.6}};
+    auto r = runSoak(plan);
+
+    std::size_t offered = 18;
+    // With restarts armed nothing is ever dropped: every request was
+    // served or honestly reported shed.
+    EXPECT_EQ(r.cluster.dropped, 0u);
+    EXPECT_EQ(r.cluster.completed + r.cluster.shed_requests, offered);
+    EXPECT_FALSE(r.timeline.empty());
+    EXPECT_EQ(r.audit_violations, 0u);
+
+    // The timeline re-buckets exactly the cluster's completed tokens.
+    double timeline_tokens = 0;
+    for (const auto &w : r.timeline)
+        timeline_tokens +=
+            w.tokens_per_sec * toSeconds(plan.goodput_window);
+    double completed_tokens = 0;
+    for (const auto &c : r.cluster.completions)
+        completed_tokens += double(c.tokens);
+    EXPECT_NEAR(timeline_tokens, completed_tokens, 1e-6);
+
+    // Replays bit-identically: the whole soak is seeded.
+    auto again = runSoak(plan);
+    EXPECT_EQ(again.cluster.completed, r.cluster.completed);
+    EXPECT_EQ(again.cluster.shed_requests, r.cluster.shed_requests);
+    EXPECT_EQ(again.cluster.makespan, r.cluster.makespan);
+    ASSERT_EQ(again.disturbances.size(), r.disturbances.size());
+    for (std::size_t i = 0; i < r.disturbances.size(); ++i) {
+        EXPECT_EQ(again.disturbances[i].what, r.disturbances[i].what);
+        EXPECT_EQ(again.disturbances[i].at, r.disturbances[i].at);
+    }
+}

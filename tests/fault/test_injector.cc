@@ -16,9 +16,9 @@ TEST(FaultInjector, DisarmedAnswersNoFaultForever)
     FaultInjector inj;
     EXPECT_FALSE(inj.armed());
     for (int i = 0; i < 1000; ++i) {
-        EXPECT_FALSE(inj.corruptTag());
-        EXPECT_FALSE(inj.stallCopy());
-        EXPECT_FALSE(inj.failLane());
+        EXPECT_FALSE(inj.corruptTag(0));
+        EXPECT_FALSE(inj.stallCopy(0));
+        EXPECT_FALSE(inj.failLane(0));
     }
     EXPECT_EQ(inj.drawCrashTime(), maxTick);
     EXPECT_EQ(inj.injected(Kind::TagCorruption), 0u);
@@ -35,9 +35,9 @@ TEST(FaultInjector, SamePlanReplaysBitIdentically)
     a.arm(plan);
     b.arm(plan);
     for (int i = 0; i < 5000; ++i) {
-        ASSERT_EQ(a.corruptTag(), b.corruptTag());
-        ASSERT_EQ(a.stallCopy(), b.stallCopy());
-        ASSERT_EQ(a.failLane(), b.failLane());
+        ASSERT_EQ(a.corruptTag(0), b.corruptTag(0));
+        ASSERT_EQ(a.stallCopy(0), b.stallCopy(0));
+        ASSERT_EQ(a.failLane(0), b.failLane(0));
     }
     EXPECT_EQ(a.injected(Kind::TagCorruption),
               b.injected(Kind::TagCorruption));
@@ -57,9 +57,9 @@ TEST(FaultInjector, ZeroRateQueriesConsumeNoRandomness)
     pure.arm(plan);
     noisy.arm(plan);
     for (int i = 0; i < 2000; ++i) {
-        EXPECT_FALSE(noisy.stallCopy());
-        EXPECT_FALSE(noisy.failLane());
-        ASSERT_EQ(pure.corruptTag(), noisy.corruptTag());
+        EXPECT_FALSE(noisy.stallCopy(0));
+        EXPECT_FALSE(noisy.failLane(0));
+        ASSERT_EQ(pure.corruptTag(0), noisy.corruptTag(0));
     }
 }
 
@@ -72,13 +72,13 @@ TEST(FaultInjector, RearmReseedsAndClearsCounters)
     inj.arm(plan);
     std::vector<bool> first;
     for (int i = 0; i < 500; ++i)
-        first.push_back(inj.corruptTag());
+        first.push_back(inj.corruptTag(0));
     EXPECT_GT(inj.injected(Kind::TagCorruption), 0u);
 
     inj.arm(plan);
     EXPECT_EQ(inj.injected(Kind::TagCorruption), 0u);
     for (int i = 0; i < 500; ++i)
-        ASSERT_EQ(inj.corruptTag(), first[std::size_t(i)]);
+        ASSERT_EQ(inj.corruptTag(0), first[std::size_t(i)]);
 }
 
 TEST(FaultInjector, DisarmRestoresZeroCostPath)
@@ -88,11 +88,11 @@ TEST(FaultInjector, DisarmRestoresZeroCostPath)
     plan.tag_corruption_rate = 1.0;
     FaultInjector inj;
     inj.arm(plan);
-    EXPECT_TRUE(inj.corruptTag());
+    EXPECT_TRUE(inj.corruptTag(0));
     inj.disarm();
     EXPECT_FALSE(inj.armed());
     for (int i = 0; i < 100; ++i)
-        EXPECT_FALSE(inj.corruptTag());
+        EXPECT_FALSE(inj.corruptTag(0));
 }
 
 TEST(FaultInjector, BackoffDoublesUpToCapWithBoundedJitter)
@@ -141,6 +141,100 @@ TEST(FaultInjector, CrashDrawsDisabledWhenRateIsZero)
     inj.arm(plan);
     EXPECT_TRUE(inj.armed());
     EXPECT_EQ(inj.drawCrashTime(), maxTick);
+}
+
+TEST(FaultInjector, RestartDelayDisabledWhenRateIsZero)
+{
+    FaultInjector disarmed;
+    EXPECT_EQ(disarmed.drawRestartDelay(), maxTick);
+
+    FaultPlan plan;
+    plan.seed = 27;
+    plan.replica_crash_rate = 50.0; // crashes armed, restarts not
+    FaultInjector inj;
+    inj.arm(plan);
+    EXPECT_NE(inj.drawCrashTime(), maxTick);
+    EXPECT_EQ(inj.drawRestartDelay(), maxTick);
+}
+
+TEST(FaultInjector, RestartDelaysFollowTheExponentialRate)
+{
+    FaultPlan plan;
+    plan.seed = 29;
+    plan.replica_restart_rate = 50.0; // mean repair delay 20 ms
+    FaultInjector inj;
+    inj.arm(plan);
+    double sum = 0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i)
+        sum += toSeconds(inj.drawRestartDelay());
+    EXPECT_NEAR(sum / n, 0.02, 0.002);
+}
+
+TEST(FaultInjector, StormWindowMultipliesRatesInsideOnly)
+{
+    FaultPlan plan;
+    plan.seed = 37;
+    plan.tag_corruption_rate = 0.05;
+    plan.storm_start = milliseconds(10);
+    plan.storm_end = milliseconds(20);
+    plan.storm_multiplier = 20; // 0.05 * 20 = 1.0: certain inside
+    FaultInjector inj;
+    inj.arm(plan);
+
+    // Inside the window every crossing corrupts.
+    for (int i = 0; i < 200; ++i)
+        EXPECT_TRUE(inj.corruptTag(milliseconds(15)));
+    // Outside it, the base rate still applies: mostly clean.
+    unsigned outside_hits = 0;
+    for (int i = 0; i < 200; ++i)
+        outside_hits += inj.corruptTag(milliseconds(25)) ? 1 : 0;
+    EXPECT_LT(outside_hits, 50u);
+    EXPECT_GT(outside_hits, 0u);
+}
+
+TEST(FaultInjector, StormWindowIsHalfOpen)
+{
+    FaultPlan plan;
+    plan.seed = 39;
+    // Outside rate is effectively never; the multiplier makes the
+    // inside rate certain. So each draw's outcome *is* the window
+    // membership test.
+    plan.tag_corruption_rate = 1e-12;
+    plan.storm_start = milliseconds(10);
+    plan.storm_end = milliseconds(20);
+    plan.storm_multiplier = 1e12;
+    FaultInjector inj;
+    inj.arm(plan);
+
+    EXPECT_FALSE(inj.corruptTag(milliseconds(10) - 1));
+    EXPECT_TRUE(inj.corruptTag(milliseconds(10))); // start inclusive
+    EXPECT_TRUE(inj.corruptTag(milliseconds(20) - 1));
+    EXPECT_FALSE(inj.corruptTag(milliseconds(20))); // end exclusive
+}
+
+TEST(FaultInjector, UnitStormMultiplierKeepsDrawSequenceIdentical)
+{
+    // A configured window with multiplier 1 must not change a single
+    // decision: byte-identity of committed runs only depends on the
+    // multiplier, never on the window bounds.
+    FaultPlan base;
+    base.seed = 41;
+    base.tag_corruption_rate = 0.3;
+    base.copy_stall_rate = 0.2;
+    FaultPlan windowed = base;
+    windowed.storm_start = milliseconds(1);
+    windowed.storm_end = seconds(10);
+    windowed.storm_multiplier = 1;
+
+    FaultInjector a, b;
+    a.arm(base);
+    b.arm(windowed);
+    for (int i = 0; i < 2000; ++i) {
+        Tick now = Tick(i) * milliseconds(1);
+        ASSERT_EQ(a.corruptTag(now), b.corruptTag(now));
+        ASSERT_EQ(a.stallCopy(now), b.stallCopy(now));
+    }
 }
 
 TEST(FaultInjector, ReportMergeAndTotalsAddUp)

@@ -1,0 +1,239 @@
+/**
+ * @file
+ * ReplicaRestart end to end: a crashed replica re-keys its session
+ * into a fresh IV epoch, re-uploads weights, round-trips the warm-up
+ * probe and rejoins routing — and a pre-crash ciphertext can never be
+ * replayed into the new session. Under -DPIPELLM_AUDIT=ON every run
+ * here must stay violation-free even though post-rejoin transfers
+ * reuse the *numeric* IV values of the old epoch.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "audit/audit.hh"
+#include "fault/fault.hh"
+#include "runtime/cc_runtime.hh"
+#include "serving/cluster.hh"
+#include "tests/serving/serving_fixture.hh"
+#include "trace/generator.hh"
+
+using namespace pipellm;
+using namespace pipellm::fault;
+using runtime::CopyKind;
+using runtime::Platform;
+using runtime::Stream;
+
+namespace {
+
+struct RestartRig : ::testing::Test
+{
+    void
+    SetUp() override
+    {
+#if PIPELLM_AUDIT_ENABLED
+        audit::Auditor::instance().reset();
+        audit::Auditor::instance().setTrapOnViolation(false);
+#endif
+    }
+
+    void
+    TearDown() override
+    {
+#if PIPELLM_AUDIT_ENABLED
+        EXPECT_TRUE(audit::Auditor::instance().violations().empty())
+            << audit::Auditor::instance().report();
+        audit::Auditor::instance().reset();
+#endif
+    }
+};
+
+serving::VllmConfig
+tinyEngine()
+{
+    serving::VllmConfig cfg;
+    cfg.model = serving_test::tinyModel();
+    cfg.parallel_sampling = 2;
+    cfg.gpu_reserved_bytes = 160 * MiB;
+    return cfg;
+}
+
+serving::RuntimeFactory
+ccFactory()
+{
+    return [](Platform &p, runtime::DeviceId d) {
+        return std::make_unique<runtime::CcRuntime>(p, 1, d);
+    };
+}
+
+trace::Trace
+clusterTrace(std::size_t n, double rate, std::uint64_t seed = 5)
+{
+    trace::DatasetProfile profile{"restart-test", 48.0, 0.4, 32.0,
+                                  0.4};
+    profile.max_len = 96;
+    trace::TraceGenerator gen(profile, seed);
+    return gen.poisson(n, rate);
+}
+
+/** Crashes arrive fast and repairs are quick: several full
+ *  crash -> re-key -> reload -> probe -> rejoin cycles per run. */
+FaultPlan
+restartPlan(std::uint64_t seed)
+{
+    FaultPlan plan;
+    plan.seed = seed;
+    plan.replica_crash_rate = 100.0;  // mean 10 ms
+    plan.replica_restart_rate = 50.0; // mean 20 ms repair
+    plan.spdm_rekey_ticks = milliseconds(1);
+    plan.warmup_probe_bytes = 64 * KiB;
+    return plan;
+}
+
+} // namespace
+
+// --------------------------------------------------------------------
+// Injection: the schedule really produces restart events.
+// --------------------------------------------------------------------
+
+TEST_F(RestartRig, ReplicaRestartInjectionReschedulesCrashedReplicas)
+{
+    Platform cluster(serving_test::tinyGpu(448 * MiB),
+                     crypto::ChannelConfig{}, 2);
+    cluster.armFaults(restartPlan(31));
+
+    serving::ClusterConfig cfg;
+    cfg.engine = tinyEngine();
+    serving::ClusterRouter router(cluster, ccFactory(), cfg);
+    auto trace = clusterTrace(24, 200.0);
+    auto result = router.run(trace);
+
+    const auto &f = result.faults;
+    ASSERT_GE(f.replica_crashes, 1u);
+    // Every crash schedules a restart when the rate is armed, and the
+    // injector counted each one.
+    EXPECT_EQ(f.replica_restarts, f.replica_crashes);
+    EXPECT_EQ(f.replica_restarts,
+              cluster.faultInjector().injected(Kind::ReplicaRestart));
+    // The rejoin is never free: repair delay + re-key + weight reload
+    // + warm-up probe all charge time.
+    EXPECT_GT(f.restart_rejoin_ticks, 0u);
+
+    for (const auto &rep : result.replicas) {
+        EXPECT_EQ(rep.restarts, rep.crash_count);
+        if (rep.rejoined) {
+            EXPECT_GE(rep.crash_count, 1u);
+            // crash_time tracks the *last* crash, which can postdate
+            // the last completed rejoin (crash -> rejoin -> crash
+            // again); the rejoin itself is always after some crash
+            // and never free.
+            EXPECT_GT(rep.rejoin_time, 0u);
+            EXPECT_GT(rep.time_to_rejoin, 0u);
+        }
+    }
+
+    // With restarts armed the cluster can always wait for a rejoin:
+    // nothing is ever dropped and every request completes somewhere.
+    EXPECT_EQ(result.dropped, 0u);
+    EXPECT_EQ(result.completed, trace.size());
+}
+
+// --------------------------------------------------------------------
+// Recovery: the rejoined replica serves under a fresh session.
+// --------------------------------------------------------------------
+
+TEST_F(RestartRig, ReplicaRestartRecoveryServesWithFreshSessionEpoch)
+{
+    Platform cluster(serving_test::tinyGpu(448 * MiB),
+                     crypto::ChannelConfig{}, 2);
+    cluster.armFaults(restartPlan(33));
+
+    serving::ClusterConfig cfg;
+    cfg.engine = tinyEngine();
+    serving::ClusterRouter router(cluster, ccFactory(), cfg);
+    auto trace = clusterTrace(24, 200.0);
+    auto result = router.run(trace);
+
+    ASSERT_GE(result.faults.replica_restarts, 1u);
+    EXPECT_EQ(result.completed, trace.size());
+
+    bool saw_rejoined = false;
+    for (const auto &rep : result.replicas) {
+        auto &chan = router.runtime(rep.device).channel();
+        // Each restart re-keyed exactly once: the session epoch IS
+        // the restart count, and an uncrashed replica stays at the
+        // construction-time epoch 0.
+        EXPECT_EQ(chan.epoch(), rep.restarts);
+        if (!rep.rejoined)
+            continue;
+        saw_rejoined = true;
+        // The rejoined replica really served traffic again: its GPU
+        // counters were reset at enableCc() and advanced afresh by
+        // the warm-up probe and post-rejoin requests.
+        EXPECT_GT(cluster.gpu(rep.device).rxCounter(), 0u);
+        EXPECT_EQ(cluster.gpu(rep.device).integrityFailures(), 0u);
+    }
+    EXPECT_TRUE(saw_rejoined) <<
+        "restart schedule produced no rejoin; tune rate/seed";
+}
+
+// --------------------------------------------------------------------
+// The security core: pre-crash IVs are never reused post-rejoin.
+// --------------------------------------------------------------------
+
+TEST_F(RestartRig, ReplicaRestartRecoveryNeverReusesPreCrashIvs)
+{
+    Platform platform;
+    mem::Region host = platform.allocHost(4 * MiB, "host");
+    mem::Region dev = platform.gpu(0).alloc(4 * MiB, "dev");
+    runtime::CcRuntime rt(platform);
+    Stream &s = rt.createStream("s");
+
+    // Spend pre-crash IVs 0..7 on the H2D counter.
+    Tick now = 0;
+    for (int i = 0; i < 8; ++i)
+        now = rt.memcpy(CopyKind::HostToDevice, dev.base, host.base,
+                        256 * KiB, s, now);
+    ASSERT_EQ(rt.h2dCounter(), 8u);
+    ASSERT_EQ(rt.channel().epoch(), 0u);
+
+    // A ciphertext captured just before the crash, sealed under the
+    // epoch-0 key at the next counter the old session would use.
+    auto &chan = rt.channel();
+    std::uint64_t sample_len = chan.sampledLen(256 * KiB);
+    std::vector<std::uint8_t> sample(sample_len, 0xA5);
+    auto captured = chan.seal(crypto::Direction::HostToDevice,
+                              rt.h2dCounter(), sample.data(),
+                              256 * KiB);
+
+    // Crash + restart: fresh key, new epoch, both endpoints back to
+    // counter zero.
+    Tick live = rt.restart(now);
+    EXPECT_GT(live, now);
+    EXPECT_EQ(rt.channel().epoch(), 1u);
+    EXPECT_EQ(rt.h2dCounter(), 0u);
+    EXPECT_EQ(rt.d2hCounter(), 0u);
+
+    // The captured pre-crash blob can never be replayed into the new
+    // session: even at the matching counter the fresh key rejects it.
+    std::vector<std::uint8_t> opened;
+    EXPECT_FALSE(chan.open(captured, captured.iv_counter, opened));
+#if PIPELLM_AUDIT_ENABLED
+    audit::Auditor::instance().noteDiscarded(captured.audit_serial);
+#endif
+
+    // Post-rejoin traffic re-spends the *numeric* IVs 0..7 under the
+    // new key/epoch. Functionally every transfer verifies, and under
+    // -DPIPELLM_AUDIT=ON the (key, IV, epoch) uniqueness registry
+    // stays silent (checked in TearDown) — the definition of "no
+    // pre-crash IV is ever reused".
+    Tick t = live;
+    for (int i = 0; i < 8; ++i)
+        t = rt.memcpy(CopyKind::HostToDevice, dev.base, host.base,
+                      256 * KiB, s, t);
+    EXPECT_EQ(rt.h2dCounter(), 8u);
+    EXPECT_EQ(rt.gpu().integrityFailures(), 0u);
+    EXPECT_EQ(chan.tagMismatches(), 1u); // only the replay attempt
+}

@@ -93,7 +93,7 @@ TEST(ClusterRouter, RoundRobinCyclesInArrivalOrder)
 
     std::vector<runtime::DeviceId> got;
     for (int i = 0; i < 7; ++i)
-        got.push_back(router.route(req(10, 10)));
+        got.push_back(router.route(req(10, 10)).value());
     EXPECT_EQ(got, (std::vector<runtime::DeviceId>{0, 1, 2, 0, 1, 2,
                                                    0}));
 }
@@ -108,17 +108,68 @@ TEST(ClusterRouter, LeastLoadedPicksSmallestEstimate)
     ClusterRouter router(platform, ccFactory(), cfg);
 
     // Empty loads tie: lowest device id wins.
-    EXPECT_EQ(router.route(req(100, 10)), 0u); // load 0: 120
-    EXPECT_EQ(router.route(req(10, 5)), 1u);   // load 1: 20
-    EXPECT_EQ(router.route(req(10, 5)), 2u);   // load 2: 20
+    EXPECT_EQ(router.route(req(100, 10)).value(), 0u); // load 0: 120
+    EXPECT_EQ(router.route(req(10, 5)).value(), 1u);   // load 1: 20
+    EXPECT_EQ(router.route(req(10, 5)).value(), 2u);   // load 2: 20
     // 1 and 2 tie at 20; the lower id takes the next request.
-    EXPECT_EQ(router.route(req(200, 10)), 1u); // load 1: 240
-    EXPECT_EQ(router.route(req(10, 5)), 2u);   // load 2: 40
-    EXPECT_EQ(router.route(req(10, 5)), 2u);   // load 2: 60
-    EXPECT_EQ(router.route(req(10, 5)), 2u);   // load 2: 80
-    EXPECT_EQ(router.route(req(10, 5)), 2u);   // load 2: 100
-    EXPECT_EQ(router.route(req(10, 5)), 2u);   // load 2: 120, ties 0
-    EXPECT_EQ(router.route(req(10, 5)), 0u);   // 0 wins the tie
+    EXPECT_EQ(router.route(req(200, 10)).value(), 1u); // load 1: 240
+    EXPECT_EQ(router.route(req(10, 5)).value(), 2u);   // load 2: 40
+    EXPECT_EQ(router.route(req(10, 5)).value(), 2u);   // load 2: 60
+    EXPECT_EQ(router.route(req(10, 5)).value(), 2u);   // load 2: 80
+    EXPECT_EQ(router.route(req(10, 5)).value(), 2u);   // load 2: 100
+    EXPECT_EQ(router.route(req(10, 5)).value(), 2u);   // 120, ties 0
+    EXPECT_EQ(router.route(req(10, 5)).value(), 0u);   // 0 wins
+}
+
+TEST(ClusterRouter, RouteReportsNoCandidateWhenAllReplicasDead)
+{
+    // Regression: route() used to assert on an all-dead cluster. The
+    // caller (run loop, harnesses) must get an explicit signal it can
+    // act on instead of a crash.
+    runtime::Platform platform(tinyGpu(448 * MiB),
+                               crypto::ChannelConfig{}, 2);
+    ClusterConfig cfg;
+    cfg.engine = tinyEngine();
+    cfg.policy = RoutePolicy::LeastLoaded;
+    ClusterRouter router(platform, ccFactory(), cfg);
+
+    router.markReplicaDead(0);
+    // One survivor: routing still works and targets it.
+    EXPECT_EQ(router.route(req(10, 10)).value(), 1u);
+    router.markReplicaDead(1);
+    EXPECT_EQ(router.aliveCount(), 0u);
+    EXPECT_EQ(router.route(req(10, 10)), std::nullopt);
+
+    // Same signal from the round-robin walk.
+    cfg.policy = RoutePolicy::RoundRobin;
+    ClusterRouter rr(platform, ccFactory(), cfg);
+    rr.markReplicaDead(0);
+    rr.markReplicaDead(1);
+    EXPECT_EQ(rr.route(req(10, 10)), std::nullopt);
+}
+
+TEST(ClusterRouter, RouteBackpressuresWhenEveryReplicaIsCapped)
+{
+    runtime::Platform platform(tinyGpu(448 * MiB),
+                               crypto::ChannelConfig{}, 2);
+    ClusterConfig cfg;
+    cfg.engine = tinyEngine(); // parallel_sampling = 2
+    cfg.policy = RoutePolicy::LeastLoaded;
+    cfg.admission.max_outstanding_cost = 100;
+    ClusterRouter router(platform, ccFactory(), cfg);
+
+    // cost = 40 + 2 * 30 = 100: both replicas fill exactly to the cap
+    // (idle replicas always qualify)...
+    EXPECT_EQ(router.route(req(40, 30)).value(), 0u);
+    EXPECT_EQ(router.route(req(40, 30)).value(), 1u);
+    // ...so the third request has no candidate.
+    EXPECT_EQ(router.route(req(10, 5)), std::nullopt);
+
+    // An oversized request still routes onto an *idle* replica: the
+    // cap is backpressure, not a request-size limit, so it can never
+    // wedge a request that some empty replica could serve.
+    ClusterRouter fresh(platform, ccFactory(), cfg);
+    EXPECT_EQ(fresh.route(req(400, 200)).value(), 0u);
 }
 
 TEST(ClusterRouter, SingleReplicaMatchesDirectPath)
@@ -318,4 +369,155 @@ TEST(ClusterRouter, TwoReplicasServeTheWholeTrace)
     // Both devices really served CC traffic.
     EXPECT_GT(platform.gpu(0).rxCounter(), 0u);
     EXPECT_GT(platform.gpu(1).rxCounter(), 0u);
+}
+
+// --------------------------------------------------------------------
+// Overload protection: shedding, backpressure, and SLO accounting.
+// --------------------------------------------------------------------
+
+TEST(ClusterRouter, DisabledAdmissionChangesNothingButSloCounters)
+{
+    // Deadlines with shedding off are pure bookkeeping: the serving
+    // schedule, routing split, and latency must be bit-identical to a
+    // deadline-free run of the same trace.
+    auto plain = tinyTrace(16, 300.0);
+    auto stamped = plain;
+    trace::TraceGenerator::stampDeadlines(stamped, milliseconds(1), 0);
+
+    ClusterConfig cfg;
+    cfg.engine = tinyEngine();
+    cfg.policy = RoutePolicy::LeastLoaded;
+
+    runtime::Platform p1(tinyGpu(448 * MiB), crypto::ChannelConfig{},
+                         2);
+    runtime::Platform p2(tinyGpu(448 * MiB), crypto::ChannelConfig{},
+                         2);
+    auto base = ClusterRouter(p1, ccFactory(), cfg).run(plain);
+    auto slo = ClusterRouter(p2, ccFactory(), cfg).run(stamped);
+
+    EXPECT_EQ(slo.completed, base.completed);
+    EXPECT_EQ(slo.makespan, base.makespan);
+    EXPECT_EQ(slo.normalized_latency, base.normalized_latency);
+    EXPECT_EQ(slo.p90_normalized_latency, base.p90_normalized_latency);
+    EXPECT_EQ(slo.replicas[0].requests, base.replicas[0].requests);
+    EXPECT_EQ(slo.replicas[1].requests, base.replicas[1].requests);
+    EXPECT_EQ(slo.shed_requests, 0u);
+    EXPECT_EQ(slo.backpressure_deferrals, 0u);
+    EXPECT_EQ(base.slo_missed, 0u); // no deadlines, no misses
+    // The 1 ms floor is hopeless: the stamped run records the misses
+    // without changing a single scheduling decision.
+    EXPECT_GT(slo.slo_missed, 0u);
+}
+
+TEST(ClusterRouter, SheddingIsHonestAndBoundsTailLatency)
+{
+    // A heavy burst with tight deadlines. Unbounded, the queue grows
+    // and the completed-latency tail blows up; with deadline shedding
+    // the router refuses provably-late requests, and every request is
+    // accounted for: completed + shed == offered.
+    // A ~6 ms floor sits inside the burst's queueing tail (solo
+    // requests finish in a few ms, queued ones in 10-15 ms): an
+    // unbounded router serves everything but blows through deadlines.
+    auto trace = tinyTrace(60, 3000.0);
+    trace::TraceGenerator::stampDeadlines(trace, milliseconds(6),
+                                          microseconds(100));
+
+    ClusterConfig cfg;
+    cfg.engine = tinyEngine();
+    cfg.policy = RoutePolicy::LeastLoaded;
+
+    runtime::Platform p1(tinyGpu(448 * MiB), crypto::ChannelConfig{},
+                         2);
+    auto unbounded = ClusterRouter(p1, ccFactory(), cfg).run(trace);
+    ASSERT_EQ(unbounded.completed, trace.size());
+    EXPECT_EQ(unbounded.shed_requests, 0u);
+
+    cfg.admission.shed_enabled = true;
+    cfg.admission.service_cost_per_sec = 20000;
+    runtime::Platform p2(tinyGpu(448 * MiB), crypto::ChannelConfig{},
+                         2);
+    auto bounded = ClusterRouter(p2, ccFactory(), cfg).run(trace);
+
+    EXPECT_GT(bounded.shed_requests, 0u);
+    EXPECT_GT(bounded.shed_tokens, 0u);
+    // Honest accounting: nothing silently vanishes.
+    EXPECT_EQ(bounded.completed + bounded.shed_requests, trace.size());
+    EXPECT_EQ(bounded.dropped, 0u);
+    // Shedding the provably-late keeps the served tail in check.
+    EXPECT_LT(bounded.p90_normalized_latency,
+              unbounded.p90_normalized_latency);
+    EXPECT_GT(unbounded.slo_missed, 0u);
+    EXPECT_LT(bounded.slo_missed, unbounded.slo_missed);
+}
+
+TEST(ClusterRouter, BackpressureCapDefersButCompletesEverything)
+{
+    // A small outstanding-cost cap under the same burst: arrivals are
+    // held at the front-end instead of piling onto replica queues,
+    // but — unlike shedding — every request is eventually served.
+    auto trace = tinyTrace(40, 3000.0);
+
+    ClusterConfig cfg;
+    cfg.engine = tinyEngine();
+    cfg.policy = RoutePolicy::LeastLoaded;
+    cfg.admission.max_outstanding_cost = 150;
+
+    runtime::Platform platform(tinyGpu(448 * MiB),
+                               crypto::ChannelConfig{}, 2);
+    auto result = ClusterRouter(platform, ccFactory(), cfg).run(trace);
+
+    EXPECT_GT(result.backpressure_deferrals, 0u);
+    EXPECT_EQ(result.completed, trace.size());
+    EXPECT_EQ(result.shed_requests, 0u);
+    EXPECT_EQ(result.dropped, 0u);
+}
+
+TEST(ClusterRouter, SloGoodputCountsOnlyInDeadlineTokens)
+{
+    // Hopeless deadlines: every completion is late, so SLO goodput
+    // collapses to zero while raw goodput stays intact.
+    auto trace = tinyTrace(12, 300.0);
+    trace::TraceGenerator::stampDeadlines(trace, 1, 0);
+
+    ClusterConfig cfg;
+    cfg.engine = tinyEngine();
+    runtime::Platform platform(tinyGpu(448 * MiB),
+                               crypto::ChannelConfig{}, 2);
+    auto result = ClusterRouter(platform, ccFactory(), cfg).run(trace);
+
+    EXPECT_EQ(result.completed, trace.size());
+    EXPECT_EQ(result.slo_missed, trace.size());
+    EXPECT_GT(result.goodput_tokens_per_sec, 0.0);
+    EXPECT_EQ(result.slo_goodput_tokens_per_sec, 0.0);
+}
+
+TEST(ClusterRouter, TruePercentileComesFromMergedSamples)
+{
+    // The cluster p90 must be a percentile of the merged per-request
+    // samples, not a weighted mean of replica p90s; the two only
+    // coincide for a single replica.
+    auto trace = tinyTrace(24, 300.0);
+    ClusterConfig cfg;
+    cfg.engine = tinyEngine();
+    cfg.policy = RoutePolicy::LeastLoaded;
+    runtime::Platform platform(tinyGpu(448 * MiB),
+                               crypto::ChannelConfig{}, 2);
+    auto result = ClusterRouter(platform, ccFactory(), cfg).run(trace);
+
+    sim::SampleSet merged;
+    for (const auto &rep : result.replicas) {
+        for (double s : rep.result.latency_samples.samples())
+            merged.add(s);
+    }
+    ASSERT_EQ(merged.count(), trace.size());
+    EXPECT_DOUBLE_EQ(result.p90_normalized_latency,
+                     merged.percentile(90));
+
+    double weighted = 0;
+    for (const auto &rep : result.replicas) {
+        weighted += rep.result.p90_normalized_latency *
+                    double(rep.result.completed);
+    }
+    weighted /= double(result.completed);
+    EXPECT_DOUBLE_EQ(result.replica_weighted_p90, weighted);
 }

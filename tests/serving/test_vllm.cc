@@ -218,3 +218,126 @@ TEST(Vllm, RecomputeTradeoffFlipsUnderCc)
     EXPECT_GT(swap_cc / swap_plain, 1.2);
     EXPECT_GT(swap_cc / swap_plain, rec_cc / rec_plain);
 }
+
+// --------------------------------------------------------------------
+// drainUnfinished edge cases (replica-crash teardown).
+// --------------------------------------------------------------------
+
+TEST(Vllm, DrainWhileGroupsSitOnTheSwapStack)
+{
+    runtime::Platform platform(tinyGpu(448 * MiB));
+    runtime::PlainRuntime rt(platform);
+    VllmEngine engine(rt, tinyVllm());
+    auto trace = tinyTrace(120, 3000.0);
+
+    engine.beginRun();
+    for (const auto &req : trace)
+        engine.submit(req);
+    // Just past the 16-token block boundary every first-wave group
+    // demands a growth block at once; the drained pool can't supply
+    // them and the scheduler must preempt onto the swap stack. A few
+    // short requests may already have finished — the point is that
+    // most groups are mid-generation, some sitting swapped out.
+    for (int i = 0; i < 18; ++i)
+        engine.stepOnce();
+    std::uint64_t done = engine.completedCount();
+    ASSERT_LT(done, trace.size());
+
+    std::uint64_t lost = 0;
+    auto orphans = engine.drainUnfinished(lost);
+    EXPECT_EQ(orphans.size(), trace.size() - done);
+    EXPECT_GT(lost, 0u);
+    EXPECT_FALSE(engine.hasWork());
+    // Every KV block is back in the free pool and every host staging
+    // region was released (only the token buffer remains).
+    EXPECT_EQ(engine.freeBlockCount(), engine.totalBlocks());
+    EXPECT_EQ(platform.hostMem().bytesAllocated(), 16u * KiB);
+
+    // Swapped-out bytes never came back: the drain really hit groups
+    // sitting on the LIFO stack, not just running ones.
+    auto result = engine.finish();
+    EXPECT_GT(result.preemptions, 0u);
+    EXPECT_GT(result.swap_out_bytes, result.swap_in_bytes);
+}
+
+TEST(Vllm, DrainMidPrefillReturnsUntouchedRequests)
+{
+    runtime::Platform platform(tinyGpu(448 * MiB));
+    runtime::PlainRuntime rt(platform);
+    VllmEngine engine(rt, tinyVllm());
+    auto trace = tinyTrace(30, 3000.0);
+    for (auto &req : trace)
+        req.deadline = req.arrival + seconds(5);
+
+    // Phase 1: crash before the first scheduler iteration — every
+    // group still waits for prefill, no KV was ever allocated.
+    engine.beginRun();
+    for (const auto &req : trace)
+        engine.submit(req);
+    std::uint64_t lost = 0;
+    auto orphans = engine.drainUnfinished(lost);
+    EXPECT_EQ(lost, 0u);
+    ASSERT_EQ(orphans.size(), trace.size());
+    EXPECT_EQ(engine.freeBlockCount(), engine.totalBlocks());
+    for (std::size_t i = 0; i < orphans.size(); ++i) {
+        EXPECT_EQ(orphans[i].id, trace[i].id);
+        EXPECT_EQ(orphans[i].prompt_len, trace[i].prompt_len);
+        EXPECT_EQ(orphans[i].output_len, trace[i].output_len);
+        // Failover does not buy a request more SLO.
+        EXPECT_EQ(orphans[i].deadline, trace[i].deadline);
+    }
+
+    // Phase 2: one iteration in — admitted groups hold blocks and
+    // have exactly one token; the rest still sit in the queue.
+    engine.beginRun();
+    for (const auto &req : trace)
+        engine.submit(req);
+    engine.stepOnce();
+    lost = 0;
+    orphans = engine.drainUnfinished(lost);
+    EXPECT_EQ(orphans.size(), trace.size());
+    EXPECT_GT(lost, 0u);
+    // Each admitted group lost generated * parallel_sampling tokens.
+    EXPECT_EQ(lost % tinyVllm().parallel_sampling, 0u);
+    EXPECT_EQ(engine.freeBlockCount(), engine.totalBlocks());
+    EXPECT_EQ(platform.hostMem().bytesAllocated(), 16u * KiB);
+}
+
+TEST(Vllm, DoubleDrainIsIdempotent)
+{
+    runtime::Platform platform(tinyGpu(448 * MiB));
+    runtime::PlainRuntime rt(platform);
+    VllmEngine engine(rt, tinyVllm());
+    auto trace = tinyTrace(120, 3000.0);
+
+    engine.beginRun();
+    for (const auto &req : trace)
+        engine.submit(req);
+    for (int i = 0; i < 10; ++i)
+        engine.stepOnce();
+
+    std::uint64_t lost = 0;
+    auto first = engine.drainUnfinished(lost);
+    EXPECT_EQ(first.size(), trace.size());
+    std::uint64_t lost_after_first = lost;
+    EXPECT_GT(lost_after_first, 0u);
+
+    // A second drain finds nothing: no orphans, no extra lost
+    // tokens, pools untouched.
+    auto second = engine.drainUnfinished(lost);
+    EXPECT_TRUE(second.empty());
+    EXPECT_EQ(lost, lost_after_first);
+    EXPECT_FALSE(engine.hasWork());
+    EXPECT_EQ(engine.freeBlockCount(), engine.totalBlocks());
+    EXPECT_EQ(platform.hostMem().bytesAllocated(), 16u * KiB);
+
+    // The engine is still serviceable after the double teardown.
+    engine.beginRun();
+    auto small = tinyTrace(5, 1.0, 9);
+    for (const auto &req : small)
+        engine.submit(req);
+    while (engine.hasWork())
+        engine.stepOnce();
+    EXPECT_EQ(engine.completedCount(), small.size());
+    EXPECT_EQ(engine.freeBlockCount(), engine.totalBlocks());
+}

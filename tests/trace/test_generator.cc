@@ -108,3 +108,51 @@ TEST(TraceGenerator, LengthsRespectClipping)
         EXPECT_LE(r.output_len, 2048u);
     }
 }
+
+TEST(TraceGenerator, PhasedTraceSharesOneTimelineAndIdSpace)
+{
+    TraceGenerator gen(DatasetProfile::shareGpt(), 13);
+    auto t = gen.poissonPhases({{50, 2.0}, {100, 200.0}, {50, 2.0}});
+    ASSERT_EQ(t.size(), 200u);
+    for (std::size_t i = 0; i < t.size(); ++i) {
+        EXPECT_EQ(t[i].id, i); // globally sequential across phases
+        if (i > 0) {
+            EXPECT_GE(t[i].arrival, t[i - 1].arrival); // monotone
+        }
+    }
+    // The burst phase really is denser: 100 requests at 100x the rate
+    // occupy a far shorter span than either calm phase.
+    Tick calm1 = t[49].arrival - t[0].arrival;
+    Tick burst = t[149].arrival - t[50].arrival;
+    Tick calm2 = t[199].arrival - t[150].arrival;
+    EXPECT_LT(burst * 10, calm1);
+    EXPECT_LT(burst * 10, calm2);
+}
+
+TEST(TraceGenerator, SinglePhaseMatchesPlainPoisson)
+{
+    TraceGenerator a(DatasetProfile::shareGpt(), 17);
+    TraceGenerator b(DatasetProfile::shareGpt(), 17);
+    auto plain = a.poisson(80, 3.0);
+    auto phased = b.poissonPhases({{80, 3.0}});
+    ASSERT_EQ(plain.size(), phased.size());
+    for (std::size_t i = 0; i < plain.size(); ++i) {
+        EXPECT_EQ(plain[i].id, phased[i].id);
+        EXPECT_EQ(plain[i].arrival, phased[i].arrival);
+        EXPECT_EQ(plain[i].prompt_len, phased[i].prompt_len);
+        EXPECT_EQ(plain[i].output_len, phased[i].output_len);
+    }
+}
+
+TEST(TraceGenerator, DeadlineStampIsFloorPlusPerTokenBudget)
+{
+    TraceGenerator gen(DatasetProfile::shareGpt(), 19);
+    auto t = gen.poisson(50, 5.0);
+    t[7].deadline = 12345; // stampDeadlines must replace this
+    TraceGenerator::stampDeadlines(t, seconds(2), milliseconds(40));
+    for (const auto &r : t) {
+        EXPECT_EQ(r.deadline,
+                  r.arrival + seconds(2) +
+                      Tick(r.output_len) * milliseconds(40));
+    }
+}

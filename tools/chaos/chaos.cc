@@ -1,0 +1,225 @@
+#include "tools/chaos/chaos.hh"
+
+#include <algorithm>
+
+#include "audit/audit.hh"
+#include "common/logging.hh"
+#include "pipellm/pipellm_runtime.hh"
+#include "runtime/cc_runtime.hh"
+
+namespace pipellm {
+namespace chaos {
+
+std::vector<GoodputWindow>
+goodputTimeline(const std::vector<serving::CompletionEvent> &completions,
+                Tick window)
+{
+    PIPELLM_ASSERT(window > 0, "need a positive goodput window");
+    std::vector<GoodputWindow> out;
+    if (completions.empty())
+        return out;
+    Tick last = completions.back().at;
+    std::size_t cursor = 0;
+    for (Tick start = 0; start <= last; start += window) {
+        GoodputWindow w;
+        w.start = start;
+        w.end = start + window;
+        std::uint64_t tokens = 0;
+        while (cursor < completions.size() &&
+               completions[cursor].at < w.end) {
+            tokens += completions[cursor].tokens;
+            ++cursor;
+        }
+        w.tokens_per_sec = double(tokens) / toSeconds(window);
+        out.push_back(w);
+    }
+    return out;
+}
+
+DipMetrics
+dipAfter(const std::vector<GoodputWindow> &timeline, Tick disturbance,
+         double recover_frac)
+{
+    DipMetrics m;
+    double baseline_sum = 0;
+    unsigned baseline_n = 0;
+    for (const auto &w : timeline) {
+        if (w.end <= disturbance) {
+            baseline_sum += w.tokens_per_sec;
+            ++baseline_n;
+        }
+    }
+    if (baseline_n == 0) {
+        // Disturbance before any full window: nothing to fall from.
+        m.recovered = true;
+        return m;
+    }
+    m.baseline_tps = baseline_sum / double(baseline_n);
+    double bar = recover_frac * m.baseline_tps;
+    bool first = true;
+    bool below = false;
+    for (const auto &w : timeline) {
+        if (w.end <= disturbance)
+            continue;
+        if (first || w.tokens_per_sec < m.min_tps)
+            m.min_tps = w.tokens_per_sec;
+        first = false;
+        if (w.tokens_per_sec < bar) {
+            m.dip_duration += w.end - w.start;
+            below = true;
+            m.recovered = false;
+        } else if (below || m.recovery_at == 0) {
+            if (!m.recovered)
+                m.recovery_at = w.start;
+            m.recovered = true;
+            below = false;
+        }
+    }
+    if (first) {
+        // No window after the disturbance at all.
+        m.min_tps = m.baseline_tps;
+        m.recovered = true;
+    }
+    if (m.baseline_tps > 0) {
+        m.dip_depth = std::clamp(
+            1.0 - m.min_tps / m.baseline_tps, 0.0, 1.0);
+    }
+    return m;
+}
+
+SoakPlan
+defaultSoakPlan(bool quick)
+{
+    SoakPlan plan;
+    plan.n_devices = 2;
+    plan.model = llm::ModelConfig::opt13b();
+    plan.parallel_sampling = 6;
+
+    // Calm / 4x overload burst / calm, back to back. The burst is the
+    // overload disturbance; the calm tail gives recovery room.
+    std::size_t per_phase = quick ? 16 : 48;
+    double calm = 0.8 * plan.n_devices;
+    plan.phases = {SoakPhase{per_phase, calm},
+                   SoakPhase{per_phase, 4 * calm},
+                   SoakPhase{per_phase, calm}};
+
+    // Crashes with restarts armed (the self-healing path), plus a
+    // storm window early in the run that multiplies every per-
+    // operation fault rate.
+    plan.faults.seed = 2027;
+    plan.faults.tag_corruption_rate = 0.01;
+    plan.faults.copy_stall_rate = 0.005;
+    plan.faults.lane_fault_rate = 0.005;
+    plan.faults.replica_crash_rate = 0.04;
+    plan.faults.replica_restart_rate = 0.25;
+    plan.faults.storm_start = seconds(8);
+    plan.faults.storm_end = seconds(14);
+    plan.faults.storm_multiplier = 8;
+
+    // Shedding keeps the burst from blowing p90 unbounded; the cap
+    // holds excess arrivals at the front-end instead of deep queues.
+    plan.admission.shed_enabled = true;
+    plan.admission.service_cost_per_sec = 1000;
+    plan.admission.max_outstanding_cost = 20000;
+    plan.slo_floor = seconds(20);
+    plan.slo_per_token = milliseconds(60);
+    return plan;
+}
+
+bool
+SoakResult::allRecovered() const
+{
+    for (const auto &d : disturbances) {
+        if (!d.dip.recovered)
+            return false;
+    }
+    return true;
+}
+
+SoakResult
+runSoak(const SoakPlan &plan)
+{
+    // Functional crypto sampling is capped like the benches: timing
+    // is unaffected and the soak is dominated by serving anyway.
+    crypto::ChannelConfig channel;
+    channel.sample_limit = 512;
+    runtime::Platform platform(gpu::SystemSpec::h100(), channel,
+                               plan.n_devices);
+    if (plan.faults.armed())
+        platform.armFaults(plan.faults);
+
+    serving::ClusterConfig cfg;
+    cfg.engine.model = plan.model;
+    cfg.engine.parallel_sampling = plan.parallel_sampling;
+    cfg.policy = serving::RoutePolicy::LeastLoaded;
+    cfg.admission = plan.admission;
+
+    std::uint64_t block_bytes = std::uint64_t(cfg.engine.block_tokens) *
+                                cfg.engine.model.kvBytesPerToken();
+    core::PipeLlmConfig pipe_cfg;
+    pipe_cfg.enc_lanes = 1;
+    pipe_cfg.dec_lanes = 1;
+    pipe_cfg.pipeline_depth = 512;
+    pipe_cfg.max_pipeline_bytes = 16 * GiB;
+    pipe_cfg.classifier.kv_unit_bytes = block_bytes;
+
+    bool pipe = plan.use_pipellm;
+    serving::ClusterRouter router(
+        platform,
+        [pipe, &pipe_cfg](runtime::Platform &p,
+                          runtime::DeviceId device)
+            -> std::unique_ptr<runtime::RuntimeApi> {
+            if (pipe) {
+                return std::make_unique<core::PipeLlmRuntime>(
+                    p, pipe_cfg, device);
+            }
+            return std::make_unique<runtime::CcRuntime>(p, 1, device);
+        },
+        cfg);
+
+    auto profile = trace::DatasetProfile::shareGpt();
+    profile.max_len = 1024;
+    trace::TraceGenerator gen(profile, plan.trace_seed);
+    std::vector<trace::TraceGenerator::PoissonPhase> phases;
+    for (const auto &ph : plan.phases)
+        phases.push_back({ph.requests, ph.requests_per_sec});
+    auto requests = gen.poissonPhases(phases);
+    if (plan.slo_floor > 0 || plan.slo_per_token > 0) {
+        trace::TraceGenerator::stampDeadlines(requests, plan.slo_floor,
+                                              plan.slo_per_token);
+    }
+
+    SoakResult out;
+    out.cluster = router.run(requests);
+    out.timeline =
+        goodputTimeline(out.cluster.completions, plan.goodput_window);
+
+    // Every disturbance on the timeline gets its own dip measurement:
+    // the storm window opening, then each replica's (last) crash.
+    if (plan.faults.storm_multiplier != 1 &&
+        plan.faults.storm_end > plan.faults.storm_start) {
+        Disturbance d;
+        d.what = "storm";
+        d.at = plan.faults.storm_start;
+        d.dip = dipAfter(out.timeline, d.at, plan.recover_frac);
+        out.disturbances.push_back(std::move(d));
+    }
+    for (const auto &rep : out.cluster.replicas) {
+        if (rep.crash_count == 0)
+            continue;
+        Disturbance d;
+        d.what = "crash(" + std::to_string(unsigned(rep.device)) + ")";
+        d.at = rep.crash_time;
+        d.dip = dipAfter(out.timeline, d.at, plan.recover_frac);
+        out.disturbances.push_back(std::move(d));
+    }
+
+#if PIPELLM_AUDIT_ENABLED
+    out.audit_violations =
+        audit::Auditor::instance().violations().size();
+#endif
+    return out;
+}
+
+} // namespace chaos
+} // namespace pipellm

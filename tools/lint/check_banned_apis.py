@@ -18,7 +18,10 @@ Checked rules:
      have both an injection test and a recovery test in ``tests/fault/``
      (a test name containing ``<Kind>Injection`` and one containing
      ``<Kind>Recovery``). Adding a fault kind without wiring its
-     end-to-end tests fails the lint.
+     end-to-end tests fails the lint. Kinds listed in
+     ``EXTRA_FAULT_TESTS`` carry additional named proofs — e.g.
+     ``ReplicaRestart`` must also keep the pre-crash IV non-reuse test,
+     the security heart of the restart path.
 
 Usage: tools/lint/check_banned_apis.py [repo-root]
 Exits nonzero and prints file:line for every finding.
@@ -86,6 +89,13 @@ def tracked_files(root):
 FAULT_ENUM_FILE = "src/fault/fault.hh"
 FAULT_TEST_DIR = "tests/fault"
 
+# Per-kind proofs beyond the Injection/Recovery pair. A restart is only
+# safe if the re-keyed session provably rejects pre-crash ciphertexts,
+# so that test is load-bearing and may not be deleted or renamed away.
+EXTRA_FAULT_TESTS = {
+    "ReplicaRestart": ["ReplicaRestartRecoveryNeverReusesPreCrashIvs"],
+}
+
 
 def fault_kinds(root):
     """Parse the ``enum class Kind`` enumerators out of fault.hh."""
@@ -142,6 +152,13 @@ def check_fault_coverage(root, files):
                     f"{FAULT_ENUM_FILE}: Fault::Kind::{kind} has no "
                     f"{suffix.lower()} test: add a test named "
                     f"*{want}* under {FAULT_TEST_DIR}/"
+                )
+        for want in EXTRA_FAULT_TESTS.get(kind, []):
+            if not any(want in name for name in names):
+                findings.append(
+                    f"{FAULT_ENUM_FILE}: Fault::Kind::{kind} is "
+                    f"missing its required proof test *{want}* under "
+                    f"{FAULT_TEST_DIR}/"
                 )
     return findings
 
