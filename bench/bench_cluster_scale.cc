@@ -23,6 +23,7 @@
  */
 
 #include <cinttypes>
+#include <cstdlib>
 #include <string>
 #include <vector>
 
@@ -55,7 +56,7 @@ sharedHost()
 serving::ClusterResult
 runCluster(Mode mode, unsigned n_devices, std::size_t n_requests,
            serving::RoutePolicy policy,
-           const runtime::HostResources &host)
+           const runtime::HostResources &host, unsigned threads)
 {
     runtime::Platform platform(gpu::SystemSpec::h100(), benchChannel(),
                                n_devices, host);
@@ -64,6 +65,7 @@ runCluster(Mode mode, unsigned n_devices, std::size_t n_requests,
     cfg.engine.model = llm::ModelConfig::opt30b();
     cfg.engine.parallel_sampling = 6;
     cfg.policy = policy;
+    cfg.threads = threads;
 
     std::uint64_t block_bytes =
         std::uint64_t(cfg.engine.block_tokens) *
@@ -103,7 +105,24 @@ int
 main(int argc, char **argv)
 {
     // --quick: fewer devices and requests (CI-style smoke runs).
-    bool quick = argc > 1 && std::string(argv[1]) == "--quick";
+    // --threads N: co-simulation workers (0 = hardware concurrency).
+    // The thread count is a wall-clock knob only; the CSV is
+    // byte-identical for every value.
+    bool quick = false;
+    unsigned threads = 1;
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == "--quick") {
+            quick = true;
+        } else if (arg == "--threads" && i + 1 < argc) {
+            threads = unsigned(std::atoi(argv[++i]));
+        } else {
+            std::fprintf(stderr,
+                         "usage: %s [--quick] [--threads N]\n",
+                         argv[0]);
+            return 2;
+        }
+    }
 
     banner("Cluster scaling: N replicas, offered load ~ N");
     auto csv = openCsv("cluster_scale.csv");
@@ -138,7 +157,7 @@ main(int argc, char **argv)
                         variant.name);
             for (unsigned n : device_counts) {
                 auto r = runCluster(mode, n, requests_per_device * n,
-                                    policy, variant.res);
+                                    policy, variant.res, threads);
                 if (n == 1)
                     base_tps = r.tokens_per_sec;
                 double speedup =

@@ -1,5 +1,6 @@
 #include "audit/audit.hh"
 
+#include <mutex>
 #include <sstream>
 #include <utility>
 
@@ -58,6 +59,7 @@ Auditor::instance()
 void
 Auditor::reset()
 {
+    std::lock_guard<std::mutex> lock(mu_);
     trap_ = true;
     violations_.clear();
     for (auto &count : evaluations_)
@@ -74,6 +76,7 @@ Auditor::reset()
 std::size_t
 Auditor::count(Check check) const
 {
+    std::lock_guard<std::mutex> lock(mu_);
     std::size_t n = 0;
     for (const auto &v : violations_) {
         if (v.check == check)
@@ -85,12 +88,14 @@ Auditor::count(Check check) const
 std::uint64_t
 Auditor::evaluations(Check check) const
 {
+    std::lock_guard<std::mutex> lock(mu_);
     return evaluations_[std::size_t(check)];
 }
 
 std::string
 Auditor::report() const
 {
+    std::lock_guard<std::mutex> lock(mu_);
     std::ostringstream os;
     os << "audit: " << violations_.size() << " violation(s)\n";
     for (const auto &v : violations_)
@@ -113,6 +118,7 @@ Auditor::violate(Check check, std::string message)
 void
 Auditor::noteSessionEpoch(std::uint64_t channel_id)
 {
+    std::lock_guard<std::mutex> lock(mu_);
     ++channel_epoch_[channel_id];
 }
 
@@ -120,6 +126,7 @@ void
 Auditor::noteExposure(std::uint64_t channel_id, int dir,
                       std::uint64_t counter)
 {
+    std::lock_guard<std::mutex> lock(mu_);
     evaluated(Check::IvReuse);
     ExposureKey key{channel_id, channel_epoch_[channel_id], dir,
                     counter};
@@ -140,6 +147,7 @@ Auditor::noteRetainedExposure(std::uint64_t channel_id, int dir,
                               std::uint64_t counter,
                               std::uint64_t tag_digest)
 {
+    std::lock_guard<std::mutex> lock(mu_);
     evaluated(Check::IvReuse);
     ExposureKey key{channel_id, channel_epoch_[channel_id], dir,
                     counter};
@@ -169,6 +177,7 @@ std::uint64_t
 Auditor::noteSeal(std::uint64_t channel_id, int dir,
                   std::uint64_t counter)
 {
+    std::lock_guard<std::mutex> lock(mu_);
     std::uint64_t serial = ++next_serial_;
     BlobRecord record;
     record.channel = channel_id;
@@ -181,6 +190,7 @@ Auditor::noteSeal(std::uint64_t channel_id, int dir,
 void
 Auditor::noteVerified(std::uint64_t serial)
 {
+    std::lock_guard<std::mutex> lock(mu_);
     auto it = ledger_.find(serial);
     if (it == ledger_.end())
         return;
@@ -199,6 +209,7 @@ Auditor::noteVerified(std::uint64_t serial)
 void
 Auditor::noteDiscarded(std::uint64_t serial)
 {
+    std::lock_guard<std::mutex> lock(mu_);
     auto it = ledger_.find(serial);
     if (it != ledger_.end() && it->second.state == BlobState::Sealed)
         it->second.state = BlobState::Discarded;
@@ -207,6 +218,7 @@ Auditor::noteDiscarded(std::uint64_t serial)
 std::size_t
 Auditor::outstandingBlobs() const
 {
+    std::lock_guard<std::mutex> lock(mu_);
     std::size_t n = 0;
     for (const auto &[serial, record] : ledger_) {
         if (record.state == BlobState::Sealed)
@@ -218,6 +230,7 @@ Auditor::outstandingBlobs() const
 void
 Auditor::checkLedgerDrained(const char *context)
 {
+    std::lock_guard<std::mutex> lock(mu_);
     evaluated(Check::TagLedger);
     std::size_t outstanding = 0;
     std::ostringstream sample;
@@ -246,6 +259,7 @@ Auditor::noteService(std::uint64_t res_id, const std::string &name,
                      Tick now, Tick start, Tick done,
                      std::uint64_t bytes)
 {
+    std::lock_guard<std::mutex> lock(mu_);
     evaluated(Check::LaneOverlap);
     auto &state = resources_[res_id];
     if (done < start || start < now) {
@@ -272,6 +286,7 @@ Auditor::noteChainForward(std::uint64_t down_id,
                           std::uint64_t bytes, Tick upstream_done,
                           Tick chain_done)
 {
+    std::lock_guard<std::mutex> lock(mu_);
     evaluated(Check::ChainCompletion);
     if (chain_done < upstream_done) {
         violate(Check::ChainCompletion,
@@ -288,6 +303,7 @@ Auditor::noteChainForward(std::uint64_t down_id,
 void
 Auditor::noteClockAdvance(std::uint64_t eq_id, Tick from, Tick to)
 {
+    std::lock_guard<std::mutex> lock(mu_);
     evaluated(Check::ClockRegression);
     if (to < from) {
         violate(Check::ClockRegression,
@@ -300,6 +316,7 @@ Auditor::noteClockAdvance(std::uint64_t eq_id, Tick from, Tick to)
 void
 Auditor::noteDecrypt(Tick arrival, Tick plain_ready)
 {
+    std::lock_guard<std::mutex> lock(mu_);
     evaluated(Check::DecryptBeforeArrival);
     if (plain_ready < arrival) {
         violate(Check::DecryptBeforeArrival,
@@ -311,6 +328,7 @@ Auditor::noteDecrypt(Tick arrival, Tick plain_ready)
 void
 Auditor::checkConservation()
 {
+    std::lock_guard<std::mutex> lock(mu_);
     evaluated(Check::BridgeConservation);
     for (const auto &[id, stage] : shared_stages_)
         checkStage(id, stage);
@@ -319,6 +337,7 @@ Auditor::checkConservation()
 void
 Auditor::checkConservation(std::uint64_t stage_id)
 {
+    std::lock_guard<std::mutex> lock(mu_);
     evaluated(Check::BridgeConservation);
     auto it = shared_stages_.find(stage_id);
     if (it != shared_stages_.end())
@@ -344,6 +363,7 @@ Auditor::checkStage(std::uint64_t id, const SharedStage &stage)
 void
 Auditor::noteFrontier(std::uint64_t run_id, Tick t)
 {
+    std::lock_guard<std::mutex> lock(mu_);
     evaluated(Check::FrontierRegression);
     auto [it, fresh] = frontier_.emplace(run_id, t);
     if (!fresh) {
@@ -361,6 +381,7 @@ void
 Auditor::noteReplicaStep(std::uint64_t run_id, Tick engine_clock,
                          Tick frontier)
 {
+    std::lock_guard<std::mutex> lock(mu_);
     evaluated(Check::FrontierRegression);
     if (engine_clock > frontier) {
         violate(Check::FrontierRegression,
@@ -374,6 +395,7 @@ void
 Auditor::noteDelivery(std::uint64_t run_id, Tick arrival,
                       Tick engine_clock)
 {
+    std::lock_guard<std::mutex> lock(mu_);
     evaluated(Check::EarlyDelivery);
     if (engine_clock < arrival) {
         violate(Check::EarlyDelivery,
@@ -387,6 +409,7 @@ Auditor::noteDelivery(std::uint64_t run_id, Tick arrival,
 void
 Auditor::noteRunEnd(std::uint64_t run_id, std::uint64_t residual_load)
 {
+    std::lock_guard<std::mutex> lock(mu_);
     evaluated(Check::ResidualLoad);
     frontier_.erase(run_id);
     if (residual_load != 0) {

@@ -30,6 +30,7 @@
 #define PIPELLM_AUDIT_AUDIT_HH
 
 #include <cstdint>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -97,16 +98,37 @@ class Auditor
     void reset();
 
     /** Fresh process-unique id for an instrumented object. */
-    std::uint64_t newId() { return ++next_id_; }
+    std::uint64_t
+    newId()
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        return ++next_id_;
+    }
 
     /**
      * When true (default), a violation aborts via PANIC so CI trips
      * at the first broken invariant. Tests set false and inspect
      * violations() instead.
      */
-    void setTrapOnViolation(bool trap) { trap_ = trap; }
-    bool trapOnViolation() const { return trap_; }
+    void
+    setTrapOnViolation(bool trap)
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        trap_ = trap;
+    }
 
+    bool
+    trapOnViolation() const
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        return trap_;
+    }
+
+    /**
+     * Direct view of the recorded violations. Only meaningful once the
+     * instrumented simulation has quiesced (no shard workers running);
+     * tests inspect it after runs return, never concurrently.
+     */
     const std::vector<Violation> &violations() const
     {
         return violations_;
@@ -259,6 +281,14 @@ class Auditor
     void evaluated(Check check) { ++evaluations_[std::size_t(check)]; }
     void checkStage(std::uint64_t id, const SharedStage &stage);
 
+    /**
+     * The registry is process-global while replica shards step on
+     * worker threads, so every public entry point locks; the private
+     * helpers above run under the caller's lock. The hooks observe
+     * simulated time rather than influencing it, so serialization here
+     * cannot perturb results.
+     */
+    mutable std::mutex mu_;
     bool trap_ = true;
     std::vector<Violation> violations_;
     std::uint64_t evaluations_[16] = {};

@@ -28,6 +28,7 @@ void
 PageProtection::protect(Addr base, std::uint64_t len, Protection prot,
                         FaultHandler handler)
 {
+    std::lock_guard<std::recursive_mutex> lock(mu_);
     PIPELLM_ASSERT(len > 0, "protecting empty range");
     Addr s = pageDown(base);
     Addr e = pageUp(base + len);
@@ -41,6 +42,7 @@ PageProtection::protect(Addr base, std::uint64_t len, Protection prot,
 void
 PageProtection::unprotect(Addr base, std::uint64_t len)
 {
+    std::lock_guard<std::recursive_mutex> lock(mu_);
     if (len == 0 || ranges_.empty())
         return;
     Addr s = pageDown(base);
@@ -87,6 +89,7 @@ PageProtection::findCovering(Addr addr) const
 Protection
 PageProtection::query(Addr addr) const
 {
+    std::lock_guard<std::recursive_mutex> lock(mu_);
     auto it = findCovering(addr);
     return it == ranges_.end() ? Protection::None : it->second.prot;
 }
@@ -108,6 +111,7 @@ PageProtection::blocks(Protection prot, bool is_write) const
 bool
 PageProtection::anyProtected(Addr base, std::uint64_t len) const
 {
+    std::lock_guard<std::recursive_mutex> lock(mu_);
     if (len == 0 || ranges_.empty())
         return false;
     Addr s = pageDown(base);
@@ -124,6 +128,7 @@ PageProtection::anyProtected(Addr base, std::uint64_t len) const
 Tick
 PageProtection::access(Addr base, std::uint64_t len, bool is_write)
 {
+    std::lock_guard<std::recursive_mutex> lock(mu_);
     if (len == 0 || ranges_.empty())
         return 0;
     Addr s = pageDown(base);
@@ -168,6 +173,7 @@ PageProtection::access(Addr base, std::uint64_t len, bool is_write)
 std::size_t
 PageProtection::protectedPages() const
 {
+    std::lock_guard<std::recursive_mutex> lock(mu_);
     std::size_t pages = 0;
     for (const auto &[start, entry] : ranges_)
         pages += std::size_t((entry.end - start) / pageBytes);

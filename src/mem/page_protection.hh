@@ -21,6 +21,7 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <mutex>
 
 #include "common/units.hh"
 
@@ -87,7 +88,12 @@ class PageProtection
     bool anyProtected(Addr base, std::uint64_t len) const;
 
     /** Number of faults dispatched so far. */
-    std::uint64_t faults() const { return faults_; }
+    std::uint64_t
+    faults() const
+    {
+        std::lock_guard<std::recursive_mutex> lock(mu_);
+        return faults_;
+    }
 
     /** Number of pages currently protected. */
     std::size_t protectedPages() const;
@@ -111,6 +117,13 @@ class PageProtection
     bool blocks(Protection prot, bool is_write) const;
     RangeMap::const_iterator findCovering(Addr addr) const;
 
+    /**
+     * Serializes the host arena's protection map across replica
+     * shards. Recursive because fault handlers run under it and
+     * legitimately re-enter (lifting their own protection, touching
+     * other protected pages while resolving).
+     */
+    mutable std::recursive_mutex mu_;
     RangeMap ranges_;
     std::uint64_t faults_ = 0;
 };

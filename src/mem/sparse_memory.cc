@@ -33,6 +33,7 @@ SparseMemory::SparseMemory(std::string name, std::uint64_t capacity)
 Region
 SparseMemory::alloc(std::uint64_t len, std::string name, MemSpace space)
 {
+    std::lock_guard<std::recursive_mutex> lock(mu_);
     PIPELLM_ASSERT(len > 0, "allocating empty region: ", name);
     if (bytes_allocated_ + len > capacity_) {
         FATAL("arena ", name_, " out of memory: need ", len,
@@ -60,6 +61,7 @@ SparseMemory::alloc(std::uint64_t len, std::string name, MemSpace space)
 void
 SparseMemory::free(const Region &region)
 {
+    std::lock_guard<std::recursive_mutex> lock(mu_);
     auto it = regions_.find(region.base);
     PIPELLM_ASSERT(it != regions_.end() && it->second.id == region.id,
                    "freeing unknown region '", region.name, "'");
@@ -86,12 +88,14 @@ SparseMemory::findRegion(Addr addr, std::uint64_t len) const
 const Region &
 SparseMemory::regionOf(Addr addr) const
 {
+    std::lock_guard<std::recursive_mutex> lock(mu_);
     return findRegion(addr, 1);
 }
 
 bool
 SparseMemory::covered(Addr addr, std::uint64_t len) const
 {
+    std::lock_guard<std::recursive_mutex> lock(mu_);
     auto it = regions_.upper_bound(addr);
     if (it == regions_.begin())
         return false;
@@ -108,12 +112,14 @@ SparseMemory::syntheticAt(const Region &region, Addr addr) const
 std::uint64_t
 SparseMemory::bytesAllocated(MemSpace space) const
 {
+    std::lock_guard<std::recursive_mutex> lock(mu_);
     return allocated_by_space_[unsigned(space)];
 }
 
 Tick
 SparseMemory::read(Addr addr, std::uint8_t *out, std::uint64_t len)
 {
+    std::lock_guard<std::recursive_mutex> lock(mu_);
     if (len == 0)
         return 0;
     const Region &region = findRegion(addr, len);
@@ -142,6 +148,7 @@ SparseMemory::read(Addr addr, std::uint8_t *out, std::uint64_t len)
 std::vector<std::uint8_t>
 SparseMemory::readSample(Addr addr, std::uint64_t len)
 {
+    std::lock_guard<std::recursive_mutex> lock(mu_);
     std::vector<std::uint8_t> out(len);
     read(addr, out.data(), len);
     return out;
@@ -151,6 +158,7 @@ Tick
 SparseMemory::write(Addr addr, const std::uint8_t *data,
                     std::uint64_t len)
 {
+    std::lock_guard<std::recursive_mutex> lock(mu_);
     if (len == 0)
         return 0;
     const Region &region = findRegion(addr, len);
@@ -182,6 +190,7 @@ SparseMemory::write(Addr addr, const std::uint8_t *data,
 void
 SparseMemory::discardPages(Addr addr, std::uint64_t len)
 {
+    std::lock_guard<std::recursive_mutex> lock(mu_);
     if (len == 0)
         return;
     std::uint64_t first = pageIndex(addr);

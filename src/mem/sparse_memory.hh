@@ -21,6 +21,7 @@
 
 #include <cstdint>
 #include <map>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -111,14 +112,31 @@ class SparseMemory
     const PageProtection &protection() const { return protection_; }
 
     std::uint64_t capacity() const { return capacity_; }
-    std::uint64_t bytesAllocated() const { return bytes_allocated_; }
-    std::uint64_t bytesFree() const { return capacity_ - bytes_allocated_; }
+
+    std::uint64_t
+    bytesAllocated() const
+    {
+        std::lock_guard<std::recursive_mutex> lock(mu_);
+        return bytes_allocated_;
+    }
+
+    std::uint64_t
+    bytesFree() const
+    {
+        std::lock_guard<std::recursive_mutex> lock(mu_);
+        return capacity_ - bytes_allocated_;
+    }
 
     /** Bytes allocated per space, for CVM shared-memory accounting. */
     std::uint64_t bytesAllocated(MemSpace space) const;
 
     /** Number of really-materialized (backed) pages. */
-    std::size_t materializedPages() const { return pages_.size(); }
+    std::size_t
+    materializedPages() const
+    {
+        std::lock_guard<std::recursive_mutex> lock(mu_);
+        return pages_.size();
+    }
 
     const std::string &name() const { return name_; }
 
@@ -126,6 +144,18 @@ class SparseMemory
     const Region &findRegion(Addr addr, std::uint64_t len) const;
     std::uint8_t syntheticAt(const Region &region, Addr addr) const;
 
+    /**
+     * The host arena is shared by every replica shard, so its
+     * bookkeeping (region map, bump pointer, page store) must be
+     * consistent under concurrent engine stepping. Recursive because
+     * read()/write() dispatch page-fault handlers that re-enter the
+     * arena (synchronous decrypt reads the placeholder it is
+     * resolving). Note that parallel shards may interleave alloc()
+     * order nondeterministically — region ids and base addresses are
+     * simulation-internal identities that never influence timing, so
+     * results stay deterministic regardless.
+     */
+    mutable std::recursive_mutex mu_;
     std::string name_;
     std::uint64_t capacity_;
     std::uint64_t bytes_allocated_ = 0;

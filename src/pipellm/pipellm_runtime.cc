@@ -446,6 +446,7 @@ PipeLlmRuntime::restart(Tick now)
     // the dead session's key; none can verify again, so all are
     // settled as discarded and the plan restarts from nothing.
     for (const auto &send : pending_) {
+        (void)send; // only read by the audit hook below
         PIPELLM_AUDIT_HOOK(audit::Auditor::instance().noteDiscarded(
             send.entry.blob.audit_serial));
     }

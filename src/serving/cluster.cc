@@ -1,9 +1,12 @@
 #include "serving/cluster.hh"
 
 #include <algorithm>
+#include <cstdint>
+#include <functional>
 
 #include "audit/audit.hh"
 #include "common/logging.hh"
+#include "sim/sharded_scheduler.hh"
 
 namespace pipellm {
 namespace serving {
@@ -349,53 +352,147 @@ ClusterRouter::run(const trace::Trace &requests)
         PIPELLM_AUDIT_HOOK(audit::Auditor::instance().noteDelivery(
             run_id, req.arrival, engines[d]->clock()));
     };
-    while (true) {
-        // A busy replica whose clock passed its crash time dies
-        // before it can step again; its orphans join the arrival
-        // queue at the detect tick.
+    if (platform_.shardable()) {
+        // Decoupled regime: private host resources and a disarmed
+        // injector leave the replicas independent between routing
+        // decisions, so the next arrival is a conservative lookahead
+        // horizon — every busy replica may advance to it on its own
+        // shard without observing any other. The sharded schedule
+        // below dispatches exactly the per-replica step sequence of
+        // the sequential min-clock loop (each busy replica steps
+        // until its clock first reaches the arrival; deliveries read
+        // the same clocks and loads), so the results are
+        // byte-identical for any worker count.
+        agg.sharded = true;
+        sim::ShardedScheduler::Config sched_cfg;
+        sched_cfg.workers = config_.threads;
+        sched_cfg.lookahead = 1;
+        sim::ShardedScheduler sched(n, sched_cfg);
+
+        // A replica's step chain: one engine scheduler iteration per
+        // event, rescheduled at the engine's own clock until it goes
+        // idle. Only the shard that owns replica d ever runs these.
+        Tick window_horizon = 0;
+        (void)window_horizon; // only read by the audit hook below
+        std::vector<std::uint8_t> armed(n, 0);
+        std::vector<std::function<void()>> steppers(n);
         for (unsigned d = 0; d < n; ++d) {
-            if (alive_[d] && engines[d]->hasWork() &&
-                engines[d]->clock() >= crash_at[d])
-                crash(d, engines[d]->clock());
+            steppers[d] = [&, d] {
+                auto &eng = *engines[d];
+                PIPELLM_AUDIT_HOOK(
+                    audit::Auditor::instance().noteReplicaStep(
+                        run_id, eng.clock(), window_horizon));
+                eng.stepOnce();
+                if (eng.hasWork()) {
+                    sched.shard(d).schedule(
+                        eng.clock(), [&steppers, d] { steppers[d](); });
+                } else {
+                    armed[d] = 0;
+                }
+            };
         }
-        int busiest = -1;
-        for (unsigned d = 0; d < n; ++d) {
-            if (engines[d]->hasWork() &&
-                (busiest < 0 ||
-                 engines[d]->clock() < engines[busiest]->clock()))
-                busiest = int(d);
-        }
+        // Routing decisions reach a shard as a time-stamped message:
+        // merged at the window barrier in (tick, shard, seq) order,
+        // so the delivery-to-step handoff is deterministic by
+        // construction rather than by thread timing.
+        auto armStepper = [&](unsigned d) {
+            if (armed[d] || !engines[d]->hasWork())
+                return;
+            armed[d] = 1;
+            sched.post(sched.hostShard(), d, engines[d]->clock(),
+                       [&steppers, d] { steppers[d](); });
+        };
+        while (true) {
+            Tick arrival = next_arrival < pending.size()
+                               ? pending[next_arrival].req.arrival
+                               : maxTick;
+            bool any_busy = false;
+            for (unsigned d = 0; d < n; ++d)
+                any_busy |= armed[d] != 0;
 #if PIPELLM_AUDIT_ENABLED
-        // The conservative frontier is the earlier of the min busy
-        // clock and the next pending arrival; unlike the busy-min
-        // alone (which legitimately drops when an idle replica takes
-        // a delivery), it is monotone.
-        Tick frontier = maxTick;
-        if (busiest >= 0)
-            frontier = engines[busiest]->clock();
-        if (next_arrival < pending.size()) {
-            frontier =
-                std::min(frontier, pending[next_arrival].req.arrival);
-        }
-        if (frontier != maxTick)
-            audit::Auditor::instance().noteFrontier(run_id, frontier);
+            Tick frontier = arrival;
+            for (unsigned d = 0; d < n; ++d) {
+                if (armed[d])
+                    frontier =
+                        std::min(frontier, engines[d]->clock());
+            }
+            if (frontier != maxTick)
+                audit::Auditor::instance().noteFrontier(run_id,
+                                                        frontier);
 #endif
-        if (busiest < 0) {
-            if (next_arrival >= pending.size())
-                break;
+            if (any_busy) {
+                window_horizon = arrival;
+                sched.runWindow(arrival);
+                for (unsigned d = 0; d < n; ++d)
+                    load_[d] = engines[d]->outstandingCost();
+            }
+            if (next_arrival >= pending.size()) {
+                if (!any_busy)
+                    break;
+                continue;
+            }
             deliver(pending[next_arrival++]);
-            continue;
+            for (unsigned d = 0; d < n; ++d)
+                armStepper(d);
         }
-        if (next_arrival < pending.size() &&
-            pending[next_arrival].req.arrival <=
-                engines[busiest]->clock()) {
-            deliver(pending[next_arrival++]);
-            continue;
+        agg.engine_steps = sched.dispatched();
+    } else {
+        // Coupled regime (shared bridge, shared lane pool, or armed
+        // faults): replicas can bind at the same tick, which is a
+        // zero-lookahead schedule — the sharded protocol degenerates
+        // to exactly this sequential min-clock frontier, so it is
+        // kept verbatim (and the thread knob is ignored).
+        while (true) {
+            // A busy replica whose clock passed its crash time dies
+            // before it can step again; its orphans join the arrival
+            // queue at the detect tick.
+            for (unsigned d = 0; d < n; ++d) {
+                if (alive_[d] && engines[d]->hasWork() &&
+                    engines[d]->clock() >= crash_at[d])
+                    crash(d, engines[d]->clock());
+            }
+            int busiest = -1;
+            for (unsigned d = 0; d < n; ++d) {
+                if (engines[d]->hasWork() &&
+                    (busiest < 0 ||
+                     engines[d]->clock() < engines[busiest]->clock()))
+                    busiest = int(d);
+            }
+#if PIPELLM_AUDIT_ENABLED
+            // The conservative frontier is the earlier of the min
+            // busy clock and the next pending arrival; unlike the
+            // busy-min alone (which legitimately drops when an idle
+            // replica takes a delivery), it is monotone.
+            Tick frontier = maxTick;
+            if (busiest >= 0)
+                frontier = engines[busiest]->clock();
+            if (next_arrival < pending.size()) {
+                frontier = std::min(
+                    frontier, pending[next_arrival].req.arrival);
+            }
+            if (frontier != maxTick)
+                audit::Auditor::instance().noteFrontier(run_id,
+                                                        frontier);
+#endif
+            if (busiest < 0) {
+                if (next_arrival >= pending.size())
+                    break;
+                deliver(pending[next_arrival++]);
+                continue;
+            }
+            if (next_arrival < pending.size() &&
+                pending[next_arrival].req.arrival <=
+                    engines[busiest]->clock()) {
+                deliver(pending[next_arrival++]);
+                continue;
+            }
+            PIPELLM_AUDIT_HOOK(
+                audit::Auditor::instance().noteReplicaStep(
+                    run_id, engines[busiest]->clock(), frontier));
+            engines[busiest]->stepOnce();
+            load_[busiest] = engines[busiest]->outstandingCost();
+            ++agg.engine_steps;
         }
-        PIPELLM_AUDIT_HOOK(audit::Auditor::instance().noteReplicaStep(
-            run_id, engines[busiest]->clock(), frontier));
-        engines[busiest]->stepOnce();
-        load_[busiest] = engines[busiest]->outstandingCost();
     }
 
     double latency_weight = 0;

@@ -121,6 +121,16 @@ struct ClusterConfig
     RoutePolicy policy = RoutePolicy::RoundRobin;
     /** Front-end overload protection (inert by default). */
     AdmissionConfig admission;
+    /**
+     * Worker threads for the sharded co-simulation (0 = hardware
+     * concurrency). Only the decoupled regime (private host
+     * resources, faults disarmed) actually runs shards in parallel;
+     * coupled or fault-armed runs keep the sequential min-clock
+     * schedule whatever this says. Either way the results are
+     * byte-identical for every value — the thread count is a
+     * wall-clock knob, never a model input.
+     */
+    unsigned threads = 1;
 };
 
 /** Per-replica slice of a cluster run. */
@@ -216,6 +226,15 @@ struct ClusterResult
     /** All replicas' completion events merged, sorted by time. */
     std::vector<CompletionEvent> completions;
     std::vector<ReplicaReport> replicas;
+
+    /**
+     * Wall-clock bookkeeping for the bench harness; never part of a
+     * CSV row. Engine scheduler iterations across all replicas (the
+     * co-simulation's unit of work), and whether the run used the
+     * parallel sharded schedule or the sequential min-clock one.
+     */
+    std::uint64_t engine_steps = 0;
+    bool sharded = false;
 };
 
 /** The front-end router plus its N engine replicas. */

@@ -2,35 +2,39 @@
  * @file
  * Discrete-event simulation core.
  *
- * The whole reproduction is a single-threaded discrete-event
- * simulation: hardware concurrency (PCIe DMA, GPU kernels, CPU crypto
- * lanes) is expressed as events on one queue, which makes every
- * experiment deterministic. Events at the same tick fire in insertion
- * order.
+ * Each EventQueue is an ordered event list plus a simulated clock.
+ * Historically the whole reproduction ran on a single queue; the
+ * sharded scheduler (sharded_scheduler.hh) now runs one queue per
+ * replica shard, so a queue must be cheap: events are pool-allocated
+ * intrusive pairing-heap nodes carrying a small-buffer-optimized
+ * callback — steady-state scheduling touches neither malloc nor
+ * std::function. Events at the same tick fire in insertion order.
  */
 
 #ifndef PIPELLM_SIM_EVENT_QUEUE_HH
 #define PIPELLM_SIM_EVENT_QUEUE_HH
 
+#include <cstddef>
 #include <cstdint>
-#include <functional>
-#include <queue>
-#include <vector>
 
 #include "audit/audit.hh"
 #include "common/units.hh"
+#include "sim/pool.hh"
+#include "sim/small_fn.hh"
 
 namespace pipellm {
 namespace sim {
 
 /** Callback fired when its scheduled tick is reached. */
-using EventFn = std::function<void()>;
+using EventFn = InlineFn;
 
 /**
- * The global ordered event queue and simulated clock.
+ * An ordered event queue and simulated clock.
  *
  * Components schedule callbacks; run() (or runUntil()) dispatches them
- * in (tick, insertion) order while advancing now().
+ * in (tick, insertion) order while advancing now(). Not thread-safe:
+ * concurrency comes from running disjoint queues on worker threads
+ * (see ShardedScheduler), never from sharing one queue.
  */
 class EventQueue
 {
@@ -44,6 +48,8 @@ class EventQueue
     EventQueue(const EventQueue &) = delete;
     EventQueue &operator=(const EventQueue &) = delete;
 
+    ~EventQueue();
+
     /** Process-unique audit identity (0 in non-audit builds). */
     std::uint64_t auditId() const { return audit_id_; }
 
@@ -51,16 +57,26 @@ class EventQueue
     Tick now() const { return now_; }
 
     /** Schedule @p fn at absolute tick @p when (>= now). */
-    void schedule(Tick when, EventFn fn);
+    void schedule(Tick when, EventFn &&fn);
 
     /** Schedule @p fn @p delay ticks from now. */
-    void scheduleIn(Tick delay, EventFn fn);
+    void scheduleIn(Tick delay, EventFn &&fn);
+
+    /** Pre-size the node pool for @p n in-flight events. */
+    void reserve(std::size_t n) { pool_.reserve(n); }
 
     /** True when no events remain. */
-    bool empty() const { return events_.empty(); }
+    bool empty() const { return root_ == nullptr; }
 
     /** Number of pending events. */
-    std::size_t pending() const { return events_.size(); }
+    std::size_t pending() const { return pending_; }
+
+    /** Tick of the next pending event, or maxTick when empty. */
+    Tick
+    nextEventTick() const
+    {
+        return root_ ? root_->when : maxTick;
+    }
 
     /** Dispatch the single next event; returns false if none remain. */
     bool step();
@@ -74,29 +90,51 @@ class EventQueue
      */
     void runUntil(Tick deadline);
 
+    /**
+     * Dispatch every event strictly before @p horizon without
+     * advancing the clock beyond the last event fired. This is the
+     * window primitive of the sharded scheduler: the horizon is a
+     * conservative lookahead bound, not a point in time this queue
+     * has reached, so an idle queue must not report now() == horizon.
+     */
+    void runBefore(Tick horizon);
+
     /** Total events dispatched over the queue's lifetime. */
     std::uint64_t dispatched() const { return dispatched_; }
 
   private:
+    /** Intrusive pairing-heap node; lives in pool_, never the heap. */
     struct Event
     {
+        Event(Tick w, std::uint64_t s, EventFn &&f)
+            : when(w), seq(s), fn(std::move(f))
+        {}
+
         Tick when;
         std::uint64_t seq;
+        Event *child = nullptr;   ///< leftmost child
+        Event *sibling = nullptr; ///< next sibling to the right
         EventFn fn;
     };
 
-    struct Later
+    static bool
+    before(const Event *a, const Event *b)
     {
-        bool
-        operator()(const Event &a, const Event &b) const
-        {
-            if (a.when != b.when)
-                return a.when > b.when;
-            return a.seq > b.seq;
-        }
-    };
+        return a->when != b->when ? a->when < b->when : a->seq < b->seq;
+    }
 
-    std::priority_queue<Event, std::vector<Event>, Later> events_;
+    static Event *meld(Event *a, Event *b);
+    static Event *mergePairs(Event *first);
+
+    /** Unlink and return the minimum event; pending_ is updated. */
+    Event *popMin();
+
+    /** Fire @p ev (already unlinked) and recycle its node. */
+    void dispatch(Event *ev);
+
+    Pool<Event> pool_;
+    Event *root_ = nullptr;
+    std::size_t pending_ = 0;
     Tick now_ = 0;
     std::uint64_t next_seq_ = 0;
     std::uint64_t dispatched_ = 0;

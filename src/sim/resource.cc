@@ -52,7 +52,7 @@ BandwidthResource::submitNotBefore(Tick earliest, std::uint64_t bytes)
 }
 
 Tick
-BandwidthResource::submit(std::uint64_t bytes, EventFn fn)
+BandwidthResource::submit(std::uint64_t bytes, EventFn &&fn)
 {
     Tick done = submit(bytes);
     eq_.schedule(done, std::move(fn));
@@ -125,7 +125,7 @@ LaneGroup::submitNotBeforeBestFit(Tick earliest, std::uint64_t bytes)
 }
 
 Tick
-LaneGroup::submit(std::uint64_t bytes, EventFn fn)
+LaneGroup::submit(std::uint64_t bytes, EventFn &&fn)
 {
     Tick done = submit(bytes);
     eq_.schedule(done, std::move(fn));

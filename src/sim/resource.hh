@@ -55,7 +55,7 @@ class BandwidthResource
     Tick submitNotBefore(Tick earliest, std::uint64_t bytes);
 
     /** submit() and fire @p fn at the completion tick. */
-    Tick submit(std::uint64_t bytes, EventFn fn);
+    Tick submit(std::uint64_t bytes, EventFn &&fn);
 
     /** Tick at which the resource next becomes idle. */
     Tick freeAt() const { return free_at_; }
@@ -140,7 +140,7 @@ class LaneGroup
     Tick submitNotBeforeBestFit(Tick earliest, std::uint64_t bytes);
 
     /** Dispatch and fire @p fn at completion. */
-    Tick submit(std::uint64_t bytes, EventFn fn);
+    Tick submit(std::uint64_t bytes, EventFn &&fn);
 
     unsigned lanes() const { return unsigned(lanes_.size()); }
 

@@ -1,0 +1,148 @@
+#include "sim/sharded_scheduler.hh"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/logging.hh"
+
+namespace pipellm {
+namespace sim {
+
+ShardedScheduler::ShardedScheduler(unsigned shards, Config config)
+    : config_(config)
+{
+    PIPELLM_ASSERT(shards > 0, "scheduler needs at least one shard");
+    PIPELLM_ASSERT(config_.lookahead >= 1,
+                   "lookahead must be at least one tick");
+    queues_.reserve(shards);
+    for (unsigned s = 0; s < shards; ++s)
+        queues_.push_back(std::make_unique<EventQueue>());
+    outboxes_.resize(std::size_t(shards) + 1);
+    outbox_seq_.resize(std::size_t(shards) + 1, 0);
+    pool_ = std::make_unique<WorkerPool>(config_.workers);
+}
+
+void
+ShardedScheduler::post(unsigned from, unsigned to, Tick when, EventFn &&fn)
+{
+    PIPELLM_ASSERT(to < numShards(), "posting to unknown shard ", to);
+    PIPELLM_ASSERT(from <= numShards(), "posting from unknown shard ",
+                   from);
+    // Sender-side sanity check on the lookahead contract. The
+    // authoritative check happens at merge time against the window
+    // horizon; this one catches a shard trying to reach into its own
+    // present.
+    if (from < numShards()) {
+        PIPELLM_ASSERT(when >= queues_[from]->now() + config_.lookahead,
+                       "message from shard ", from, " at tick ",
+                       queues_[from]->now(), " lands at ", when,
+                       " inside the lookahead of ", config_.lookahead);
+    }
+    auto &outbox = outboxes_[from];
+    outbox.push_back(
+        Message{when, from, to, outbox_seq_[from]++, std::move(fn)});
+}
+
+Tick
+ShardedScheduler::nextEventTick() const
+{
+    Tick next = maxTick;
+    for (const auto &queue : queues_)
+        next = std::min(next, queue->nextEventTick());
+    return next;
+}
+
+bool
+ShardedScheduler::idle() const
+{
+    for (const auto &queue : queues_) {
+        if (!queue->empty())
+            return false;
+    }
+    for (const auto &outbox : outboxes_) {
+        if (!outbox.empty())
+            return false;
+    }
+    return true;
+}
+
+void
+ShardedScheduler::applyMessages(Tick horizon)
+{
+    std::vector<Message> merged;
+    for (auto &outbox : outboxes_) {
+        merged.insert(merged.end(),
+                      std::make_move_iterator(outbox.begin()),
+                      std::make_move_iterator(outbox.end()));
+        outbox.clear();
+    }
+    if (merged.empty())
+        return;
+    // Deterministic merge order: a pure function of the messages
+    // themselves, never of which worker staged them first.
+    std::sort(merged.begin(), merged.end(),
+              [](const Message &a, const Message &b) {
+                  if (a.when != b.when)
+                      return a.when < b.when;
+                  if (a.from != b.from)
+                      return a.from < b.from;
+                  return a.seq < b.seq;
+              });
+    for (auto &msg : merged) {
+        PIPELLM_ASSERT(msg.when >= horizon,
+                       "message from shard ", msg.from, " to ", msg.to,
+                       " at tick ", msg.when,
+                       " violates the window horizon ", horizon);
+        queues_[msg.to]->schedule(msg.when, std::move(msg.fn));
+    }
+    messages_merged_ += merged.size();
+}
+
+void
+ShardedScheduler::runWindow(Tick horizon)
+{
+    PIPELLM_ASSERT(horizon >= completed_horizon_,
+                   "window horizon ", horizon,
+                   " regresses behind ", completed_horizon_);
+    ++windows_;
+    // Messages staged by the driver since the last barrier become
+    // events now, before the shards run: they may land anywhere at or
+    // past the completed horizon.
+    applyMessages(completed_horizon_);
+    if (nextEventTick() < horizon) {
+        pool_->parallelFor(queues_.size(), [&](std::size_t s) {
+            queues_[s]->runBefore(horizon);
+        });
+    }
+    applyMessages(horizon);
+    completed_horizon_ = horizon;
+}
+
+void
+ShardedScheduler::run()
+{
+    for (;;) {
+        // Messages posted by the driver between windows become events
+        // before the next horizon is chosen.
+        applyMessages(completed_horizon_);
+        Tick next = nextEventTick();
+        if (next == maxTick)
+            break;
+        Tick lookahead = std::max<Tick>(config_.lookahead, 1);
+        Tick horizon =
+            next >= maxTick - lookahead ? maxTick : next + lookahead;
+        runWindow(horizon);
+    }
+}
+
+std::uint64_t
+ShardedScheduler::dispatched() const
+{
+    std::uint64_t total = 0;
+    for (const auto &queue : queues_)
+        total += queue->dispatched();
+    return total;
+}
+
+} // namespace sim
+} // namespace pipellm

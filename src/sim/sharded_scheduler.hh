@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Conservative parallel discrete-event scheduler.
+ *
+ * One EventQueue per shard (a replica, plus a host shard for the
+ * driver), run in bulk-synchronous windows: within a window every
+ * shard independently dispatches its local events strictly before the
+ * window horizon, in parallel across a fixed worker pool; at the
+ * window barrier, staged cross-shard messages are merged in
+ * deterministic (tick, shard, seq) order and scheduled onto their
+ * target shards. The horizon is the conservative lookahead bound —
+ * callers pick it at the natural coupling points (request arrivals,
+ * host-bridge transfers, crypto-lane-pool grants), and the scheduler
+ * asserts that no message ever lands inside a window that has already
+ * run. Same seeds therefore produce byte-identical results for any
+ * worker count: the per-shard event order is the per-queue (tick, seq)
+ * order, and the cross-shard merge order is a pure function of the
+ * messages, never of thread timing.
+ */
+
+#ifndef PIPELLM_SIM_SHARDED_SCHEDULER_HH
+#define PIPELLM_SIM_SHARDED_SCHEDULER_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/units.hh"
+#include "sim/event_queue.hh"
+#include "sim/worker_pool.hh"
+
+namespace pipellm {
+namespace sim {
+
+/**
+ * A fixed set of EventQueues advanced in parallel lookahead windows.
+ *
+ * Shards [0, numShards) are worker shards; hostShard() names the
+ * driver's staging slot for messages posted between windows. All
+ * methods except event callbacks running inside runWindow() must be
+ * called from the driving thread.
+ */
+class ShardedScheduler
+{
+  public:
+    struct Config
+    {
+        /** Execution streams for runWindow (0 = hw concurrency). */
+        unsigned workers = 1;
+        /**
+         * Minimum cross-shard message latency in ticks. A message
+         * posted from a shard callback at tick t must land no earlier
+         * than t + lookahead; the coupling points (bridge latency,
+         * lane-grant turnaround, arrival spacing) guarantee >= 1.
+         */
+        Tick lookahead = 1;
+    };
+
+    ShardedScheduler(unsigned shards, Config config);
+
+    ShardedScheduler(const ShardedScheduler &) = delete;
+    ShardedScheduler &operator=(const ShardedScheduler &) = delete;
+
+    unsigned numShards() const { return unsigned(queues_.size()); }
+
+    /** The driver's shard id for post(); one past the worker shards. */
+    unsigned hostShard() const { return numShards(); }
+
+    EventQueue &shard(unsigned s) { return *queues_[s]; }
+    const EventQueue &shard(unsigned s) const { return *queues_[s]; }
+
+    /**
+     * Stage @p fn to run on shard @p to at tick @p when. Callable from
+     * the driver (@p from == hostShard()) between windows, or from an
+     * event callback on shard @p from during a window. Messages become
+     * target-shard events at the next window barrier, merged across
+     * sources in (when, from, seq) order; @p when must respect the
+     * lookahead contract (never earlier than the horizon of the window
+     * it was posted in).
+     */
+    void post(unsigned from, unsigned to, Tick when, EventFn &&fn);
+
+    /** Earliest pending local event across shards (maxTick if none). */
+    Tick nextEventTick() const;
+
+    /** True when no shard has events and no message is staged. */
+    bool idle() const;
+
+    /**
+     * Dispatch every shard's events strictly before @p horizon (in
+     * parallel across shards), then merge staged messages. A horizon
+     * of maxTick drains everything and requires that no messages be
+     * posted during the window.
+     */
+    void runWindow(Tick horizon);
+
+    /**
+     * Windows to completion: repeatedly run a window at the next
+     * event tick plus the lookahead until every shard drains and no
+     * messages remain.
+     */
+    void run();
+
+    /** Events dispatched across all shards. */
+    std::uint64_t dispatched() const;
+
+    /** Cross-shard messages merged across all barriers so far. */
+    std::uint64_t messagesMerged() const { return messages_merged_; }
+
+    /** Windows executed so far. */
+    std::uint64_t windows() const { return windows_; }
+
+  private:
+    struct Message
+    {
+        Tick when;
+        unsigned from;
+        unsigned to;
+        std::uint64_t seq; ///< per-outbox posting order
+        EventFn fn;
+    };
+
+    void applyMessages(Tick horizon);
+
+    Config config_;
+    std::vector<std::unique_ptr<EventQueue>> queues_;
+    /** One outbox per shard plus one for the host/driver slot. */
+    std::vector<std::vector<Message>> outboxes_;
+    std::vector<std::uint64_t> outbox_seq_;
+    std::unique_ptr<WorkerPool> pool_;
+    Tick completed_horizon_ = 0;
+    std::uint64_t windows_ = 0;
+    std::uint64_t messages_merged_ = 0;
+};
+
+} // namespace sim
+} // namespace pipellm
+
+#endif // PIPELLM_SIM_SHARDED_SCHEDULER_HH

@@ -1,0 +1,195 @@
+/**
+ * @file
+ * Small-buffer-optimized move-only callback.
+ *
+ * The event queue dispatches millions of callbacks per run; wrapping
+ * each one in a std::function costs a heap allocation whenever the
+ * capture list outgrows the (implementation-defined, usually 16-byte)
+ * inline buffer, plus the copy-constructibility tax on every capture.
+ * InlineFn is the allocation-lean replacement: a 48-byte inline buffer
+ * covers every callback the simulator schedules today, move-only
+ * semantics admit captures that std::function rejects, and the heap
+ * fallback keeps oversized captures correct rather than ill-formed.
+ */
+
+#ifndef PIPELLM_SIM_SMALL_FN_HH
+#define PIPELLM_SIM_SMALL_FN_HH
+
+#include <cstddef>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+#include "common/logging.hh"
+
+namespace pipellm {
+namespace sim {
+
+/**
+ * A move-only `void()` callable with a 48-byte inline buffer.
+ *
+ * Callables that fit the buffer (size, alignment, nothrow-movable) are
+ * stored in place; everything else lands on the heap exactly once.
+ * Invoking an empty InlineFn is a programming error and asserts.
+ */
+class InlineFn
+{
+  public:
+    /** Inline capture budget; larger callables fall back to the heap. */
+    static constexpr std::size_t inlineBytes = 48;
+
+    InlineFn() noexcept = default;
+
+    template <typename F,
+              typename D = std::decay_t<F>,
+              typename = std::enable_if_t<
+                  !std::is_same_v<D, InlineFn> &&
+                  std::is_invocable_r_v<void, D &>>>
+    InlineFn(F &&f) // NOLINT(google-explicit-constructor)
+    {
+        construct<D>(std::forward<F>(f));
+    }
+
+    InlineFn(InlineFn &&other) noexcept { moveFrom(other); }
+
+    InlineFn &
+    operator=(InlineFn &&other) noexcept
+    {
+        if (this != &other) {
+            reset();
+            moveFrom(other);
+        }
+        return *this;
+    }
+
+    InlineFn(const InlineFn &) = delete;
+    InlineFn &operator=(const InlineFn &) = delete;
+
+    ~InlineFn() { reset(); }
+
+    void
+    operator()()
+    {
+        PIPELLM_ASSERT(call_, "invoking an empty InlineFn");
+        call_(&buf_);
+    }
+
+    explicit operator bool() const noexcept { return call_ != nullptr; }
+
+    /** True when the callable lives in the inline buffer (test hook). */
+    bool
+    inlineStored() const noexcept
+    {
+        return call_ != nullptr && inline_;
+    }
+
+  private:
+    enum class Op
+    {
+        /** Move the callable from @p src storage into @p dst storage. */
+        Relocate,
+        /** Destroy the callable held in @p src storage. */
+        Destroy,
+    };
+
+    using CallFn = void (*)(void *storage);
+    using ManageFn = void (*)(Op op, void *dst, void *src);
+
+    template <typename D>
+    static constexpr bool fitsInline =
+        sizeof(D) <= inlineBytes &&
+        alignof(D) <= alignof(std::max_align_t) &&
+        std::is_nothrow_move_constructible_v<D>;
+
+    template <typename D>
+    struct InlineHandler
+    {
+        static void
+        call(void *storage)
+        {
+            (*std::launder(reinterpret_cast<D *>(storage)))();
+        }
+
+        static void
+        manage(Op op, void *dst, void *src)
+        {
+            D *obj = std::launder(reinterpret_cast<D *>(src));
+            if (op == Op::Relocate)
+                ::new (dst) D(std::move(*obj));
+            obj->~D();
+        }
+    };
+
+    template <typename D>
+    struct HeapHandler
+    {
+        static D *&
+        slot(void *storage)
+        {
+            return *std::launder(reinterpret_cast<D **>(storage));
+        }
+
+        static void call(void *storage) { (*slot(storage))(); }
+
+        static void
+        manage(Op op, void *dst, void *src)
+        {
+            if (op == Op::Relocate) {
+                ::new (dst) (D *)(slot(src));
+            } else {
+                delete slot(src); // NOLINT(cppcoreguidelines-owning-memory)
+            }
+        }
+    };
+
+    template <typename D, typename F>
+    void
+    construct(F &&f)
+    {
+        if constexpr (fitsInline<D>) {
+            ::new (&buf_) D(std::forward<F>(f));
+            call_ = &InlineHandler<D>::call;
+            manage_ = &InlineHandler<D>::manage;
+            inline_ = true;
+        } else {
+            ::new (&buf_) (D *)(new D(std::forward<F>(f)));
+            call_ = &HeapHandler<D>::call;
+            manage_ = &HeapHandler<D>::manage;
+            inline_ = false;
+        }
+    }
+
+    void
+    moveFrom(InlineFn &other) noexcept
+    {
+        if (!other.call_)
+            return;
+        other.manage_(Op::Relocate, &buf_, &other.buf_);
+        call_ = other.call_;
+        manage_ = other.manage_;
+        inline_ = other.inline_;
+        other.call_ = nullptr;
+        other.manage_ = nullptr;
+    }
+
+    void
+    reset() noexcept
+    {
+        if (call_) {
+            manage_(Op::Destroy, nullptr, &buf_);
+            call_ = nullptr;
+            manage_ = nullptr;
+        }
+    }
+
+    alignas(std::max_align_t) std::byte buf_[inlineBytes];
+    CallFn call_ = nullptr;
+    ManageFn manage_ = nullptr;
+    bool inline_ = false;
+};
+
+} // namespace sim
+} // namespace pipellm
+
+#endif // PIPELLM_SIM_SMALL_FN_HH

@@ -1,0 +1,121 @@
+#include "sim/worker_pool.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace pipellm {
+namespace sim {
+
+WorkerPool::WorkerPool(unsigned threads)
+{
+    if (threads == 0)
+        threads = hardwareConcurrency();
+    // The caller is stream 0; spawn the rest.
+    workers_.reserve(threads - 1);
+    for (unsigned i = 1; i < threads; ++i)
+        workers_.emplace_back([this] { workerLoop(); });
+}
+
+WorkerPool::~WorkerPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        stopping_ = true;
+    }
+    wake_.notify_all();
+    for (auto &worker : workers_)
+        worker.join();
+}
+
+unsigned
+WorkerPool::hardwareConcurrency()
+{
+    return std::max(1u, std::thread::hardware_concurrency());
+}
+
+void
+WorkerPool::runShare(const std::function<void(std::size_t)> &body,
+                     std::size_t n)
+{
+    // Claim indices until the job is exhausted. The atomic counter is
+    // the only cross-thread coordination on the hot path; everything
+    // body(i) touches is owned by index i.
+    for (;;) {
+        std::size_t i = next_index_.fetch_add(1,
+                                              std::memory_order_relaxed);
+        if (i >= n)
+            break;
+        body(i);
+    }
+}
+
+void
+WorkerPool::workerLoop()
+{
+    std::uint64_t seen = 0;
+    for (;;) {
+        const std::function<void(std::size_t)> *body = nullptr;
+        std::size_t n = 0;
+        {
+            std::unique_lock<std::mutex> lock(mu_);
+            wake_.wait(lock, [&] {
+                return stopping_ || generation_ != seen;
+            });
+            if (stopping_)
+                return;
+            seen = generation_;
+            // Snapshot the job under the lock: a worker that slept
+            // through an entire job sees job_body_ == nullptr here and
+            // simply goes back to sleep.
+            body = job_body_;
+            n = job_n_;
+            if (body)
+                ++active_runners_;
+        }
+        if (!body)
+            continue;
+        runShare(*body, n);
+        {
+            std::lock_guard<std::mutex> lock(mu_);
+            if (--active_runners_ == 0)
+                done_.notify_all();
+        }
+    }
+}
+
+void
+WorkerPool::parallelFor(std::size_t n,
+                        const std::function<void(std::size_t)> &body)
+{
+    if (n == 0)
+        return;
+    if (workers_.empty() || n == 1) {
+        // Inline fast path: identical schedule to the parallel one
+        // restricted to a single stream.
+        for (std::size_t i = 0; i < n; ++i)
+            body(i);
+        return;
+    }
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        PIPELLM_ASSERT(active_runners_ == 0 && job_body_ == nullptr,
+                       "nested or concurrent parallelFor");
+        job_body_ = &body;
+        job_n_ = n;
+        next_index_.store(0, std::memory_order_relaxed);
+        ++generation_;
+    }
+    wake_.notify_all();
+    runShare(body, n);
+    // Every index has been claimed once the caller's share runs dry;
+    // the barrier below guarantees every claimed index also finished
+    // and no worker still holds a reference to this job.
+    std::unique_lock<std::mutex> lock(mu_);
+    done_.wait(lock, [&] { return active_runners_ == 0; });
+    job_body_ = nullptr;
+    job_n_ = 0;
+}
+
+} // namespace sim
+} // namespace pipellm

@@ -1,0 +1,174 @@
+/**
+ * @file
+ * Worker-count independence of the sharded cluster co-simulation.
+ *
+ * The contract: `ClusterConfig::threads` is a wall-clock knob, never a
+ * model input. A run's full observable result — every latency sample,
+ * completion tick, byte counter and per-replica report, i.e. exactly
+ * the material the bench CSVs are printed from — must be bit-identical
+ * whether the shards run on one worker or eight, and whether the
+ * platform takes the parallel sharded schedule (decoupled: private
+ * host resources, faults disarmed) or falls back to the sequential
+ * min-clock loop (coupled host, or armed injector).
+ */
+
+#include <gtest/gtest.h>
+
+#include <ios>
+#include <sstream>
+#include <string>
+
+#include "fault/fault.hh"
+#include "runtime/cc_runtime.hh"
+#include "serving/cluster.hh"
+#include "tests/serving/serving_fixture.hh"
+#include "trace/generator.hh"
+
+using namespace pipellm;
+using namespace pipellm::serving;
+using namespace serving_test;
+
+namespace {
+
+VllmConfig
+swapHeavyEngine()
+{
+    VllmConfig cfg;
+    cfg.model = tinyModel();
+    cfg.parallel_sampling = 4;
+    cfg.gpu_reserved_bytes = 160 * MiB;
+    return cfg;
+}
+
+trace::Trace
+burstTrace()
+{
+    trace::DatasetProfile profile{"determinism", 48.0, 0.4, 160.0, 0.4};
+    profile.max_len = 192;
+    trace::TraceGenerator gen(profile, 5);
+    return gen.poisson(16, 200.0);
+}
+
+RuntimeFactory
+ccFactory()
+{
+    return [](runtime::Platform &p, runtime::DeviceId d) {
+        return std::make_unique<runtime::CcRuntime>(p, 1, d);
+    };
+}
+
+/**
+ * Exact textual image of everything a bench CSV row could be printed
+ * from. Doubles are serialized as hexfloats so the comparison is
+ * bit-for-bit, not round-trip-through-decimal.
+ */
+std::string
+fingerprint(const ClusterResult &r)
+{
+    std::ostringstream os;
+    os << std::hexfloat;
+    os << r.normalized_latency << '|' << r.p90_normalized_latency
+       << '|' << r.replica_weighted_p90 << '|' << r.completed << '|'
+       << r.preemptions << '|' << r.makespan << '|' << r.tokens_per_sec
+       << '|' << r.goodput_tokens_per_sec << '|' << r.dropped << '|'
+       << r.shed_requests << '|' << r.shed_tokens << '|' << r.slo_missed
+       << '|' << r.slo_missed_tokens << '|'
+       << r.slo_goodput_tokens_per_sec << '|'
+       << r.backpressure_deferrals << '|' << r.deferred_to_rejoin
+       << '\n';
+    os << "faults:" << r.faults.tag_faults << '/'
+       << r.faults.tag_retries << '/' << r.faults.copy_stalls << '/'
+       << r.faults.lane_faults << '/' << r.faults.replica_crashes
+       << '\n';
+    for (const auto &c : r.completions)
+        os << "c:" << c.at << ':' << c.tokens << '\n';
+    for (const auto &rep : r.replicas) {
+        os << "r" << rep.device << ':' << rep.requests << ':'
+           << rep.routed_tokens << ':' << rep.crashed << ':'
+           << rep.crash_time << ':' << rep.requeued << ':'
+           << rep.dropped << ':' << rep.absorbed << ':'
+           << rep.lost_tokens << ':' << rep.crash_count << ':'
+           << rep.restarts << ':' << rep.rejoined << ':'
+           << rep.rejoin_time << ':' << rep.time_to_rejoin << '\n';
+        const auto &v = rep.result;
+        os << "  v:" << v.normalized_latency << ':'
+           << v.p90_normalized_latency << ':' << v.completed << ':'
+           << v.completed_tokens << ':' << v.preemptions << ':'
+           << v.recomputed_tokens << ':' << v.swap_out_bytes << ':'
+           << v.swap_in_bytes << ':' << v.total_time << ':'
+           << v.slo_missed << ':' << v.slo_missed_tokens << '\n';
+        const auto &s = rep.runtime_stats;
+        os << "  s:" << s.h2d_calls << ':' << s.h2d_bytes << ':'
+           << s.d2h_calls << ':' << s.d2h_bytes << ':' << s.kernels
+           << ':' << s.cpu_encrypt_bytes << ':' << s.cpu_decrypt_bytes
+           << '\n';
+    }
+    return os.str();
+}
+
+/** One full serving run on a fresh platform. */
+ClusterResult
+serve(unsigned threads, const runtime::HostResources &host,
+      const fault::FaultPlan *plan)
+{
+    runtime::Platform platform(tinyGpu(448 * MiB),
+                               crypto::ChannelConfig{}, 2, host);
+    if (plan)
+        platform.armFaults(*plan);
+    ClusterConfig cfg;
+    cfg.engine = swapHeavyEngine();
+    cfg.policy = RoutePolicy::RoundRobin;
+    cfg.threads = threads;
+    ClusterRouter router(platform, ccFactory(), cfg);
+    return router.run(burstTrace());
+}
+
+} // namespace
+
+TEST(ClusterDeterminism, DecoupledRunTakesTheShardedSchedule)
+{
+    auto r = serve(1, runtime::HostResources{}, nullptr);
+    EXPECT_TRUE(r.sharded);
+    EXPECT_GT(r.engine_steps, 0u);
+    EXPECT_EQ(r.completed, 16u);
+}
+
+TEST(ClusterDeterminism, WorkerCountNeverChangesDecoupledResults)
+{
+    auto one = serve(1, runtime::HostResources{}, nullptr);
+    auto eight = serve(8, runtime::HostResources{}, nullptr);
+    auto hw = serve(0, runtime::HostResources{}, nullptr);
+    ASSERT_TRUE(one.sharded);
+    ASSERT_TRUE(eight.sharded);
+    EXPECT_EQ(fingerprint(one), fingerprint(eight));
+    EXPECT_EQ(fingerprint(one), fingerprint(hw));
+    // The sharded schedule performs exactly the same engine steps
+    // regardless of how many workers execute it.
+    EXPECT_EQ(one.engine_steps, eight.engine_steps);
+}
+
+TEST(ClusterDeterminism, CoupledHostFallsBackAndIgnoresThreads)
+{
+    runtime::HostResources host;
+    host.shared_crypto_lanes = 1;
+    auto one = serve(1, host, nullptr);
+    auto eight = serve(8, host, nullptr);
+    EXPECT_FALSE(one.sharded);
+    EXPECT_FALSE(eight.sharded);
+    EXPECT_GT(one.engine_steps, 0u);
+    EXPECT_EQ(fingerprint(one), fingerprint(eight));
+}
+
+TEST(ClusterDeterminism, ArmedInjectorFallsBackAndIgnoresThreads)
+{
+    // An armed injector's RNG draw order is a machine-wide timeline,
+    // so fault runs must keep the sequential schedule.
+    fault::FaultPlan plan;
+    plan.seed = 7;
+    plan.tag_corruption_rate = 0.02;
+    auto one = serve(1, runtime::HostResources{}, &plan);
+    auto eight = serve(8, runtime::HostResources{}, &plan);
+    EXPECT_FALSE(one.sharded);
+    EXPECT_FALSE(eight.sharded);
+    EXPECT_EQ(fingerprint(one), fingerprint(eight));
+}

@@ -1,0 +1,142 @@
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "sim/pool.hh"
+
+using namespace pipellm;
+using sim::Pool;
+
+namespace {
+
+struct Tracked
+{
+    explicit Tracked(int *counter) : counter(counter) { ++*counter; }
+    ~Tracked() { --*counter; }
+    Tracked(const Tracked &) = delete;
+    Tracked &operator=(const Tracked &) = delete;
+
+    int *counter;
+    std::uint64_t payload[4] = {};
+};
+
+struct alignas(32) OverAligned
+{
+    std::uint64_t lanes[4] = {};
+};
+
+} // namespace
+
+TEST(Pool, CreateConstructsAndDestroyDestructs)
+{
+    Pool<Tracked> pool;
+    int live = 0;
+    Tracked *a = pool.create(&live);
+    Tracked *b = pool.create(&live);
+    EXPECT_EQ(live, 2);
+    EXPECT_EQ(pool.liveCount(), 2u);
+    pool.destroy(a);
+    EXPECT_EQ(live, 1);
+    pool.destroy(b);
+    EXPECT_EQ(live, 0);
+    EXPECT_EQ(pool.liveCount(), 0u);
+}
+
+TEST(Pool, ReserveGrowsCapacityWithoutLiveObjects)
+{
+    Pool<Tracked> pool;
+    EXPECT_EQ(pool.capacity(), 0u);
+    pool.reserve(1000);
+    EXPECT_GE(pool.capacity(), 1000u);
+    EXPECT_EQ(pool.liveCount(), 0u);
+
+    // Creating within the reservation must not grow further.
+    std::size_t reserved = pool.capacity();
+    int live = 0;
+    std::vector<Tracked *> objs;
+    objs.reserve(1000);
+    for (int i = 0; i < 1000; ++i)
+        objs.push_back(pool.create(&live));
+    EXPECT_EQ(pool.capacity(), reserved);
+    for (auto *obj : objs)
+        pool.destroy(obj);
+}
+
+TEST(Pool, FreedSlotIsReusedLifo)
+{
+    Pool<Tracked> pool;
+    int live = 0;
+    Tracked *a = pool.create(&live);
+    pool.destroy(a);
+    Tracked *b = pool.create(&live);
+    // Most-recently-freed (cache-hot) slot comes back first.
+    EXPECT_EQ(static_cast<void *>(a), static_cast<void *>(b));
+    pool.destroy(b);
+}
+
+TEST(Pool, ManyChurnCyclesStayWithinOneSlab)
+{
+    Pool<Tracked> pool;
+    pool.reserve(1);
+    std::size_t capacity = pool.capacity();
+    int live = 0;
+    for (int i = 0; i < 100000; ++i) {
+        Tracked *obj = pool.create(&live);
+        pool.destroy(obj);
+    }
+    EXPECT_EQ(pool.capacity(), capacity);
+    EXPECT_EQ(live, 0);
+}
+
+TEST(Pool, RespectsOverAlignment)
+{
+    Pool<OverAligned> pool;
+    std::vector<OverAligned *> objs;
+    for (int i = 0; i < 100; ++i) {
+        OverAligned *obj = pool.create();
+        EXPECT_EQ(reinterpret_cast<std::uintptr_t>(obj) %
+                      alignof(OverAligned),
+                  0u);
+        objs.push_back(obj);
+    }
+    for (auto *obj : objs)
+        pool.destroy(obj);
+}
+
+TEST(Pool, SlabsSurviveGrowth)
+{
+    // Growing must never move live objects: pointers handed out before
+    // a grow stay valid after it.
+    Pool<Tracked> pool;
+    int live = 0;
+    std::vector<Tracked *> objs;
+    for (int i = 0; i < 5000; ++i)
+        objs.push_back(pool.create(&live));
+    EXPECT_EQ(live, 5000);
+    for (auto *obj : objs) {
+        EXPECT_EQ(obj->counter, &live);
+        pool.destroy(obj);
+    }
+    EXPECT_EQ(live, 0);
+}
+
+#if PIPELLM_ASAN
+TEST(PoolAsanDeath, ReadingAFreedSlotTripsPoisoning)
+{
+    // Freed slots are poisoned: a stale pointer dereference must be
+    // reported as use-after-poison instead of silently reading the
+    // next occupant.
+    EXPECT_DEATH(
+        {
+            Pool<Tracked> pool;
+            int live = 0;
+            Tracked *obj = pool.create(&live);
+            pool.destroy(obj);
+            volatile std::uint64_t v = obj->payload[0];
+            (void)v;
+        },
+        "use-after-poison");
+}
+#endif

@@ -1,0 +1,153 @@
+#include <gtest/gtest.h>
+
+#include <array>
+#include <functional>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "sim/small_fn.hh"
+
+using namespace pipellm;
+using sim::InlineFn;
+
+TEST(InlineFn, DefaultConstructedIsEmpty)
+{
+    InlineFn fn;
+    EXPECT_FALSE(bool(fn));
+    EXPECT_FALSE(fn.inlineStored());
+}
+
+TEST(InlineFn, SmallCaptureStaysInline)
+{
+    int hits = 0;
+    InlineFn fn([&hits] { ++hits; });
+    EXPECT_TRUE(bool(fn));
+    EXPECT_TRUE(fn.inlineStored());
+    fn();
+    fn();
+    EXPECT_EQ(hits, 2);
+}
+
+TEST(InlineFn, CaptureExactlyAtInlineBudgetStaysInline)
+{
+    // One pointer plus padding bytes so the closure is exactly
+    // inlineBytes wide — the boundary itself must still fit.
+    int hits = 0;
+    std::array<char, InlineFn::inlineBytes - sizeof(int *)> pad{};
+    InlineFn fn([&hits, pad] {
+        ++hits;
+        (void)pad;
+    });
+    EXPECT_TRUE(fn.inlineStored());
+    fn();
+    EXPECT_EQ(hits, 1);
+}
+
+TEST(InlineFn, CaptureOnePastInlineBudgetFallsBackToHeap)
+{
+    int hits = 0;
+    std::array<char, InlineFn::inlineBytes - sizeof(int *) + 1> pad{};
+    InlineFn fn([&hits, pad] {
+        ++hits;
+        (void)pad;
+    });
+    EXPECT_FALSE(fn.inlineStored());
+    fn();
+    EXPECT_EQ(hits, 1);
+}
+
+TEST(InlineFn, OversizedCaptureRunsCorrectlyFromTheHeap)
+{
+    std::array<std::uint64_t, 32> data{};
+    for (std::size_t i = 0; i < data.size(); ++i)
+        data[i] = i + 1;
+    std::uint64_t sum = 0;
+    InlineFn fn([data, &sum] {
+        for (auto v : data)
+            sum += v;
+    });
+    EXPECT_FALSE(fn.inlineStored());
+    fn();
+    EXPECT_EQ(sum, 32u * 33u / 2u);
+}
+
+TEST(InlineFn, MoveTransfersOwnershipAndEmptiesSource)
+{
+    int hits = 0;
+    InlineFn a([&hits] { ++hits; });
+    InlineFn b(std::move(a));
+    EXPECT_FALSE(bool(a)); // NOLINT(bugprone-use-after-move)
+    EXPECT_TRUE(bool(b));
+    b();
+    EXPECT_EQ(hits, 1);
+
+    InlineFn c;
+    c = std::move(b);
+    EXPECT_FALSE(bool(b)); // NOLINT(bugprone-use-after-move)
+    c();
+    EXPECT_EQ(hits, 2);
+}
+
+TEST(InlineFn, MoveAssignmentDestroysPreviousTarget)
+{
+    auto counter = std::make_shared<int>(0);
+    EXPECT_EQ(counter.use_count(), 1);
+    InlineFn a([counter] {});
+    EXPECT_EQ(counter.use_count(), 2);
+    a = InlineFn([] {});
+    EXPECT_EQ(counter.use_count(), 1);
+}
+
+TEST(InlineFn, MoveOnlyCapturesAreSupported)
+{
+    // std::function would reject this callable outright.
+    auto owned = std::make_unique<int>(41);
+    int seen = 0;
+    InlineFn fn([owned = std::move(owned), &seen] { seen = *owned + 1; });
+    InlineFn moved(std::move(fn));
+    moved();
+    EXPECT_EQ(seen, 42);
+}
+
+TEST(InlineFn, CopyableLvalueCallablesAreCopiedIn)
+{
+    int hits = 0;
+    std::function<void()> counter = [&hits] { ++hits; };
+    InlineFn a(counter);
+    InlineFn b(counter);
+    a();
+    b();
+    counter();
+    EXPECT_EQ(hits, 3);
+}
+
+TEST(InlineFn, DestructorReleasesCapturedState)
+{
+    auto counter = std::make_shared<int>(0);
+    {
+        InlineFn inline_fn([counter] {});
+        std::array<char, InlineFn::inlineBytes> pad{};
+        InlineFn heap_fn([counter, pad] { (void)pad; });
+        EXPECT_FALSE(heap_fn.inlineStored());
+        EXPECT_EQ(counter.use_count(), 3);
+    }
+    EXPECT_EQ(counter.use_count(), 1);
+}
+
+TEST(InlineFn, HeapTargetMoveIsPointerSteal)
+{
+    auto counter = std::make_shared<int>(0);
+    std::array<char, InlineFn::inlineBytes> pad{};
+    InlineFn a([counter, pad] { (void)pad; });
+    EXPECT_EQ(counter.use_count(), 2);
+    InlineFn b(std::move(a));
+    // Moving a heap-stored callable must not copy the capture.
+    EXPECT_EQ(counter.use_count(), 2);
+}
+
+TEST(InlineFnDeath, InvokingEmptyFnPanics)
+{
+    InlineFn fn;
+    EXPECT_DEATH(fn(), "empty InlineFn");
+}

@@ -1,0 +1,77 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+#include "sim/worker_pool.hh"
+
+using namespace pipellm;
+using sim::WorkerPool;
+
+TEST(WorkerPool, HardwareConcurrencyIsAtLeastOne)
+{
+    EXPECT_GE(WorkerPool::hardwareConcurrency(), 1u);
+}
+
+TEST(WorkerPool, SingleThreadRunsInline)
+{
+    WorkerPool pool(1);
+    EXPECT_EQ(pool.threads(), 1u);
+    std::vector<int> hits(100, 0);
+    pool.parallelFor(hits.size(), [&](std::size_t i) { ++hits[i]; });
+    for (int h : hits)
+        EXPECT_EQ(h, 1);
+}
+
+TEST(WorkerPool, EveryIndexRunsExactlyOnce)
+{
+    WorkerPool pool(4);
+    EXPECT_EQ(pool.threads(), 4u);
+    std::vector<std::atomic<int>> hits(1000);
+    pool.parallelFor(hits.size(), [&](std::size_t i) {
+        hits[i].fetch_add(1, std::memory_order_relaxed);
+    });
+    for (auto &h : hits)
+        EXPECT_EQ(h.load(), 1);
+}
+
+TEST(WorkerPool, BarrierMakesAllWritesVisible)
+{
+    WorkerPool pool(4);
+    std::vector<std::uint64_t> out(256, 0);
+    pool.parallelFor(out.size(), [&](std::size_t i) { out[i] = i * i; });
+    // parallelFor is a full barrier: plain reads below are safe.
+    for (std::size_t i = 0; i < out.size(); ++i)
+        EXPECT_EQ(out[i], i * i);
+}
+
+TEST(WorkerPool, BackToBackJobsDoNotInterfere)
+{
+    WorkerPool pool(8);
+    std::vector<std::uint64_t> sums(64, 0);
+    for (int round = 0; round < 200; ++round) {
+        pool.parallelFor(sums.size(),
+                         [&](std::size_t i) { sums[i] += i; });
+    }
+    for (std::size_t i = 0; i < sums.size(); ++i)
+        EXPECT_EQ(sums[i], 200 * i);
+}
+
+TEST(WorkerPool, MoreWorkersThanWorkStillCompletes)
+{
+    WorkerPool pool(8);
+    std::atomic<int> hits{0};
+    pool.parallelFor(2, [&](std::size_t) {
+        hits.fetch_add(1, std::memory_order_relaxed);
+    });
+    EXPECT_EQ(hits.load(), 2);
+    pool.parallelFor(0, [&](std::size_t) { FAIL(); });
+}
+
+TEST(WorkerPool, ZeroMeansHardwareConcurrency)
+{
+    WorkerPool pool(0);
+    EXPECT_EQ(pool.threads(), WorkerPool::hardwareConcurrency());
+}

@@ -51,6 +51,22 @@ RULES = [
         "allow": set(),
     },
     {
+        "name": "raw threading outside sim/worker_pool",
+        # Determinism rests on every worker thread being driven by the
+        # WorkerPool's barriered parallelFor; ad-hoc std::thread /
+        # std::async escapes the (tick, shard, seq) ordering protocol.
+        # WorkerPool::hardwareConcurrency() is the sanctioned wrapper
+        # for sizing decisions.
+        "regex": re.compile(
+            r"\bstd::(?:thread|jthread|async)\b|#include\s*<(?:thread|future)>"
+        ),
+        "roots": ("src", "tests", "bench", "examples"),
+        "allow": {
+            "src/sim/worker_pool.hh",
+            "src/sim/worker_pool.cc",
+        },
+    },
+    {
         "name": "printf-family I/O outside common/logging",
         "regex": re.compile(
             r"\b(?:printf|fprintf|sprintf|snprintf|vsnprintf|puts|putchar)\s*\("
