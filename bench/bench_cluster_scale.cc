@@ -1,105 +1,20 @@
 /**
  * @file
- * Cluster scaling: N vLLM replicas behind the router, offered load
- * scaled with N.
+ * Thin wrapper: the cluster-scaling figure, scenario-driven.
  *
- * Each device serves OPT-30B (ShareGPT, parallel sampling 6) and the
- * cluster-wide Poisson rate is 0.8 req/s per device — past stock CC's
- * crypto-bound service capacity at this working set (Figure 8) but
- * comfortably inside plain and PipeLLM capacity. Plain and PipeLLM
- * therefore keep pace with the offered load as N grows, while CC's
- * served throughput is capped at N times its per-device crypto-bound
- * rate and its normalized latency sits in the saturated regime.
- *
- * The sweep runs twice: once with private per-device host resources
- * (the historical configuration; rows carry host_mode=private) and
- * once on a contended shared host — a machine-wide CPU crypto lane
- * pool plus a PCIe host bridge all links drain through. Shared rows
- * expose the scaling knee: replicas that were independent under
- * private resources now queue against each other, so CC goes
- * sub-linear well before N=8 while PipeLLM's speculative
- * pre-encryption soaks up part of the contention off the critical
- * path.
+ * The topology, trace, host variants and sweep axes that used to be
+ * hard-coded here live in bench/scenarios/cluster_scale.scenario;
+ * this main keeps the historical CLI (--quick, --threads) and runs
+ * the scenario through the shared sweep runner. See the scenario file
+ * for the experiment's rationale; the regenerated CSV is
+ * byte-identical to what the hand-rolled main produced.
  */
 
-#include <cinttypes>
+#include <cstdio>
 #include <cstdlib>
 #include <string>
-#include <vector>
 
-#include "bench/bench_common.hh"
-#include "common/logging.hh"
-#include "serving/cluster.hh"
-#include "trace/generator.hh"
-
-using namespace benchutil;
-
-namespace {
-
-constexpr double ratePerDevice = 0.8;
-
-/**
- * The contended shared-host configuration: a 2-lane machine-wide
- * crypto pool (each CC/PipeLLM replica wants 1 enc + 1 dec lane, so
- * two replicas already oversubscribe it 2:1) and a 160 GB/s host
- * bridge (~3 of the 55 GB/s per-device links; binds from N=4 up).
- */
-runtime::HostResources
-sharedHost()
-{
-    runtime::HostResources host;
-    host.shared_crypto_lanes = 2;
-    host.bridge_bw = 160e9;
-    return host;
-}
-
-serving::ClusterResult
-runCluster(Mode mode, unsigned n_devices, std::size_t n_requests,
-           serving::RoutePolicy policy,
-           const runtime::HostResources &host, unsigned threads)
-{
-    runtime::Platform platform(gpu::SystemSpec::h100(), benchChannel(),
-                               n_devices, host);
-
-    serving::ClusterConfig cfg;
-    cfg.engine.model = llm::ModelConfig::opt30b();
-    cfg.engine.parallel_sampling = 6;
-    cfg.policy = policy;
-    cfg.threads = threads;
-
-    std::uint64_t block_bytes =
-        std::uint64_t(cfg.engine.block_tokens) *
-        cfg.engine.model.kvBytesPerToken();
-    auto pipe_cfg = kvPipeConfig(block_bytes);
-    if (host.shared_crypto_lanes > 0) {
-        // On a contended pool a deep speculative lead books shared
-        // lanes far ahead of everyone's demand traffic and queues the
-        // whole host behind pre-encryption; keep speculation
-        // just-in-time instead.
-        pipe_cfg.max_lane_lead = milliseconds(10);
-    }
-
-    serving::ClusterRouter router(
-        platform,
-        [mode, &pipe_cfg](runtime::Platform &p,
-                          runtime::DeviceId device) {
-            return makeRuntime(mode, p, pipe_cfg, device);
-        },
-        cfg);
-
-    auto profile = trace::DatasetProfile::shareGpt();
-    profile.max_len = 1024;
-    trace::TraceGenerator gen(profile, 42);
-    auto result =
-        router.run(gen.poisson(n_requests, ratePerDevice * n_devices));
-
-    for (unsigned d = 0; d < n_devices; ++d)
-        PIPELLM_ASSERT(platform.gpu(d).integrityFailures() == 0,
-                       "integrity failure on device ", d);
-    return result;
-}
-
-} // namespace
+#include "bench/scenario_cli.hh"
 
 int
 main(int argc, char **argv)
@@ -108,14 +23,14 @@ main(int argc, char **argv)
     // --threads N: co-simulation workers (0 = hardware concurrency).
     // The thread count is a wall-clock knob only; the CSV is
     // byte-identical for every value.
-    bool quick = false;
-    unsigned threads = 1;
+    pipellm::scenario::RunOptions opts;
+    opts.progress = benchutil::printingSink();
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
         if (arg == "--quick") {
-            quick = true;
+            opts.quick = true;
         } else if (arg == "--threads" && i + 1 < argc) {
-            threads = unsigned(std::atoi(argv[++i]));
+            opts.threads = std::atoi(argv[++i]);
         } else {
             std::fprintf(stderr,
                          "usage: %s [--quick] [--threads N]\n",
@@ -124,91 +39,17 @@ main(int argc, char **argv)
         }
     }
 
-    banner("Cluster scaling: N replicas, offered load ~ N");
-    auto csv = openCsv("cluster_scale.csv");
-    csv.header({"n_devices", "mode", "policy", "offered_rate",
-                "tokens_per_s", "speedup_vs_1dev", "norm_latency_s_tok",
-                "p90_norm_latency_s_tok", "completed", "preemptions",
-                "makespan_s", "replica", "replica_requests",
-                "replica_tokens_per_s", "replica_norm_latency_s_tok",
-                "replica_h2d_gb", "replica_cpu_crypto_gb", "host_mode",
-                "shared_lanes", "bridge_gbps"});
-
-    std::vector<unsigned> device_counts =
-        quick ? std::vector<unsigned>{1, 2}
-              : std::vector<unsigned>{1, 2, 4, 8};
-    std::size_t requests_per_device = quick ? 24 : 48;
-    auto policy = serving::RoutePolicy::RoundRobin;
-
-    struct HostVariant {
-        const char *name;
-        runtime::HostResources res;
-    };
-    const HostVariant variants[] = {
-        {"private", runtime::HostResources{}},
-        {"shared", sharedHost()},
-    };
-
-    for (const auto &variant : variants) {
-        for (Mode mode : {Mode::Plain, Mode::Cc, Mode::Pipe}) {
-            double base_tps = 0;
-            std::printf("\n-- %s (%s routing, %s host) --\n",
-                        toString(mode), serving::toString(policy),
-                        variant.name);
-            for (unsigned n : device_counts) {
-                auto r = runCluster(mode, n, requests_per_device * n,
-                                    policy, variant.res, threads);
-                if (n == 1)
-                    base_tps = r.tokens_per_sec;
-                double speedup =
-                    base_tps > 0 ? r.tokens_per_sec / base_tps : 0;
-                std::printf("N=%u  %8.1f tok/s  (x%.2f)  %.4f s/tok  "
-                            "p90 %.4f  completed %" PRIu64 "\n",
-                            n, r.tokens_per_sec, speedup,
-                            r.normalized_latency,
-                            r.p90_normalized_latency, r.completed);
-                for (const auto &rep : r.replicas) {
-                    double rep_tps =
-                        rep.result.total_time
-                            ? double(rep.routed_tokens) /
-                                  toSeconds(rep.result.total_time)
-                            : 0;
-                    csv.field(n).field(toString(mode))
-                        .field(serving::toString(policy))
-                        .field(ratePerDevice * n)
-                        .field(r.tokens_per_sec)
-                        .field(speedup).field(r.normalized_latency)
-                        // Historical column: the completed-weighted
-                        // mean of replica p90s, kept so the committed
-                        // CSV stays byte-identical (the true merged
-                        // p90 lives in p90_normalized_latency).
-                        .field(r.replica_weighted_p90)
-                        .field(r.completed).field(r.preemptions)
-                        .field(toSeconds(r.makespan)).field(rep.device)
-                        .field(rep.requests).field(rep_tps)
-                        .field(rep.result.normalized_latency)
-                        .field(double(rep.runtime_stats.h2d_bytes) /
-                               1e9)
-                        .field(
-                            double(rep.runtime_stats.cpu_encrypt_bytes +
-                                   rep.runtime_stats
-                                       .cpu_decrypt_bytes) /
-                            1e9)
-                        .field(variant.name)
-                        .field(variant.res.shared_crypto_lanes)
-                        .field(variant.res.bridge_bw / 1e9)
-                        .endRow();
-                }
-            }
-        }
-    }
+    std::printf("\n=== Cluster scaling: N replicas, offered load ~ N "
+                "===\n");
+    auto spec = benchutil::loadScenarioOrDie(
+        benchutil::resolveScenarioPath("cluster_scale"));
+    pipellm::scenario::runScenario(spec, opts);
 
     std::printf("\nexpectation: with private host resources w/o CC "
-                "and PipeLLM track the offered load (near-linear "
-                "1->%u) and stock CC is capped at N x its per-device "
+                "and PipeLLM track the offered load (near-linear) and "
+                "stock CC is capped at N x its per-device "
                 "crypto-bound service rate; on the shared host every "
                 "mode knees as the crypto pool and bridge saturate, "
-                "CC earliest and hardest, PipeLLM in between\n",
-                device_counts.back());
+                "CC earliest and hardest, PipeLLM in between\n");
     return 0;
 }

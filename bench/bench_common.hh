@@ -10,6 +10,11 @@
  * Absolute numbers come from the calibrated simulator; the *shape*
  * (who wins, by what factor, where curves diverge) is what reproduces
  * the paper. EXPERIMENTS.md records paper-vs-measured per figure.
+ *
+ * The system vocabulary (Mode enum, display names, runtime factory,
+ * canonical PipeLLM configs) lives in scenario/mode.hh so .scenario
+ * files and figure benches share one source of truth; this header
+ * forwards the historical benchutil names.
  */
 
 #ifndef PIPELLM_BENCH_BENCH_COMMON_HH
@@ -17,110 +22,26 @@
 
 #include <cstdio>
 #include <filesystem>
-#include <memory>
 #include <string>
 
 #include "common/csv.hh"
-#include "llm/model.hh"
+#include "crypto/channel.hh"
 #include "pipellm/pipellm_runtime.hh"
 #include "runtime/cc_runtime.hh"
 #include "runtime/plain_runtime.hh"
+#include "scenario/mode.hh"
 
 namespace benchutil {
 
 using namespace pipellm;
 
-/** The systems compared across the evaluation. */
-enum class Mode
-{
-    Plain,  ///< "w/o CC"
-    Cc,     ///< NVIDIA CC, 1 crypto thread
-    Cc4t,   ///< NVIDIA CC, 4 crypto threads (Fig. 9)
-    Pipe,   ///< PipeLLM
-    Pipe0,  ///< PipeLLM with 0% sequence-prediction success (Fig. 10)
-};
+/** The systems compared across the evaluation (scenario/mode.hh). */
+using Mode = scenario::SystemMode;
 
-inline const char *
-toString(Mode m)
-{
-    switch (m) {
-      case Mode::Plain:
-        return "w/o CC";
-      case Mode::Cc:
-        return "CC";
-      case Mode::Cc4t:
-        return "CC-4t";
-      case Mode::Pipe:
-        return "PipeLLM";
-      case Mode::Pipe0:
-        return "PipeLLM-0";
-    }
-    return "?";
-}
-
-/** PipeLLM configuration for model-offloading workloads (§7.2). */
-inline core::PipeLlmConfig
-offloadPipeConfig(const llm::ModelConfig &model)
-{
-    core::PipeLlmConfig cfg;
-    // Model offloading must out-encrypt the 40 GB/s copy path, so
-    // PipeLLM dedicates multiple CPU threads (§7.2; the paper's VM
-    // has 16 vCPUs).
-    cfg.enc_lanes = 10;
-    cfg.dec_lanes = 1;
-    cfg.pipeline_depth = 12;
-    cfg.max_pipeline_bytes = 32 * GiB;
-    // Layer chunks are GB-sized (hundreds of ms per lane); the stable
-    // repetitive plan justifies booking the lanes far ahead.
-    cfg.max_lane_lead = seconds(1);
-    cfg.classifier.layer_param_bytes = model.layerParamBytes();
-    return cfg;
-}
-
-/** PipeLLM configuration for KV-cache swapping (vLLM: 1+1 threads). */
-inline core::PipeLlmConfig
-kvPipeConfig(std::uint64_t kv_unit_bytes)
-{
-    core::PipeLlmConfig cfg;
-    cfg.enc_lanes = 1;
-    cfg.dec_lanes = 1;
-    // The pipeline must cover whole preempted groups (hundreds of KV
-    // blocks) so they pre-encrypt during the out->in window.
-    cfg.pipeline_depth = 512;
-    cfg.max_pipeline_bytes = 16 * GiB;
-    cfg.classifier.kv_unit_bytes = kv_unit_bytes;
-    return cfg;
-}
-
-/** Instantiate the runtime for @p mode on @p platform's @p device. */
-inline std::unique_ptr<runtime::RuntimeApi>
-makeRuntime(Mode mode, runtime::Platform &platform,
-            const core::PipeLlmConfig &pipe_cfg,
-            runtime::DeviceId device = 0)
-{
-    switch (mode) {
-      case Mode::Plain:
-        return std::make_unique<runtime::PlainRuntime>(platform,
-                                                       device);
-      case Mode::Cc:
-        return std::make_unique<runtime::CcRuntime>(platform, 1,
-                                                    device);
-      case Mode::Cc4t:
-        return std::make_unique<runtime::CcRuntime>(platform, 4,
-                                                    device);
-      case Mode::Pipe:
-        return std::make_unique<core::PipeLlmRuntime>(platform,
-                                                      pipe_cfg,
-                                                      device);
-      case Mode::Pipe0: {
-        auto cfg = pipe_cfg;
-        cfg.predictor.sabotage_sequence = true;
-        return std::make_unique<core::PipeLlmRuntime>(platform, cfg,
-                                                      device);
-      }
-    }
-    return nullptr;
-}
+using scenario::kvPipeConfig;
+using scenario::makeRuntime;
+using scenario::offloadPipeConfig;
+using scenario::toString;
 
 /** Fast functional sampling for benches (timing is unaffected). */
 inline crypto::ChannelConfig

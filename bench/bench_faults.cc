@@ -1,225 +1,32 @@
 /**
  * @file
- * Fault sweep: cluster serving under a deterministic fault plan whose
- * intensity scales from 0 (disarmed — the exact fault-free baseline)
- * upward, CC vs PipeLLM, 1-4 replicas.
+ * Thin wrapper: the fault sweep, scenario-driven.
  *
- * Each step of the sweep multiplies one base plan: PCIe tag
- * corruption, copy-engine stalls, crypto-lane faults, and whole
- * replica crashes all intensify together. The interesting outputs
- * are goodput (tokens of *completed* requests per second — requeued
- * or dropped work does not count) and the recovery price visible in
- * FaultReport: fresh-IV retries, watchdog backoff, degraded-mode
- * intervals, and failover requeues. Expectation: latency degrades
- * smoothly with the fault scale while goodput stays near the
- * fault-free line until replicas start dying, and PipeLLM's margin
- * over CC narrows as degraded mode converts speculative traffic back
- * into on-demand encryption.
+ * The fault plan, sweep axes and trace that used to be hard-coded
+ * here live in bench/scenarios/faults.scenario; this main keeps the
+ * historical CLI (--quick) and runs the scenario through the shared
+ * sweep runner. The scale-0 rows remain the byte-identical fault-free
+ * baseline of the committed CSV.
  */
 
-#include <algorithm>
-#include <cinttypes>
+#include <cstdio>
 #include <string>
-#include <vector>
 
-#include "bench/bench_common.hh"
-#include "common/logging.hh"
-#include "fault/fault.hh"
-#include "serving/cluster.hh"
-#include "tools/chaos/chaos.hh"
-#include "trace/generator.hh"
-
-using namespace benchutil;
-
-namespace {
-
-constexpr double ratePerDevice = 0.8;
-
-/**
- * The scale-1 fault environment. Per-crossing probabilities are low
- * enough that even scale 4 stays far from the bounded-retry limit;
- * the crash rate is calibrated against the ~30 s sim makespan so
- * that scale 1 kills the occasional replica and scale 4 kills most.
- */
-fault::FaultPlan
-basePlan(double scale)
-{
-    fault::FaultPlan plan;
-    plan.seed = 1009;
-    plan.tag_corruption_rate = 0.02 * scale;
-    plan.copy_stall_rate = 0.01 * scale;
-    plan.lane_fault_rate = 0.01 * scale;
-    plan.replica_crash_rate = 0.02 * scale;
-    // Crashed replicas re-key and rejoin after a seeded repair delay
-    // (mean 1/rate); the sweep's restart columns measure the rejoin
-    // price and the goodput dip around each crash.
-    plan.replica_restart_rate = 0.1 * scale;
-    return plan;
-}
-
-serving::ClusterResult
-runCluster(Mode mode, unsigned n_devices, std::size_t n_requests,
-           double fault_scale)
-{
-    runtime::Platform platform(gpu::SystemSpec::h100(), benchChannel(),
-                               n_devices);
-    if (fault_scale > 0)
-        platform.armFaults(basePlan(fault_scale));
-
-    serving::ClusterConfig cfg;
-    cfg.engine.model = llm::ModelConfig::opt30b();
-    cfg.engine.parallel_sampling = 6;
-
-    std::uint64_t block_bytes =
-        std::uint64_t(cfg.engine.block_tokens) *
-        cfg.engine.model.kvBytesPerToken();
-    auto pipe_cfg = kvPipeConfig(block_bytes);
-
-    serving::ClusterRouter router(
-        platform,
-        [mode, &pipe_cfg](runtime::Platform &p,
-                          runtime::DeviceId device) {
-            return makeRuntime(mode, p, pipe_cfg, device);
-        },
-        cfg);
-
-    auto profile = trace::DatasetProfile::shareGpt();
-    profile.max_len = 1024;
-    trace::TraceGenerator gen(profile, 42);
-    auto result =
-        router.run(gen.poisson(n_requests, ratePerDevice * n_devices));
-
-    if (fault_scale == 0) {
-        // Disarmed rows are the byte-identical fault-free baseline;
-        // armed rows legitimately see injected integrity failures.
-        for (unsigned d = 0; d < n_devices; ++d)
-            PIPELLM_ASSERT(platform.gpu(d).integrityFailures() == 0,
-                           "integrity failure on device ", d);
-    }
-    return result;
-}
-
-} // namespace
+#include "bench/scenario_cli.hh"
 
 int
 main(int argc, char **argv)
 {
     // --quick: fewer replicas/scales/requests (CI-style smoke runs).
-    bool quick = argc > 1 && std::string(argv[1]) == "--quick";
+    pipellm::scenario::RunOptions opts;
+    opts.progress = benchutil::printingSink();
+    opts.quick = argc > 1 && std::string(argv[1]) == "--quick";
 
-    banner("Fault sweep: latency/goodput vs fault scale, with "
-           "recovery accounting");
-    auto csv = openCsv("faults.csv");
-    // The column prefix up to replica_lost_tokens is frozen: scale-0
-    // rows must stay byte-identical to the committed file, so
-    // p90_norm_latency_s_tok still carries the historical completed-
-    // weighted mean of replica p90s (ClusterResult::
-    // replica_weighted_p90) and every new column — the true merged
-    // p90 and the restart/goodput-dip metrics — is appended after it.
-    csv.header({"n_devices", "mode", "fault_scale", "tag_rate",
-                "stall_rate", "lane_rate", "crash_rate_per_s",
-                "tokens_per_s", "goodput_tok_per_s",
-                "norm_latency_s_tok", "p90_norm_latency_s_tok",
-                "completed", "dropped", "makespan_s", "tag_faults",
-                "tag_retries", "copy_stalls", "lane_faults",
-                "crashes", "requeued", "lost_tokens",
-                "degraded_entries", "degraded_sends",
-                "retry_latency_s", "replica", "replica_crashed",
-                "replica_crash_s", "replica_requests",
-                "replica_requeued", "replica_absorbed",
-                "replica_dropped", "replica_lost_tokens",
-                "true_p90_norm_latency_s_tok", "restart_rate_per_s",
-                "restarts", "rejoin_time_total_s",
-                "goodput_dip_depth", "goodput_dip_s",
-                "replica_crash_count", "replica_restarts",
-                "replica_rejoined", "replica_rejoin_s",
-                "replica_time_to_rejoin_s"});
-
-    std::vector<unsigned> device_counts =
-        quick ? std::vector<unsigned>{1, 2}
-              : std::vector<unsigned>{1, 2, 4};
-    std::vector<double> scales =
-        quick ? std::vector<double>{0, 2}
-              : std::vector<double>{0, 0.5, 1, 2, 4};
-    std::size_t requests_per_device = quick ? 16 : 24;
-
-    for (Mode mode : {Mode::Cc, Mode::Pipe}) {
-        for (unsigned n : device_counts) {
-            std::printf("\n-- %s, N=%u --\n", toString(mode), n);
-            for (double scale : scales) {
-                auto r = runCluster(mode, n, requests_per_device * n,
-                                    scale);
-                const auto plan = basePlan(scale);
-                const auto &f = r.faults;
-                std::printf(
-                    "scale %.1f  %8.1f tok/s goodput %8.1f  "
-                    "%.4f s/tok  retries %" PRIu64 "  crashes %"
-                    PRIu64 "  restarts %" PRIu64 "  requeued %"
-                    PRIu64 "  dropped %" PRIu64 "\n",
-                    scale, r.tokens_per_sec, r.goodput_tokens_per_sec,
-                    r.normalized_latency, f.tag_retries,
-                    f.replica_crashes, f.replica_restarts,
-                    f.requeued_requests, r.dropped);
-                // Goodput dip around the first crash: depth and time
-                // below half the pre-crash goodput (zeros when no
-                // replica crashed, e.g. every scale-0 row).
-                chaos::DipMetrics dip;
-                Tick first_crash = maxTick;
-                for (const auto &rep : r.replicas) {
-                    if (rep.crash_count > 0)
-                        first_crash =
-                            std::min(first_crash, rep.crash_time);
-                }
-                if (first_crash != maxTick) {
-                    auto timeline = chaos::goodputTimeline(
-                        r.completions, seconds(2));
-                    dip = chaos::dipAfter(timeline, first_crash, 0.5);
-                }
-                for (const auto &rep : r.replicas) {
-                    csv.field(n).field(toString(mode)).field(scale)
-                        .field(scale > 0 ? plan.tag_corruption_rate
-                                         : 0.0)
-                        .field(scale > 0 ? plan.copy_stall_rate : 0.0)
-                        .field(scale > 0 ? plan.lane_fault_rate : 0.0)
-                        .field(scale > 0 ? plan.replica_crash_rate
-                                         : 0.0)
-                        .field(r.tokens_per_sec)
-                        .field(r.goodput_tokens_per_sec)
-                        .field(r.normalized_latency)
-                        .field(r.replica_weighted_p90)
-                        .field(r.completed).field(r.dropped)
-                        .field(toSeconds(r.makespan))
-                        .field(f.tag_faults).field(f.tag_retries)
-                        .field(f.copy_stalls).field(f.lane_faults)
-                        .field(f.replica_crashes)
-                        .field(f.requeued_requests)
-                        .field(f.lost_tokens).field(f.degraded_entries)
-                        .field(f.degraded_sends)
-                        .field(toSeconds(f.retry_latency))
-                        .field(rep.device).field(rep.crashed ? 1 : 0)
-                        .field(rep.crashed ? toSeconds(rep.crash_time)
-                                           : 0.0)
-                        .field(rep.requests).field(rep.requeued)
-                        .field(rep.absorbed).field(rep.dropped)
-                        .field(rep.lost_tokens)
-                        .field(r.p90_normalized_latency)
-                        .field(scale > 0 ? plan.replica_restart_rate
-                                         : 0.0)
-                        .field(f.replica_restarts)
-                        .field(toSeconds(f.restart_rejoin_ticks))
-                        .field(dip.dip_depth)
-                        .field(toSeconds(dip.dip_duration))
-                        .field(rep.crash_count).field(rep.restarts)
-                        .field(rep.rejoined ? 1 : 0)
-                        .field(rep.rejoined
-                                   ? toSeconds(rep.rejoin_time)
-                                   : 0.0)
-                        .field(toSeconds(rep.time_to_rejoin))
-                        .endRow();
-                }
-            }
-        }
-    }
+    std::printf("\n=== Fault sweep: latency/goodput vs fault scale, "
+                "with recovery accounting ===\n");
+    auto spec = benchutil::loadScenarioOrDie(
+        benchutil::resolveScenarioPath("faults"));
+    pipellm::scenario::runScenario(spec, opts);
 
     std::printf("\nexpectation: scale 0 reproduces the fault-free "
                 "baseline exactly; latency degrades smoothly with the "

@@ -440,6 +440,18 @@ runThroughputSweep(bool quick)
 #endif
     std::fprintf(json, "  \"quick\": %s,\n", quick ? "true" : "false");
     std::fprintf(json, "  \"hardware_concurrency\": %u,\n", hw);
+    std::fprintf(json, "  \"hw_threads\": %u,\n", hw);
+    // On a 1-core host every workers=hw row degenerates to the
+    // sequential case; downstream tooling must not read parallel
+    // scaling out of such a record (ROADMAP item on 1-core container
+    // artifacts).
+    std::fprintf(json, "  \"parallel_scaling_valid\": %s,\n",
+                 hw > 1 ? "true" : "false");
+    if (hw == 1) {
+        std::printf("WARNING: hw_threads == 1 -- parallel-scaling "
+                    "rows are degenerate (workers=1 only); JSON is "
+                    "flagged parallel_scaling_valid=false\n");
+    }
     std::fprintf(json, "  \"events_per_chain\": %llu,\n",
                  (unsigned long long)events_per_chain);
 

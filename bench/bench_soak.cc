@@ -1,169 +1,38 @@
 /**
  * @file
- * Chaos soak + overload sweep (tools/chaos harness).
+ * Thin wrapper: the chaos soak + overload sweep, scenario-driven.
  *
- * Part 1 replays the standard chaos mix — calm / 4x burst / calm
- * arrivals, a fault storm window, seeded crashes with restarts armed
- * — and *asserts* the two soak invariants: the invariant auditor
- * stayed silent (when compiled in, any violation traps mid-run) and
- * windowed goodput climbed back above the recovery bar after every
- * disturbance. CI runs this under -DPIPELLM_AUDIT=ON and the
- * sanitizers via --quick.
- *
- * Part 2 sweeps arrival-rate overload with admission control off vs
- * on: without shedding, p90 normalized latency grows without bound
- * as the backlog deepens; with shedding plus the outstanding-cost
- * cap, p90 stays bounded while the shed tokens are reported honestly
- * next to goodput (shed work is *not* goodput).
- *
- * Outputs: soak.csv (goodput timeline), soak_disturbances.csv (dip
- * metrics per disturbance), soak_overload.csv (the sweep).
+ * The phased trace, fault storm, admission/SLO configuration and
+ * overload multipliers that used to be hard-coded here live in
+ * bench/scenarios/soak.scenario; this main keeps the historical CLI
+ * (--quick) and runs the scenario through the shared sweep runner,
+ * which still *asserts* the two soak invariants: the invariant
+ * auditor stayed silent and windowed goodput climbed back above the
+ * recovery bar after every disturbance. CI runs this under
+ * -DPIPELLM_AUDIT=ON and the sanitizers via --quick.
  */
 
-#include <cinttypes>
+#include <cstdio>
 #include <string>
 
-#include "bench/bench_common.hh"
-#include "common/logging.hh"
-#include "tools/chaos/chaos.hh"
-
-using namespace benchutil;
-
-namespace {
-
-void
-runChaosSoak(bool quick)
-{
-    banner("Chaos soak: crashes + restarts + storm + burst on one "
-           "seeded timeline");
-    auto plan = chaos::defaultSoakPlan(quick);
-    auto result = chaos::runSoak(plan);
-    const auto &c = result.cluster;
-    const auto &f = c.faults;
-
-    std::printf("completed %" PRIu64 "  goodput %.1f tok/s  "
-                "slo-goodput %.1f tok/s  true p90 %.4f s/tok\n",
-                c.completed, c.goodput_tokens_per_sec,
-                c.slo_goodput_tokens_per_sec,
-                c.p90_normalized_latency);
-    std::printf("crashes %" PRIu64 "  restarts %" PRIu64
-                "  mean rejoin %.2f s  requeued %" PRIu64
-                "  shed %" PRIu64 " (%" PRIu64 " tok)  deferred %"
-                PRIu64 "\n",
-                f.replica_crashes, f.replica_restarts,
-                f.replica_restarts
-                    ? toSeconds(f.restart_rejoin_ticks) /
-                          double(f.replica_restarts)
-                    : 0.0,
-                f.requeued_requests, c.shed_requests, c.shed_tokens,
-                c.deferred_to_rejoin);
-
-    auto csv = openCsv("soak.csv");
-    csv.header({"window_start_s", "window_end_s",
-                "goodput_tok_per_s"});
-    for (const auto &w : result.timeline) {
-        csv.field(toSeconds(w.start)).field(toSeconds(w.end))
-            .field(w.tokens_per_sec).endRow();
-    }
-
-    auto dcsv = openCsv("soak_disturbances.csv");
-    dcsv.header({"disturbance", "at_s", "baseline_tok_per_s",
-                 "min_tok_per_s", "dip_depth", "dip_duration_s",
-                 "recovered", "recovery_at_s"});
-    for (const auto &d : result.disturbances) {
-        std::printf("  %-10s at %6.2f s  baseline %8.1f  min %8.1f  "
-                    "depth %.2f  below-bar %.2f s  %s\n",
-                    d.what.c_str(), toSeconds(d.at),
-                    d.dip.baseline_tps, d.dip.min_tps,
-                    d.dip.dip_depth, toSeconds(d.dip.dip_duration),
-                    d.dip.recovered ? "recovered" : "NOT RECOVERED");
-        dcsv.field(d.what).field(toSeconds(d.at))
-            .field(d.dip.baseline_tps).field(d.dip.min_tps)
-            .field(d.dip.dip_depth)
-            .field(toSeconds(d.dip.dip_duration))
-            .field(d.dip.recovered ? 1 : 0)
-            .field(toSeconds(d.dip.recovery_at)).endRow();
-    }
-
-    // The soak's two invariants. The auditor would already have
-    // trapped mid-run on any violation; the count is belt and braces.
-    PIPELLM_ASSERT(result.audit_violations == 0,
-                   "invariant auditor recorded ",
-                   result.audit_violations, " violations");
-    PIPELLM_ASSERT(result.allRecovered(),
-                   "goodput did not recover after every disturbance");
-    std::printf("soak invariants held: auditor silent, goodput "
-                "recovered after all %zu disturbances\n",
-                result.disturbances.size());
-}
-
-void
-runOverloadSweep(bool quick)
-{
-    banner("Overload sweep: p90 and shed accounting, admission off "
-           "vs on");
-    auto csv = openCsv("soak_overload.csv");
-    csv.header({"rate_multiplier", "shed", "requests", "completed",
-                "shed_requests", "shed_tokens", "slo_missed",
-                "goodput_tok_per_s", "slo_goodput_tok_per_s",
-                "norm_latency_s_tok", "p90_norm_latency_s_tok",
-                "backpressure_deferrals", "makespan_s"});
-
-    std::size_t n_requests = quick ? 24 : 64;
-    std::vector<double> multipliers =
-        quick ? std::vector<double>{1, 4} :
-                std::vector<double>{1, 2, 4, 8};
-    for (bool shed : {false, true}) {
-        for (double mult : multipliers) {
-            auto plan = chaos::defaultSoakPlan(quick);
-            // Pure overload: no faults, one phase at the swept rate.
-            plan.faults = fault::FaultPlan{};
-            plan.phases = {chaos::SoakPhase{
-                n_requests, mult * 0.8 * plan.n_devices}};
-            // The soak's lenient SLO never binds; the sweep wants a
-            // deadline on the scale of the x1 latency so the deeper
-            // backlogs actually miss it and shedding has a job. The
-            // service estimate is calibrated near the measured
-            // cost-retirement rate so x1 admits nearly everything.
-            plan.slo_floor = seconds(1);
-            plan.slo_per_token = milliseconds(10);
-            plan.admission.service_cost_per_sec = 4000;
-            plan.admission.shed_enabled = shed;
-            if (!shed)
-                plan.admission.max_outstanding_cost = 0;
-            auto r = chaos::runSoak(plan);
-            const auto &c = r.cluster;
-            std::printf("x%-4.1f shed=%d  completed %4" PRIu64
-                        "  shed %3" PRIu64 "  p90 %8.4f s/tok  "
-                        "goodput %8.1f  slo-goodput %8.1f\n",
-                        mult, shed ? 1 : 0, c.completed,
-                        c.shed_requests, c.p90_normalized_latency,
-                        c.goodput_tokens_per_sec,
-                        c.slo_goodput_tokens_per_sec);
-            csv.field(mult).field(shed ? 1 : 0).field(n_requests)
-                .field(c.completed).field(c.shed_requests)
-                .field(c.shed_tokens).field(c.slo_missed)
-                .field(c.goodput_tokens_per_sec)
-                .field(c.slo_goodput_tokens_per_sec)
-                .field(c.normalized_latency)
-                .field(c.p90_normalized_latency)
-                .field(c.backpressure_deferrals)
-                .field(toSeconds(c.makespan)).endRow();
-        }
-    }
-    std::printf("\nexpectation: with shedding off, p90 grows with "
-                "the rate multiplier as the backlog deepens; with "
-                "shedding on, p90 stays near the x1 line while the "
-                "shed-token column reports the price honestly\n");
-}
-
-} // namespace
+#include "bench/scenario_cli.hh"
 
 int
 main(int argc, char **argv)
 {
-    bool quick = argc > 1 && std::string(argv[1]) == "--quick";
-    runChaosSoak(quick);
-    runOverloadSweep(quick);
+    pipellm::scenario::RunOptions opts;
+    opts.progress = benchutil::printingSink();
+    opts.quick = argc > 1 && std::string(argv[1]) == "--quick";
+
+    std::printf("\n=== Chaos soak: crashes + restarts + storm + burst "
+                "on one seeded timeline ===\n");
+    auto spec = benchutil::loadScenarioOrDie(
+        benchutil::resolveScenarioPath("soak"));
+    pipellm::scenario::runScenario(spec, opts);
+
+    std::printf("\nexpectation: with shedding off, p90 grows with "
+                "the rate multiplier as the backlog deepens; with "
+                "shedding on, p90 stays near the x1 line while the "
+                "shed-token column reports the price honestly\n");
     return 0;
 }

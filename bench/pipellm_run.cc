@@ -1,0 +1,89 @@
+/**
+ * @file
+ * pipellm_run: the one driver binary for declarative scenarios.
+ *
+ * Every experiment the legacy bench_cluster_scale / bench_faults /
+ * bench_soak mains hard-coded now lives in a committed .scenario file
+ * under bench/scenarios/; this driver loads any number of them and
+ * runs their sweep matrices through scenario::runScenario. Adding a
+ * sweep point (a 5th replica count, another fault scale) is a
+ * scenario-file edit — no C++ changes, no new binary.
+ *
+ *   pipellm_run bench/scenarios/cluster_scale.scenario
+ *   pipellm_run --quick cluster_scale faults soak
+ *   pipellm_run --validate my_new_sweep.scenario
+ */
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/scenario_cli.hh"
+
+namespace {
+
+int
+usage(const char *prog)
+{
+    std::fprintf(
+        stderr,
+        "usage: %s [--quick] [--threads N] [--out DIR] [--validate] "
+        "<scenario>...\n"
+        "  <scenario>   a .scenario file, or a bare name resolved\n"
+        "               against the repo's bench/scenarios/\n"
+        "  --quick      use the *_quick sweep axes (CI smoke)\n"
+        "  --threads N  co-simulation workers (0 = hardware\n"
+        "               concurrency); wall-clock only, CSVs are\n"
+        "               byte-identical for every value\n"
+        "  --out DIR    CSV output directory (default bench_results)\n"
+        "  --validate   parse + validate only, run nothing\n",
+        prog);
+    return 2;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    pipellm::scenario::RunOptions opts;
+    opts.progress = benchutil::printingSink();
+    bool validate_only = false;
+    std::vector<std::string> files;
+
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == "--quick") {
+            opts.quick = true;
+        } else if (arg == "--threads" && i + 1 < argc) {
+            opts.threads = std::atoi(argv[++i]);
+        } else if (arg == "--out" && i + 1 < argc) {
+            opts.out_dir = argv[++i];
+        } else if (arg == "--validate") {
+            validate_only = true;
+        } else if (!arg.empty() && arg[0] == '-') {
+            return usage(argv[0]);
+        } else {
+            files.push_back(arg);
+        }
+    }
+    if (files.empty())
+        return usage(argv[0]);
+
+    for (const auto &file : files) {
+        std::string path = benchutil::resolveScenarioPath(file);
+        auto spec = benchutil::loadScenarioOrDie(path);
+        if (validate_only) {
+            std::printf("%s: OK (%s, kind %s)\n", path.c_str(),
+                        spec.name.c_str(),
+                        pipellm::scenario::toString(spec.kind));
+            continue;
+        }
+        auto summary = pipellm::scenario::runScenario(spec, opts);
+        std::printf("scenario %s: %zu runs, %zu rows\n",
+                    spec.name.c_str(), summary.runs, summary.rows);
+        for (const auto &csv : summary.csv_paths)
+            std::printf("  wrote %s\n", csv.c_str());
+    }
+    return 0;
+}

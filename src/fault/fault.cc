@@ -26,6 +26,14 @@ toString(Kind kind)
 }
 
 bool
+FaultPlan::crashAllowed(std::uint32_t id) const
+{
+    return crash_devices.empty() ||
+           std::find(crash_devices.begin(), crash_devices.end(),
+                     id) != crash_devices.end();
+}
+
+bool
 FaultPlan::armed() const
 {
     return tag_corruption_rate > 0 || copy_stall_rate > 0 ||

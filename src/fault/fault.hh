@@ -45,6 +45,7 @@
 #include <array>
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "common/rng.hh"
 #include "common/units.hh"
@@ -140,6 +141,17 @@ struct FaultPlan
 
     /** Tag-mismatch retries before a transfer is declared dead. */
     unsigned max_transfer_retries = 8;
+
+    /**
+     * Restrict injected replica crashes to these device ids (empty =
+     * any replica may crash). The crash-time draw is consumed either
+     * way, so filtering never perturbs the decision stream of the
+     * other fault kinds.
+     */
+    std::vector<std::uint32_t> crash_devices;
+
+    /** True when the crash schedule may kill device @p id. */
+    bool crashAllowed(std::uint32_t id) const;
 
     /** True when any fault rate is nonzero. */
     bool armed() const;

@@ -1,0 +1,121 @@
+#include "scenario/mode.hh"
+
+#include "common/units.hh"
+#include "pipellm/pipellm_runtime.hh"
+#include "runtime/cc_runtime.hh"
+#include "runtime/plain_runtime.hh"
+
+namespace pipellm {
+namespace scenario {
+
+const char *
+toString(SystemMode mode)
+{
+    switch (mode) {
+      case SystemMode::Plain:
+        return "w/o CC";
+      case SystemMode::Cc:
+        return "CC";
+      case SystemMode::Cc4t:
+        return "CC-4t";
+      case SystemMode::Pipe:
+        return "PipeLLM";
+      case SystemMode::Pipe0:
+        return "PipeLLM-0";
+    }
+    return "?";
+}
+
+const char *
+keyOf(SystemMode mode)
+{
+    switch (mode) {
+      case SystemMode::Plain:
+        return "Plain";
+      case SystemMode::Cc:
+        return "Cc";
+      case SystemMode::Cc4t:
+        return "Cc4t";
+      case SystemMode::Pipe:
+        return "Pipe";
+      case SystemMode::Pipe0:
+        return "Pipe0";
+    }
+    return "?";
+}
+
+std::optional<SystemMode>
+parseSystemMode(const std::string &name)
+{
+    for (SystemMode mode :
+         {SystemMode::Plain, SystemMode::Cc, SystemMode::Cc4t,
+          SystemMode::Pipe, SystemMode::Pipe0}) {
+        if (name == keyOf(mode))
+            return mode;
+    }
+    return std::nullopt;
+}
+
+core::PipeLlmConfig
+offloadPipeConfig(const llm::ModelConfig &model)
+{
+    core::PipeLlmConfig cfg;
+    // Model offloading must out-encrypt the 40 GB/s copy path, so
+    // PipeLLM dedicates multiple CPU threads (§7.2; the paper's VM
+    // has 16 vCPUs).
+    cfg.enc_lanes = 10;
+    cfg.dec_lanes = 1;
+    cfg.pipeline_depth = 12;
+    cfg.max_pipeline_bytes = 32 * GiB;
+    // Layer chunks are GB-sized (hundreds of ms per lane); the stable
+    // repetitive plan justifies booking the lanes far ahead.
+    cfg.max_lane_lead = seconds(1);
+    cfg.classifier.layer_param_bytes = model.layerParamBytes();
+    return cfg;
+}
+
+core::PipeLlmConfig
+kvPipeConfig(std::uint64_t kv_unit_bytes)
+{
+    core::PipeLlmConfig cfg;
+    cfg.enc_lanes = 1;
+    cfg.dec_lanes = 1;
+    // The pipeline must cover whole preempted groups (hundreds of KV
+    // blocks) so they pre-encrypt during the out->in window.
+    cfg.pipeline_depth = 512;
+    cfg.max_pipeline_bytes = 16 * GiB;
+    cfg.classifier.kv_unit_bytes = kv_unit_bytes;
+    return cfg;
+}
+
+std::unique_ptr<runtime::RuntimeApi>
+makeRuntime(SystemMode mode, runtime::Platform &platform,
+            const core::PipeLlmConfig &pipe_cfg,
+            runtime::DeviceId device)
+{
+    switch (mode) {
+      case SystemMode::Plain:
+        return std::make_unique<runtime::PlainRuntime>(platform,
+                                                       device);
+      case SystemMode::Cc:
+        return std::make_unique<runtime::CcRuntime>(platform, 1,
+                                                    device);
+      case SystemMode::Cc4t:
+        return std::make_unique<runtime::CcRuntime>(platform, 4,
+                                                    device);
+      case SystemMode::Pipe:
+        return std::make_unique<core::PipeLlmRuntime>(platform,
+                                                      pipe_cfg,
+                                                      device);
+      case SystemMode::Pipe0: {
+        auto cfg = pipe_cfg;
+        cfg.predictor.sabotage_sequence = true;
+        return std::make_unique<core::PipeLlmRuntime>(platform, cfg,
+                                                      device);
+      }
+    }
+    return nullptr;
+}
+
+} // namespace scenario
+} // namespace pipellm

@@ -178,8 +178,14 @@ ClusterRouter::run(const trace::Trace &requests)
     // maxTick (never) unless crashes are armed.
     auto &injector = platform_.faultInjector();
     std::vector<Tick> crash_at(n, maxTick);
-    for (unsigned d = 0; d < n; ++d)
-        crash_at[d] = injector.drawCrashTime();
+    for (unsigned d = 0; d < n; ++d) {
+        // The draw is consumed even for filtered-out devices so the
+        // plan's crash_devices restriction never shifts the decision
+        // stream of the other replicas or fault kinds.
+        Tick t = injector.drawCrashTime();
+        crash_at[d] =
+            injector.plan().crashAllowed(d) ? t : maxTick;
+    }
     // Rejoin-complete tick per replica; maxTick = no restart pending.
     std::vector<Tick> rejoin_at(n, maxTick);
 
@@ -266,6 +272,8 @@ ClusterRouter::run(const trace::Trace &requests)
             Tick revived = rejoin_at[d];
             rejoin_at[d] = maxTick;
             Tick next = injector.drawCrashTime();
+            if (!injector.plan().crashAllowed(d))
+                next = maxTick;
             crash_at[d] = (next == maxTick || revived > maxTick - next)
                               ? maxTick
                               : revived + next;

@@ -1,0 +1,231 @@
+/**
+ * @file
+ * Scenario text format: parse/dump round-trips, error collection, and
+ * the actionable-validation contract (ISSUE satellite: unknown keys,
+ * out-of-range values and fault plans naming absent devices each
+ * produce a message that tells the author what to fix).
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "scenario/spec.hh"
+
+using namespace pipellm;
+using namespace pipellm::scenario;
+
+namespace {
+
+/** The scenarios committed under bench/scenarios/. */
+const char *const committedScenarios[] = {
+    PIPELLM_SCENARIO_DIR "/cluster_scale.scenario",
+    PIPELLM_SCENARIO_DIR "/faults.scenario",
+    PIPELLM_SCENARIO_DIR "/soak.scenario",
+};
+
+/** A minimal valid cluster_scale scenario to mutate in error tests. */
+std::string
+minimalText()
+{
+    return "[scenario]\n"
+           "name = mini\n"
+           "kind = cluster_scale\n"
+           "[cluster]\n"
+           "devices = 1 2\n"
+           "modes = Cc\n";
+}
+
+bool
+anyContains(const std::vector<std::string> &messages,
+            const std::string &needle)
+{
+    for (const auto &m : messages) {
+        if (m.find(needle) != std::string::npos)
+            return true;
+    }
+    return false;
+}
+
+} // namespace
+
+TEST(ScenarioSpec, MinimalTextParsesAndValidates)
+{
+    auto parsed = parseScenario(minimalText());
+    ASSERT_TRUE(parsed.ok()) << parsed.errors.front();
+    EXPECT_EQ(parsed.spec.name, "mini");
+    EXPECT_EQ(parsed.spec.kind, ScenarioKind::ClusterScale);
+    EXPECT_EQ(parsed.spec.csv, "mini.csv"); // defaulted from name
+    EXPECT_EQ(parsed.spec.cluster.devices,
+              (std::vector<unsigned>{1, 2}));
+    EXPECT_TRUE(parsed.spec.validate().empty());
+}
+
+TEST(ScenarioSpec, CommittedScenariosLoadValidateAndRoundTrip)
+{
+    for (const char *path : committedScenarios) {
+        SCOPED_TRACE(path);
+        auto parsed = loadScenario(path);
+        ASSERT_TRUE(parsed.ok())
+            << (parsed.errors.empty() ? "" : parsed.errors.front());
+        EXPECT_TRUE(parsed.spec.validate().empty());
+
+        // dump -> parse must reproduce the exact spec (doubles are
+        // printed shortest-round-trip).
+        auto again = parseScenario(dumpScenario(parsed.spec), path);
+        ASSERT_TRUE(again.ok())
+            << (again.errors.empty() ? "" : again.errors.front());
+        EXPECT_EQ(parsed.spec, again.spec);
+        // And the canonical form is a fixed point.
+        EXPECT_EQ(dumpScenario(parsed.spec), dumpScenario(again.spec));
+    }
+}
+
+TEST(ScenarioSpec, UnknownKeysAreRejectedWithLocation)
+{
+    auto parsed =
+        parseScenario(minimalText() + "tpyo_threads = 4\n", "mini");
+    ASSERT_FALSE(parsed.ok());
+    EXPECT_TRUE(anyContains(parsed.errors, "unknown key"));
+    EXPECT_TRUE(anyContains(parsed.errors, "tpyo_threads"));
+    EXPECT_TRUE(anyContains(parsed.errors, "mini:7"));
+}
+
+TEST(ScenarioSpec, UnknownSectionIsRejected)
+{
+    auto parsed = parseScenario(minimalText() + "[tracee]\n");
+    ASSERT_FALSE(parsed.ok());
+    EXPECT_TRUE(anyContains(parsed.errors, "unknown section"));
+}
+
+TEST(ScenarioSpec, AllParseErrorsAreCollectedNotJustTheFirst)
+{
+    auto parsed = parseScenario("[scenario]\n"
+                                "bogus_one = 1\n"
+                                "bogus_two = 2\n"
+                                "name = x\n");
+    ASSERT_EQ(parsed.errors.size(), 2u);
+}
+
+TEST(ScenarioSpec, ThreadsBeyondLargestReplicaCountIsRejected)
+{
+    auto parsed =
+        parseScenario(minimalText() + "threads = 8\n");
+    ASSERT_TRUE(parsed.ok());
+    auto problems = parsed.spec.validate();
+    EXPECT_TRUE(anyContains(problems, "threads (8)"));
+    EXPECT_TRUE(anyContains(problems, "largest replica count (2)"));
+}
+
+TEST(ScenarioSpec, NegativeBridgeBandwidthIsRejected)
+{
+    auto parsed = parseScenario(minimalText() +
+                                "[host shared]\n"
+                                "bridge_gbps = -1\n");
+    ASSERT_TRUE(parsed.ok());
+    auto problems = parsed.spec.validate();
+    EXPECT_TRUE(anyContains(problems, "bridge_gbps is negative"));
+}
+
+TEST(ScenarioSpec, FaultPlanNamingAbsentDeviceIsRejected)
+{
+    auto parsed = parseScenario("[scenario]\n"
+                                "name = mini\n"
+                                "kind = fault_sweep\n"
+                                "[cluster]\n"
+                                "devices = 1 2\n"
+                                "modes = Cc\n"
+                                "[faults]\n"
+                                "scales = 0 1\n"
+                                "crash_devices = 5\n");
+    ASSERT_TRUE(parsed.ok());
+    auto problems = parsed.spec.validate();
+    EXPECT_TRUE(anyContains(problems, "crash_devices names device 5"));
+    EXPECT_TRUE(anyContains(problems, "ids 0..1"));
+}
+
+TEST(ScenarioSpec, KindSectionMismatchesAreRejected)
+{
+    // cluster_scale scenarios must not carry a fault plan.
+    auto parsed = parseScenario(minimalText() +
+                                "[faults]\n"
+                                "tag_corruption_rate = 0.1\n");
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_TRUE(anyContains(parsed.spec.validate(),
+                            "does not inject faults"));
+
+    // soak scenarios need phases and exactly one served system.
+    auto soak = parseScenario("[scenario]\n"
+                              "name = s\n"
+                              "kind = soak\n"
+                              "[cluster]\n"
+                              "devices = 2\n"
+                              "modes = Plain\n");
+    ASSERT_TRUE(soak.ok());
+    auto problems = soak.spec.validate();
+    EXPECT_TRUE(anyContains(problems, "at least one [soak] phase"));
+    EXPECT_TRUE(anyContains(problems, "exactly one of Cc or Pipe"));
+}
+
+TEST(ScenarioSpec, OutOfRangeProbabilityIsRejected)
+{
+    auto parsed = parseScenario("[scenario]\n"
+                                "name = f\n"
+                                "kind = fault_sweep\n"
+                                "[cluster]\n"
+                                "devices = 1\n"
+                                "modes = Cc\n"
+                                "[faults]\n"
+                                "scales = 0 1\n"
+                                "tag_corruption_rate = 1.5\n");
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_TRUE(anyContains(parsed.spec.validate(),
+                            "not a probability"));
+}
+
+TEST(ScenarioSpec, QuickAxesFallBackToFullAxes)
+{
+    auto parsed = parseScenario(minimalText());
+    ASSERT_TRUE(parsed.ok());
+    const auto &spec = parsed.spec;
+    // No *_quick keys: quick runs use the full axes.
+    EXPECT_EQ(spec.deviceAxis(true), spec.deviceAxis(false));
+    EXPECT_EQ(spec.requestsPerDevice(true),
+              spec.requestsPerDevice(false));
+
+    auto quick = parseScenario(minimalText() +
+                               "devices_quick = 1\n"
+                               "[trace]\n"
+                               "requests_per_device = 48\n"
+                               "requests_per_device_quick = 8\n");
+    ASSERT_TRUE(quick.ok());
+    EXPECT_EQ(quick.spec.deviceAxis(true),
+              (std::vector<unsigned>{1}));
+    EXPECT_EQ(quick.spec.requestsPerDevice(true), 8u);
+    EXPECT_EQ(quick.spec.requestsPerDevice(false), 48u);
+}
+
+TEST(ScenarioSpec, HostAxisDefaultsToOnePrivateVariant)
+{
+    auto parsed = parseScenario(minimalText());
+    ASSERT_TRUE(parsed.ok());
+    auto hosts = parsed.spec.hostAxis();
+    ASSERT_EQ(hosts.size(), 1u);
+    EXPECT_EQ(hosts[0], HostVariantSpec{});
+    EXPECT_EQ(hosts[0].name, "private");
+}
+
+TEST(ScenarioSpec, SystemModeNamesRoundTrip)
+{
+    for (SystemMode m : {SystemMode::Plain, SystemMode::Cc,
+                         SystemMode::Cc4t, SystemMode::Pipe,
+                         SystemMode::Pipe0}) {
+        auto back = parseSystemMode(keyOf(m));
+        ASSERT_TRUE(back.has_value()) << keyOf(m);
+        EXPECT_EQ(*back, m);
+    }
+    EXPECT_FALSE(parseSystemMode("NotASystem").has_value());
+    EXPECT_STREQ(toString(SystemMode::Plain), "w/o CC");
+    EXPECT_STREQ(toString(SystemMode::Pipe), "PipeLLM");
+}

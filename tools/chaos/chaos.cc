@@ -87,6 +87,14 @@ dipAfter(const std::vector<GoodputWindow> &timeline, Tick disturbance,
     return m;
 }
 
+trace::DatasetProfile
+defaultSoakProfile()
+{
+    auto profile = trace::DatasetProfile::shareGpt();
+    profile.max_len = 1024;
+    return profile;
+}
+
 SoakPlan
 defaultSoakPlan(bool quick)
 {
@@ -142,7 +150,7 @@ runSoak(const SoakPlan &plan)
     // Functional crypto sampling is capped like the benches: timing
     // is unaffected and the soak is dominated by serving anyway.
     crypto::ChannelConfig channel;
-    channel.sample_limit = 512;
+    channel.sample_limit = plan.channel_sample_limit;
     runtime::Platform platform(gpu::SystemSpec::h100(), channel,
                                plan.n_devices);
     if (plan.faults.armed())
@@ -177,9 +185,7 @@ runSoak(const SoakPlan &plan)
         },
         cfg);
 
-    auto profile = trace::DatasetProfile::shareGpt();
-    profile.max_len = 1024;
-    trace::TraceGenerator gen(profile, plan.trace_seed);
+    trace::TraceGenerator gen(plan.profile, plan.trace_seed);
     std::vector<trace::TraceGenerator::PoissonPhase> phases;
     for (const auto &ph : plan.phases)
         phases.push_back({ph.requests, ph.requests_per_sec});

@@ -89,6 +89,9 @@ struct SoakPhase
     double requests_per_sec = 1;
 };
 
+/** The classic soak workload shape: ShareGPT clipped to 1024. */
+trace::DatasetProfile defaultSoakProfile();
+
 /** Everything one soak run needs; seeded, so replays bit-identically. */
 struct SoakPlan
 {
@@ -98,6 +101,10 @@ struct SoakPlan
     std::uint64_t trace_seed = 42;
     llm::ModelConfig model;
     unsigned parallel_sampling = 6;
+    /** Arrival workload shape (dataset distribution + length clip). */
+    trace::DatasetProfile profile = defaultSoakProfile();
+    /** Functional-crypto sampling cap (timing is unaffected). */
+    unsigned channel_sample_limit = 512;
     /** Arrival phases, played back to back on one timeline. */
     std::vector<SoakPhase> phases;
     /** Crashes, restarts and the storm window; armed when nonzero. */
