@@ -1,6 +1,6 @@
 #include "audit/audit.hh"
 
-#include <mutex>
+#include <algorithm>
 #include <sstream>
 #include <utility>
 
@@ -59,7 +59,7 @@ Auditor::instance()
 void
 Auditor::reset()
 {
-    std::lock_guard<std::mutex> lock(mu_);
+    common::LockGuard lock(mu_);
     trap_ = true;
     violations_.clear();
     for (auto &count : evaluations_)
@@ -76,7 +76,7 @@ Auditor::reset()
 std::size_t
 Auditor::count(Check check) const
 {
-    std::lock_guard<std::mutex> lock(mu_);
+    common::LockGuard lock(mu_);
     std::size_t n = 0;
     for (const auto &v : violations_) {
         if (v.check == check)
@@ -88,14 +88,14 @@ Auditor::count(Check check) const
 std::uint64_t
 Auditor::evaluations(Check check) const
 {
-    std::lock_guard<std::mutex> lock(mu_);
+    common::LockGuard lock(mu_);
     return evaluations_[std::size_t(check)];
 }
 
 std::string
 Auditor::report() const
 {
-    std::lock_guard<std::mutex> lock(mu_);
+    common::LockGuard lock(mu_);
     std::ostringstream os;
     os << "audit: " << violations_.size() << " violation(s)\n";
     for (const auto &v : violations_)
@@ -118,7 +118,7 @@ Auditor::violate(Check check, std::string message)
 void
 Auditor::noteSessionEpoch(std::uint64_t channel_id)
 {
-    std::lock_guard<std::mutex> lock(mu_);
+    common::LockGuard lock(mu_);
     ++channel_epoch_[channel_id];
 }
 
@@ -126,7 +126,7 @@ void
 Auditor::noteExposure(std::uint64_t channel_id, int dir,
                       std::uint64_t counter)
 {
-    std::lock_guard<std::mutex> lock(mu_);
+    common::LockGuard lock(mu_);
     evaluated(Check::IvReuse);
     ExposureKey key{channel_id, channel_epoch_[channel_id], dir,
                     counter};
@@ -147,7 +147,7 @@ Auditor::noteRetainedExposure(std::uint64_t channel_id, int dir,
                               std::uint64_t counter,
                               std::uint64_t tag_digest)
 {
-    std::lock_guard<std::mutex> lock(mu_);
+    common::LockGuard lock(mu_);
     evaluated(Check::IvReuse);
     ExposureKey key{channel_id, channel_epoch_[channel_id], dir,
                     counter};
@@ -177,7 +177,7 @@ std::uint64_t
 Auditor::noteSeal(std::uint64_t channel_id, int dir,
                   std::uint64_t counter)
 {
-    std::lock_guard<std::mutex> lock(mu_);
+    common::LockGuard lock(mu_);
     std::uint64_t serial = ++next_serial_;
     BlobRecord record;
     record.channel = channel_id;
@@ -190,7 +190,7 @@ Auditor::noteSeal(std::uint64_t channel_id, int dir,
 void
 Auditor::noteVerified(std::uint64_t serial)
 {
-    std::lock_guard<std::mutex> lock(mu_);
+    common::LockGuard lock(mu_);
     auto it = ledger_.find(serial);
     if (it == ledger_.end())
         return;
@@ -209,7 +209,7 @@ Auditor::noteVerified(std::uint64_t serial)
 void
 Auditor::noteDiscarded(std::uint64_t serial)
 {
-    std::lock_guard<std::mutex> lock(mu_);
+    common::LockGuard lock(mu_);
     auto it = ledger_.find(serial);
     if (it != ledger_.end() && it->second.state == BlobState::Sealed)
         it->second.state = BlobState::Discarded;
@@ -218,7 +218,7 @@ Auditor::noteDiscarded(std::uint64_t serial)
 std::size_t
 Auditor::outstandingBlobs() const
 {
-    std::lock_guard<std::mutex> lock(mu_);
+    common::LockGuard lock(mu_);
     std::size_t n = 0;
     for (const auto &[serial, record] : ledger_) {
         if (record.state == BlobState::Sealed)
@@ -230,19 +230,24 @@ Auditor::outstandingBlobs() const
 void
 Auditor::checkLedgerDrained(const char *context)
 {
-    std::lock_guard<std::mutex> lock(mu_);
+    common::LockGuard lock(mu_);
     evaluated(Check::TagLedger);
-    std::size_t outstanding = 0;
-    std::ostringstream sample;
+    // The ledger is a hash map; sort the sealed serials so the sample
+    // in the violation message is deterministic (the lint's
+    // determinism check exists precisely because this once wasn't).
+    std::vector<std::uint64_t> sealed;
     for (const auto &[serial, record] : ledger_) {
-        if (record.state != BlobState::Sealed)
-            continue;
-        if (outstanding < 4) {
-            sample << " (channel #" << record.channel << " dir "
-                   << record.dir << " counter " << record.counter
-                   << ")";
-        }
-        ++outstanding;
+        if (record.state == BlobState::Sealed)
+            sealed.push_back(serial);
+    }
+    std::sort(sealed.begin(), sealed.end());
+    std::size_t outstanding = sealed.size();
+    std::ostringstream sample;
+    for (std::size_t i = 0; i < std::min<std::size_t>(4, sealed.size());
+         ++i) {
+        const BlobRecord &record = ledger_.at(sealed[i]);
+        sample << " (channel #" << record.channel << " dir "
+               << record.dir << " counter " << record.counter << ")";
     }
     if (outstanding > 0) {
         violate(Check::TagLedger,
@@ -259,7 +264,7 @@ Auditor::noteService(std::uint64_t res_id, const std::string &name,
                      Tick now, Tick start, Tick done,
                      std::uint64_t bytes)
 {
-    std::lock_guard<std::mutex> lock(mu_);
+    common::LockGuard lock(mu_);
     evaluated(Check::LaneOverlap);
     auto &state = resources_[res_id];
     if (done < start || start < now) {
@@ -286,7 +291,7 @@ Auditor::noteChainForward(std::uint64_t down_id,
                           std::uint64_t bytes, Tick upstream_done,
                           Tick chain_done)
 {
-    std::lock_guard<std::mutex> lock(mu_);
+    common::LockGuard lock(mu_);
     evaluated(Check::ChainCompletion);
     if (chain_done < upstream_done) {
         violate(Check::ChainCompletion,
@@ -303,7 +308,7 @@ Auditor::noteChainForward(std::uint64_t down_id,
 void
 Auditor::noteClockAdvance(std::uint64_t eq_id, Tick from, Tick to)
 {
-    std::lock_guard<std::mutex> lock(mu_);
+    common::LockGuard lock(mu_);
     evaluated(Check::ClockRegression);
     if (to < from) {
         violate(Check::ClockRegression,
@@ -316,7 +321,7 @@ Auditor::noteClockAdvance(std::uint64_t eq_id, Tick from, Tick to)
 void
 Auditor::noteDecrypt(Tick arrival, Tick plain_ready)
 {
-    std::lock_guard<std::mutex> lock(mu_);
+    common::LockGuard lock(mu_);
     evaluated(Check::DecryptBeforeArrival);
     if (plain_ready < arrival) {
         violate(Check::DecryptBeforeArrival,
@@ -328,16 +333,24 @@ Auditor::noteDecrypt(Tick arrival, Tick plain_ready)
 void
 Auditor::checkConservation()
 {
-    std::lock_guard<std::mutex> lock(mu_);
+    common::LockGuard lock(mu_);
     evaluated(Check::BridgeConservation);
+    // Audit ids are assigned in construction order; checking stages in
+    // id order keeps the violation sequence independent of the hash
+    // map's iteration order.
+    std::vector<std::uint64_t> ids;
+    ids.reserve(shared_stages_.size());
     for (const auto &[id, stage] : shared_stages_)
-        checkStage(id, stage);
+        ids.push_back(id);
+    std::sort(ids.begin(), ids.end());
+    for (std::uint64_t id : ids)
+        checkStage(id, shared_stages_.at(id));
 }
 
 void
 Auditor::checkConservation(std::uint64_t stage_id)
 {
-    std::lock_guard<std::mutex> lock(mu_);
+    common::LockGuard lock(mu_);
     evaluated(Check::BridgeConservation);
     auto it = shared_stages_.find(stage_id);
     if (it != shared_stages_.end())
@@ -363,7 +376,7 @@ Auditor::checkStage(std::uint64_t id, const SharedStage &stage)
 void
 Auditor::noteFrontier(std::uint64_t run_id, Tick t)
 {
-    std::lock_guard<std::mutex> lock(mu_);
+    common::LockGuard lock(mu_);
     evaluated(Check::FrontierRegression);
     auto [it, fresh] = frontier_.emplace(run_id, t);
     if (!fresh) {
@@ -381,7 +394,7 @@ void
 Auditor::noteReplicaStep(std::uint64_t run_id, Tick engine_clock,
                          Tick frontier)
 {
-    std::lock_guard<std::mutex> lock(mu_);
+    common::LockGuard lock(mu_);
     evaluated(Check::FrontierRegression);
     if (engine_clock > frontier) {
         violate(Check::FrontierRegression,
@@ -395,7 +408,7 @@ void
 Auditor::noteDelivery(std::uint64_t run_id, Tick arrival,
                       Tick engine_clock)
 {
-    std::lock_guard<std::mutex> lock(mu_);
+    common::LockGuard lock(mu_);
     evaluated(Check::EarlyDelivery);
     if (engine_clock < arrival) {
         violate(Check::EarlyDelivery,
@@ -409,7 +422,7 @@ Auditor::noteDelivery(std::uint64_t run_id, Tick arrival,
 void
 Auditor::noteRunEnd(std::uint64_t run_id, std::uint64_t residual_load)
 {
-    std::lock_guard<std::mutex> lock(mu_);
+    common::LockGuard lock(mu_);
     evaluated(Check::ResidualLoad);
     frontier_.erase(run_id);
     if (residual_load != 0) {

@@ -30,11 +30,11 @@
 #define PIPELLM_AUDIT_AUDIT_HH
 
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "common/mutex.hh"
 #include "common/units.hh"
 
 namespace pipellm {
@@ -101,7 +101,7 @@ class Auditor
     std::uint64_t
     newId()
     {
-        std::lock_guard<std::mutex> lock(mu_);
+        common::LockGuard lock(mu_);
         return ++next_id_;
     }
 
@@ -113,24 +113,26 @@ class Auditor
     void
     setTrapOnViolation(bool trap)
     {
-        std::lock_guard<std::mutex> lock(mu_);
+        common::LockGuard lock(mu_);
         trap_ = trap;
     }
 
     bool
     trapOnViolation() const
     {
-        std::lock_guard<std::mutex> lock(mu_);
+        common::LockGuard lock(mu_);
         return trap_;
     }
 
     /**
-     * Direct view of the recorded violations. Only meaningful once the
-     * instrumented simulation has quiesced (no shard workers running);
-     * tests inspect it after runs return, never concurrently.
+     * Snapshot of the recorded violations. Returned by value so no
+     * reference to the guarded registry escapes the lock — the
+     * capability analysis rejects the old by-reference accessor.
      */
-    const std::vector<Violation> &violations() const
+    std::vector<Violation>
+    violations() const
     {
+        common::LockGuard lock(mu_);
         return violations_;
     }
 
@@ -277,22 +279,27 @@ class Auditor
 
     Auditor() = default;
 
-    void violate(Check check, std::string message);
-    void evaluated(Check check) { ++evaluations_[std::size_t(check)]; }
-    void checkStage(std::uint64_t id, const SharedStage &stage);
+    void violate(Check check, std::string message) REQUIRES(mu_);
+    void
+    evaluated(Check check) REQUIRES(mu_)
+    {
+        ++evaluations_[std::size_t(check)];
+    }
+    void checkStage(std::uint64_t id, const SharedStage &stage)
+        REQUIRES(mu_);
 
     /**
      * The registry is process-global while replica shards step on
      * worker threads, so every public entry point locks; the private
-     * helpers above run under the caller's lock. The hooks observe
-     * simulated time rather than influencing it, so serialization here
-     * cannot perturb results.
+     * helpers above are REQUIRES(mu_) and run under the caller's lock.
+     * The hooks observe simulated time rather than influencing it, so
+     * serialization here cannot perturb results.
      */
-    mutable std::mutex mu_;
-    bool trap_ = true;
-    std::vector<Violation> violations_;
-    std::uint64_t evaluations_[16] = {};
-    std::uint64_t next_id_ = 0;
+    mutable common::Mutex mu_;
+    bool trap_ GUARDED_BY(mu_) = true;
+    std::vector<Violation> violations_ GUARDED_BY(mu_);
+    std::uint64_t evaluations_[16] GUARDED_BY(mu_) = {};
+    std::uint64_t next_id_ GUARDED_BY(mu_) = 0;
 
     // (channel, epoch, dir, counter) -> exposure kind/digest.
     struct ExposureKey
@@ -325,8 +332,9 @@ class Auditor
         std::uint64_t tag_digest = 0;
     };
     std::unordered_map<ExposureKey, Exposure, ExposureKeyHash>
-        exposures_;
-    std::unordered_map<std::uint64_t, std::uint64_t> channel_epoch_;
+        exposures_ GUARDED_BY(mu_);
+    std::unordered_map<std::uint64_t, std::uint64_t> channel_epoch_
+        GUARDED_BY(mu_);
 
     // Tag ledger: serial -> state.
     enum class BlobState : std::uint8_t { Sealed, Verified, Discarded };
@@ -337,8 +345,9 @@ class Auditor
         int dir = 0;
         std::uint64_t counter = 0;
     };
-    std::unordered_map<std::uint64_t, BlobRecord> ledger_;
-    std::uint64_t next_serial_ = 0;
+    std::unordered_map<std::uint64_t, BlobRecord> ledger_
+        GUARDED_BY(mu_);
+    std::uint64_t next_serial_ GUARDED_BY(mu_) = 0;
 
     // Per serialized resource: the last served interval.
     struct ResState
@@ -348,7 +357,8 @@ class Auditor
         bool seen = false;
         std::uint64_t served_bytes = 0;
     };
-    std::unordered_map<std::uint64_t, ResState> resources_;
+    std::unordered_map<std::uint64_t, ResState> resources_
+        GUARDED_BY(mu_);
 
     // Shared-stage conservation: forwarded bytes per chained stage.
     struct SharedStage
@@ -356,10 +366,11 @@ class Auditor
         std::string name;
         std::uint64_t forwarded = 0;
     };
-    std::unordered_map<std::uint64_t, SharedStage> shared_stages_;
+    std::unordered_map<std::uint64_t, SharedStage> shared_stages_
+        GUARDED_BY(mu_);
 
-    std::unordered_map<std::uint64_t, Tick> eq_clock_;
-    std::unordered_map<std::uint64_t, Tick> frontier_;
+    std::unordered_map<std::uint64_t, Tick> eq_clock_ GUARDED_BY(mu_);
+    std::unordered_map<std::uint64_t, Tick> frontier_ GUARDED_BY(mu_);
 };
 
 } // namespace audit

@@ -1,4 +1,4 @@
-#include "tools/chaos/chaos.hh"
+#include "chaos/chaos.hh"
 
 #include <algorithm>
 

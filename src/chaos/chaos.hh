@@ -19,8 +19,8 @@
  * when every dip climbs back above the bar before the run ends.
  */
 
-#ifndef PIPELLM_TOOLS_CHAOS_CHAOS_HH
-#define PIPELLM_TOOLS_CHAOS_CHAOS_HH
+#ifndef PIPELLM_CHAOS_CHAOS_HH
+#define PIPELLM_CHAOS_CHAOS_HH
 
 #include <cstdint>
 #include <string>
@@ -159,4 +159,4 @@ SoakResult runSoak(const SoakPlan &plan);
 } // namespace chaos
 } // namespace pipellm
 
-#endif // PIPELLM_TOOLS_CHAOS_CHAOS_HH
+#endif // PIPELLM_CHAOS_CHAOS_HH

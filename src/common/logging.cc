@@ -23,7 +23,10 @@ logAbort()
 void
 logExit()
 {
-    std::exit(1);
+    // NOLINT below: glibc marks exit() MT-Unsafe (race:exit), but this
+    // is the terminal FATAL path — no recovery, no concurrent callers
+    // that matter once we are tearing the process down.
+    std::exit(1); // NOLINT(concurrency-mt-unsafe)
 }
 
 } // namespace detail

@@ -28,12 +28,12 @@ void
 PageProtection::protect(Addr base, std::uint64_t len, Protection prot,
                         FaultHandler handler)
 {
-    std::lock_guard<std::recursive_mutex> lock(mu_);
+    common::LockGuard lock(mu_);
     PIPELLM_ASSERT(len > 0, "protecting empty range");
     Addr s = pageDown(base);
     Addr e = pageUp(base + len);
     // Protecting an already-protected page overwrites its entry.
-    unprotect(s, e - s);
+    unprotectLocked(s, e - s);
     ranges_.emplace(
         s, Entry{e, prot,
                  std::make_shared<FaultHandler>(std::move(handler))});
@@ -42,7 +42,13 @@ PageProtection::protect(Addr base, std::uint64_t len, Protection prot,
 void
 PageProtection::unprotect(Addr base, std::uint64_t len)
 {
-    std::lock_guard<std::recursive_mutex> lock(mu_);
+    common::LockGuard lock(mu_);
+    unprotectLocked(base, len);
+}
+
+void
+PageProtection::unprotectLocked(Addr base, std::uint64_t len)
+{
     if (len == 0 || ranges_.empty())
         return;
     Addr s = pageDown(base);
@@ -75,7 +81,7 @@ PageProtection::unprotect(Addr base, std::uint64_t len)
 }
 
 PageProtection::RangeMap::const_iterator
-PageProtection::findCovering(Addr addr) const
+PageProtection::findCoveringLocked(Addr addr) const
 {
     auto it = ranges_.upper_bound(addr);
     if (it == ranges_.begin())
@@ -89,13 +95,13 @@ PageProtection::findCovering(Addr addr) const
 Protection
 PageProtection::query(Addr addr) const
 {
-    std::lock_guard<std::recursive_mutex> lock(mu_);
-    auto it = findCovering(addr);
+    common::LockGuard lock(mu_);
+    auto it = findCoveringLocked(addr);
     return it == ranges_.end() ? Protection::None : it->second.prot;
 }
 
 bool
-PageProtection::blocks(Protection prot, bool is_write) const
+PageProtection::blocks(Protection prot, bool is_write)
 {
     switch (prot) {
       case Protection::None:
@@ -111,7 +117,7 @@ PageProtection::blocks(Protection prot, bool is_write) const
 bool
 PageProtection::anyProtected(Addr base, std::uint64_t len) const
 {
-    std::lock_guard<std::recursive_mutex> lock(mu_);
+    common::LockGuard lock(mu_);
     if (len == 0 || ranges_.empty())
         return false;
     Addr s = pageDown(base);
@@ -125,43 +131,55 @@ PageProtection::anyProtected(Addr base, std::uint64_t len) const
     return it != ranges_.end() && it->first < e;
 }
 
+bool
+PageProtection::findBlockingLocked(Addr s, Addr e, bool is_write,
+                                   Addr &fault_addr,
+                                   std::shared_ptr<FaultHandler> &handler)
+{
+    auto it = ranges_.upper_bound(s);
+    if (it != ranges_.begin())
+        --it;
+    for (; it != ranges_.end() && it->first < e; ++it) {
+        if (it->second.end <= s)
+            continue;
+        if (!blocks(it->second.prot, is_write))
+            continue;
+        fault_addr = std::max(it->first, s);
+        handler = it->second.handler;
+        ++faults_;
+        return true;
+    }
+    return false;
+}
+
 Tick
 PageProtection::access(Addr base, std::uint64_t len, bool is_write)
 {
-    std::lock_guard<std::recursive_mutex> lock(mu_);
-    if (len == 0 || ranges_.empty())
+    if (len == 0)
         return 0;
     Addr s = pageDown(base);
     Addr e = pageUp(base + len);
 
     Tick ready = 0;
     for (;;) {
-        // First blocking range overlapping [s, e).
-        auto it = ranges_.upper_bound(s);
-        if (it != ranges_.begin())
-            --it;
-        bool found = false;
         Addr fault_addr = 0;
         std::shared_ptr<FaultHandler> handler;
-        for (; it != ranges_.end() && it->first < e; ++it) {
-            if (it->second.end <= s)
-                continue;
-            if (!blocks(it->second.prot, is_write))
-                continue;
-            fault_addr = std::max(it->first, s);
-            handler = it->second.handler;
-            found = true;
-            break;
+        {
+            common::LockGuard lock(mu_);
+            if (!findBlockingLocked(s, e, is_write, fault_addr, handler))
+                return ready;
         }
-        if (!found)
-            return ready;
 
-        ++faults_;
+        // Dispatch with the lock released: handlers re-enter this
+        // class (unprotect their own page, touch other protected
+        // pages), which under the old recursive mutex happened as an
+        // unanalyzable re-acquisition and now is a plain one.
         PIPELLM_ASSERT(handler && *handler,
                        "protected page without fault handler");
         ready = std::max(ready, (*handler)(fault_addr, is_write));
 
-        auto again = findCovering(fault_addr);
+        common::LockGuard lock(mu_);
+        auto again = findCoveringLocked(fault_addr);
         if (again != ranges_.end() &&
             blocks(again->second.prot, is_write)) {
             PANIC("fault handler left page at ", fault_addr,
@@ -173,7 +191,7 @@ PageProtection::access(Addr base, std::uint64_t len, bool is_write)
 std::size_t
 PageProtection::protectedPages() const
 {
-    std::lock_guard<std::recursive_mutex> lock(mu_);
+    common::LockGuard lock(mu_);
     std::size_t pages = 0;
     for (const auto &[start, entry] : ranges_)
         pages += std::size_t((entry.end - start) / pageBytes);

@@ -21,8 +21,8 @@
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 
+#include "common/mutex.hh"
 #include "common/units.hh"
 
 namespace pipellm {
@@ -91,7 +91,7 @@ class PageProtection
     std::uint64_t
     faults() const
     {
-        std::lock_guard<std::recursive_mutex> lock(mu_);
+        common::LockGuard lock(mu_);
         return faults_;
     }
 
@@ -114,18 +114,34 @@ class PageProtection
 
     using RangeMap = std::map<Addr, Entry>; ///< keyed by start
 
-    bool blocks(Protection prot, bool is_write) const;
-    RangeMap::const_iterator findCovering(Addr addr) const;
+    static bool blocks(Protection prot, bool is_write);
+    RangeMap::const_iterator findCoveringLocked(Addr addr) const
+        REQUIRES(mu_);
+    void unprotectLocked(Addr base, std::uint64_t len) REQUIRES(mu_);
+    /**
+     * First blocking range overlapping [s, e); fills @p fault_addr and
+     * @p handler and bumps the fault counter when one is found.
+     */
+    bool findBlockingLocked(Addr s, Addr e, bool is_write,
+                            Addr &fault_addr,
+                            std::shared_ptr<FaultHandler> &handler)
+        REQUIRES(mu_);
 
     /**
      * Serializes the host arena's protection map across replica
-     * shards. Recursive because fault handlers run under it and
-     * legitimately re-enter (lifting their own protection, touching
-     * other protected pages while resolving).
+     * shards. A *plain* capability-annotated mutex: fault handlers
+     * legitimately re-enter this class (lifting their own protection,
+     * touching other protected pages while resolving), so access()
+     * releases the lock around every handler dispatch — the handler
+     * re-acquires like any other caller, the compile-time analysis can
+     * follow the discipline, and the old recursive_mutex (opaque to
+     * Clang's thread-safety analysis) is gone. The handler shared_ptr
+     * keeps the callback alive even if a concurrent unprotect() erases
+     * its entry mid-dispatch.
      */
-    mutable std::recursive_mutex mu_;
-    RangeMap ranges_;
-    std::uint64_t faults_ = 0;
+    mutable common::Mutex mu_;
+    RangeMap ranges_ GUARDED_BY(mu_);
+    std::uint64_t faults_ GUARDED_BY(mu_) = 0;
 };
 
 } // namespace mem

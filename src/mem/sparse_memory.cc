@@ -33,11 +33,12 @@ SparseMemory::SparseMemory(std::string name, std::uint64_t capacity)
 Region
 SparseMemory::alloc(std::uint64_t len, std::string name, MemSpace space)
 {
-    std::lock_guard<std::recursive_mutex> lock(mu_);
+    common::LockGuard lock(mu_);
     PIPELLM_ASSERT(len > 0, "allocating empty region: ", name);
     if (bytes_allocated_ + len > capacity_) {
         FATAL("arena ", name_, " out of memory: need ", len,
-              " bytes for '", name, "', free ", bytesFree());
+              " bytes for '", name, "', free ",
+              capacity_ - bytes_allocated_);
     }
 
     Region region;
@@ -61,11 +62,11 @@ SparseMemory::alloc(std::uint64_t len, std::string name, MemSpace space)
 void
 SparseMemory::free(const Region &region)
 {
-    std::lock_guard<std::recursive_mutex> lock(mu_);
+    common::LockGuard lock(mu_);
     auto it = regions_.find(region.base);
     PIPELLM_ASSERT(it != regions_.end() && it->second.id == region.id,
                    "freeing unknown region '", region.name, "'");
-    discardPages(region.base, region.len);
+    discardPagesLocked(region.base, region.len);
     protection_.unprotect(region.base, region.len);
     bytes_allocated_ -= it->second.len;
     allocated_by_space_[unsigned(it->second.space)] -= it->second.len;
@@ -73,7 +74,7 @@ SparseMemory::free(const Region &region)
 }
 
 const Region &
-SparseMemory::findRegion(Addr addr, std::uint64_t len) const
+SparseMemory::findRegionLocked(Addr addr, std::uint64_t len) const
 {
     auto it = regions_.upper_bound(addr);
     if (it != regions_.begin()) {
@@ -88,14 +89,14 @@ SparseMemory::findRegion(Addr addr, std::uint64_t len) const
 const Region &
 SparseMemory::regionOf(Addr addr) const
 {
-    std::lock_guard<std::recursive_mutex> lock(mu_);
-    return findRegion(addr, 1);
+    common::LockGuard lock(mu_);
+    return findRegionLocked(addr, 1);
 }
 
 bool
 SparseMemory::covered(Addr addr, std::uint64_t len) const
 {
-    std::lock_guard<std::recursive_mutex> lock(mu_);
+    common::LockGuard lock(mu_);
     auto it = regions_.upper_bound(addr);
     if (it == regions_.begin())
         return false;
@@ -112,19 +113,22 @@ SparseMemory::syntheticAt(const Region &region, Addr addr) const
 std::uint64_t
 SparseMemory::bytesAllocated(MemSpace space) const
 {
-    std::lock_guard<std::recursive_mutex> lock(mu_);
+    common::LockGuard lock(mu_);
     return allocated_by_space_[unsigned(space)];
 }
 
 Tick
 SparseMemory::read(Addr addr, std::uint8_t *out, std::uint64_t len)
 {
-    std::lock_guard<std::recursive_mutex> lock(mu_);
     if (len == 0)
         return 0;
-    const Region &region = findRegion(addr, len);
+    // Resolve protection faults *before* taking the arena lock: the
+    // handlers (synchronous decrypt, speculation invalidation) re-enter
+    // the arena, which must be a fresh acquisition, not a recursive one.
     Tick ready = protection_.access(addr, len, /*is_write=*/false);
 
+    common::LockGuard lock(mu_);
+    const Region &region = findRegionLocked(addr, len);
     Addr cur = addr;
     std::uint64_t remaining = len;
     while (remaining > 0) {
@@ -148,7 +152,7 @@ SparseMemory::read(Addr addr, std::uint8_t *out, std::uint64_t len)
 std::vector<std::uint8_t>
 SparseMemory::readSample(Addr addr, std::uint64_t len)
 {
-    std::lock_guard<std::recursive_mutex> lock(mu_);
+    // read() takes the lock itself.
     std::vector<std::uint8_t> out(len);
     read(addr, out.data(), len);
     return out;
@@ -158,12 +162,13 @@ Tick
 SparseMemory::write(Addr addr, const std::uint8_t *data,
                     std::uint64_t len)
 {
-    std::lock_guard<std::recursive_mutex> lock(mu_);
     if (len == 0)
         return 0;
-    const Region &region = findRegion(addr, len);
+    // See read(): fault handlers run before the arena lock is held.
     Tick ready = protection_.access(addr, len, /*is_write=*/true);
 
+    common::LockGuard lock(mu_);
+    const Region &region = findRegionLocked(addr, len);
     Addr cur = addr;
     std::uint64_t remaining = len;
     while (remaining > 0) {
@@ -190,7 +195,13 @@ SparseMemory::write(Addr addr, const std::uint8_t *data,
 void
 SparseMemory::discardPages(Addr addr, std::uint64_t len)
 {
-    std::lock_guard<std::recursive_mutex> lock(mu_);
+    common::LockGuard lock(mu_);
+    discardPagesLocked(addr, len);
+}
+
+void
+SparseMemory::discardPagesLocked(Addr addr, std::uint64_t len)
+{
     if (len == 0)
         return;
     std::uint64_t first = pageIndex(addr);

@@ -21,11 +21,11 @@
 
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "common/mutex.hh"
 #include "common/units.hh"
 #include "mem/page_protection.hh"
 
@@ -116,14 +116,14 @@ class SparseMemory
     std::uint64_t
     bytesAllocated() const
     {
-        std::lock_guard<std::recursive_mutex> lock(mu_);
+        common::LockGuard lock(mu_);
         return bytes_allocated_;
     }
 
     std::uint64_t
     bytesFree() const
     {
-        std::lock_guard<std::recursive_mutex> lock(mu_);
+        common::LockGuard lock(mu_);
         return capacity_ - bytes_allocated_;
     }
 
@@ -134,38 +134,47 @@ class SparseMemory
     std::size_t
     materializedPages() const
     {
-        std::lock_guard<std::recursive_mutex> lock(mu_);
+        common::LockGuard lock(mu_);
         return pages_.size();
     }
 
     const std::string &name() const { return name_; }
 
   private:
-    const Region &findRegion(Addr addr, std::uint64_t len) const;
+    const Region &findRegionLocked(Addr addr, std::uint64_t len) const
+        REQUIRES(mu_);
+    void discardPagesLocked(Addr addr, std::uint64_t len)
+        REQUIRES(mu_);
     std::uint8_t syntheticAt(const Region &region, Addr addr) const;
 
     /**
      * The host arena is shared by every replica shard, so its
      * bookkeeping (region map, bump pointer, page store) must be
-     * consistent under concurrent engine stepping. Recursive because
-     * read()/write() dispatch page-fault handlers that re-enter the
-     * arena (synchronous decrypt reads the placeholder it is
-     * resolving). Note that parallel shards may interleave alloc()
-     * order nondeterministically — region ids and base addresses are
+     * consistent under concurrent engine stepping. A *plain*
+     * capability-annotated mutex: read()/write() dispatch page-fault
+     * handlers *before* taking it (via PageProtection::access, which
+     * itself runs handlers unlocked), so a handler that re-enters the
+     * arena — synchronous decrypt reading the placeholder it is
+     * resolving — acquires it like any other caller instead of relying
+     * on recursive locking the compile-time analysis cannot follow.
+     * Note that parallel shards may interleave alloc() order
+     * nondeterministically — region ids and base addresses are
      * simulation-internal identities that never influence timing, so
      * results stay deterministic regardless.
      */
-    mutable std::recursive_mutex mu_;
+    mutable common::Mutex mu_;
     std::string name_;
     std::uint64_t capacity_;
-    std::uint64_t bytes_allocated_ = 0;
-    std::uint64_t allocated_by_space_[3] = {0, 0, 0};
-    Addr next_base_ = pageBytes; // keep address 0 unmapped
-    std::uint64_t next_region_id_ = 1;
+    std::uint64_t bytes_allocated_ GUARDED_BY(mu_) = 0;
+    std::uint64_t allocated_by_space_[3] GUARDED_BY(mu_) = {0, 0, 0};
+    Addr next_base_ GUARDED_BY(mu_) =
+        pageBytes; // keep address 0 unmapped
+    std::uint64_t next_region_id_ GUARDED_BY(mu_) = 1;
 
-    std::map<Addr, Region> regions_; // keyed by base
-    std::unordered_map<std::uint64_t, std::vector<std::uint8_t>> pages_;
-    PageProtection protection_;
+    std::map<Addr, Region> regions_ GUARDED_BY(mu_); // keyed by base
+    std::unordered_map<std::uint64_t, std::vector<std::uint8_t>> pages_
+        GUARDED_BY(mu_);
+    PageProtection protection_; ///< carries its own capability
 };
 
 } // namespace mem

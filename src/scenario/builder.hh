@@ -18,7 +18,7 @@
 
 #include "scenario/spec.hh"
 #include "serving/cluster.hh"
-#include "tools/chaos/chaos.hh"
+#include "chaos/chaos.hh"
 #include "trace/generator.hh"
 
 namespace pipellm {

@@ -8,7 +8,7 @@
 #include "common/csv.hh"
 #include "common/logging.hh"
 #include "scenario/builder.hh"
-#include "tools/chaos/chaos.hh"
+#include "chaos/chaos.hh"
 
 namespace pipellm {
 namespace scenario {

@@ -53,7 +53,7 @@ enum class ScenarioKind : std::uint8_t
     /** Fault-intensity sweep: modes x device counts x fault scales
      *  (the bench_faults shape). */
     FaultSweep,
-    /** Chaos soak + overload sweep through tools/chaos (the
+    /** Chaos soak + overload sweep through src/chaos (the
      *  bench_soak shape). */
     Soak,
 };

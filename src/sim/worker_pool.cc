@@ -20,7 +20,7 @@ WorkerPool::WorkerPool(unsigned threads)
 WorkerPool::~WorkerPool()
 {
     {
-        std::lock_guard<std::mutex> lock(mu_);
+        LockGuard lock(mu_);
         stopping_ = true;
     }
     wake_.notify_all();
@@ -58,10 +58,12 @@ WorkerPool::workerLoop()
         const std::function<void(std::size_t)> *body = nullptr;
         std::size_t n = 0;
         {
-            std::unique_lock<std::mutex> lock(mu_);
-            wake_.wait(lock, [&] {
-                return stopping_ || generation_ != seen;
-            });
+            LockGuard lock(mu_);
+            // Explicit while loop (not a predicate lambda): the
+            // capability analysis sees the guarded reads under the
+            // held lock, and CondVar::wait requires it by contract.
+            while (!stopping_ && generation_ == seen)
+                wake_.wait(mu_);
             if (stopping_)
                 return;
             seen = generation_;
@@ -77,7 +79,7 @@ WorkerPool::workerLoop()
             continue;
         runShare(*body, n);
         {
-            std::lock_guard<std::mutex> lock(mu_);
+            LockGuard lock(mu_);
             if (--active_runners_ == 0)
                 done_.notify_all();
         }
@@ -98,7 +100,7 @@ WorkerPool::parallelFor(std::size_t n,
         return;
     }
     {
-        std::lock_guard<std::mutex> lock(mu_);
+        LockGuard lock(mu_);
         PIPELLM_ASSERT(active_runners_ == 0 && job_body_ == nullptr,
                        "nested or concurrent parallelFor");
         job_body_ = &body;
@@ -111,8 +113,9 @@ WorkerPool::parallelFor(std::size_t n,
     // Every index has been claimed once the caller's share runs dry;
     // the barrier below guarantees every claimed index also finished
     // and no worker still holds a reference to this job.
-    std::unique_lock<std::mutex> lock(mu_);
-    done_.wait(lock, [&] { return active_runners_ == 0; });
+    LockGuard lock(mu_);
+    while (active_runners_ != 0)
+        done_.wait(mu_);
     job_body_ = nullptr;
     job_n_ = 0;
 }

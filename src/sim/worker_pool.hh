@@ -16,13 +16,13 @@
 #define PIPELLM_SIM_WORKER_POOL_HH
 
 #include <atomic>
-#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "sim/mutex.hh"
 
 namespace pipellm {
 namespace sim {
@@ -66,17 +66,18 @@ class WorkerPool
 
     std::vector<std::thread> workers_;
 
-    std::mutex mu_;
-    std::condition_variable wake_;
-    std::condition_variable done_;
-    std::uint64_t generation_ = 0;
-    bool stopping_ = false;
+    Mutex mu_;
+    CondVar wake_;
+    CondVar done_;
+    std::uint64_t generation_ GUARDED_BY(mu_) = 0;
+    bool stopping_ GUARDED_BY(mu_) = false;
 
     // Current job; published under mu_, cleared when the job retires.
-    const std::function<void(std::size_t)> *job_body_ = nullptr;
-    std::size_t job_n_ = 0;
+    const std::function<void(std::size_t)> *job_body_ GUARDED_BY(mu_) =
+        nullptr;
+    std::size_t job_n_ GUARDED_BY(mu_) = 0;
     std::atomic<std::size_t> next_index_{0};
-    unsigned active_runners_ = 0;
+    unsigned active_runners_ GUARDED_BY(mu_) = 0;
 };
 
 } // namespace sim

@@ -7,7 +7,7 @@
 #include <gtest/gtest.h>
 
 #include "audit/audit.hh"
-#include "tools/chaos/chaos.hh"
+#include "chaos/chaos.hh"
 
 using namespace pipellm;
 using namespace pipellm::chaos;

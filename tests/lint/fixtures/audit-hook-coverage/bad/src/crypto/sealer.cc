@@ -1,0 +1,9 @@
+// Fixture: a raw AEAD seal with no audit hook in the function.
+#include "crypto/gcm.hh"
+
+bool
+sealBlock(unsigned char *buf, unsigned long n)
+{
+    gcm_->seal(iv_, aad_, sizeof(aad_), buf, n, tag_);
+    return true;
+}

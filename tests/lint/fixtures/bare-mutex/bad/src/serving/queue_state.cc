@@ -1,0 +1,12 @@
+// Fixture: a bare std::mutex opts its state out of the analysis.
+#include <mutex>
+
+std::mutex mu_;
+int depth_ = 0;
+
+void
+push()
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    ++depth_;
+}

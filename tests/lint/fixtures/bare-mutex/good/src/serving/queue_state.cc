@@ -1,0 +1,12 @@
+// Fixture: the annotated wrappers carry the capability attributes.
+#include "common/mutex.hh"
+
+pipellm::common::Mutex mu_;
+int depth_ GUARDED_BY(mu_) = 0;
+
+void
+push()
+{
+    pipellm::common::LockGuard lock(mu_);
+    ++depth_;
+}

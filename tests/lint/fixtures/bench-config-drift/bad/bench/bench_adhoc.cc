@@ -1,0 +1,10 @@
+// Fixture: hand-rolled cluster config in a bench main drifts.
+#include "serving/cluster.hh"
+
+int
+main()
+{
+    serving::ClusterConfig config;
+    config.n_devices = 4;
+    return 0;
+}

@@ -1,0 +1,10 @@
+// Fixture: benches load committed .scenario files instead.
+#include "scenario/runner.hh"
+
+int
+main()
+{
+    auto parsed = pipellm::scenario::loadScenario("faults.scenario");
+    runScenario(parsed.spec, {});
+    return 0;
+}

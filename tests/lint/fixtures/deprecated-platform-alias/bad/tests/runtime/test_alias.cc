@@ -1,0 +1,6 @@
+// Fixture: the no-argument device() alias is deprecated.
+void
+probe(Platform &platform_)
+{
+    platform_.device().reset();
+}

@@ -1,0 +1,6 @@
+// Fixture: new code names the device index.
+void
+probe(Platform &platform_)
+{
+    platform_.device(0).reset();
+}

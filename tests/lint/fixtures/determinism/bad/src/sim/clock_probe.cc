@@ -1,0 +1,15 @@
+// Fixture: wall clocks and unordered iteration in fingerprint code.
+#include <chrono>
+#include <unordered_map>
+
+std::unordered_map<int, int> table_;
+
+long
+probe()
+{
+    auto now = std::chrono::steady_clock::now();
+    long sum = now.time_since_epoch().count();
+    for (const auto &kv : table_)
+        sum += kv.second;
+    return sum;
+}

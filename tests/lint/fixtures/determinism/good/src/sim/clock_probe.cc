@@ -1,0 +1,13 @@
+// Fixture: simulated time and sorted iteration keep output stable.
+#include <map>
+
+std::map<int, int> table_;
+
+long
+probe(long now_tick)
+{
+    long sum = now_tick;
+    for (const auto &kv : table_)
+        sum += kv.second;
+    return sum;
+}

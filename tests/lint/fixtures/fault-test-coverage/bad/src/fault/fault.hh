@@ -1,0 +1,5 @@
+// Fixture: a fault kind whose Recovery test is missing.
+enum class Kind
+{
+    TagCorruption,
+};

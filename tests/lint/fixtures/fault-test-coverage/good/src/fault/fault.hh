@@ -1,0 +1,5 @@
+// Fixture: injection and recovery are both proven.
+enum class Kind
+{
+    TagCorruption,
+};

@@ -1,0 +1,2 @@
+TEST(Fault, TagCorruptionInjection) {}
+TEST(Fault, TagCorruptionRecovery) {}

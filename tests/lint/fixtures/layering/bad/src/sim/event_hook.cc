@@ -1,0 +1,5 @@
+// Fixture: sim/ reaching up into serving/ breaks the layering DAG.
+#include "serving/cluster.hh"
+#include "common/logging.hh"
+
+void hook() {}

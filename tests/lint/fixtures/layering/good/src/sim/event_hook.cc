@@ -1,0 +1,5 @@
+// Fixture: sim/ may depend on common/ and audit/ only.
+#include "audit/audit.hh"
+#include "common/logging.hh"
+
+void hook() {}

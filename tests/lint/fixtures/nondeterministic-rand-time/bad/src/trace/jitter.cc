@@ -1,0 +1,8 @@
+// Fixture: naked rand() breaks seeded reproducibility.
+#include <cstdlib>
+
+int
+jitter()
+{
+    return rand() % 7;
+}

@@ -1,0 +1,8 @@
+// Fixture: all randomness flows through the seeded Rng.
+#include "common/rng.hh"
+
+int
+jitter(pipellm::Rng &rng)
+{
+    return int(rng.uniform(0, 6));
+}

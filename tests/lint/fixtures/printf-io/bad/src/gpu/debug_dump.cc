@@ -1,0 +1,8 @@
+// Fixture: printf bypasses the severity-carrying logging macros.
+#include <cstdio>
+
+void
+dump(int lane)
+{
+    printf("lane %d\n", lane);
+}

@@ -1,0 +1,8 @@
+// Fixture: diagnostics go through common/logging.
+#include "common/logging.hh"
+
+void
+dump(int lane)
+{
+    LOG("lane ", lane);
+}

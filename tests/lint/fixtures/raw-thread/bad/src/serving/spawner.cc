@@ -1,0 +1,9 @@
+// Fixture: ad-hoc std::thread escapes the WorkerPool protocol.
+#include <thread>
+
+void
+spawn()
+{
+    std::thread t([] {});
+    t.join();
+}

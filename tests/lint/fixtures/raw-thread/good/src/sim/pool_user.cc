@@ -1,0 +1,8 @@
+// Fixture: parallel work goes through the barriered WorkerPool.
+#include "sim/worker_pool.hh"
+
+void
+spawn(pipellm::sim::WorkerPool &pool)
+{
+    pool.parallelFor(4, [](unsigned) {});
+}

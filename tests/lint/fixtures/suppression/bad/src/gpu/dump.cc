@@ -1,0 +1,8 @@
+// Fixture: a suppression with no justification is itself a finding.
+#include <cstdio>
+
+void
+dump(int lane)
+{
+    printf("lane %d\n", lane); // pipellm-lint: allow(printf-io)
+}

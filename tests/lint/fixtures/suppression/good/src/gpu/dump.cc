@@ -1,0 +1,9 @@
+// Fixture: a justified suppression silences the check.
+#include <cstdio>
+
+void
+dump(int lane)
+{
+    // pipellm-lint: allow(printf-io) -- raw dump tool runs pre-logging
+    printf("lane %d\n", lane);
+}

@@ -1,0 +1,85 @@
+#!/usr/bin/env python3
+"""Fixture tests for the pipellm_lint engine, driven by ctest.
+
+Each check has a bad/ and a good/ fixture tree under
+tests/lint/fixtures/<check>/: the engine pointed at bad/ must report
+the check by name, pointed at good/ it must stay silent. The special
+"suppression" fixture exercises the allow() comment machinery against
+the printf-io check. A final mode runs the whole engine over the real
+tree and requires silence (the fixtures themselves are excluded from
+tree scans).
+
+Modes:
+  lint_fixture_test.py --fixture <check> --expect trip|silent
+  lint_fixture_test.py --tree
+"""
+
+import argparse
+import os
+import subprocess
+import sys
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+REPO = os.path.dirname(os.path.dirname(HERE))
+ENGINE = os.path.join(REPO, "tools", "lint", "pipellm_lint.py")
+
+# Fixture dir -> check the engine is restricted to. The suppression
+# fixtures reuse printf-io as the underlying rule.
+FIXTURE_CHECK = {
+    "suppression": "printf-io",
+}
+
+
+def run_engine(extra):
+    return subprocess.run(
+        [sys.executable, ENGINE] + extra,
+        capture_output=True, text=True)
+
+
+def main():
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--fixture")
+    parser.add_argument("--expect", choices=["trip", "silent"])
+    parser.add_argument("--tree", action="store_true")
+    args = parser.parse_args()
+
+    if args.tree:
+        proc = run_engine([REPO])
+        if proc.returncode != 0:
+            print("expected the real tree to be lint-clean, got:")
+            print(proc.stdout + proc.stderr)
+            return 1
+        print(proc.stdout.strip())
+        return 0
+
+    check = FIXTURE_CHECK.get(args.fixture, args.fixture)
+    sub = "bad" if args.expect == "trip" else "good"
+    root = os.path.join(HERE, "fixtures", args.fixture, sub)
+    if not os.path.isdir(root):
+        print(f"missing fixture tree: {root}")
+        return 1
+    proc = run_engine(["--root", root, "--check", check])
+
+    if args.expect == "trip":
+        if proc.returncode == 0:
+            print(f"{args.fixture}/bad did not trip [{check}]:")
+            print(proc.stdout + proc.stderr)
+            return 1
+        if f"[{check}]" not in proc.stdout:
+            print(f"{args.fixture}/bad failed without naming "
+                  f"[{check}]:")
+            print(proc.stdout + proc.stderr)
+            return 1
+        print(f"{args.fixture}/bad trips [{check}] as expected")
+    else:
+        if proc.returncode != 0:
+            print(f"{args.fixture}/good is not silent under "
+                  f"[{check}]:")
+            print(proc.stdout + proc.stderr)
+            return 1
+        print(f"{args.fixture}/good is silent under [{check}]")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -60,7 +60,10 @@ struct TempOutDir
     {
         std::filesystem::remove_all(dir);
     }
-    ~TempOutDir() { std::filesystem::remove_all(dir.parent_path()); }
+    // Remove only this test's tagged directory: ctest runs the tests
+    // in this suite as parallel processes sharing a cwd, so removing
+    // the common parent would delete a sibling's CSVs mid-test.
+    ~TempOutDir() { std::filesystem::remove_all(dir); }
 };
 
 RunOptions

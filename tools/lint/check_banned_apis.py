@@ -1,236 +1,20 @@
 #!/usr/bin/env python3
-"""Fail CI on new uses of banned APIs.
+"""Back-compat entry point for the original banned-API gate.
 
-Checked rules:
-
-  1. The deprecated no-argument ``Platform::device()`` /
-     ``Platform::channel()`` aliases (kept only so the single-device
-     call sites compiled through the multi-device migration). New code
-     must name the device: ``platform.device(d)``.
-  2. Naked ``rand()`` / ``srand()`` / ``std::time`` — the simulator is
-     deterministic by construction; all randomness goes through
-     ``common/rng.hh`` with an explicit seed.
-  3. printf-family I/O inside ``src/`` — diagnostics go through the
-     gem5-style macros in ``common/logging.hh`` so they carry severity
-     and can be fatal under test. Benches and examples are exempt
-     (they are user-facing CLIs), as is the logging backend itself.
-  4. Fault-model coverage: every ``fault::Fault::Kind`` enumerator must
-     have both an injection test and a recovery test in ``tests/fault/``
-     (a test name containing ``<Kind>Injection`` and one containing
-     ``<Kind>Recovery``). Adding a fault kind without wiring its
-     end-to-end tests fails the lint. Kinds listed in
-     ``EXTRA_FAULT_TESTS`` carry additional named proofs — e.g.
-     ``ReplicaRestart`` must also keep the pre-crash IV non-reuse test,
-     the security heart of the restart path.
+The rules now live as registered checks in pipellm_lint.py (see
+``--list-checks`` there); this wrapper keeps the historical CI
+invocation and muscle memory working. It runs the full engine — same
+checks, same exit code, same diagnostics.
 
 Usage: tools/lint/check_banned_apis.py [repo-root]
-Exits nonzero and prints file:line for every finding.
 """
 
 import os
-import re
-import subprocess
 import sys
 
-RULES = [
-    {
-        "name": "deprecated Platform::device()/channel() alias",
-        "regex": re.compile(r"\bplatform_?\.\s*(?:device|channel)\(\)"),
-        "roots": ("src", "tests", "bench", "examples"),
-        "allow": {
-            # The compatibility test exercises the aliases on purpose.
-            "tests/runtime/test_multi_device.cc",
-        },
-    },
-    {
-        "name": "non-deterministic rand()/srand()/std::time",
-        "regex": re.compile(
-            r"\b(?:s?rand)\s*\(|std::time\b|\btime\s*\(\s*(?:NULL|nullptr)\s*\)"
-        ),
-        "roots": ("src", "tests", "bench", "examples"),
-        "allow": set(),
-    },
-    {
-        "name": "raw threading outside sim/worker_pool",
-        # Determinism rests on every worker thread being driven by the
-        # WorkerPool's barriered parallelFor; ad-hoc std::thread /
-        # std::async escapes the (tick, shard, seq) ordering protocol.
-        # WorkerPool::hardwareConcurrency() is the sanctioned wrapper
-        # for sizing decisions.
-        "regex": re.compile(
-            r"\bstd::(?:thread|jthread|async)\b|#include\s*<(?:thread|future)>"
-        ),
-        "roots": ("src", "tests", "bench", "examples"),
-        "allow": {
-            "src/sim/worker_pool.hh",
-            "src/sim/worker_pool.cc",
-        },
-    },
-    {
-        "name": "hand-rolled ClusterConfig assembly in bench/",
-        # Figure benches describe experiments in committed .scenario
-        # files and run them through scenario::runScenario; assembling
-        # a serving::ClusterConfig by hand in a bench main recreates
-        # the per-experiment drift the scenario layer exists to end.
-        # Only the wall-clock microbenchmark of the simulator core
-        # itself stays hand-built (it measures the harness, not a
-        # paper figure).
-        "regex": re.compile(r"\bserving::ClusterConfig\b|\bClusterConfig\s+\w+\s*;"),
-        "roots": ("bench",),
-        "allow": {
-            "bench/bench_simcore.cc",
-        },
-    },
-    {
-        "name": "printf-family I/O outside common/logging",
-        "regex": re.compile(
-            r"\b(?:printf|fprintf|sprintf|snprintf|vsnprintf|puts|putchar)\s*\("
-        ),
-        "roots": ("src",),
-        "allow": {
-            "src/common/logging.cc",
-            "src/common/logging.hh",
-        },
-    },
-]
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
 
-SOURCE_EXTENSIONS = (".cc", ".hh", ".cpp", ".hpp", ".h", ".c")
-
-
-def tracked_files(root):
-    try:
-        out = subprocess.run(
-            ["git", "ls-files", "--cached", "--others",
-             "--exclude-standard"],
-            cwd=root,
-            capture_output=True,
-            text=True,
-            check=True,
-        ).stdout
-        return out.splitlines()
-    except (subprocess.CalledProcessError, OSError):
-        files = []
-        for dirpath, _, names in os.walk(root):
-            for name in names:
-                full = os.path.join(dirpath, name)
-                files.append(os.path.relpath(full, root))
-        return files
-
-
-FAULT_ENUM_FILE = "src/fault/fault.hh"
-FAULT_TEST_DIR = "tests/fault"
-
-# Per-kind proofs beyond the Injection/Recovery pair. A restart is only
-# safe if the re-keyed session provably rejects pre-crash ciphertexts,
-# so that test is load-bearing and may not be deleted or renamed away.
-EXTRA_FAULT_TESTS = {
-    "ReplicaRestart": ["ReplicaRestartRecoveryNeverReusesPreCrashIvs"],
-}
-
-
-def fault_kinds(root):
-    """Parse the ``enum class Kind`` enumerators out of fault.hh."""
-    path = os.path.join(root, FAULT_ENUM_FILE)
-    try:
-        with open(path, encoding="utf-8") as f:
-            text = f.read()
-    except OSError:
-        return []
-    match = re.search(r"enum\s+class\s+Kind\b[^{]*\{(.*?)\}", text,
-                      re.DOTALL)
-    if not match:
-        return []
-    body = re.sub(r"/\*.*?\*/", "", match.group(1), flags=re.DOTALL)
-    body = re.sub(r"//[^\n]*", "", body)
-    kinds = []
-    for part in body.split(","):
-        name = part.split("=")[0].strip()
-        if re.fullmatch(r"[A-Za-z_]\w*", name or ""):
-            kinds.append(name)
-    return kinds
-
-
-def fault_test_names(root, files):
-    """All TEST/TEST_F/TEST_P test names under tests/fault/."""
-    names = []
-    test_re = re.compile(r"TEST(?:_F|_P)?\(\s*\w+\s*,\s*(\w+)\s*\)")
-    for rel in files:
-        rel_posix = rel.replace(os.sep, "/")
-        if not rel_posix.startswith(FAULT_TEST_DIR + "/"):
-            continue
-        if not rel_posix.endswith(SOURCE_EXTENSIONS):
-            continue
-        try:
-            with open(os.path.join(root, rel), encoding="utf-8") as f:
-                names.extend(test_re.findall(f.read()))
-        except OSError:
-            continue
-    return names
-
-
-def check_fault_coverage(root, files):
-    kinds = fault_kinds(root)
-    if not kinds:
-        return [f"{FAULT_ENUM_FILE}: could not parse fault::Fault::Kind "
-                "enumerators"]
-    names = fault_test_names(root, files)
-    findings = []
-    for kind in kinds:
-        for suffix in ("Injection", "Recovery"):
-            want = kind + suffix
-            if not any(want in name for name in names):
-                findings.append(
-                    f"{FAULT_ENUM_FILE}: Fault::Kind::{kind} has no "
-                    f"{suffix.lower()} test: add a test named "
-                    f"*{want}* under {FAULT_TEST_DIR}/"
-                )
-        for want in EXTRA_FAULT_TESTS.get(kind, []):
-            if not any(want in name for name in names):
-                findings.append(
-                    f"{FAULT_ENUM_FILE}: Fault::Kind::{kind} is "
-                    f"missing its required proof test *{want}* under "
-                    f"{FAULT_TEST_DIR}/"
-                )
-    return findings
-
-
-def main():
-    root = sys.argv[1] if len(sys.argv) > 1 else "."
-    files = tracked_files(root)
-    findings = check_fault_coverage(root, files)
-    for rel in files:
-        if not rel.endswith(SOURCE_EXTENSIONS):
-            continue
-        rel_posix = rel.replace(os.sep, "/")
-        active = [
-            rule
-            for rule in RULES
-            if rel_posix.startswith(tuple(r + "/" for r in rule["roots"]))
-            and rel_posix not in rule["allow"]
-        ]
-        if not active:
-            continue
-        path = os.path.join(root, rel)
-        try:
-            with open(path, encoding="utf-8", errors="replace") as f:
-                lines = f.readlines()
-        except OSError:
-            continue
-        for lineno, line in enumerate(lines, 1):
-            for rule in active:
-                if rule["regex"].search(line):
-                    findings.append(
-                        f"{rel_posix}:{lineno}: {rule['name']}: "
-                        f"{line.strip()}"
-                    )
-    if findings:
-        print("banned-API check failed:")
-        for finding in findings:
-            print("  " + finding)
-        return 1
-    print("banned-API check passed")
-    return 0
-
+from pipellm_lint import main  # noqa: E402
 
 if __name__ == "__main__":
-    sys.exit(main())
+    sys.exit(main(sys.argv[1:]))
