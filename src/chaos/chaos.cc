@@ -161,6 +161,7 @@ runSoak(const SoakPlan &plan)
     cfg.engine.parallel_sampling = plan.parallel_sampling;
     cfg.policy = serving::RoutePolicy::LeastLoaded;
     cfg.admission = plan.admission;
+    cfg.disagg = plan.disagg;
 
     std::uint64_t block_bytes = std::uint64_t(cfg.engine.block_tokens) *
                                 cfg.engine.model.kvBytesPerToken();

@@ -111,6 +111,9 @@ struct SoakPlan
     fault::FaultPlan faults;
     /** Front-end overload protection for the run. */
     serving::AdmissionConfig admission;
+    /** Disaggregated prefill/decode split; migration faults in
+     *  `faults` only fire when this is enabled. */
+    serving::DisaggConfig disagg;
     /** Deadline stamped per request: arrival + floor + len * per_token
      *  (both zero = no deadlines). */
     Tick slo_floor = 0;

@@ -21,6 +21,12 @@ toString(Kind kind)
         return "ReplicaCrash";
       case Kind::ReplicaRestart:
         return "ReplicaRestart";
+      case Kind::MigrationTagFault:
+        return "MigrationTagFault";
+      case Kind::MigrationStall:
+        return "MigrationStall";
+      case Kind::DestCrashMidMigration:
+        return "DestCrashMidMigration";
     }
     return "UnknownFault";
 }
@@ -38,7 +44,8 @@ FaultPlan::armed() const
 {
     return tag_corruption_rate > 0 || copy_stall_rate > 0 ||
            lane_fault_rate > 0 || replica_crash_rate > 0 ||
-           replica_restart_rate > 0;
+           replica_restart_rate > 0 || migration_tag_rate > 0 ||
+           migration_stall_rate > 0 || dest_crash_rate > 0;
 }
 
 void
@@ -59,19 +66,32 @@ FaultReport::merge(const FaultReport &other)
     degraded_sends += other.degraded_sends;
     degraded_ticks += other.degraded_ticks;
     retry_latency += other.retry_latency;
+    migrations += other.migrations;
+    migrated_chunks += other.migrated_chunks;
+    discarded_chunks += other.discarded_chunks;
+    migration_tag_faults += other.migration_tag_faults;
+    migration_retries += other.migration_retries;
+    migration_stalls += other.migration_stalls;
+    migration_fallbacks += other.migration_fallbacks;
+    dest_mid_migration_crashes += other.dest_mid_migration_crashes;
+    migrations_rerouted += other.migrations_rerouted;
+    speculated_migration_ivs += other.speculated_migration_ivs;
 }
 
 std::uint64_t
 FaultReport::injectedTotal() const
 {
-    return tag_faults + copy_stalls + lane_faults + replica_crashes;
+    return tag_faults + copy_stalls + lane_faults + replica_crashes +
+           migration_tag_faults + migration_stalls +
+           dest_mid_migration_crashes;
 }
 
 std::uint64_t
 FaultReport::recoveredTotal() const
 {
     return tag_retries + copy_retries + lane_faults +
-           requeued_requests + replica_restarts;
+           requeued_requests + replica_restarts + migration_retries +
+           migration_fallbacks + migrations_rerouted;
 }
 
 void
@@ -132,6 +152,26 @@ bool
 FaultInjector::failLane(Tick now)
 {
     return draw(Kind::CryptoLaneFault, plan_.lane_fault_rate, now);
+}
+
+bool
+FaultInjector::corruptMigrationChunk(Tick now)
+{
+    return draw(Kind::MigrationTagFault, plan_.migration_tag_rate,
+                now);
+}
+
+bool
+FaultInjector::stallMigration(Tick now)
+{
+    return draw(Kind::MigrationStall, plan_.migration_stall_rate, now);
+}
+
+bool
+FaultInjector::dropDestination(Tick now)
+{
+    return draw(Kind::DestCrashMidMigration, plan_.dest_crash_rate,
+                now);
 }
 
 Tick

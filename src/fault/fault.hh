@@ -25,6 +25,18 @@
  *    the staged path, speculative state is rebuilt from nothing, and
  *    the router re-admits the replica only after a warm-up probe
  *    round-trips the fresh session.
+ *  - MigrationTagFault: a chunk of a replica-to-replica KV migration
+ *    stream arrives with a bad tag; the source discards the blob and
+ *    re-seals the chunk at a fresh IV, resuming from the last
+ *    verified chunk.
+ *  - MigrationStall: the migration stream stalls on a congested
+ *    inter-device path; a watchdog plus capped exponential backoff
+ *    retries, and a stream that exhausts its attempts falls back to
+ *    decoding locally on the prefill replica.
+ *  - DestCrashMidMigration: the decode replica receiving a migration
+ *    dies mid-stream; every sealed-but-unverified chunk is discarded
+ *    (never verified) and the migration re-routes to another live
+ *    decode replica from chunk zero.
  *
  * Rates can additionally be modulated by a "fault storm" window: a
  * [storm_start, storm_end) interval during which every Bernoulli
@@ -61,10 +73,13 @@ enum class Kind
     CryptoLaneFault, ///< host crypto lane dies mid-job
     ReplicaCrash,    ///< whole replica lost mid-run
     ReplicaRestart,  ///< crashed replica re-keys and rejoins
+    MigrationTagFault,    ///< KV-migration chunk rejected by its tag
+    MigrationStall,       ///< KV-migration stream stalls mid-chunk
+    DestCrashMidMigration, ///< decode replica dies mid-migration
 };
 
 /** Number of Kind enumerators (for counter arrays). */
-constexpr std::size_t numFaultKinds = 5;
+constexpr std::size_t numFaultKinds = 8;
 
 /** Human-readable name of a fault kind (CSV columns, diagnostics). */
 std::string toString(Kind kind);
@@ -142,6 +157,28 @@ struct FaultPlan
     /** Tag-mismatch retries before a transfer is declared dead. */
     unsigned max_transfer_retries = 8;
 
+    /** P(KV-migration chunk corrupted) per chunk crossing. */
+    double migration_tag_rate = 0;
+
+    /** P(KV-migration stream stalls) per chunk attempt. */
+    double migration_stall_rate = 0;
+
+    /**
+     * P(the destination replica dies) per migrated chunk crossing.
+     * Per-chunk (not per-migration) so longer streams are naturally
+     * more exposed, exactly like real crash windows.
+     */
+    double dest_crash_rate = 0;
+
+    /** Watchdog timeout charged per detected migration stall. */
+    Tick migration_stall_timeout = microseconds(80);
+
+    /**
+     * Stall retries per chunk before the migration gives up and the
+     * request decodes locally on the prefill replica.
+     */
+    unsigned max_migration_attempts = 4;
+
     /**
      * Restrict injected replica crashes to these device ids (empty =
      * any replica may crash). The crash-time draw is consumed either
@@ -212,6 +249,36 @@ struct FaultReport
     /** Simulated time added by recovery (retries + backoff). */
     Tick retry_latency = 0;
 
+    /** KV migrations started (one per prefill->decode handoff try). */
+    std::uint64_t migrations = 0;
+
+    /** Migration chunks verified at a destination. */
+    std::uint64_t migrated_chunks = 0;
+
+    /** Migration chunks whose tag ledger entry ended Discarded. */
+    std::uint64_t discarded_chunks = 0;
+
+    /** Injected migration-chunk tag faults (GCM reject at the dest). */
+    std::uint64_t migration_tag_faults = 0;
+
+    /** Fresh-IV chunk re-seals performed to recover them. */
+    std::uint64_t migration_retries = 0;
+
+    /** Injected migration-stream stalls (watchdog timeouts). */
+    std::uint64_t migration_stalls = 0;
+
+    /** Streams that gave up and decoded locally on the prefill side. */
+    std::uint64_t migration_fallbacks = 0;
+
+    /** Destination replicas lost mid-migration. */
+    std::uint64_t dest_mid_migration_crashes = 0;
+
+    /** In-flight migrations re-routed to another decode replica. */
+    std::uint64_t migrations_rerouted = 0;
+
+    /** Migration-stream IVs pre-generated speculatively. */
+    std::uint64_t speculated_migration_ivs = 0;
+
     /** Fold another site's counters into this report. */
     void merge(const FaultReport &other);
 
@@ -255,6 +322,15 @@ class FaultInjector
 
     /** Should the crypto-lane job at @p now die mid-flight? */
     bool failLane(Tick now);
+
+    /** Should the migration chunk crossing at @p now be corrupted? */
+    bool corruptMigrationChunk(Tick now);
+
+    /** Should the migration chunk attempt at @p now stall? */
+    bool stallMigration(Tick now);
+
+    /** Should the destination die under the chunk landing at @p now? */
+    bool dropDestination(Tick now);
 
     /**
      * Crash arrival time for one replica, drawn from the plan's

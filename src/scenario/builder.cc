@@ -107,6 +107,14 @@ ScenarioBuilder::clusterConfig(unsigned threads) const
     cfg.engine.parallel_sampling = spec_.engine.parallel_sampling;
     cfg.policy = spec_.cluster.policy;
     cfg.threads = threads;
+    if (spec_.kind == ScenarioKind::Disagg) {
+        cfg.disagg.enabled = true;
+        cfg.disagg.prefill_replicas = spec_.disagg.prefill_replicas;
+        cfg.disagg.migration.chunk_bytes =
+            std::uint64_t(spec_.disagg.chunk_kib * double(KiB));
+        cfg.disagg.migration.pipeline_depth =
+            spec_.disagg.pipeline_depth;
+    }
     return cfg;
 }
 
@@ -124,6 +132,12 @@ ScenarioBuilder::scaledPlan(double scale) const
     plan.spdm_rekey_ticks = milliseconds(f.spdm_rekey_ms);
     plan.warmup_probe_bytes =
         std::uint64_t(f.warmup_probe_kib * double(KiB));
+    plan.migration_tag_rate = f.migration_tag_rate * scale;
+    plan.migration_stall_rate = f.migration_stall_rate * scale;
+    plan.dest_crash_rate = f.dest_crash_rate * scale;
+    plan.migration_stall_timeout =
+        microseconds(f.migration_stall_timeout_us);
+    plan.max_migration_attempts = f.max_migration_attempts;
     plan.storm_start = seconds(f.storm_start_s);
     plan.storm_end = seconds(f.storm_end_s);
     plan.storm_multiplier = f.storm_multiplier;

@@ -397,6 +397,102 @@ runSoakKind(Sweep &s)
     s.summary.rows += csv.rows();
 }
 
+void
+runDisagg(Sweep &s)
+{
+    auto csv = s.open(s.spec.csv);
+    csv.header({"n_devices", "prefill_replicas", "decode_replicas",
+                "mode", "fault_scale", "migration_tag_rate",
+                "migration_stall_rate", "dest_crash_rate",
+                "offered_rate", "tokens_per_s", "goodput_tok_per_s",
+                "norm_latency_s_tok", "p90_norm_latency_s_tok",
+                "completed", "dropped", "makespan_s", "migrations",
+                "migrated_chunks", "discarded_chunks",
+                "speculated_ivs", "migration_tag_faults",
+                "migration_retries", "migration_stalls",
+                "migration_fallbacks", "dest_crashes",
+                "migrations_rerouted", "replica", "replica_role",
+                "replica_requests", "replica_completed",
+                "replica_tokens_per_s"});
+
+    const auto &devices = s.spec.deviceAxis(s.opts.quick);
+    const auto &scales = s.spec.scaleAxis(s.opts.quick);
+    std::size_t requests_per_device =
+        s.spec.requestsPerDevice(s.opts.quick);
+    const HostVariantSpec private_host;
+
+    for (SystemMode mode : s.spec.cluster.modes) {
+        for (unsigned n : devices) {
+            s.say("-- ", toString(mode), ", N=", n, " --");
+            for (double scale : scales) {
+                auto built = s.builder.build(mode, n, private_host,
+                                             scale, s.threads());
+                auto r = built.router->run(s.builder.poissonTrace(
+                    requests_per_device * n, n));
+                ++s.summary.runs;
+                if (scale == 0) {
+                    // Disarmed rows are the byte-identical fault-free
+                    // baseline; armed rows legitimately see injected
+                    // integrity failures on the migration links.
+                    s.assertIntegrity(*built.platform, n);
+                }
+                const auto plan = s.builder.scaledPlan(scale);
+                const auto &f = r.faults;
+                unsigned prefill_n = 0;
+                for (const auto &rep : r.replicas)
+                    prefill_n += rep.prefill ? 1 : 0;
+                s.say("scale ", fixed(scale, 1), "  ",
+                      fixed(r.tokens_per_sec, 1), " tok/s  ",
+                      fixed(r.normalized_latency, 4), " s/tok  ",
+                      "migrations ", f.migrations, " (",
+                      f.migrated_chunks, " chunks, ",
+                      f.speculated_migration_ivs, " speculated IVs)  ",
+                      "retries ", f.migration_retries, "  stalls ",
+                      f.migration_stalls, "  rerouted ",
+                      f.migrations_rerouted, "  fallbacks ",
+                      f.migration_fallbacks);
+                for (const auto &rep : r.replicas) {
+                    double rep_tps =
+                        rep.result.total_time
+                            ? double(rep.routed_tokens) /
+                                  toSeconds(rep.result.total_time)
+                            : 0;
+                    csv.field(n).field(prefill_n)
+                        .field(n - prefill_n).field(toString(mode))
+                        .field(scale)
+                        .field(scale > 0 ? plan.migration_tag_rate
+                                         : 0.0)
+                        .field(scale > 0 ? plan.migration_stall_rate
+                                         : 0.0)
+                        .field(scale > 0 ? plan.dest_crash_rate : 0.0)
+                        .field(s.spec.trace.rate_per_device * n)
+                        .field(r.tokens_per_sec)
+                        .field(r.goodput_tokens_per_sec)
+                        .field(r.normalized_latency)
+                        .field(r.p90_normalized_latency)
+                        .field(r.completed).field(r.dropped)
+                        .field(toSeconds(r.makespan))
+                        .field(f.migrations).field(f.migrated_chunks)
+                        .field(f.discarded_chunks)
+                        .field(f.speculated_migration_ivs)
+                        .field(f.migration_tag_faults)
+                        .field(f.migration_retries)
+                        .field(f.migration_stalls)
+                        .field(f.migration_fallbacks)
+                        .field(f.dest_mid_migration_crashes)
+                        .field(f.migrations_rerouted)
+                        .field(rep.device)
+                        .field(rep.prefill ? "prefill" : "decode")
+                        .field(rep.requests)
+                        .field(rep.result.completed).field(rep_tps)
+                        .endRow();
+                }
+            }
+        }
+    }
+    s.summary.rows += csv.rows();
+}
+
 } // namespace
 
 RunSummary
@@ -414,6 +510,9 @@ runScenario(const ScenarioSpec &spec, const RunOptions &opts)
         break;
       case ScenarioKind::Soak:
         runSoakKind(sweep);
+        break;
+      case ScenarioKind::Disagg:
+        runDisagg(sweep);
         break;
     }
     return std::move(sweep.summary);

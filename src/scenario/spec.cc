@@ -193,20 +193,56 @@ struct Ctx
     }
 };
 
+/** Levenshtein distance, for did-you-mean kind suggestions. */
+std::size_t
+editDistance(const std::string &a, const std::string &b)
+{
+    std::vector<std::size_t> row(b.size() + 1);
+    for (std::size_t j = 0; j <= b.size(); ++j)
+        row[j] = j;
+    for (std::size_t i = 1; i <= a.size(); ++i) {
+        std::size_t diag = row[0];
+        row[0] = i;
+        for (std::size_t j = 1; j <= b.size(); ++j) {
+            std::size_t sub = diag + (a[i - 1] != b[j - 1]);
+            diag = row[j];
+            row[j] = std::min({row[j] + 1, row[j - 1] + 1, sub});
+        }
+    }
+    return row[b.size()];
+}
+
+std::string
+joinKindNames()
+{
+    std::string out;
+    for (const auto &k : scenarioKinds()) {
+        if (!out.empty())
+            out += "/";
+        out += k.name;
+    }
+    return out;
+}
+
 void
 scenarioKey(Ctx &c, const std::string &key, const std::string &value)
 {
     if (key == "name") {
         c.spec.name = value;
     } else if (key == "kind") {
-        if (value == "cluster_scale")
-            c.spec.kind = ScenarioKind::ClusterScale;
-        else if (value == "fault_sweep")
-            c.spec.kind = ScenarioKind::FaultSweep;
-        else if (value == "soak")
-            c.spec.kind = ScenarioKind::Soak;
-        else
-            c.badValue(key, value, "cluster_scale/fault_sweep/soak");
+        bool found = false;
+        for (const auto &k : scenarioKinds()) {
+            if (value == k.name) {
+                c.spec.kind = k.kind;
+                found = true;
+                break;
+            }
+        }
+        if (!found) {
+            c.err("unknown kind '", value, "' (known: ",
+                  joinKindNames(), "; did you mean '",
+                  nearestScenarioKind(value), "'?)");
+        }
     } else if (key == "csv") {
         c.spec.csv = value;
     } else {
@@ -354,6 +390,16 @@ faultsKey(Ctx &c, const std::string &key, const std::string &value)
         c.getDouble(key, value, f.spdm_rekey_ms);
     else if (key == "warmup_probe_kib")
         c.getDouble(key, value, f.warmup_probe_kib);
+    else if (key == "migration_tag_rate")
+        c.getDouble(key, value, f.migration_tag_rate);
+    else if (key == "migration_stall_rate")
+        c.getDouble(key, value, f.migration_stall_rate);
+    else if (key == "dest_crash_rate")
+        c.getDouble(key, value, f.dest_crash_rate);
+    else if (key == "migration_stall_timeout_us")
+        c.getDouble(key, value, f.migration_stall_timeout_us);
+    else if (key == "max_migration_attempts")
+        c.getUnsigned(key, value, f.max_migration_attempts);
     else if (key == "storm_start_s")
         c.getDouble(key, value, f.storm_start_s);
     else if (key == "storm_end_s")
@@ -375,9 +421,27 @@ faultsKey(Ctx &c, const std::string &key, const std::string &value)
               "' in [faults] (known: seed, tag_corruption_rate, "
               "copy_stall_rate, lane_fault_rate, replica_crash_rate, "
               "replica_restart_rate, spdm_rekey_ms, warmup_probe_kib, "
-              "storm_start_s, storm_end_s, storm_multiplier, "
-              "crash_devices, scales, scales_quick, dip_window_s, "
-              "dip_recover_frac)");
+              "migration_tag_rate, migration_stall_rate, "
+              "dest_crash_rate, migration_stall_timeout_us, "
+              "max_migration_attempts, storm_start_s, storm_end_s, "
+              "storm_multiplier, crash_devices, scales, scales_quick, "
+              "dip_window_s, dip_recover_frac)");
+}
+
+void
+disaggKey(Ctx &c, const std::string &key, const std::string &value)
+{
+    auto &d = c.spec.disagg;
+    if (key == "prefill_replicas")
+        c.getUnsigned(key, value, d.prefill_replicas);
+    else if (key == "chunk_kib")
+        c.getDouble(key, value, d.chunk_kib);
+    else if (key == "pipeline_depth")
+        c.getUnsigned(key, value, d.pipeline_depth);
+    else
+        c.err("unknown key '", key,
+              "' in [disagg] (known: prefill_replicas, chunk_kib, "
+              "pipeline_depth)");
 }
 
 void
@@ -485,6 +549,8 @@ sectionHandler(const std::string &section)
         return pipeKey;
     if (section == "trace")
         return traceKey;
+    if (section == "disagg")
+        return disaggKey;
     if (section == "faults")
         return faultsKey;
     if (section == "admission")
@@ -539,8 +605,42 @@ toString(ScenarioKind kind)
         return "fault_sweep";
       case ScenarioKind::Soak:
         return "soak";
+      case ScenarioKind::Disagg:
+        return "disagg";
     }
     return "?";
+}
+
+const std::vector<ScenarioKindInfo> &
+scenarioKinds()
+{
+    static const std::vector<ScenarioKindInfo> kinds = {
+        {ScenarioKind::ClusterScale, "cluster_scale",
+         "replica-scaling sweep: host variants x modes x devices"},
+        {ScenarioKind::FaultSweep, "fault_sweep",
+         "fault-intensity sweep: modes x devices x fault scales"},
+        {ScenarioKind::Soak, "soak",
+         "chaos soak + overload sweep through the chaos harness"},
+        {ScenarioKind::Disagg, "disagg",
+         "disaggregated prefill/decode sweep with encrypted KV "
+         "migration"},
+    };
+    return kinds;
+}
+
+std::string
+nearestScenarioKind(const std::string &name)
+{
+    const ScenarioKindInfo *best = nullptr;
+    std::size_t best_dist = 0;
+    for (const auto &k : scenarioKinds()) {
+        std::size_t d = editDistance(name, k.name);
+        if (!best || d < best_dist) {
+            best = &k;
+            best_dist = d;
+        }
+    }
+    return best->name;
 }
 
 const char *
@@ -627,8 +727,8 @@ parseScenario(const std::string &text, const std::string &origin)
             } else {
                 c.err("unknown section [", inner,
                       "] (known: scenario, cluster, device, engine, "
-                      "pipe, trace, host <name>, faults, admission, "
-                      "slo, soak, overload)");
+                      "pipe, trace, host <name>, disagg, faults, "
+                      "admission, slo, soak, overload)");
                 handler = nullptr;
             }
             continue;
@@ -740,6 +840,17 @@ dumpScenario(const ScenarioSpec &spec)
            << fmtDouble(h.pipe_max_lane_lead_ms) << "\n";
     }
 
+    if (spec.disagg != DisaggSpec{} ||
+        spec.kind == ScenarioKind::Disagg) {
+        os << "\n[disagg]\n";
+        os << "prefill_replicas = " << spec.disagg.prefill_replicas
+           << "\n";
+        os << "chunk_kib = " << fmtDouble(spec.disagg.chunk_kib)
+           << "\n";
+        os << "pipeline_depth = " << spec.disagg.pipeline_depth
+           << "\n";
+    }
+
     if (spec.faults != FaultSpec{}) {
         const auto &f = spec.faults;
         os << "\n[faults]\n";
@@ -757,6 +868,16 @@ dumpScenario(const ScenarioSpec &spec)
         os << "spdm_rekey_ms = " << fmtDouble(f.spdm_rekey_ms)
            << "\n";
         os << "warmup_probe_kib = " << fmtDouble(f.warmup_probe_kib)
+           << "\n";
+        os << "migration_tag_rate = "
+           << fmtDouble(f.migration_tag_rate) << "\n";
+        os << "migration_stall_rate = "
+           << fmtDouble(f.migration_stall_rate) << "\n";
+        os << "dest_crash_rate = " << fmtDouble(f.dest_crash_rate)
+           << "\n";
+        os << "migration_stall_timeout_us = "
+           << fmtDouble(f.migration_stall_timeout_us) << "\n";
+        os << "max_migration_attempts = " << f.max_migration_attempts
            << "\n";
         os << "storm_start_s = " << fmtDouble(f.storm_start_s) << "\n";
         os << "storm_end_s = " << fmtDouble(f.storm_end_s) << "\n";
@@ -930,6 +1051,14 @@ ScenarioSpec::validate() const
     checkProb("tag_corruption_rate", faults.tag_corruption_rate);
     checkProb("copy_stall_rate", faults.copy_stall_rate);
     checkProb("lane_fault_rate", faults.lane_fault_rate);
+    checkProb("migration_tag_rate", faults.migration_tag_rate);
+    checkProb("migration_stall_rate", faults.migration_stall_rate);
+    checkProb("dest_crash_rate", faults.dest_crash_rate);
+    if (faults.migration_stall_timeout_us <= 0)
+        err("[faults] migration_stall_timeout_us must be positive");
+    if (faults.max_migration_attempts == 0)
+        err("[faults] max_migration_attempts must be at least 1: the "
+            "watchdog needs one attempt before it can fall back");
     if (faults.replica_crash_rate < 0)
         err("[faults] replica_crash_rate is negative");
     if (faults.replica_restart_rate < 0)
@@ -992,6 +1121,48 @@ ScenarioSpec::validate() const
         err("[overload] requests is set but multipliers is empty: "
             "list the rate multipliers to sweep");
 
+    // --- disagg ---
+    if (disagg.chunk_kib <= 0)
+        err("[disagg] chunk_kib must be positive");
+    if (disagg.pipeline_depth == 0)
+        err("[disagg] pipeline_depth must be at least 1 (1 = no "
+            "speculation, seal strictly behind the verify frontier)");
+    unsigned min_devices = max_devices;
+    for (unsigned n : cluster.devices)
+        min_devices = std::min(min_devices, n);
+    if (kind == ScenarioKind::Disagg) {
+        if (min_devices < 2 && !cluster.devices.empty())
+            err("a disagg scenario splits replicas into prefill and "
+                "decode roles: every [cluster] devices entry must be "
+                "at least 2");
+        if (disagg.prefill_replicas > 0 && min_devices >= 2 &&
+            disagg.prefill_replicas >= min_devices) {
+            err("[disagg] prefill_replicas (", disagg.prefill_replicas,
+                ") leaves no decode replica in the smallest cluster (",
+                min_devices, " devices): lower it or drop it (0 = "
+                "half the cluster)");
+        }
+        if (!hosts.empty())
+            err("disaggregated sweeps run on private host resources: "
+                "[host] variants are not supported for kind = disagg");
+        if (soak != SoakSpec{} || overload != OverloadSpec{})
+            err("[soak]/[overload] sections only apply to kind = "
+                "soak");
+        if (scaleAxis(false).empty())
+            err("a disagg scenario needs [faults] scales (use "
+                "'scales = 0' for a fault-free sweep)");
+    } else {
+        if (disagg != DisaggSpec{})
+            err("a [disagg] section only applies to kind = disagg");
+        if (faults.migration_tag_rate != 0 ||
+            faults.migration_stall_rate != 0 ||
+            faults.dest_crash_rate != 0) {
+            err("[faults] migration rates only fire on kind = disagg "
+                "runs: nothing migrates in a ", toString(kind),
+                " scenario");
+        }
+    }
+
     // --- kind-specific shape ---
     switch (kind) {
       case ScenarioKind::ClusterScale:
@@ -1028,6 +1199,10 @@ ScenarioSpec::validate() const
         if (cluster.devices.size() != 1)
             err("a soak scenario runs one fixed cluster: [cluster] "
                 "devices must name exactly one replica count");
+        break;
+      case ScenarioKind::Disagg:
+        // Shape checks live above (they need min_devices); nothing
+        // further here.
         break;
     }
 

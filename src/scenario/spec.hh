@@ -56,9 +56,27 @@ enum class ScenarioKind : std::uint8_t
     /** Chaos soak + overload sweep through src/chaos (the
      *  bench_soak shape). */
     Soak,
+    /** Disaggregated prefill/decode sweep: modes x device counts x
+     *  migration-fault scales, every request migrating its KV from a
+     *  prefill replica to a decode replica. */
+    Disagg,
 };
 
 const char *toString(ScenarioKind kind);
+
+/** One entry of the kind registry (--list, nearest-kind errors). */
+struct ScenarioKindInfo
+{
+    ScenarioKind kind;
+    const char *name;    ///< the `kind =` spelling
+    const char *summary; ///< one-line description for --list
+};
+
+/** Every scenario kind, in declaration order. */
+const std::vector<ScenarioKindInfo> &scenarioKinds();
+
+/** The known kind name closest to @p name by edit distance. */
+std::string nearestScenarioKind(const std::string &name);
 
 /** One swept host-resource variant (`[host <name>]`). */
 struct HostVariantSpec
@@ -166,6 +184,14 @@ struct FaultSpec
     double spdm_rekey_ms = 10;
     /** Warm-up probe round-tripped before a restart rejoins. */
     double warmup_probe_kib = 256;
+    /** Scale-1 per-migration-chunk Bernoulli probabilities. */
+    double migration_tag_rate = 0;
+    double migration_stall_rate = 0;
+    double dest_crash_rate = 0;
+    /** Migration stall-watchdog timeout per attempt. */
+    double migration_stall_timeout_us = 80;
+    /** Consecutive stalls tolerated before local-decode fallback. */
+    unsigned max_migration_attempts = 4;
     /** Fault-storm window; every Bernoulli rate is multiplied inside. */
     double storm_start_s = 0;
     double storm_end_s = 0;
@@ -181,6 +207,19 @@ struct FaultSpec
     double dip_recover_frac = 0.5;
 
     bool operator==(const FaultSpec &) const = default;
+};
+
+/** `[disagg]`: prefill/decode split knobs (kind = disagg only). */
+struct DisaggSpec
+{
+    /** Prefill replicas per cluster; 0 = half, rounded down. */
+    unsigned prefill_replicas = 0;
+    /** Encrypted KV migration chunk size. */
+    double chunk_kib = 256;
+    /** Chunks sealed ahead of the verification frontier. */
+    unsigned pipeline_depth = 4;
+
+    bool operator==(const DisaggSpec &) const = default;
 };
 
 /** `[admission]`: front-end overload protection. */
@@ -254,6 +293,7 @@ struct ScenarioSpec
     TraceSpec trace;
     /** Swept host variants; empty = one implicit private variant. */
     std::vector<HostVariantSpec> hosts;
+    DisaggSpec disagg;
     FaultSpec faults;
     AdmissionSpec admission;
     SloSpec slo;

@@ -75,6 +75,10 @@ ClusterRouter::isCandidate(unsigned d, std::uint64_t cost) const
 {
     if (!alive_[d])
         return false;
+    // Disaggregated runs: front-end arrivals only target prefill
+    // replicas; decode replicas receive work via migration.
+    if (!decode_role_.empty() && decode_role_[d])
+        return false;
     std::uint64_t cap = config_.admission.max_outstanding_cost;
     // An idle replica always qualifies: the cap is backpressure, not
     // a request-size limit, and no other replica can do better.
@@ -137,16 +141,58 @@ ClusterRouter::run(const trace::Trace &requests)
     std::fill(load_.begin(), load_.end(), 0);
     std::fill(alive_.begin(), alive_.end(), true);
 
+    // Role partition: the first prefill_n replicas take front-end
+    // arrivals, the rest only ever receive migrated decode work.
+    const bool disagg = config_.disagg.enabled && n >= 2;
+    unsigned prefill_n = 0;
+    decode_role_.clear();
+    if (disagg) {
+        prefill_n = config_.disagg.prefill_replicas
+                        ? config_.disagg.prefill_replicas
+                        : n / 2;
+        prefill_n = std::min(prefill_n, n - 1);
+        PIPELLM_ASSERT(prefill_n >= 1,
+                       "disaggregation needs a prefill replica");
+        decode_role_.assign(n, 0);
+        for (unsigned d = prefill_n; d < n; ++d)
+            decode_role_[d] = 1;
+    }
+
     ClusterResult agg;
     agg.replicas.resize(n);
     std::vector<std::unique_ptr<VllmEngine>> engines;
     engines.reserve(n);
     for (unsigned d = 0; d < n; ++d) {
         agg.replicas[d].device = runtime::DeviceId(d);
+        agg.replicas[d].prefill = disagg && d < prefill_n;
         agg.replicas[d].runtime_name = runtimes_[d]->name();
         engines.push_back(std::make_unique<VllmEngine>(
             *runtimes_[d], config_.engine));
         engines[d]->beginRun();
+    }
+
+    // The migration fabric: per-ordered-pair encrypted links created
+    // lazily on first use; one instance spans the whole run so link
+    // IV counters advance monotonically within a session epoch.
+    KvMigrator migrator(platform_, config_.disagg.migration);
+
+    // Finished prefills land here (per source replica, so a shard
+    // only ever appends to its own vector) and are migrated at the
+    // next delivery barrier on the main thread.
+    struct Handoff
+    {
+        trace::Request req;
+        Tick finished = 0;
+        unsigned src = 0;
+    };
+    std::vector<std::vector<Handoff>> handoffs(n);
+    if (disagg) {
+        for (unsigned d = 0; d < prefill_n; ++d) {
+            engines[d]->setCompletionSink(
+                [&handoffs, d](const trace::Request &r, Tick at) {
+                    handoffs[d].push_back(Handoff{r, at, d});
+                });
+        }
     }
 
     // Event-interleaved co-simulation: all replicas advance together
@@ -252,6 +298,133 @@ ClusterRouter::run(const trace::Trace &requests)
         }
     };
 
+    // Replicas that can take front-end arrivals: prefill replicas in
+    // a disaggregated run, everyone otherwise.
+    auto routableAlive = [&]() {
+        unsigned limit = disagg ? prefill_n : n;
+        unsigned c = 0;
+        for (unsigned d = 0; d < limit; ++d)
+            c += alive_[d];
+        return c;
+    };
+
+    // Least-loaded live decode replica, or -1 when none survives.
+    auto pickDecode = [&]() {
+        int best = -1;
+        for (unsigned d = prefill_n; d < n; ++d) {
+            if (!alive_[d])
+                continue;
+            if (best < 0 || load_[d] < load_[unsigned(best)])
+                best = int(d);
+        }
+        return best;
+    };
+
+    // KV bytes a finished prefill must move: its prompt blocks.
+    auto kvFootprint = [&](const trace::Request &r) {
+        std::uint64_t bt = config_.engine.block_tokens;
+        std::uint64_t blocks =
+            std::max<std::uint64_t>((r.prompt_len + bt - 1) / bt, 1);
+        return blocks * engines[0]->blockBytes();
+    };
+
+    // Hand a decode-stage request to replica d at tick at. The KV is
+    // already resident there (migrated, or local fallback), so the
+    // engine skips prefill compute. Not a front-end delivery: no
+    // noteDelivery, no routing-policy state.
+    auto submitDecode = [&](unsigned d, const trace::Request &req,
+                            Tick at) {
+        load_[d] += costOf(req);
+        engines[d]->advanceTo(at);
+        engines[d]->submitMigrated(req);
+    };
+
+    // Router-side recovery counters (the migrator counts per-stream
+    // events; re-routing and crash fallbacks are routing decisions).
+    std::uint64_t rerouted = 0;
+    std::uint64_t local_fallbacks = 0;
+
+    auto migrateAndSubmit = [&](const Handoff &h) {
+        Tick when = h.finished;
+        unsigned src = h.src;
+        // The prefill replica died after finishing this prefill but
+        // before the handoff was processed: its KV died with it, so
+        // the request restarts from the trace like any crash orphan.
+        if (!alive_[src]) {
+            trace::Request again = h.req;
+            again.arrival = std::max(again.arrival, when);
+            enqueue(PendingReq{again, true});
+            ++agg.replicas[src].requeued;
+            return;
+        }
+        std::uint64_t kv_bytes = kvFootprint(h.req);
+        bool first = true;
+        while (true) {
+            int dst = pickDecode();
+            if (dst < 0) {
+                // No live decode replica: graceful degradation —
+                // decode locally on the prefill replica, whose KV is
+                // already resident.
+                ++local_fallbacks;
+                submitDecode(src, h.req, when);
+                return;
+            }
+            if (!first)
+                ++rerouted;
+            first = false;
+            auto mr = migrator.migrate(runtime::DeviceId(src),
+                                       runtime::DeviceId(unsigned(dst)),
+                                       kv_bytes, when);
+            if (mr.status == MigrationStatus::Completed) {
+                submitDecode(unsigned(dst), h.req, mr.done);
+                return;
+            }
+            if (mr.status == MigrationStatus::Stalled) {
+                // The watchdog gave up (the migrator already counted
+                // the fallback): decode locally instead of waiting.
+                submitDecode(src, h.req, mr.done);
+                return;
+            }
+            // DestCrashed: the destination died under the stream. It
+            // is torn down exactly like a scheduled crash (orphans
+            // requeue, restart timeline, fresh crypto sessions), then
+            // the loop re-routes the migration from chunk zero on a
+            // surviving decode replica.
+            crash(unsigned(dst), mr.done);
+            migrator.rekeyLinksOf(runtime::DeviceId(unsigned(dst)));
+            when = mr.done;
+        }
+    };
+
+    // Handoffs are processed only here — at delivery barriers, on
+    // the main thread, identically in both regimes — so resource
+    // timelines and routing state match step for step whatever the
+    // worker count.
+    auto processHandoffs = [&]() {
+        if (!disagg)
+            return;
+        std::vector<Handoff> batch;
+        for (unsigned d = 0; d < n; ++d) {
+            batch.insert(batch.end(), handoffs[d].begin(),
+                         handoffs[d].end());
+            handoffs[d].clear();
+        }
+        if (batch.empty())
+            return;
+        // Deterministic order regardless of which shard produced
+        // which handoff: finish tick, then source, then request id.
+        std::sort(batch.begin(), batch.end(),
+                  [](const Handoff &a, const Handoff &b) {
+                      if (a.finished != b.finished)
+                          return a.finished < b.finished;
+                      if (a.src != b.src)
+                          return a.src < b.src;
+                      return a.req.id < b.req.id;
+                  });
+        for (const auto &h : batch)
+            migrateAndSubmit(h);
+    };
+
     // Deliberately by value: a crash inside may grow `pending`,
     // invalidating any reference into it.
     auto deliver = [&](PendingReq p) {
@@ -285,12 +458,14 @@ ClusterRouter::run(const trace::Trace &requests)
                 crash_at[d] <= req.arrival)
                 crash(d, req.arrival);
         }
-        if (aliveCount() == 0) {
+        if (routableAlive() == 0) {
             // With a restart in flight the request waits for the
-            // rejoin instead of dying with the cluster.
+            // rejoin instead of dying with the cluster. Only a
+            // routable (prefill-role) rejoin helps an arrival.
             Tick soonest = maxTick;
-            for (Tick r : rejoin_at)
-                soonest = std::min(soonest, r);
+            unsigned limit = disagg ? prefill_n : n;
+            for (unsigned d = 0; d < limit; ++d)
+                soonest = std::min(soonest, rejoin_at[d]);
             if (soonest != maxTick) {
                 ++agg.deferred_to_rejoin;
                 PendingReq again = std::move(p);
@@ -313,7 +488,8 @@ ClusterRouter::run(const trace::Trace &requests)
             // it now instead of burning replica time on a guaranteed
             // SLO violation.
             std::uint64_t best_load = ~std::uint64_t(0);
-            for (unsigned d = 0; d < n; ++d) {
+            unsigned limit = disagg ? prefill_n : n;
+            for (unsigned d = 0; d < limit; ++d) {
                 if (alive_[d])
                     best_load = std::min(best_load, load_[d]);
             }
@@ -356,7 +532,12 @@ ClusterRouter::run(const trace::Trace &requests)
         rep.routed_tokens += std::uint64_t(req.output_len) *
                              config_.engine.parallel_sampling;
         engines[d]->advanceTo(req.arrival);
-        engines[d]->submit(req);
+        // Disaggregated: the prefill replica serves only the prompt
+        // and hands the request off through its completion sink.
+        if (disagg)
+            engines[d]->submitPrefill(req);
+        else
+            engines[d]->submit(req);
         PIPELLM_AUDIT_HOOK(audit::Auditor::instance().noteDelivery(
             run_id, req.arrival, engines[d]->clock()));
     };
@@ -392,8 +573,14 @@ ClusterRouter::run(const trace::Trace &requests)
                         run_id, eng.clock(), window_horizon));
                 eng.stepOnce();
                 if (eng.hasWork()) {
+                    // A migrated group can put the engine's clock
+                    // behind the shard's dispatch point (its stepper
+                    // was posted at the window floor); the event time
+                    // never runs backwards even though the engine
+                    // model catches up at its own pace.
                     sched.shard(d).schedule(
-                        eng.clock(), [&steppers, d] { steppers[d](); });
+                        std::max(eng.clock(), sched.shard(d).now()),
+                        [&steppers, d] { steppers[d](); });
                 } else {
                     armed[d] = 0;
                 }
@@ -403,11 +590,18 @@ ClusterRouter::run(const trace::Trace &requests)
         // merged at the window barrier in (tick, shard, seq) order,
         // so the delivery-to-step handoff is deterministic by
         // construction rather than by thread timing.
+        // Messages posted between windows must land at or past the
+        // horizon of the last window run; a decode replica that takes
+        // a finished migration can sit behind that floor, so its
+        // stepper is posted at the floor (the engine still advances
+        // from its own clock).
+        Tick post_floor = 0;
         auto armStepper = [&](unsigned d) {
             if (armed[d] || !engines[d]->hasWork())
                 return;
             armed[d] = 1;
-            sched.post(sched.hostShard(), d, engines[d]->clock(),
+            sched.post(sched.hostShard(), d,
+                       std::max(engines[d]->clock(), post_floor),
                        [&steppers, d] { steppers[d](); });
         };
         while (true) {
@@ -431,19 +625,46 @@ ClusterRouter::run(const trace::Trace &requests)
             if (any_busy) {
                 window_horizon = arrival;
                 sched.runWindow(arrival);
+                post_floor = arrival;
                 for (unsigned d = 0; d < n; ++d)
                     load_[d] = engines[d]->outstandingCost();
             }
-            if (next_arrival >= pending.size()) {
-                if (!any_busy)
-                    break;
-                continue;
-            }
+            if (next_arrival >= pending.size())
+                break; // remaining handoffs settle in the drain sweep
+            // Window barrier: settle prefill->decode handoffs (the
+            // migrations may hand fresh work to idle replicas) before
+            // the next delivery — the same point the sequential
+            // regime uses. A no-op sweep outside disaggregated runs.
+            processHandoffs();
+            for (unsigned d = 0; d < n; ++d)
+                armStepper(d);
             deliver(pending[next_arrival++]);
             for (unsigned d = 0; d < n; ++d)
                 armStepper(d);
         }
-        agg.engine_steps = sched.dispatched();
+        // Drain sweep: the final window left every replica idle and
+        // closed the scheduler (nothing can be posted past a drained
+        // horizon), so migrations finishing after the last arrival
+        // hand their decode work over here and the engines run to
+        // completion inline. The decoupled regime has no shared
+        // resources, so a fixed per-replica sweep yields the same
+        // result as any interleaving — the sequential regime settles
+        // drain handoffs at the identical all-idle point.
+        std::uint64_t inline_steps = 0;
+        for (bool worked = true; worked;) {
+            processHandoffs();
+            worked = false;
+            for (unsigned d = 0; d < n; ++d) {
+                auto &eng = *engines[d];
+                while (eng.hasWork()) {
+                    eng.stepOnce();
+                    ++inline_steps;
+                    worked = true;
+                }
+                load_[d] = eng.outstandingCost();
+            }
+        }
+        agg.engine_steps = sched.dispatched() + inline_steps;
     } else {
         // Coupled regime (shared bridge, shared lane pool, or armed
         // faults): replicas can bind at the same tick, which is a
@@ -467,10 +688,15 @@ ClusterRouter::run(const trace::Trace &requests)
                     busiest = int(d);
             }
 #if PIPELLM_AUDIT_ENABLED
-            // The conservative frontier is the earlier of the min
-            // busy clock and the next pending arrival; unlike the
-            // busy-min alone (which legitimately drops when an idle
-            // replica takes a delivery), it is monotone.
+            // The schedule frontier is the earlier of the min busy
+            // clock and the next pending arrival; it gates which
+            // replica may step. The noted (monotone) frontier also
+            // folds in handoffs still waiting for their barrier:
+            // busy replicas legitimately run past a finished prefill
+            // before the barrier settles it, and the migration it
+            // starts then submits decode work behind the busy-min —
+            // so a pending handoff bounds the global frontier
+            // without gating the stepper.
             Tick frontier = maxTick;
             if (busiest >= 0)
                 frontier = engines[busiest]->clock();
@@ -478,11 +704,25 @@ ClusterRouter::run(const trace::Trace &requests)
                 frontier = std::min(
                     frontier, pending[next_arrival].req.arrival);
             }
-            if (frontier != maxTick)
+            Tick noted = frontier;
+            for (const auto &hs : handoffs) {
+                for (const auto &h : hs)
+                    noted = std::min(noted, h.finished);
+            }
+            if (noted != maxTick)
                 audit::Auditor::instance().noteFrontier(run_id,
-                                                        frontier);
+                                                        noted);
 #endif
             if (busiest < 0) {
+                // Every replica idle: settle handoffs first — a
+                // migration can hand new decode work to an idle
+                // replica, which must run before the trace can end.
+                processHandoffs();
+                bool woke = false;
+                for (unsigned d = 0; d < n; ++d)
+                    woke |= engines[d]->hasWork();
+                if (woke)
+                    continue;
                 if (next_arrival >= pending.size())
                     break;
                 deliver(pending[next_arrival++]);
@@ -491,6 +731,10 @@ ClusterRouter::run(const trace::Trace &requests)
             if (next_arrival < pending.size() &&
                 pending[next_arrival].req.arrival <=
                     engines[busiest]->clock()) {
+                // Delivery barrier: every busy replica has reached
+                // the arrival — the point matching the sharded
+                // regime's window barrier — so handoffs settle here.
+                processHandoffs();
                 deliver(pending[next_arrival++]);
                 continue;
             }
@@ -501,6 +745,14 @@ ClusterRouter::run(const trace::Trace &requests)
             load_[busiest] = engines[busiest]->outstandingCost();
             ++agg.engine_steps;
         }
+    }
+
+    if (disagg) {
+        // The migrator's per-stream counters plus the router-side
+        // recovery decisions join the cluster-wide fault ledger.
+        agg.faults.merge(migrator.faultReport());
+        agg.faults.migrations_rerouted += rerouted;
+        agg.faults.migration_fallbacks += local_fallbacks;
     }
 
     double latency_weight = 0;

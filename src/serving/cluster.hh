@@ -26,6 +26,20 @@
  * lowest-device-id tie-breaking. With one device, either policy
  * degenerates to the single-Platform path bit-for-bit.
  *
+ * Disaggregated serving (DisaggConfig) splits the cluster by role:
+ * the first P replicas run prefill only, the rest decode only.
+ * Arrivals route among the prefill replicas; a finished prefill's KV
+ * blocks migrate to the least-loaded decode replica over a per-pair
+ * encrypted link (KvMigrator), and the decode stage carries every
+ * end-to-end metric. Handoffs are processed only at delivery
+ * barriers — the same points in both the sharded and sequential
+ * regimes — so disaggregated results stay byte-identical for every
+ * worker count. Migration failures degrade gracefully: a stalled
+ * stream decodes locally on the prefill replica, a destination crash
+ * re-routes the migration to another live decode replica, and a
+ * prefill replica that dies before its handoff is processed requeues
+ * the full request through normal failover.
+ *
  * Two robustness layers sit on top. A crashed replica can restart
  * (FaultPlan::replica_restart_rate): after a seeded repair delay it
  * re-keys its SPDM session into a fresh IV epoch, re-uploads the
@@ -49,6 +63,7 @@
 
 #include "fault/fault.hh"
 #include "runtime/api.hh"
+#include "serving/migrate.hh"
 #include "serving/vllm.hh"
 #include "trace/request.hh"
 
@@ -113,6 +128,26 @@ struct AdmissionConfig
     std::uint64_t max_outstanding_cost = 0;
 };
 
+/**
+ * Disaggregated prefill/decode serving. Disabled (the default), the
+ * router is the homogeneous-replica one, decision for decision.
+ */
+struct DisaggConfig
+{
+    bool enabled = false;
+
+    /**
+     * Replicas [0, prefill_replicas) serve prefill; the rest serve
+     * decode. 0 picks half the cluster; the value is clamped so both
+     * roles keep at least one replica (disaggregation needs >= 2
+     * devices and is ignored below that).
+     */
+    unsigned prefill_replicas = 0;
+
+    /** KV migration stream tuning (chunk size, pipeline depth). */
+    MigrationConfig migration;
+};
+
 /** Cluster-serving configuration. */
 struct ClusterConfig
 {
@@ -121,6 +156,8 @@ struct ClusterConfig
     RoutePolicy policy = RoutePolicy::RoundRobin;
     /** Front-end overload protection (inert by default). */
     AdmissionConfig admission;
+    /** Prefill/decode disaggregation (inert by default). */
+    DisaggConfig disagg;
     /**
      * Worker threads for the sharded co-simulation (0 = hardware
      * concurrency). Only the decoupled regime (private host
@@ -137,6 +174,8 @@ struct ClusterConfig
 struct ReplicaReport
 {
     runtime::DeviceId device = 0;
+    /** Disaggregated runs: this replica served the prefill role. */
+    bool prefill = false;
     std::uint64_t requests = 0;
     /** Output tokens routed here (output_len * parallel_sampling). */
     std::uint64_t routed_tokens = 0;
@@ -289,6 +328,12 @@ class ClusterRouter
     std::vector<std::uint64_t> load_;
     /** Health per replica; routing never targets a dead one. */
     std::vector<bool> alive_;
+    /**
+     * Role map for the current disaggregated run (1 = decode-only,
+     * never a front-end routing candidate). Empty outside
+     * disaggregated runs, leaving every routing decision unchanged.
+     */
+    std::vector<std::uint8_t> decode_role_;
 };
 
 } // namespace serving

@@ -1,0 +1,263 @@
+#include "serving/migrate.hh"
+
+#include <deque>
+
+#include "common/logging.hh"
+
+namespace pipellm {
+namespace serving {
+
+using crypto::Direction;
+
+const char *
+toString(MigrationStatus status)
+{
+    switch (status) {
+      case MigrationStatus::Completed:
+        return "Completed";
+      case MigrationStatus::Stalled:
+        return "Stalled";
+      case MigrationStatus::DestCrashed:
+        return "DestCrashed";
+    }
+    return "Unknown";
+}
+
+KvMigrator::KvMigrator(runtime::Platform &platform,
+                       const MigrationConfig &config)
+    : platform_(platform), config_(config)
+{
+    PIPELLM_ASSERT(config_.chunk_bytes > 0,
+                   "migration chunks cannot be empty");
+}
+
+KvMigrator::Link &
+KvMigrator::linkFor(runtime::DeviceId src, runtime::DeviceId dst)
+{
+    auto key = std::make_pair(src, dst);
+    auto it = links_.find(key);
+    if (it != links_.end())
+        return it->second;
+
+    // A fresh SPDM session per ordered pair: same sampling rules as
+    // the devices' own CPU<->GPU sessions, but a pair-unique key so
+    // a blob sealed for one link can never verify on another.
+    crypto::ChannelConfig cfg =
+        platform_.device(src).channel().config();
+    cfg.key_seed ^= 0x9E3779B97F4A7C15ULL *
+                    (std::uint64_t(src) * platform_.numDevices() +
+                     dst + 1);
+    Link link;
+    link.channel = std::make_unique<crypto::SecureChannel>(cfg);
+    return links_.emplace(key, std::move(link)).first->second;
+}
+
+crypto::SecureChannel &
+KvMigrator::link(runtime::DeviceId src, runtime::DeviceId dst)
+{
+    return *linkFor(src, dst).channel;
+}
+
+void
+KvMigrator::fillSample(std::vector<std::uint8_t> &sample,
+                       std::uint64_t chunk_index) const
+{
+    for (std::size_t i = 0; i < sample.size(); ++i) {
+        sample[i] = std::uint8_t(
+            (chunk_index * 131 + i * 7 + 0xA5) & 0xFF);
+    }
+}
+
+void
+KvMigrator::rekeyLinksOf(runtime::DeviceId device)
+{
+    for (auto &entry : links_) {
+        if (entry.first.first != device &&
+            entry.first.second != device) {
+            continue;
+        }
+        entry.second.channel->rekey();
+        // Both endpoints restart the stream counter in the new epoch;
+        // pre-crash ciphertexts fail verification by construction.
+        entry.second.iv = crypto::IvCounter(Direction::HostToDevice);
+    }
+}
+
+MigrationResult
+KvMigrator::migrate(runtime::DeviceId src, runtime::DeviceId dst,
+                    std::uint64_t kv_bytes, Tick start)
+{
+    PIPELLM_ASSERT(src != dst, "migration requires distinct replicas");
+    PIPELLM_ASSERT(kv_bytes > 0, "migrating an empty KV footprint");
+
+    Link &lk = linkFor(src, dst);
+    crypto::SecureChannel &chan = *lk.channel;
+    fault::FaultInjector &injector = platform_.faultInjector();
+    const fault::FaultPlan &plan = injector.plan();
+    runtime::StagedCopyPath &out = platform_.device(src).d2hPath();
+    runtime::StagedCopyPath &in = platform_.device(dst).h2dPath();
+
+    MigrationResult res;
+    const std::uint64_t nchunks =
+        (kv_bytes + config_.chunk_bytes - 1) / config_.chunk_bytes;
+    res.chunks_total = nchunks;
+    ++report_.migrations;
+
+    const unsigned depth = std::max(1u, config_.pipeline_depth);
+    auto chunkLen = [&](std::uint64_t chunk) {
+        std::uint64_t off = chunk * config_.chunk_bytes;
+        return std::min(config_.chunk_bytes, kv_bytes - off);
+    };
+
+    /** A sealed-but-unverified chunk (ledger state Sealed). */
+    struct Sealed
+    {
+        std::uint64_t chunk;
+        std::uint64_t counter;
+        crypto::CipherBlob blob;
+    };
+    std::deque<Sealed> window;
+    std::vector<std::uint8_t> sample;
+
+    // The stream is fully predictable, so the sender pre-generates
+    // the remaining counter sequence without consuming it and checks
+    // every seal lands exactly on plan; a tag fault invalidates the
+    // plan (fresh IVs) and the next seal re-plans from the new base.
+    std::uint64_t planned_next = lk.iv.peek(0);
+
+    auto sealChunk = [&](std::uint64_t chunk) {
+        std::uint64_t len = chunkLen(chunk);
+        sample.resize(chan.sampledLen(len));
+        fillSample(sample, chunk);
+        std::uint64_t counter = lk.iv.next();
+        PIPELLM_ASSERT(counter == planned_next,
+                       "migration IV speculation diverged: sealed ",
+                       counter, " planned ", planned_next);
+        planned_next = counter + 1;
+        if (!window.empty()) {
+            // Sealed ahead of the verification frontier: this IV was
+            // committed before the previous chunk round-tripped.
+            ++res.speculated_ivs;
+            ++report_.speculated_migration_ivs;
+        }
+        window.push_back(
+            Sealed{chunk, counter,
+                   chan.seal(Direction::HostToDevice, counter,
+                             sample.data(), len)});
+    };
+
+    auto discardWindow = [&]() {
+        for (const Sealed &s : window) {
+            PIPELLM_AUDIT_HOOK(audit::Auditor::instance().noteDiscarded(
+                s.blob.audit_serial));
+            (void)s; // only the audit build reads the serial
+            ++report_.discarded_chunks;
+            ++res.chunks_discarded;
+        }
+        window.clear();
+    };
+
+    Tick t = start;
+    std::uint64_t verify = 0;    // chunks verified so far
+    std::uint64_t next_seal = 0; // next chunk index to seal
+    unsigned tag_retries = 0;    // consecutive, for the head chunk
+
+    while (verify < nchunks) {
+        while (next_seal < nchunks && window.size() < depth)
+            sealChunk(next_seal++);
+
+        const std::uint64_t len = chunkLen(window.front().chunk);
+
+        // Stall watchdog: each injected stall charges the timeout
+        // plus jittered capped-exponential backoff; a chunk that
+        // exhausts its attempts aborts the stream so the caller can
+        // degrade to local decode instead of waiting forever.
+        unsigned attempts = 0;
+        bool stalled_out = false;
+        while (injector.stallMigration(t)) {
+            ++attempts;
+            ++report_.migration_stalls;
+            Tick wait = plan.migration_stall_timeout +
+                        injector.backoff(attempts);
+            report_.retry_latency += wait;
+            t += wait;
+            if (attempts >= plan.max_migration_attempts) {
+                stalled_out = true;
+                break;
+            }
+        }
+        if (stalled_out) {
+            discardWindow();
+            ++report_.migration_fallbacks;
+            res.status = MigrationStatus::Stalled;
+            res.done = t;
+            return res;
+        }
+
+        // One crossing: the source's D2H staged path into host
+        // memory, then the destination's H2D staged path — the same
+        // links the replicas' own swap traffic uses.
+        Tick host_at = out.transfer(t, len);
+        Tick landed = in.transfer(host_at, len);
+
+        Sealed &head = window.front();
+        PIPELLM_AUDIT_HOOK(audit::Auditor::instance().noteExposure(
+            chan.auditId(), int(Direction::HostToDevice),
+            head.counter));
+
+        if (injector.dropDestination(landed)) {
+            // The destination died under this chunk. Everything
+            // sealed but unverified — the in-flight chunk and the
+            // speculative window behind it — is abandoned: discarded
+            // in the ledger, never verified.
+            ++report_.dest_mid_migration_crashes;
+            discardWindow();
+            res.status = MigrationStatus::DestCrashed;
+            res.done = landed;
+            return res;
+        }
+
+        if (injector.corruptMigrationChunk(landed))
+            crypto::SecureChannel::corrupt(head.blob);
+
+        std::vector<std::uint8_t> sample_pt;
+        if (chan.open(head.blob, head.counter, sample_pt)) {
+            ++res.chunks_verified;
+            ++report_.migrated_chunks;
+            ++verify;
+            window.pop_front();
+            tag_retries = 0;
+            t = landed;
+            continue;
+        }
+
+        // Tag mismatch. One the injector did not cause is a genuine
+        // protocol bug — never paper over it with a retry.
+        if (!head.blob.injected_fault) {
+            FATAL("migration chunk ", head.chunk, " (", src, "->",
+                  dst, ") failed verification without an injected ",
+                  "fault: counter desync or stale speculation");
+        }
+        ++report_.migration_tag_faults;
+        ++tag_retries;
+        PIPELLM_ASSERT(tag_retries <= plan.max_transfer_retries,
+                       "migration retry budget exhausted (",
+                       plan.max_transfer_retries, ") on chunk ",
+                       head.chunk);
+        ++report_.migration_retries;
+        // Resume from the last verified chunk at fresh IVs: the
+        // failed chunk and every speculatively sealed chunk behind
+        // it are stale ciphertexts now, discarded never sent again.
+        discardWindow();
+        next_seal = verify;
+        planned_next = lk.iv.peek(0);
+        t = landed;
+    }
+
+    res.status = MigrationStatus::Completed;
+    res.done = t;
+    return res;
+}
+
+} // namespace serving
+} // namespace pipellm

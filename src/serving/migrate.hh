@@ -1,0 +1,157 @@
+/**
+ * @file
+ * Replica-to-replica encrypted KV migration (disaggregated serving).
+ *
+ * When prefill and decode run on separate replicas, a finished
+ * prefill's KV blocks must cross from the prefill GPU to a decode GPU.
+ * That stream is exactly the traffic PipeLLM's speculative pipelined
+ * encryption was built for: the chunk sequence of a migration is fully
+ * predictable the moment the migration starts, so the sender
+ * pre-generates the whole stream's IVs (IvCounter::peek) and seals
+ * chunks ahead of verification instead of waiting for each chunk's
+ * round trip.
+ *
+ * Each ordered (source, destination) device pair negotiates its own
+ * inter-device SecureChannel session — its own key, IV namespace and
+ * audit identity, separate from either device's CPU<->GPU session —
+ * mirroring how real multi-GPU CC fabrics establish per-link SPDM
+ * sessions. Chunks cross the source's D2H staged path and the
+ * destination's H2D staged path, so migrations contend with the
+ * replicas' own swap traffic on the same PCIe links.
+ *
+ * Robustness is the point. Every chunk carries a per-chunk ledger
+ * entry (Pending -> Sealed -> Verified | Discarded), and the stream
+ * survives:
+ *  - tag failure: the failed chunk and every speculatively pre-sealed
+ *    chunk behind it are discarded (never verified) and the stream
+ *    resumes from the last verified chunk at fresh IVs;
+ *  - stalls: a watchdog charges a timeout plus capped exponential
+ *    backoff per attempt; a chunk that exhausts its attempts aborts
+ *    the stream with Stalled so the caller can degrade gracefully
+ *    (decode locally on the prefill replica);
+ *  - destination crash: the stream aborts with DestCrashed, every
+ *    sealed-but-unverified chunk is discarded in the audit ledger,
+ *    and the caller re-routes the migration to another live decode
+ *    replica from chunk zero.
+ */
+
+#ifndef PIPELLM_SERVING_MIGRATE_HH
+#define PIPELLM_SERVING_MIGRATE_HH
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "common/units.hh"
+#include "crypto/channel.hh"
+#include "crypto/iv.hh"
+#include "fault/fault.hh"
+#include "runtime/platform.hh"
+
+namespace pipellm {
+namespace serving {
+
+/** Tuning knobs for the migration stream. */
+struct MigrationConfig
+{
+    /** Bytes per migration chunk (one seal + one crossing each). */
+    std::uint64_t chunk_bytes = 256 * KiB;
+
+    /**
+     * Chunks sealed ahead of the verification frontier (speculative
+     * pipelined encryption of the predictable stream). Depth 1 is
+     * lockstep; deeper windows hide seal latency but widen the blast
+     * radius a destination crash discards.
+     */
+    unsigned pipeline_depth = 4;
+};
+
+/** Why a migration attempt ended. */
+enum class MigrationStatus : std::uint8_t
+{
+    Completed,   ///< every chunk verified at the destination
+    Stalled,     ///< watchdog gave up; decode locally instead
+    DestCrashed, ///< destination died mid-stream; re-route
+};
+
+const char *toString(MigrationStatus status);
+
+/** One migration attempt's outcome and per-chunk accounting. */
+struct MigrationResult
+{
+    MigrationStatus status = MigrationStatus::Completed;
+    /** Tick the stream completed or aborted. */
+    Tick done = 0;
+    std::uint64_t chunks_total = 0;
+    std::uint64_t chunks_verified = 0;
+    /** Chunks whose ledger entry ended Discarded (never verified). */
+    std::uint64_t chunks_discarded = 0;
+    /** Stream IVs pre-generated ahead of the verification frontier. */
+    std::uint64_t speculated_ivs = 0;
+};
+
+/**
+ * Streams KV bytes between replicas over per-pair SecureChannels.
+ * One instance serves a whole cluster run; links are created lazily
+ * per ordered device pair and persist across migrations so IV
+ * counters keep advancing (never reused) within a session epoch.
+ */
+class KvMigrator
+{
+  public:
+    explicit KvMigrator(runtime::Platform &platform,
+                        const MigrationConfig &config = MigrationConfig{});
+
+    const MigrationConfig &config() const { return config_; }
+
+    /**
+     * Stream @p kv_bytes from @p src to @p dst starting no earlier
+     * than @p start. Deterministic: all randomness comes from the
+     * platform's seeded FaultInjector; disarmed runs never fail.
+     */
+    MigrationResult migrate(runtime::DeviceId src, runtime::DeviceId dst,
+                            std::uint64_t kv_bytes, Tick start);
+
+    /**
+     * Re-key every migration session touching @p device (called when
+     * a replica crashes: its endpoints' keys die with it, and a
+     * restarted replica must never accept pre-crash ciphertexts).
+     * Both endpoints reset their stream counters to the new epoch.
+     */
+    void rekeyLinksOf(runtime::DeviceId device);
+
+    /** Migration fault/recovery counters across every stream so far. */
+    const fault::FaultReport &faultReport() const { return report_; }
+
+    /** The pair session for (src, dst); creates it on first use. */
+    crypto::SecureChannel &link(runtime::DeviceId src,
+                                runtime::DeviceId dst);
+
+  private:
+    /** One ordered pair's session: shared key material + stream IVs. */
+    struct Link
+    {
+        std::unique_ptr<crypto::SecureChannel> channel;
+        crypto::IvCounter iv{crypto::Direction::HostToDevice};
+    };
+
+    Link &linkFor(runtime::DeviceId src, runtime::DeviceId dst);
+
+    /** Deterministic chunk plaintext (sampled prefix) for sealing. */
+    void fillSample(std::vector<std::uint8_t> &sample,
+                    std::uint64_t chunk_index) const;
+
+    runtime::Platform &platform_;
+    MigrationConfig config_;
+    fault::FaultReport report_;
+    /** Ordered map: link iteration order must be deterministic. */
+    std::map<std::pair<runtime::DeviceId, runtime::DeviceId>, Link>
+        links_;
+};
+
+} // namespace serving
+} // namespace pipellm
+
+#endif // PIPELLM_SERVING_MIGRATE_HH

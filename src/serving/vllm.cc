@@ -255,6 +255,37 @@ VllmEngine::submit(const trace::Request &req)
     waiting_.push_back(groups_.size() - 1);
 }
 
+void
+VllmEngine::submitPrefill(const trace::Request &req)
+{
+    Group g;
+    g.id = req.id;
+    g.arrival = req.arrival;
+    g.deadline = req.deadline;
+    g.prompt_len = req.prompt_len;
+    // The prefill stage retires with the bootstrap token; the real
+    // output budget rides along for crash-drain requeues.
+    g.output_len = 1;
+    g.full_output_len = std::max<std::uint32_t>(req.output_len, 1);
+    g.handoff = true;
+    groups_.push_back(g);
+    waiting_.push_back(groups_.size() - 1);
+}
+
+void
+VllmEngine::submitMigrated(const trace::Request &req)
+{
+    Group g;
+    g.id = req.id;
+    g.arrival = req.arrival;
+    g.deadline = req.deadline;
+    g.prompt_len = req.prompt_len;
+    g.output_len = std::max<std::uint32_t>(req.output_len, 1);
+    g.prefilled = true;
+    groups_.push_back(g);
+    waiting_.push_back(groups_.size() - 1);
+}
+
 std::uint64_t
 VllmEngine::outstandingCost() const
 {
@@ -299,7 +330,10 @@ VllmEngine::stepOnce()
         Group &g = groups_[waiting_.front()];
         if (!admit(g, now))
             break;
-        prefill.push_back(waiting_.front());
+        // Migrated groups landed with their prompt KV already
+        // computed elsewhere: allocate the blocks, skip the kernels.
+        if (!g.prefilled)
+            prefill.push_back(waiting_.front());
         running_.push_back(waiting_.front());
         waiting_.erase(waiting_.begin());
     }
@@ -361,6 +395,21 @@ VllmEngine::stepOnce()
         ++g.generated;
         if (g.generated >= g.output_len) {
             freeBlocks(g);
+            if (g.handoff) {
+                // Prefill stage of a disaggregated request: every
+                // end-to-end metric belongs to the decode stage, so
+                // this retirement only hands the request (with its
+                // real output length restored) to the router's sink.
+                if (sink_) {
+                    sink_(trace::Request{g.id, g.arrival,
+                                         g.prompt_len,
+                                         g.full_output_len,
+                                         g.deadline},
+                          now);
+                }
+                it = running_.erase(it);
+                continue;
+            }
             norm_latency_.add(toSeconds(now - g.arrival) /
                               double(g.generated));
             std::uint64_t tokens =
@@ -397,11 +446,13 @@ VllmEngine::drainUnfinished(std::uint64_t &lost_tokens)
             }
             // The requeued request restarts from the prompt; partial
             // generation died with the replica. Its deadline rides
-            // along — failover does not buy a request more SLO.
-            orphans.push_back(trace::Request{g.id, g.arrival,
-                                             g.prompt_len,
-                                             g.output_len,
-                                             g.deadline});
+            // along — failover does not buy a request more SLO. A
+            // handoff group requeues the full request, not its
+            // bootstrap-token prefill stub.
+            orphans.push_back(trace::Request{
+                g.id, g.arrival, g.prompt_len,
+                g.handoff ? g.full_output_len : g.output_len,
+                g.deadline});
         }
         list.clear();
     };

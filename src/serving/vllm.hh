@@ -18,6 +18,8 @@
 #include <algorithm>
 #include <cstdint>
 #include <deque>
+#include <functional>
+#include <utility>
 #include <vector>
 
 #include "llm/cost_model.hh"
@@ -118,6 +120,35 @@ class VllmEngine
     /** Hand an arrived request to the scheduler (arrival order). */
     void submit(const trace::Request &req);
 
+    /**
+     * Disaggregated-mode prefill stage: serve only the prompt (plus
+     * the single bootstrap token prefill naturally emits) and hand
+     * the finished request to the completion sink instead of counting
+     * it as a completion. The request's real output length rides
+     * along so a crash-drain can requeue the full request.
+     */
+    void submitPrefill(const trace::Request &req);
+
+    /**
+     * Disaggregated-mode decode stage: the prompt KV already landed
+     * on this replica via migration, so admission allocates the
+     * prompt blocks without charging prefill compute. End-to-end
+     * latency still runs from the request's original arrival, which
+     * the caller preserves in @p req.arrival's deadline pairing by
+     * submitting with arrival = migration completion tick.
+     */
+    void submitMigrated(const trace::Request &req);
+
+    /** Callback fired when a prefill-stage (handoff) group retires. */
+    using CompletionSink =
+        std::function<void(const trace::Request &, Tick)>;
+
+    /** Install the prefill-handoff sink (disaggregated router). */
+    void setCompletionSink(CompletionSink sink)
+    {
+        sink_ = std::move(sink);
+    }
+
     /** True while any submitted group is unfinished. */
     bool hasWork() const
     {
@@ -199,6 +230,14 @@ class VllmEngine
         std::vector<std::uint32_t> block_ids;
         mem::Region host_swap{};
         bool swapped = false;
+        /** Prefill stage of a disaggregated request: retire to the
+         *  completion sink, not the result metrics. */
+        bool handoff = false;
+        /** The handed-off request's real output length (a handoff
+         *  group itself only generates the bootstrap token). */
+        std::uint32_t full_output_len = 0;
+        /** Prompt KV arrived via migration; skip prefill compute. */
+        bool prefilled = false;
     };
 
     std::uint64_t blocksFor(const Group &g, std::uint32_t generated) const;
@@ -234,6 +273,7 @@ class VllmEngine
     Tick now_ = 0;
     VllmResult result_;
     sim::SampleSet norm_latency_;
+    CompletionSink sink_;
 };
 
 } // namespace serving

@@ -173,3 +173,66 @@ TEST_F(ChaosRig, SmokeSoakAccountingCloses)
         EXPECT_EQ(again.disturbances[i].at, r.disturbances[i].at);
     }
 }
+
+TEST_F(ChaosRig, CrashDuringMigrationStormRecovers)
+{
+    // Disaggregated soak under a crash-during-migration storm: the
+    // storm window multiplies per-chunk migration faults (tag
+    // corruption, stalls, destination crashes mid-stream) on top of
+    // the default crash/restart mix. The fixture's auditor teardown
+    // is the confidentiality half of the assertion: no IV reuse and
+    // no ciphertext-disposal leak across every abort and re-route.
+    auto plan = defaultSoakPlan(true);
+    plan.n_devices = 4;
+    plan.disagg.enabled = true;
+    double calm = 0.8 * plan.n_devices;
+    plan.phases = {SoakPhase{16, calm}, SoakPhase{16, 4 * calm},
+                   SoakPhase{16, calm}};
+    // Per-chunk rates: a ~1024-token opt13b request migrates hundreds
+    // of 256 KiB chunks, and the x8 storm sits on top.
+    plan.faults.migration_tag_rate = 2e-4;
+    plan.faults.migration_stall_rate = 2e-4;
+    plan.faults.dest_crash_rate = 2e-6;
+    auto r = runSoak(plan);
+
+    const auto &f = r.cluster.faults;
+    // The storm actually bit: migrations ran and recovery paths fired.
+    EXPECT_GT(f.migrations, 0u);
+    EXPECT_GT(f.migrated_chunks, 0u);
+    EXPECT_GT(f.migration_tag_faults, 0u);
+    EXPECT_EQ(f.migration_retries, f.migration_tag_faults);
+    // Every abandoned chunk was discarded in the ledger, never
+    // verified: each tag retry discards at least the failed chunk,
+    // and each abort discards its whole speculative window.
+    EXPECT_GE(f.discarded_chunks,
+              f.migration_tag_faults + f.dest_mid_migration_crashes);
+
+    // Accounting still closes under the storm: every request was
+    // served or honestly reported shed, none dropped, and goodput
+    // climbed back above the bar after every disturbance.
+    EXPECT_EQ(r.cluster.dropped, 0u);
+    EXPECT_EQ(r.cluster.completed + r.cluster.shed_requests, 48u);
+    EXPECT_EQ(r.audit_violations, 0u);
+
+    // Goodput recovery, judged over complete windows only: the run
+    // ends mid-window, and a truncated final bucket divides its few
+    // tokens by the full window length, reading artificially low.
+    auto complete = r.timeline;
+    while (!complete.empty() &&
+           complete.back().end > r.cluster.makespan)
+        complete.pop_back();
+    for (const auto &d : r.disturbances) {
+        EXPECT_TRUE(dipAfter(complete, d.at, plan.recover_frac)
+                        .recovered)
+            << d.what << " at " << toSeconds(d.at) << "s";
+    }
+
+    // The storm replays bit-identically, re-routes and all.
+    auto again = runSoak(plan);
+    EXPECT_EQ(again.cluster.completed, r.cluster.completed);
+    EXPECT_EQ(again.cluster.makespan, r.cluster.makespan);
+    EXPECT_EQ(again.cluster.faults.discarded_chunks,
+              f.discarded_chunks);
+    EXPECT_EQ(again.cluster.faults.migrations_rerouted,
+              f.migrations_rerouted);
+}

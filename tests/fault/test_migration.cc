@@ -1,0 +1,224 @@
+/**
+ * @file
+ * Migration fault recovery: the three migration Fault::Kinds are
+ * injected against live KvMigrator streams and the recovery paths —
+ * retry-from-last-verified-chunk, stall-watchdog fallback, and
+ * destination-crash abort + re-route — are shown to either deliver
+ * every chunk verified or abandon the stream with every unverified
+ * chunk discarded in the ledger. Under -DPIPELLM_AUDIT=ON the same
+ * runs must stay violation-free: recovery may never reuse an IV or
+ * leave a sealed chunk undisposed.
+ */
+
+#include <gtest/gtest.h>
+
+#include "audit/audit.hh"
+#include "fault/fault.hh"
+#include "runtime/platform.hh"
+#include "serving/migrate.hh"
+#include "tests/serving/serving_fixture.hh"
+
+using namespace pipellm;
+using namespace pipellm::serving;
+using serving_test::tinyGpu;
+
+namespace {
+
+struct MigrationRig : ::testing::Test
+{
+    runtime::Platform platform{tinyGpu(448 * MiB),
+                               crypto::ChannelConfig{}, 3,
+                               runtime::HostResources{}};
+
+    void
+    SetUp() override
+    {
+#if PIPELLM_AUDIT_ENABLED
+        audit::Auditor::instance().reset();
+        audit::Auditor::instance().setTrapOnViolation(false);
+#endif
+    }
+
+    void
+    TearDown() override
+    {
+#if PIPELLM_AUDIT_ENABLED
+        EXPECT_TRUE(audit::Auditor::instance().violations().empty())
+            << audit::Auditor::instance().report();
+        audit::Auditor::instance().reset();
+#endif
+    }
+
+    void
+    arm(fault::FaultPlan plan)
+    {
+        plan.seed = plan.seed ? plan.seed : 77;
+        platform.armFaults(plan);
+    }
+
+    KvMigrator
+    migrator()
+    {
+        MigrationConfig cfg;
+        cfg.chunk_bytes = 256 * KiB;
+        cfg.pipeline_depth = 4;
+        return KvMigrator(platform, cfg);
+    }
+};
+
+} // namespace
+
+TEST_F(MigrationRig, MigrationTagFaultInjectionIsDetectedEveryTime)
+{
+    fault::FaultPlan plan;
+    plan.migration_tag_rate = 0.25;
+    arm(plan);
+    auto mig = migrator();
+    auto res = mig.migrate(0, 1, 8 * MiB, 0);
+    EXPECT_EQ(res.status, MigrationStatus::Completed);
+
+    const auto &rep = mig.faultReport();
+    ASSERT_GT(rep.migration_tag_faults, 0u);
+    // Every injected corruption surfaced as a tag failure — none
+    // slipped through verification.
+    EXPECT_EQ(rep.migration_tag_faults,
+              platform.faultInjector().injected(
+                  fault::Kind::MigrationTagFault));
+}
+
+TEST_F(MigrationRig, MigrationTagFaultRecoveryResumesFromLastVerified)
+{
+    fault::FaultPlan plan;
+    plan.migration_tag_rate = 0.25;
+    arm(plan);
+    auto mig = migrator();
+    auto res = mig.migrate(0, 1, 8 * MiB, 0);
+    // Recovery replays from the last verified chunk on fresh IVs
+    // until the full stream lands.
+    EXPECT_EQ(res.status, MigrationStatus::Completed);
+    EXPECT_EQ(res.chunks_verified, res.chunks_total);
+    const auto &rep = mig.faultReport();
+    EXPECT_EQ(rep.migration_retries, rep.migration_tag_faults);
+    EXPECT_EQ(rep.migrated_chunks, res.chunks_total);
+}
+
+TEST_F(MigrationRig, MigrationTagFaultRecoveryDiscardsSpeculativeWindow)
+{
+    fault::FaultPlan plan;
+    plan.migration_tag_rate = 0.25;
+    arm(plan);
+    auto mig = migrator();
+    auto res = mig.migrate(0, 1, 8 * MiB, 0);
+    ASSERT_EQ(res.status, MigrationStatus::Completed);
+    const auto &rep = mig.faultReport();
+    ASSERT_GT(rep.migration_tag_faults, 0u);
+    // A failed chunk takes its whole speculative window with it: at
+    // least the failed chunk per retry is discarded, and nothing is
+    // both discarded and counted as migrated.
+    EXPECT_GE(rep.discarded_chunks, rep.migration_tag_faults);
+    EXPECT_EQ(rep.migrated_chunks + res.chunks_discarded,
+              res.chunks_total + rep.discarded_chunks);
+}
+
+TEST_F(MigrationRig, MigrationStallInjectionChargesWatchdogAndBackoff)
+{
+    fault::FaultPlan plan;
+    plan.migration_stall_rate = 0.3;
+    arm(plan);
+    auto mig = migrator();
+    auto res = mig.migrate(0, 1, 4 * MiB, 0);
+    EXPECT_EQ(res.status, MigrationStatus::Completed);
+    const auto &rep = mig.faultReport();
+    ASSERT_GT(rep.migration_stalls, 0u);
+    // Each stall charges at least the watchdog timeout before the
+    // retry fires.
+    EXPECT_GE(rep.retry_latency,
+              rep.migration_stalls *
+                  platform.faultInjector().plan().migration_stall_timeout);
+}
+
+TEST_F(MigrationRig, MigrationStallRecoveryIsBoundedByTheAttemptCap)
+{
+    fault::FaultPlan plan;
+    plan.migration_stall_rate = 1.0;
+    plan.max_migration_attempts = 3;
+    arm(plan);
+    auto mig = migrator();
+    auto res = mig.migrate(0, 1, 1 * MiB, 0);
+    // A permanently stalled link never hangs the router: after the
+    // attempt cap the stream aborts so the caller can degrade to
+    // local decode.
+    EXPECT_EQ(res.status, MigrationStatus::Stalled);
+    EXPECT_EQ(mig.faultReport().migration_stalls, 3u);
+    EXPECT_EQ(mig.faultReport().migration_fallbacks, 1u);
+}
+
+TEST_F(MigrationRig, MigrationStallFallbackAbandonsChunksUnverified)
+{
+    fault::FaultPlan plan;
+    plan.migration_stall_rate = 1.0;
+    plan.max_migration_attempts = 2;
+    arm(plan);
+    auto mig = migrator();
+    auto res = mig.migrate(0, 1, 1 * MiB, 0);
+    ASSERT_EQ(res.status, MigrationStatus::Stalled);
+    // The abandoned speculative window is discarded in the ledger,
+    // never verified: local decode reuses the resident KV instead.
+    EXPECT_EQ(res.chunks_verified, 0u);
+    EXPECT_EQ(res.chunks_discarded, 4u);
+    EXPECT_EQ(mig.faultReport().migrated_chunks, 0u);
+}
+
+TEST_F(MigrationRig, DestCrashMidMigrationInjectionAbortsTheStream)
+{
+    fault::FaultPlan plan;
+    plan.dest_crash_rate = 1.0;
+    arm(plan);
+    auto mig = migrator();
+    auto res = mig.migrate(0, 1, 1 * MiB, 0);
+    EXPECT_EQ(res.status, MigrationStatus::DestCrashed);
+    EXPECT_EQ(mig.faultReport().dest_mid_migration_crashes, 1u);
+    EXPECT_GT(res.done, Tick(0));
+}
+
+TEST_F(MigrationRig, DestCrashMidMigrationRecoveryReroutesOnFreshKeys)
+{
+    // First stream dies under a destination crash; the router's
+    // recovery is to re-key every link of the dead replica and replay
+    // the migration from chunk zero on a survivor. Both the re-route
+    // and a later stream to the restarted replica must verify cleanly
+    // on the fresh epochs.
+    auto mig = migrator();
+    {
+        fault::FaultPlan plan;
+        plan.dest_crash_rate = 1.0;
+        arm(plan);
+        ASSERT_EQ(mig.migrate(0, 1, 1 * MiB, 0).status,
+                  MigrationStatus::DestCrashed);
+    }
+    platform.faultInjector().disarm();
+    std::uint64_t epoch_before = mig.link(0, 1).epoch();
+    mig.rekeyLinksOf(1);
+    EXPECT_GT(mig.link(0, 1).epoch(), epoch_before);
+    EXPECT_EQ(mig.migrate(0, 2, 1 * MiB, 1000).status,
+              MigrationStatus::Completed);
+    EXPECT_EQ(mig.migrate(0, 1, 1 * MiB, 2000).status,
+              MigrationStatus::Completed);
+}
+
+TEST_F(MigrationRig, DestCrashMidMigrationAbandonedChunksNeverVerify)
+{
+    fault::FaultPlan plan;
+    plan.dest_crash_rate = 1.0;
+    arm(plan);
+    auto mig = migrator();
+    auto res = mig.migrate(0, 1, 1 * MiB, 0);
+    ASSERT_EQ(res.status, MigrationStatus::DestCrashed);
+    // Everything sealed but unverified when the destination died —
+    // the in-flight chunk and the speculative window behind it — is
+    // discarded in the ledger; none of it ever counts as migrated.
+    EXPECT_EQ(res.chunks_verified, 0u);
+    EXPECT_EQ(res.chunks_discarded, 4u);
+    EXPECT_EQ(mig.faultReport().migrated_chunks, 0u);
+    EXPECT_EQ(mig.faultReport().discarded_chunks, 4u);
+}

@@ -21,6 +21,7 @@ namespace {
 /** The scenarios committed under bench/scenarios/. */
 const char *const committedScenarios[] = {
     PIPELLM_SCENARIO_DIR "/cluster_scale.scenario",
+    PIPELLM_SCENARIO_DIR "/disagg.scenario",
     PIPELLM_SCENARIO_DIR "/faults.scenario",
     PIPELLM_SCENARIO_DIR "/soak.scenario",
 };
@@ -228,4 +229,152 @@ TEST(ScenarioSpec, SystemModeNamesRoundTrip)
     EXPECT_FALSE(parseSystemMode("NotASystem").has_value());
     EXPECT_STREQ(toString(SystemMode::Plain), "w/o CC");
     EXPECT_STREQ(toString(SystemMode::Pipe), "PipeLLM");
+}
+
+TEST(ScenarioSpec, KindRegistryCoversEveryKindWithUniqueNames)
+{
+    const auto &kinds = scenarioKinds();
+    ASSERT_EQ(kinds.size(), 4u);
+    for (const auto &info : kinds) {
+        // The registry name is the `kind =` spelling.
+        auto parsed = parseScenario(std::string("[scenario]\n"
+                                                "name = k\n"
+                                                "kind = ") +
+                                    info.name + "\n");
+        ASSERT_TRUE(parsed.ok()) << info.name;
+        EXPECT_EQ(parsed.spec.kind, info.kind);
+        EXPECT_STREQ(toString(info.kind), info.name);
+        EXPECT_NE(std::string(info.summary), "");
+    }
+}
+
+TEST(ScenarioSpec, UnknownKindSuggestsTheNearestValidKind)
+{
+    EXPECT_EQ(nearestScenarioKind("disag"), "disagg");
+    EXPECT_EQ(nearestScenarioKind("fault_swep"), "fault_sweep");
+    EXPECT_EQ(nearestScenarioKind("sok"), "soak");
+
+    auto parsed = parseScenario("[scenario]\n"
+                                "name = x\n"
+                                "kind = cluster_scal\n",
+                                "x");
+    ASSERT_FALSE(parsed.ok());
+    EXPECT_TRUE(anyContains(parsed.errors, "unknown kind"));
+    EXPECT_TRUE(anyContains(parsed.errors,
+                            "did you mean 'cluster_scale'?"));
+}
+
+TEST(ScenarioSpec, EveryFieldSurvivesTheDumpRoundTrip)
+{
+    // One text exercising every section and key — crash_devices and
+    // the disagg/migration fields included — so a field dropped from
+    // dumpScenario() fails here, not in a sweep.
+    auto parsed = parseScenario("[scenario]\n"
+                                "name = everything\n"
+                                "kind = disagg\n"
+                                "csv = everything.csv\n"
+                                "[cluster]\n"
+                                "devices = 2 4\n"
+                                "devices_quick = 2\n"
+                                "modes = Cc Pipe\n"
+                                "policy = least_loaded\n"
+                                "threads = 2\n"
+                                "[device]\n"
+                                "channel_sample_limit = 128\n"
+                                "[engine]\n"
+                                "model = opt13b\n"
+                                "parallel_sampling = 4\n"
+                                "[trace]\n"
+                                "dataset = alpaca\n"
+                                "max_len = 512\n"
+                                "seed = 7\n"
+                                "rate_per_device = 1.25\n"
+                                "requests_per_device = 20\n"
+                                "requests_per_device_quick = 10\n"
+                                "[disagg]\n"
+                                "prefill_replicas = 1\n"
+                                "chunk_kib = 512\n"
+                                "pipeline_depth = 8\n"
+                                "[faults]\n"
+                                "seed = 99\n"
+                                "replica_restart_rate = 0.25\n"
+                                "migration_tag_rate = 0.001\n"
+                                "migration_stall_rate = 0.002\n"
+                                "dest_crash_rate = 0.0005\n"
+                                "migration_stall_timeout_us = 120\n"
+                                "max_migration_attempts = 6\n"
+                                "crash_devices = 1 3\n"
+                                "scales = 0 1 2\n"
+                                "scales_quick = 0 1\n");
+    ASSERT_TRUE(parsed.ok())
+        << (parsed.errors.empty() ? "" : parsed.errors.front());
+    ASSERT_TRUE(parsed.spec.validate().empty())
+        << parsed.spec.validate().front();
+
+    const auto &spec = parsed.spec;
+    EXPECT_EQ(spec.disagg.prefill_replicas, 1u);
+    EXPECT_EQ(spec.disagg.chunk_kib, 512.0);
+    EXPECT_EQ(spec.disagg.pipeline_depth, 8u);
+    EXPECT_EQ(spec.faults.migration_stall_timeout_us, 120.0);
+    EXPECT_EQ(spec.faults.max_migration_attempts, 6u);
+    EXPECT_EQ(spec.faults.crash_devices,
+              (std::vector<unsigned>{1, 3}));
+
+    auto again = parseScenario(dumpScenario(spec), "round-trip");
+    ASSERT_TRUE(again.ok())
+        << (again.errors.empty() ? "" : again.errors.front());
+    EXPECT_EQ(spec, again.spec);
+}
+
+TEST(ScenarioSpec, DisaggSectionAndRatesRejectedOutsideDisaggKind)
+{
+    // A [disagg] section on a cluster_scale scenario is a mistake.
+    auto parsed = parseScenario(minimalText() +
+                                "[disagg]\n"
+                                "chunk_kib = 128\n");
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_TRUE(anyContains(parsed.spec.validate(), "[disagg]"));
+
+    // Migration fault rates on a fault_sweep scenario never fire.
+    auto sweep = parseScenario("[scenario]\n"
+                               "name = f\n"
+                               "kind = fault_sweep\n"
+                               "[cluster]\n"
+                               "devices = 1 2\n"
+                               "modes = Cc\n"
+                               "[faults]\n"
+                               "scales = 0 1\n"
+                               "migration_tag_rate = 0.1\n");
+    ASSERT_TRUE(sweep.ok());
+    EXPECT_TRUE(anyContains(sweep.spec.validate(),
+                            "nothing migrates"));
+}
+
+TEST(ScenarioSpec, DisaggKindNeedsRoomForBothRoles)
+{
+    // A single-device disagg scenario has no decode side to migrate
+    // to; prefill_replicas must leave at least one decode replica.
+    auto parsed = parseScenario("[scenario]\n"
+                                "name = d\n"
+                                "kind = disagg\n"
+                                "[cluster]\n"
+                                "devices = 1 2\n"
+                                "modes = Cc\n"
+                                "[disagg]\n"
+                                "prefill_replicas = 1\n");
+    ASSERT_TRUE(parsed.ok());
+    auto problems = parsed.spec.validate();
+    EXPECT_TRUE(anyContains(problems,
+                            "devices entry must be at least 2"));
+
+    auto hog = parseScenario("[scenario]\n"
+                             "name = d\n"
+                             "kind = disagg\n"
+                             "[cluster]\n"
+                             "devices = 2\n"
+                             "modes = Cc\n"
+                             "[disagg]\n"
+                             "prefill_replicas = 2\n");
+    ASSERT_TRUE(hog.ok());
+    EXPECT_TRUE(anyContains(hog.spec.validate(), "prefill_replicas"));
 }

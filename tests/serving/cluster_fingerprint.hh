@@ -38,6 +38,16 @@ fingerprint(const pipellm::serving::ClusterResult &r)
        << r.faults.tag_retries << '/' << r.faults.copy_stalls << '/'
        << r.faults.lane_faults << '/' << r.faults.replica_crashes
        << '\n';
+    os << "migration:" << r.faults.migrations << '/'
+       << r.faults.migrated_chunks << '/'
+       << r.faults.discarded_chunks << '/'
+       << r.faults.migration_tag_faults << '/'
+       << r.faults.migration_retries << '/'
+       << r.faults.migration_stalls << '/'
+       << r.faults.migration_fallbacks << '/'
+       << r.faults.dest_mid_migration_crashes << '/'
+       << r.faults.migrations_rerouted << '/'
+       << r.faults.speculated_migration_ivs << '\n';
     for (const auto &c : r.completions)
         os << "c:" << c.at << ':' << c.tokens << '\n';
     for (const auto &rep : r.replicas) {

@@ -1,0 +1,199 @@
+/**
+ * @file
+ * KvMigrator unit tests: chunked encrypted streaming, speculative IV
+ * pre-generation, and the per-stream recovery protocol (tag retry,
+ * stall abort, destination-crash abort, crash re-keying).
+ */
+
+#include <gtest/gtest.h>
+
+#include "crypto/channel.hh"
+#include "fault/fault.hh"
+#include "runtime/platform.hh"
+#include "serving/migrate.hh"
+#include "tests/serving/serving_fixture.hh"
+
+using namespace pipellm;
+using namespace pipellm::serving;
+using serving_test::tinyGpu;
+
+namespace {
+
+runtime::Platform
+makePlatform(unsigned devices = 2)
+{
+    return runtime::Platform(tinyGpu(448 * MiB),
+                             crypto::ChannelConfig{}, devices,
+                             runtime::HostResources{});
+}
+
+MigrationConfig
+smallChunks()
+{
+    MigrationConfig cfg;
+    cfg.chunk_bytes = 256 * KiB;
+    cfg.pipeline_depth = 4;
+    return cfg;
+}
+
+} // namespace
+
+TEST(KvMigrator, CompletesChunkedStreamWithSpeculatedIvs)
+{
+    auto platform = makePlatform();
+    KvMigrator mig(platform, smallChunks());
+    auto res = mig.migrate(0, 1, 1 * MiB, 1000);
+    EXPECT_EQ(res.status, MigrationStatus::Completed);
+    EXPECT_EQ(res.chunks_total, 4u);
+    EXPECT_EQ(res.chunks_verified, 4u);
+    EXPECT_EQ(res.chunks_discarded, 0u);
+    // Depth-4 window: chunks 1..3 seal before chunk 0 round-trips.
+    EXPECT_EQ(res.speculated_ivs, 3u);
+    EXPECT_GT(res.done, Tick(1000));
+
+    const auto &rep = mig.faultReport();
+    EXPECT_EQ(rep.migrations, 1u);
+    EXPECT_EQ(rep.migrated_chunks, 4u);
+    EXPECT_EQ(rep.speculated_migration_ivs, 3u);
+    EXPECT_EQ(rep.migration_tag_faults, 0u);
+}
+
+TEST(KvMigrator, SubChunkStreamNeedsNoSpeculation)
+{
+    auto platform = makePlatform();
+    KvMigrator mig(platform, smallChunks());
+    auto res = mig.migrate(0, 1, 64 * KiB, 0);
+    EXPECT_EQ(res.status, MigrationStatus::Completed);
+    EXPECT_EQ(res.chunks_total, 1u);
+    EXPECT_EQ(res.speculated_ivs, 0u);
+}
+
+TEST(KvMigrator, LinkIvCountersPersistAcrossStreams)
+{
+    // The same ordered pair reuses its session; a second stream's
+    // seals land on fresh counters, never reusing an IV. A counter
+    // desync would FATAL inside migrate() as an unexplained tag
+    // failure, so completing both streams is the assertion.
+    auto platform = makePlatform();
+    KvMigrator mig(platform, smallChunks());
+    EXPECT_EQ(mig.migrate(0, 1, 512 * KiB, 0).status,
+              MigrationStatus::Completed);
+    EXPECT_EQ(mig.migrate(0, 1, 512 * KiB, 5000).status,
+              MigrationStatus::Completed);
+    EXPECT_EQ(mig.faultReport().migrations, 2u);
+    EXPECT_EQ(mig.faultReport().migrated_chunks, 4u);
+}
+
+TEST(KvMigrator, DistinctPairsUseDistinctSessions)
+{
+    auto platform = makePlatform(3);
+    KvMigrator mig(platform, smallChunks());
+    EXPECT_NE(&mig.link(0, 1), &mig.link(0, 2));
+    EXPECT_NE(&mig.link(0, 1), &mig.link(1, 0));
+    // Pair-unique session keys: a blob sealed for one link can never
+    // verify on another.
+    EXPECT_NE(mig.link(0, 1).config().key_seed,
+              mig.link(0, 2).config().key_seed);
+    EXPECT_NE(mig.link(0, 1).config().key_seed,
+              mig.link(1, 0).config().key_seed);
+}
+
+TEST(KvMigrator, RekeyLinksOfRestartsTheStreamEpoch)
+{
+    auto platform = makePlatform();
+    KvMigrator mig(platform, smallChunks());
+    ASSERT_EQ(mig.migrate(0, 1, 1 * MiB, 0).status,
+              MigrationStatus::Completed);
+    std::uint64_t epoch_before = mig.link(0, 1).epoch();
+    mig.rekeyLinksOf(1);
+    EXPECT_GT(mig.link(0, 1).epoch(), epoch_before);
+    // Counters restarted with the epoch: the next stream still seals
+    // and verifies cleanly (a half-reset would desync and FATAL).
+    EXPECT_EQ(mig.migrate(0, 1, 1 * MiB, 9000).status,
+              MigrationStatus::Completed);
+}
+
+TEST(KvMigrator, TagFaultResumesFromLastVerifiedChunk)
+{
+    auto platform = makePlatform();
+    fault::FaultPlan plan;
+    plan.seed = 11;
+    plan.migration_tag_rate = 0.2;
+    platform.armFaults(plan);
+    KvMigrator mig(platform, smallChunks());
+    auto res = mig.migrate(0, 1, 4 * MiB, 0);
+    EXPECT_EQ(res.status, MigrationStatus::Completed);
+    EXPECT_EQ(res.chunks_verified, res.chunks_total);
+
+    const auto &rep = mig.faultReport();
+    ASSERT_GT(rep.migration_tag_faults, 0u);
+    // Every fault recovered by a retry, and each retry discarded the
+    // failed chunk plus its speculative window (at least one chunk).
+    EXPECT_EQ(rep.migration_retries, rep.migration_tag_faults);
+    EXPECT_GE(rep.discarded_chunks, rep.migration_tag_faults);
+    EXPECT_EQ(res.chunks_discarded, rep.discarded_chunks);
+}
+
+TEST(KvMigrator, StallWatchdogChargesBackoffAndRecovers)
+{
+    auto platform = makePlatform();
+    fault::FaultPlan plan;
+    plan.seed = 3;
+    plan.migration_stall_rate = 0.3;
+    platform.armFaults(plan);
+    KvMigrator mig(platform, smallChunks());
+    auto res = mig.migrate(0, 1, 4 * MiB, 0);
+    EXPECT_EQ(res.status, MigrationStatus::Completed);
+    const auto &rep = mig.faultReport();
+    EXPECT_GT(rep.migration_stalls, 0u);
+    EXPECT_GT(rep.retry_latency, Tick(0));
+    EXPECT_EQ(rep.migration_fallbacks, 0u);
+}
+
+TEST(KvMigrator, ExhaustedStallBudgetAbortsStalled)
+{
+    auto platform = makePlatform();
+    fault::FaultPlan plan;
+    plan.seed = 3;
+    plan.migration_stall_rate = 1.0;
+    plan.max_migration_attempts = 3;
+    platform.armFaults(plan);
+    KvMigrator mig(platform, smallChunks());
+    auto res = mig.migrate(0, 1, 1 * MiB, 500);
+    EXPECT_EQ(res.status, MigrationStatus::Stalled);
+    EXPECT_EQ(res.chunks_verified, 0u);
+    // The whole speculative window is abandoned: discarded in the
+    // ledger, never verified.
+    EXPECT_EQ(res.chunks_discarded, 4u);
+    EXPECT_GT(res.done, Tick(500));
+    const auto &rep = mig.faultReport();
+    EXPECT_EQ(rep.migration_stalls, 3u);
+    EXPECT_EQ(rep.migration_fallbacks, 1u);
+}
+
+TEST(KvMigrator, DestinationCrashAbandonsUnverifiedChunks)
+{
+    auto platform = makePlatform();
+    fault::FaultPlan plan;
+    plan.seed = 9;
+    plan.dest_crash_rate = 1.0;
+    platform.armFaults(plan);
+    KvMigrator mig(platform, smallChunks());
+    auto res = mig.migrate(0, 1, 1 * MiB, 0);
+    EXPECT_EQ(res.status, MigrationStatus::DestCrashed);
+    EXPECT_EQ(res.chunks_verified, 0u);
+    EXPECT_EQ(res.chunks_discarded, 4u);
+    EXPECT_EQ(mig.faultReport().dest_mid_migration_crashes, 1u);
+    EXPECT_EQ(mig.faultReport().migrated_chunks, 0u);
+}
+
+TEST(KvMigrator, DisarmedInjectorNeverFails)
+{
+    auto platform = makePlatform();
+    KvMigrator mig(platform, smallChunks());
+    for (int i = 0; i < 16; ++i) {
+        auto res = mig.migrate(0, 1, 2 * MiB, Tick(i) * 1000);
+        ASSERT_EQ(res.status, MigrationStatus::Completed);
+        ASSERT_EQ(res.chunks_discarded, 0u);
+    }
+}

@@ -319,8 +319,11 @@ ALLOWED_DEPS = {
                 "sim"},
     "pipellm": {"common", "audit", "crypto", "fault", "gpu", "mem",
                 "runtime", "sim"},
-    "serving": {"common", "audit", "fault", "llm", "runtime", "sim",
-                "trace"},
+    # serving -> crypto: KvMigrator owns per-pair SecureChannel
+    # sessions (inter-replica KV migration links), reviewed with the
+    # disaggregated-serving PR.
+    "serving": {"common", "audit", "crypto", "fault", "llm", "runtime",
+                "sim", "trace"},
     "chaos": {"common", "audit", "fault", "llm", "pipellm", "runtime",
               "serving", "trace"},
     "scenario": {"common", "chaos", "fault", "llm", "pipellm",
@@ -552,8 +555,16 @@ FAULT_TEST_DIR = "tests/fault"
 # Per-kind proofs beyond the Injection/Recovery pair. A restart is only
 # safe if the re-keyed session provably rejects pre-crash ciphertexts,
 # so that test is load-bearing and may not be deleted or renamed away.
+# The migration kinds each pin the ledger side of their recovery: a
+# failed/abandoned speculative window must be discarded, never
+# verified, or the audit story for migrated KV is broken.
 EXTRA_FAULT_TESTS = {
     "ReplicaRestart": ["ReplicaRestartRecoveryNeverReusesPreCrashIvs"],
+    "MigrationTagFault":
+        ["MigrationTagFaultRecoveryDiscardsSpeculativeWindow"],
+    "MigrationStall": ["MigrationStallFallbackAbandonsChunksUnverified"],
+    "DestCrashMidMigration":
+        ["DestCrashMidMigrationAbandonedChunksNeverVerify"],
 }
 
 
